@@ -1,0 +1,136 @@
+// E3 — Disk data layouts × size ratio T (tutorial §2.1.2, §2.2.2, §2.2.4).
+//
+// Claim: tiering minimizes write amplification at the cost of more sorted
+// runs (worse point/range reads, more space); leveling is the opposite;
+// lazy-leveling (Dostoevsky) keeps tiering-like writes with leveling-like
+// point reads. Larger T flattens the tree: fewer levels, cheaper reads
+// under leveling / costlier under tiering.
+
+#include "bench/bench_util.h"
+
+namespace lsmlab::bench {
+namespace {
+
+constexpr uint64_t kNumInserts = 120000;
+constexpr uint64_t kUpdatesPerKeySpace = 3;  // Updates force merge work.
+constexpr uint64_t kNumPointReads = 4000;
+constexpr uint64_t kNumEmptyReads = 4000;
+constexpr uint64_t kNumScans = 300;
+
+struct Row {
+  double write_amp;
+  double read_ios;
+  double empty_read_ios;
+  double scan_ios;
+  double space_amp;
+  int runs;
+};
+
+Row RunOne(DataLayout layout, int size_ratio) {
+  TestStack stack;
+  Options options = SmallTreeOptions();
+  options.data_layout = layout;
+  options.size_ratio = size_ratio;
+  options.level0_file_num_compaction_trigger =
+      layout == DataLayout::kLeveling ? 1 : size_ratio;
+  options.enable_wal = false;  // Isolate tree I/O from logging.
+  Status s = stack.Open(options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return {};
+  }
+
+  // Ingest with updates so compactions have shadowed data to merge.
+  const uint64_t key_space = kNumInserts / kUpdatesPerKeySpace;
+  WriteOptions wo;
+  Random rnd(42);
+  WorkloadGenerator value_maker(WorkloadSpec::WriteOnly(1));
+  for (uint64_t i = 0; i < kNumInserts; ++i) {
+    std::string key = WorkloadGenerator::FormatKey(rnd.Uniform(key_space));
+    stack.db->Put(wo, key, value_maker.MakeValue(key, 100));
+    stack.user_bytes_written += key.size() + 100;
+  }
+  stack.db->WaitForBackgroundWork();
+
+  Row row;
+  IoStats io = stack.env->GetStats();
+  row.write_amp = io.WriteAmplification(stack.user_bytes_written);
+  row.runs = stack.db->TotalSortedRuns();
+  uint64_t live_bytes = stack.user_bytes_written / kUpdatesPerKeySpace;
+  row.space_amp = static_cast<double>(stack.db->TotalSstBytes()) /
+                  static_cast<double>(live_bytes);
+
+  // Point reads of existing keys.
+  stack.env->ResetStats();
+  ReadOptions ro;
+  std::string value;
+  for (uint64_t i = 0; i < kNumPointReads; ++i) {
+    stack.db->Get(ro, WorkloadGenerator::FormatKey(rnd.Uniform(key_space)),
+                  &value);
+  }
+  row.read_ios = static_cast<double>(stack.env->GetStats().read_ops) /
+                 static_cast<double>(kNumPointReads);
+
+  // Zero-result reads (inside the key range; only filters help).
+  stack.env->ResetStats();
+  for (uint64_t i = 0; i < kNumEmptyReads; ++i) {
+    stack.db->Get(
+        ro, WorkloadGenerator::FormatKey(rnd.Uniform(key_space)) + "!absent",
+        &value);
+  }
+  row.empty_read_ios = static_cast<double>(stack.env->GetStats().read_ops) /
+                       static_cast<double>(kNumEmptyReads);
+
+  // Short scans: touch every run.
+  stack.env->ResetStats();
+  for (uint64_t i = 0; i < kNumScans; ++i) {
+    auto iter = stack.db->NewIterator(ro);
+    int remaining = 20;
+    for (iter->Seek(WorkloadGenerator::FormatKey(rnd.Uniform(key_space)));
+         iter->Valid() && remaining > 0; iter->Next()) {
+      --remaining;
+    }
+  }
+  row.scan_ios = static_cast<double>(stack.env->GetStats().read_ops) /
+                 static_cast<double>(kNumScans);
+  return row;
+}
+
+void Run() {
+  Banner("E3: data layouts x size ratio T",
+         "tiering = cheap writes / costly reads & space; leveling = the "
+         "reverse; lazy-leveling in between (tutorial §2.2.2, §2.2.4)");
+
+  PrintHeader({"layout", "T", "write amp", "pt-read I/O", "empty-read I/O",
+               "scan I/O", "space amp", "runs"});
+  struct Config {
+    DataLayout layout;
+    const char* name;
+  };
+  const Config configs[] = {
+      {DataLayout::kLeveling, "leveling"},
+      {DataLayout::kTiering, "tiering"},
+      {DataLayout::kLazyLeveling, "lazy-leveling"},
+      {DataLayout::kOneLeveling, "1-leveling"},
+  };
+  for (const auto& config : configs) {
+    for (int t : {2, 4, 6, 10}) {
+      Row row = RunOne(config.layout, t);
+      PrintRow({config.name, FmtInt(static_cast<uint64_t>(t)),
+                Fmt(row.write_amp), Fmt(row.read_ios), Fmt(row.empty_read_ios),
+                Fmt(row.scan_ios), Fmt(row.space_amp),
+                FmtInt(static_cast<uint64_t>(row.runs))});
+    }
+  }
+  std::printf(
+      "\nshape check: for each T, write amp should order "
+      "tiering < lazy-leveling < leveling, and scan I/O the reverse.\n");
+}
+
+}  // namespace
+}  // namespace lsmlab::bench
+
+int main() {
+  lsmlab::bench::Run();
+  return 0;
+}

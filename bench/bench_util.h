@@ -1,0 +1,146 @@
+#ifndef LSMLAB_BENCH_BENCH_UTIL_H_
+#define LSMLAB_BENCH_BENCH_UTIL_H_
+
+// Shared harness for the experiment benches (DESIGN.md §2). Each bench
+// prints the rows/series a tutorial-style figure would plot; I/O counts come
+// from CountingEnv so the *shape* of every tradeoff is reproducible on any
+// machine.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+#include "io/counting_env.h"
+#include "io/mem_env.h"
+#include "util/clock.h"
+#include "workload/workload.h"
+
+namespace lsmlab::bench {
+
+/// A DB stack over a counting in-memory env: deterministic I/O accounting.
+struct TestStack {
+  std::unique_ptr<MemEnv> mem_env;
+  std::unique_ptr<CountingEnv> env;
+  std::unique_ptr<DB> db;
+  uint64_t user_bytes_written = 0;
+
+  Status Open(Options options, const std::string& name = "/bench") {
+    mem_env = std::make_unique<MemEnv>();
+    env = std::make_unique<CountingEnv>(mem_env.get());
+    options.env = env.get();
+    return DB::Open(options, name, &db);
+  }
+
+  void Close() { db.reset(); }
+};
+
+/// Baseline options shared by the experiments: small enough that a laptop
+/// run exercises multi-level trees in seconds.
+inline Options SmallTreeOptions() {
+  Options options;
+  options.write_buffer_size = 64 << 10;
+  options.max_bytes_for_level_base = 256 << 10;
+  options.target_file_size = 64 << 10;
+  options.block_size = 4096;
+  options.block_cache_capacity = 4 << 20;
+  options.filter_policy = NewBloomFilterPolicy(10.0);
+  options.info_log = nullptr;
+  return options;
+}
+
+/// Loads `n` entries through the write path, driving flushes/compactions.
+inline Status Load(TestStack* stack, WorkloadGenerator* gen, uint64_t n) {
+  WriteOptions wo;
+  for (uint64_t i = 0; i < n; ++i) {
+    Operation op = gen->Next();
+    std::string value = gen->MakeValue(op.key, op.value_size);
+    stack->user_bytes_written += op.key.size() + value.size();
+    Status s = stack->db->Put(wo, op.key, value);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return stack->db->WaitForBackgroundWork();
+}
+
+/// Executes `ops` mixed operations, returning wall micros spent.
+inline uint64_t RunMixed(TestStack* stack, WorkloadGenerator* gen,
+                         uint64_t ops) {
+  WriteOptions wo;
+  ReadOptions ro;
+  std::string value;
+  uint64_t start = SystemClock()->NowMicros();
+  for (uint64_t i = 0; i < ops; ++i) {
+    Operation op = gen->Next();
+    switch (op.type) {
+      case Operation::Type::kInsert:
+      case Operation::Type::kUpdate: {
+        std::string v = gen->MakeValue(op.key, op.value_size);
+        stack->user_bytes_written += op.key.size() + v.size();
+        stack->db->Put(wo, op.key, v);
+        break;
+      }
+      case Operation::Type::kRead:
+      case Operation::Type::kEmptyRead:
+        stack->db->Get(ro, op.key, &value);
+        break;
+      case Operation::Type::kScan: {
+        auto iter = stack->db->NewIterator(ro);
+        int remaining = op.scan_length;
+        for (iter->Seek(op.key); iter->Valid() && remaining > 0;
+             iter->Next()) {
+          --remaining;
+        }
+        break;
+      }
+      case Operation::Type::kDelete:
+        stack->db->Delete(wo, op.key);
+        break;
+    }
+  }
+  return SystemClock()->NowMicros() - start;
+}
+
+/// Markdown-style table printing (copy-pastable into EXPERIMENTS.md).
+inline void PrintHeader(const std::vector<std::string>& columns) {
+  std::string line = "|", rule = "|";
+  for (const auto& c : columns) {
+    line += " " + c + " |";
+    rule += "---|";
+  }
+  std::printf("%s\n%s\n", line.c_str(), rule.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  std::string line = "|";
+  for (const auto& c : cells) {
+    line += " " + c + " |";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+inline std::string FmtInt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace lsmlab::bench
+
+#endif  // LSMLAB_BENCH_BENCH_UTIL_H_

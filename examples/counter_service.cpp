@@ -1,0 +1,98 @@
+// Counter service: per-event counters built on the merge operator
+// (read-modify-write without reads, tutorial §2.2.6) and atomic WriteBatch
+// commits. Simulates an analytics pipeline ingesting page-view events.
+//
+//   ./counter_service [num_events]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/db.h"
+#include "db/merge_operator.h"
+#include "io/mem_env.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+using namespace lsmlab;
+
+int main(int argc, char** argv) {
+  uint64_t num_events =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 256 << 10;
+  options.merge_operator = NewInt64AddOperator();  // Counters = int64 adds.
+  options.filter_policy = NewBloomFilterPolicy(10);
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, "/counters", &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Ingest events: each event bumps three counters atomically — per page,
+  // per country, and global. No reads on the hot path: each bump is a
+  // buffered merge operand, folded lazily at query/compaction time.
+  const char* kPages[] = {"home", "search", "product", "cart", "checkout"};
+  const char* kCountries[] = {"us", "de", "jp", "br", "in"};
+  std::map<std::string, long long> model;
+
+  Random rnd(7);
+  uint64_t t0 = SystemClock()->NowMicros();
+  for (uint64_t i = 0; i < num_events; ++i) {
+    std::string page = std::string("page:") + kPages[rnd.Uniform(5)];
+    std::string country =
+        std::string("country:") + kCountries[rnd.Uniform(5)];
+
+    WriteBatch event;  // The three bumps commit atomically.
+    event.Merge(page, "1");
+    event.Merge(country, "1");
+    event.Merge("global:views", "1");
+    s = db->Write(WriteOptions(), &event);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    model[page]++;
+    model[country]++;
+    model["global:views"]++;
+  }
+  uint64_t micros = SystemClock()->NowMicros() - t0;
+  std::printf("ingested %llu events (3 counter bumps each) at %.1f kops/s\n",
+              static_cast<unsigned long long>(num_events),
+              static_cast<double>(num_events) * 1000.0 /
+                  static_cast<double>(micros));
+
+  // Query: scan all counters, verify against the in-memory model.
+  std::printf("\ncounters (scan):\n");
+  auto iter = db->NewIterator(ReadOptions());
+  int mismatches = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    std::string key = iter->key().ToString();
+    long long got = std::strtoll(iter->value().ToString().c_str(), nullptr, 10);
+    if (got != model[key]) {
+      ++mismatches;
+    }
+    std::printf("  %-16s %lld\n", key.c_str(), got);
+  }
+  std::printf("\nmodel check: %s\n",
+              mismatches == 0 ? "all counters exact" : "MISMATCH!");
+
+  // Compactions carry operand chains correctly; counts stay exact.
+  db->CompactRange();
+  std::string value;
+  db->Get(ReadOptions(), "global:views", &value);
+  std::printf("global:views after full compaction: %s (expected %lld)\n",
+              value.c_str(), model["global:views"]);
+  std::printf("tree: %d sorted runs, %llu compactions\n",
+              db->TotalSortedRuns(),
+              static_cast<unsigned long long>(
+                  db->statistics()->compactions.load()));
+  return mismatches == 0 ? 0 : 1;
+}

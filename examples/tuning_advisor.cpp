@@ -1,0 +1,98 @@
+// Tuning advisor: describe your workload and data; get back the navigated
+// design point (tutorial §2.3.1) and its robust alternative (§2.3.2).
+//
+//   ./tuning_advisor <writes> <point_reads> <empty_reads> <scans>
+//                    [entries] [entry_bytes] [memory_mb] [rho]
+//
+// Example: a 70% write, 20% read, 5% empty-read, 5% scan workload on 100M
+// 128-byte entries with 256 MiB of memory and shift radius 0.3:
+//   ./tuning_advisor 0.7 0.2 0.05 0.05 100000000 128 256 0.3
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tuning/navigator.h"
+
+using namespace lsmlab;
+
+int main(int argc, char** argv) {
+  WorkloadMix mix;
+  if (argc >= 5) {
+    mix.writes = std::atof(argv[1]);
+    mix.point_reads = std::atof(argv[2]);
+    mix.empty_point_reads = std::atof(argv[3]);
+    mix.short_scans = std::atof(argv[4]);
+  } else {
+    std::printf("(no mix given; using the balanced default 0.25 each)\n");
+  }
+  double total = mix.writes + mix.point_reads + mix.empty_point_reads +
+                 mix.short_scans;
+  if (total <= 0) {
+    std::fprintf(stderr, "mix fractions must sum to > 0\n");
+    return 1;
+  }
+  mix.writes /= total;
+  mix.point_reads /= total;
+  mix.empty_point_reads /= total;
+  mix.short_scans /= total;
+
+  DataSpec data;
+  if (argc >= 6) data.num_entries = std::strtoull(argv[5], nullptr, 10);
+  if (argc >= 7) data.entry_bytes = std::strtoull(argv[6], nullptr, 10);
+  DesignSpaceSpec space;
+  if (argc >= 8) {
+    space.memory_budget_bytes =
+        std::strtoull(argv[7], nullptr, 10) << 20;
+  }
+  double rho = argc >= 9 ? std::atof(argv[8]) : 0.3;
+
+  std::printf("workload: writes=%.2f reads=%.2f empty=%.2f scans=%.2f\n",
+              mix.writes, mix.point_reads, mix.empty_point_reads,
+              mix.short_scans);
+  std::printf("data: %llu entries x %llu B; memory budget %llu MiB\n\n",
+              static_cast<unsigned long long>(data.num_entries),
+              static_cast<unsigned long long>(data.entry_bytes),
+              static_cast<unsigned long long>(
+                  space.memory_budget_bytes >> 20));
+
+  auto designs = EnumerateDesigns(space, data, mix);
+  std::printf("top 5 designs by modelled cost (of %zu enumerated):\n",
+              designs.size());
+  for (size_t i = 0; i < 5 && i < designs.size(); ++i) {
+    CostModel model(designs[i].design, data);
+    std::printf(
+        "  %zu. %-40s cost=%.4f (w=%.3f r=%.3f e=%.3f s=%.3f, %d levels)\n",
+        i + 1, designs[i].design.Label().c_str(), designs[i].cost,
+        model.WriteCost(), model.PointLookupCost(),
+        model.ZeroResultLookupCost(), model.ShortScanCost(),
+        model.NumLevels());
+  }
+
+  LsmDesign nominal = designs.front().design;
+  LsmDesign robust = RobustTuning(space, data, mix, rho);
+  CostModel nm(nominal, data), rm(robust, data);
+  std::printf("\nnominal tuning : %s\n", nominal.Label().c_str());
+  std::printf("robust tuning  : %s (rho=%.2f)\n", robust.Label().c_str(),
+              rho);
+  std::printf("  cost at expected mix : nominal=%.4f robust=%.4f\n",
+              nm.WorkloadCost(mix), rm.WorkloadCost(mix));
+  std::printf("  worst case in radius : nominal=%.4f robust=%.4f\n",
+              WorstCaseCost(nominal, data, mix, rho),
+              WorstCaseCost(robust, data, mix, rho));
+
+  std::printf("\nsuggested lsmlab::Options snippet (nominal):\n");
+  std::printf("  options.data_layout = DataLayout::k%s;\n",
+              nominal.layout == DataLayout::kLeveling       ? "Leveling"
+              : nominal.layout == DataLayout::kTiering      ? "Tiering"
+              : nominal.layout == DataLayout::kLazyLeveling ? "LazyLeveling"
+                                                            : "OneLeveling");
+  std::printf("  options.size_ratio = %d;\n", nominal.size_ratio);
+  std::printf("  options.write_buffer_size = %llu;\n",
+              static_cast<unsigned long long>(nominal.buffer_bytes));
+  std::printf("  options.filter_policy = NewBloomFilterPolicy(%.1f);\n",
+              nominal.filter_bits_per_key);
+  if (nominal.monkey_allocation) {
+    std::printf("  options.filter_allocation = FilterAllocation::kMonkey;\n");
+  }
+  return 0;
+}

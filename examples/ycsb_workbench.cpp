@@ -1,0 +1,134 @@
+// YCSB-style workbench: run a standard mix against a chosen design point
+// and report throughput plus the engine's internal counters.
+//
+//   ./ycsb_workbench [workload] [layout] [ops]
+//     workload: a | b | c | e | write  (default a)
+//     layout:   leveling | tiering | lazy | 1level  (default 1level)
+//     ops:      operation count (default 100000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "db/db.h"
+#include "io/counting_env.h"
+#include "io/mem_env.h"
+#include "util/clock.h"
+#include "workload/workload.h"
+
+using namespace lsmlab;
+
+namespace {
+
+WorkloadSpec PickWorkload(const std::string& name, uint64_t ops) {
+  if (name == "b") return WorkloadSpec::YcsbB(ops);
+  if (name == "c") return WorkloadSpec::YcsbC(ops);
+  if (name == "e") return WorkloadSpec::YcsbE(ops);
+  if (name == "write") return WorkloadSpec::WriteOnly(ops);
+  return WorkloadSpec::YcsbA(ops);
+}
+
+DataLayout PickLayout(const std::string& name) {
+  if (name == "leveling") return DataLayout::kLeveling;
+  if (name == "tiering") return DataLayout::kTiering;
+  if (name == "lazy") return DataLayout::kLazyLeveling;
+  return DataLayout::kOneLeveling;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = argc > 1 ? argv[1] : "a";
+  std::string layout = argc > 2 ? argv[2] : "1level";
+  uint64_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+
+  MemEnv mem_env;
+  CountingEnv env(&mem_env);
+
+  Options options;
+  options.env = &env;
+  options.data_layout = PickLayout(layout);
+  options.write_buffer_size = 256 << 10;
+  options.max_bytes_for_level_base = 1 << 20;
+  options.filter_policy = NewBloomFilterPolicy(10);
+  if (options.data_layout == DataLayout::kLeveling) {
+    options.level0_file_num_compaction_trigger = 1;
+  }
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, "/ycsb", &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  WorkloadSpec spec = PickWorkload(workload, ops);
+  WorkloadGenerator gen(spec);
+
+  // Preload the key space the mix will read from.
+  std::printf("preloading %llu keys...\n",
+              static_cast<unsigned long long>(spec.num_preloaded_keys));
+  for (uint64_t i = 0; i < spec.num_preloaded_keys; ++i) {
+    std::string key = WorkloadGenerator::FormatKey(i);
+    db->Put(WriteOptions(), key, gen.MakeValue(key, spec.value_size));
+  }
+  db->WaitForBackgroundWork();
+  env.ResetStats();
+  db->statistics()->Reset();
+
+  std::printf("running YCSB-%s (%llu ops) on %s...\n", workload.c_str(),
+              static_cast<unsigned long long>(ops),
+              DataLayoutName(options.data_layout));
+  std::string value;
+  uint64_t t0 = SystemClock()->NowMicros();
+  for (uint64_t i = 0; i < ops; ++i) {
+    Operation op = gen.Next();
+    switch (op.type) {
+      case Operation::Type::kInsert:
+      case Operation::Type::kUpdate:
+        db->Put(WriteOptions(), op.key, gen.MakeValue(op.key, op.value_size));
+        break;
+      case Operation::Type::kRead:
+      case Operation::Type::kEmptyRead:
+        db->Get(ReadOptions(), op.key, &value);
+        break;
+      case Operation::Type::kScan: {
+        auto iter = db->NewIterator(ReadOptions());
+        int remaining = op.scan_length;
+        for (iter->Seek(op.key); iter->Valid() && remaining > 0; iter->Next())
+          --remaining;
+        break;
+      }
+      case Operation::Type::kDelete:
+        db->Delete(WriteOptions(), op.key);
+        break;
+    }
+  }
+  uint64_t micros = SystemClock()->NowMicros() - t0;
+  db->WaitForBackgroundWork();
+
+  Statistics* stats = db->statistics();
+  IoStats io = env.GetStats();
+  std::printf("\nthroughput: %.1f kops/s\n",
+              static_cast<double>(ops) * 1000.0 /
+                  static_cast<double>(micros));
+  std::printf("tree:\n%s", db->LevelsDebugString().c_str());
+  std::printf("sorted runs: %d\n", db->TotalSortedRuns());
+  std::printf("io: read %llu MiB (%llu ops), wrote %llu MiB (%llu ops)\n",
+              static_cast<unsigned long long>(io.bytes_read >> 20),
+              static_cast<unsigned long long>(io.read_ops),
+              static_cast<unsigned long long>(io.bytes_written >> 20),
+              static_cast<unsigned long long>(io.write_ops));
+  std::printf(
+      "engine: flushes=%llu compactions=%llu stall-ms=%llu "
+      "runs-skipped-by-filter=%llu fpr=%.4f\n",
+      static_cast<unsigned long long>(stats->flushes.load()),
+      static_cast<unsigned long long>(stats->compactions.load()),
+      static_cast<unsigned long long>(stats->write_stall_micros.load() /
+                                      1000),
+      static_cast<unsigned long long>(stats->runs_skipped_by_filter.load()),
+      stats->FilterFalsePositiveRate());
+  return 0;
+}

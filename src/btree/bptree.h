@@ -1,0 +1,117 @@
+#ifndef LSMLAB_BTREE_BPTREE_H_
+#define LSMLAB_BTREE_BPTREE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "io/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+struct BPlusTreeOptions {
+  size_t page_size = 4096;
+  /// Pages held in the in-memory page cache.
+  size_t cache_pages = 256;
+  /// Sync the page file on Flush().
+  bool sync_on_flush = true;
+};
+
+/// A disk-based B+-tree with in-place updates: the classic index the LSM
+/// paradigm is contrasted against (tutorial §1, §2.1). Every leaf update is
+/// a read-modify-write of a page — the source of its poor ingestion
+/// behaviour relative to out-of-place LSM writes.
+///
+/// Single-threaded by design (the comparison experiments drive it from one
+/// thread). Keys and values must fit well within a page: key+value size is
+/// limited to page_size / 4.
+class BPlusTree {
+ public:
+  static Status Open(const BPlusTreeOptions& options, Env* env,
+                     const std::string& path,
+                     std::unique_ptr<BPlusTree>* tree);
+
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Upserts (key, value) in place.
+  Status Insert(const Slice& key, const Slice& value);
+
+  Status Get(const Slice& key, std::string* value);
+
+  /// Deletes by writing an empty-value marker (logical delete; page-level
+  /// reclamation is out of scope for the baseline).
+  Status Delete(const Slice& key);
+
+  /// Collects up to `count` live entries with key >= `start`.
+  Status Scan(const Slice& start, int count,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Writes back all dirty pages and the meta page.
+  Status Flush();
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_pages() const { return next_page_id_; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    /// Separator keys. For leaves, keys.size() == values.size(); for
+    /// internal nodes, children.size() == keys.size() + 1.
+    std::vector<std::string> keys;
+    std::vector<std::string> values;    // Leaves only.
+    std::vector<uint32_t> children;     // Internal only.
+    uint32_t next_leaf = 0;             // Leaf chain for scans (0 = none).
+
+    size_t SerializedSize() const;
+  };
+
+  BPlusTree(const BPlusTreeOptions& options, Env* env, std::string path);
+
+  Status LoadMeta();
+  Status SaveMeta();
+
+  /// Returns the (cached) node for `page_id`.
+  Status GetNode(uint32_t page_id, std::shared_ptr<Node>* node);
+  void MarkDirty(uint32_t page_id);
+  uint32_t AllocatePage();
+  Status WriteNode(uint32_t page_id, const Node& node);
+  Status EvictIfNeeded();
+
+  /// Descends to the leaf for `key`, recording the path (page ids + child
+  /// indexes) for split propagation.
+  Status DescendToLeaf(const Slice& key, std::vector<uint32_t>* path,
+                       std::shared_ptr<Node>* leaf);
+
+  /// Splits the node at path.back() if oversized, propagating upward.
+  Status SplitIfNeeded(std::vector<uint32_t>* path);
+
+  const BPlusTreeOptions options_;
+  Env* const env_;
+  const std::string path_;
+  std::unique_ptr<RandomRWFile> file_;
+
+  uint32_t root_page_id_ = 1;
+  uint32_t next_page_id_ = 2;  // Page 0 is the meta page.
+  uint64_t num_entries_ = 0;
+
+  struct CacheEntry {
+    std::shared_ptr<Node> node;
+    bool dirty = false;
+  };
+  std::unordered_map<uint32_t, CacheEntry> cache_;
+  std::list<uint32_t> lru_;  // Front = MRU.
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_pos_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_BTREE_BPTREE_H_

@@ -1,0 +1,89 @@
+#ifndef LSMLAB_CACHE_LRU_CACHE_H_
+#define LSMLAB_CACHE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Aggregate cache counters; the block-cache experiments (E12) report the
+/// hit ratio under compaction churn.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Sharded LRU cache charging entries by byte size — the block cache of
+/// tutorial §2.1.3. Values are type-erased shared_ptrs so evicted entries
+/// stay alive while readers hold them. Thread-safe.
+class LruCache {
+ public:
+  /// `capacity` is the total byte budget across all shards.
+  explicit LruCache(size_t capacity, int num_shards = 4);
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts (or replaces) `key`; `charge` is the entry's byte cost.
+  void Insert(const Slice& key, std::shared_ptr<const void> value,
+              size_t charge);
+
+  /// Returns the cached value or nullptr, promoting the entry to MRU.
+  std::shared_ptr<const void> Lookup(const Slice& key);
+
+  void Erase(const Slice& key);
+
+  /// Drops everything (used to model cache-wiping events in experiments).
+  void Prune();
+
+  size_t usage() const;
+  size_t capacity() const { return capacity_; }
+  CacheStats GetStats() const;
+  void ResetStats();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const void> value;
+    size_t charge;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // Front = MRU.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t usage = 0;
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+
+    void EvictIfNeeded();
+  };
+
+  Shard& ShardFor(const Slice& key);
+
+  const size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_CACHE_LRU_CACHE_H_

@@ -1,0 +1,31 @@
+#include "compaction/compaction.h"
+
+#include <cstdio>
+
+namespace lsmlab {
+
+const char* CompactionTriggerName(CompactionTrigger trigger) {
+  switch (trigger) {
+    case CompactionTrigger::kLevelSize:
+      return "level-size";
+    case CompactionTrigger::kRunCount:
+      return "run-count";
+    case CompactionTrigger::kTombstoneTtl:
+      return "tombstone-ttl";
+    case CompactionTrigger::kManual:
+      return "manual";
+  }
+  return "unknown";
+}
+
+std::string CompactionJob::DebugString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "compaction[%s] L%d(%zu files) -> L%d(%zu overlap) %s",
+                CompactionTriggerName(trigger), input_level, inputs.size(),
+                output_level, overlap.size(),
+                bottommost ? "bottommost" : "");
+  return std::string(buf);
+}
+
+}  // namespace lsmlab

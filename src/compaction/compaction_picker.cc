@@ -1,0 +1,302 @@
+#include "compaction/compaction_picker.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/comparator.h"
+
+namespace lsmlab {
+
+CompactionPicker::CompactionPicker(const Options* options)
+    : options_(options),
+      cursor_(static_cast<size_t>(options->num_levels)) {}
+
+uint64_t CompactionPicker::MaxBytesForLevel(int level) const {
+  assert(level >= 1);
+  uint64_t bytes = options_->max_bytes_for_level_base;
+  for (int i = 1; i < level; ++i) {
+    bytes *= static_cast<uint64_t>(options_->size_ratio);
+  }
+  return bytes;
+}
+
+int CompactionPicker::RunCountTrigger(int level) const {
+  if (level == 0) {
+    // L0's trigger is its own knob in every layout (absorbs flush bursts).
+    return options_->level0_file_num_compaction_trigger;
+  }
+  return options_->size_ratio;
+}
+
+double CompactionPicker::Score(const Version& version, int level) const {
+  bool tiered =
+      level == 0 || LevelIsTiered(options_->data_layout, level,
+                                  options_->num_levels);
+  if (tiered) {
+    return static_cast<double>(version.NumFiles(level)) /
+           static_cast<double>(RunCountTrigger(level));
+  }
+  if (level == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(version.LevelBytes(level)) /
+         static_cast<double>(MaxBytesForLevel(level));
+}
+
+std::optional<CompactionJob> CompactionPicker::PickTtlCompaction(
+    const Version& version, uint64_t now_micros) {
+  if (options_->tombstone_ttl_micros == 0) {
+    return std::nullopt;
+  }
+  // FADE (Lethe): the file whose oldest tombstone is most overdue becomes
+  // the top priority, bounding how long a delete can stay logical.
+  int best_level = -1;
+  const FileMetaData* best_file = nullptr;
+  uint64_t best_age = 0;
+  for (int level = 0; level < version.num_levels(); ++level) {
+    for (const auto& f : version.files(level)) {
+      if (f.oldest_tombstone_time_micros == 0 ||
+          f.num_tombstones == 0) {
+        continue;
+      }
+      // A tombstone at the last level is dropped on its next merge; files
+      // already at the last level still need one more (in-place) merge.
+      uint64_t age = now_micros > f.oldest_tombstone_time_micros
+                         ? now_micros - f.oldest_tombstone_time_micros
+                         : 0;
+      if (age >= options_->tombstone_ttl_micros && age > best_age) {
+        best_age = age;
+        best_level = level;
+        best_file = &f;
+      }
+    }
+  }
+  if (best_file == nullptr) {
+    return std::nullopt;
+  }
+  return BuildJob(version, CompactionTrigger::kTombstoneTtl, best_level,
+                  {*best_file});
+}
+
+std::vector<FileMetaData> CompactionPicker::PickInputFiles(
+    const Version& version, int level) {
+  const auto& files = version.files(level);
+  assert(!files.empty());
+  if (options_->compaction_granularity == CompactionGranularity::kWholeLevel) {
+    return files;
+  }
+
+  const Comparator* ucmp = BytewiseComparator();
+  auto overlap_bytes = [&](const FileMetaData& f) {
+    uint64_t total = 0;
+    Slice smallest = f.smallest.user_key();
+    Slice largest = f.largest.user_key();
+    if (level + 1 < version.num_levels()) {
+      for (const auto* of :
+           version.FilesOverlapping(level + 1, &smallest, &largest)) {
+        total += of->file_size;
+      }
+    }
+    return total;
+  };
+
+  const FileMetaData* picked = nullptr;
+  switch (options_->file_pick_policy) {
+    case FilePickPolicy::kRoundRobin: {
+      // First file whose smallest key is past the cursor; wrap at the end.
+      std::string& cursor = cursor_[static_cast<size_t>(level)];
+      for (const auto& f : files) {
+        if (cursor.empty() ||
+            ucmp->Compare(f.smallest.user_key(), cursor) > 0) {
+          picked = &f;
+          break;
+        }
+      }
+      if (picked == nullptr) {
+        picked = &files.front();
+      }
+      cursor = picked->largest.user_key().ToString();
+      break;
+    }
+    case FilePickPolicy::kLeastOverlap: {
+      uint64_t best = ~uint64_t{0};
+      for (const auto& f : files) {
+        uint64_t o = overlap_bytes(f);
+        if (o < best) {
+          best = o;
+          picked = &f;
+        }
+      }
+      break;
+    }
+    case FilePickPolicy::kMostTombstones: {
+      double best = -1.0;
+      for (const auto& f : files) {
+        double density =
+            f.num_entries == 0
+                ? 0.0
+                : static_cast<double>(f.num_tombstones) /
+                      static_cast<double>(f.num_entries);
+        if (density > best) {
+          best = density;
+          picked = &f;
+        }
+      }
+      break;
+    }
+    case FilePickPolicy::kOldestFirst: {
+      uint64_t best = ~uint64_t{0};
+      for (const auto& f : files) {
+        if (f.creation_time_micros < best) {
+          best = f.creation_time_micros;
+          picked = &f;
+        }
+      }
+      break;
+    }
+    case FilePickPolicy::kWidestRange: {
+      // Approximate "widest" by the byte span of overlap plus own size.
+      uint64_t best = 0;
+      picked = &files.front();
+      for (const auto& f : files) {
+        uint64_t width = overlap_bytes(f) + f.file_size;
+        if (width >= best) {
+          best = width;
+          picked = &f;
+        }
+      }
+      break;
+    }
+  }
+  assert(picked != nullptr);
+  return {*picked};
+}
+
+CompactionJob CompactionPicker::BuildJob(const Version& version,
+                                         CompactionTrigger trigger, int level,
+                                         std::vector<FileMetaData> inputs) {
+  CompactionJob job;
+  job.trigger = trigger;
+  job.input_level = level;
+  job.inputs = std::move(inputs);
+
+  const int last_level = version.num_levels() - 1;
+  bool at_last = (level == last_level);
+  job.output_level = at_last ? last_level : level + 1;
+
+  bool target_tiered =
+      !at_last && LevelIsTiered(options_->data_layout, job.output_level,
+                                options_->num_levels);
+
+  if (target_tiered) {
+    // Output stacks as a fresh run on the target level; no overlap merge.
+    job.overlap.clear();
+  } else {
+    // Merge with the overlapping files of the (leveled) target.
+    Slice smallest, largest;
+    bool first = true;
+    std::string smallest_buf, largest_buf;
+    const Comparator* ucmp = BytewiseComparator();
+    for (const auto& f : job.inputs) {
+      if (first || ucmp->Compare(f.smallest.user_key(), smallest) < 0) {
+        smallest_buf = f.smallest.user_key().ToString();
+        smallest = Slice(smallest_buf);
+      }
+      if (first || ucmp->Compare(f.largest.user_key(), largest) > 0) {
+        largest_buf = f.largest.user_key().ToString();
+        largest = Slice(largest_buf);
+      }
+      first = false;
+    }
+    if (at_last) {
+      // In-place merge of the last level's runs (pure tiering): all runs of
+      // the level are the inputs; no separate overlap set.
+      job.overlap.clear();
+    } else {
+      for (const auto* f :
+           version.FilesOverlapping(job.output_level, &smallest, &largest)) {
+        // Skip files already among the inputs (same level corner cases).
+        job.overlap.push_back(*f);
+      }
+    }
+  }
+
+  // Tombstones (and the entries they shadow) may drop only when, after this
+  // merge, no other run anywhere can hold a version of the affected keys:
+  //  (a) every level deeper than the output is empty,
+  //  (b) a tiered output holds no other runs (a stacked sibling run could
+  //      hold an older version a dropped tombstone would resurrect),
+  //  (c) a tiered input is fully consumed (a leftover sibling run at the
+  //      input level is *older* than nothing — it may hold stale versions
+  //      of keys whose tombstone would otherwise be dropped below it).
+  bool deeper_levels_empty = true;
+  for (int l = job.output_level + 1; l < version.num_levels(); ++l) {
+    if (version.NumFiles(l) > 0) {
+      deeper_levels_empty = false;
+      break;
+    }
+  }
+  bool input_level_tiered =
+      level == 0 || LevelIsTiered(options_->data_layout, level,
+                                  options_->num_levels);
+  bool input_fully_consumed =
+      !input_level_tiered ||
+      job.inputs.size() == version.files(level).size();
+  bool output_has_sibling_runs =
+      target_tiered && version.NumFiles(job.output_level) > 0;
+  job.bottommost =
+      deeper_levels_empty && input_fully_consumed && !output_has_sibling_runs;
+  return job;
+}
+
+std::optional<CompactionJob> CompactionPicker::Pick(const Version& version,
+                                                    uint64_t now_micros) {
+  // FADE first: delete persistence is a correctness-adjacent deadline.
+  auto ttl_job = PickTtlCompaction(version, now_micros);
+  if (ttl_job.has_value()) {
+    return ttl_job;
+  }
+
+  // Otherwise compact the level under the most pressure.
+  int best_level = -1;
+  double best_score = 1.0;  // Only act on scores >= 1.
+  for (int level = 0; level < version.num_levels(); ++level) {
+    if (version.NumFiles(level) == 0) {
+      continue;
+    }
+    double score = Score(version, level);
+    if (score >= best_score) {
+      best_score = score;
+      best_level = level;
+    }
+  }
+  if (best_level < 0) {
+    return std::nullopt;
+  }
+
+  const int level = best_level;
+  bool tiered = level == 0 || LevelIsTiered(options_->data_layout, level,
+                                            options_->num_levels);
+  std::vector<FileMetaData> inputs;
+  if (tiered) {
+    // Run-count trigger: merge all runs of the level.
+    inputs = version.files(level);
+    return BuildJob(version, CompactionTrigger::kRunCount, level,
+                    std::move(inputs));
+  }
+  inputs = PickInputFiles(version, level);
+  return BuildJob(version, CompactionTrigger::kLevelSize, level,
+                  std::move(inputs));
+}
+
+std::optional<CompactionJob> CompactionPicker::PickManual(
+    const Version& version, int level) {
+  if (version.NumFiles(level) == 0) {
+    return std::nullopt;
+  }
+  auto job = BuildJob(version, CompactionTrigger::kManual, level,
+                      version.files(level));
+  return job;
+}
+
+}  // namespace lsmlab

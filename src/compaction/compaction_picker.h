@@ -1,0 +1,57 @@
+#ifndef LSMLAB_COMPACTION_COMPACTION_PICKER_H_
+#define LSMLAB_COMPACTION_COMPACTION_PICKER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compaction/compaction.h"
+#include "util/options.h"
+#include "version/version_set.h"
+
+namespace lsmlab {
+
+/// CompactionPicker decides *whether*, *where*, and *which files* to
+/// compact — the trigger, granularity, and data-movement primitives of
+/// tutorial §2.2.4 — for all four disk data layouts of §2.2.2. Stateful only
+/// for the round-robin cursor. Callers serialize access (DB mutex).
+class CompactionPicker {
+ public:
+  explicit CompactionPicker(const Options* options);
+
+  /// Returns the most urgent compaction, or nullopt when the tree shape is
+  /// within bounds. `now_micros` feeds the FADE tombstone-TTL trigger.
+  std::optional<CompactionJob> Pick(const Version& version,
+                                    uint64_t now_micros);
+
+  /// A manual whole-range compaction of `level` into `level + 1`.
+  std::optional<CompactionJob> PickManual(const Version& version, int level);
+
+  /// Byte capacity of a leveled level (level >= 1): base * T^(level-1).
+  uint64_t MaxBytesForLevel(int level) const;
+
+  /// Run-count trigger for a tiered level.
+  int RunCountTrigger(int level) const;
+
+  /// The compaction-pressure score of a level (>= 1.0 means "needs work").
+  /// Exposed for tests and the design-space explorer example.
+  double Score(const Version& version, int level) const;
+
+ private:
+  std::optional<CompactionJob> PickTtlCompaction(const Version& version,
+                                                 uint64_t now_micros);
+  CompactionJob BuildJob(const Version& version, CompactionTrigger trigger,
+                         int level, std::vector<FileMetaData> inputs);
+  /// Selects input files from a leveled level per the configured
+  /// FilePickPolicy (the data-movement primitive).
+  std::vector<FileMetaData> PickInputFiles(const Version& version, int level);
+
+  const Options* const options_;
+  /// Round-robin cursors: the largest user key compacted so far per level.
+  std::vector<std::string> cursor_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_COMPACTION_COMPACTION_PICKER_H_

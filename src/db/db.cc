@@ -1,0 +1,1052 @@
+#include "db/db.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "db/filename.h"
+#include "db/internal_iterators.h"
+#include "db/merge_operator.h"
+#include "io/wal_reader.h"
+#include "table/merging_iterator.h"
+#include "table/table_builder.h"
+#include "tuning/monkey.h"
+#include "util/clock.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/logging.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Fills unset substrate pointers with the defaults.
+Options NormalizeOptions(const Options& options) {
+  Options result = options;
+  if (result.env == nullptr) {
+    result.env = Env::Default();
+  }
+  if (result.clock == nullptr) {
+    result.clock = SystemClock();
+  }
+  if (result.comparator == nullptr) {
+    result.comparator = BytewiseComparator();
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / initialize / recover
+// ---------------------------------------------------------------------------
+
+DB::DB(const Options& options, std::string dbname)
+    : options_(NormalizeOptions(options)),
+      dbname_(std::move(dbname)),
+      internal_comparator_(options_.comparator) {}
+
+DB::~DB() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  if (pool_ != nullptr) {
+    pool_->WaitForIdle();
+    pool_.reset();  // Joins workers before other members die.
+  }
+}
+
+Status DB::Open(const Options& options, const std::string& name,
+                std::unique_ptr<DB>* dbptr) {
+  dbptr->reset();
+  Status s = options.Validate();
+  if (!s.ok()) {
+    return s;
+  }
+  auto db = std::unique_ptr<DB>(new DB(options, name));
+  s = db->Initialize();
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+Status DB::Initialize() {
+  Env* env = options_.env;
+  Status s = env->CreateDir(dbname_);
+  if (!s.ok()) {
+    return s;
+  }
+
+  if (options_.block_cache_capacity > 0) {
+    block_cache_ = std::make_unique<LruCache>(options_.block_cache_capacity);
+  }
+  table_cache_ = std::make_unique<TableCache>(
+      dbname_, &options_, &internal_comparator_, block_cache_.get(), &stats_);
+  versions_ = std::make_unique<VersionSet>(dbname_, &options_,
+                                           &internal_comparator_);
+  picker_ = std::make_unique<CompactionPicker>(&options_);
+  compaction_rate_limiter_ = std::make_unique<RateLimiter>(
+      options_.compaction_rate_limit_bytes_per_sec, options_.clock);
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.background_threads));
+
+  if (options_.filter_allocation == FilterAllocation::kMonkey) {
+    monkey_bits_ = MonkeyBitsPerLevel(options_.filter_bits_per_key,
+                                      options_.num_levels,
+                                      options_.size_ratio);
+  } else {
+    monkey_bits_.assign(static_cast<size_t>(options_.num_levels),
+                        options_.filter_bits_per_key);
+  }
+
+  bool exists = env->FileExists(CurrentFileName(dbname_));
+  if (!exists) {
+    if (!options_.create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist");
+    }
+    s = versions_->CreateNew();
+    if (!s.ok()) {
+      return s;
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_, "exists");
+    }
+    s = versions_->Recover();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  if (options_.kv_separation) {
+    vlog_ = std::make_unique<VlogManager>(dbname_, env);
+    s = vlog_->OpenActive(versions_->NewFileNumber());
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  s = Recover();
+  if (!s.ok()) {
+    return s;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  RemoveObsoleteFiles();
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+std::unique_ptr<MemTable> DB::MakeMemTable() const {
+  return std::make_unique<MemTable>(&internal_comparator_,
+                                    options_.memtable_rep,
+                                    options_.memtable_hash_bucket_count);
+}
+
+Status DB::Recover() {
+  // Replay all WAL files at or after the manifest's log number, in order.
+  std::vector<std::string> children;
+  Status s = options_.env->GetChildren(dbname_, &children);
+  if (!s.ok()) {
+    return s;
+  }
+  std::vector<uint64_t> logs;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) && type == FileType::kLogFile &&
+        number >= versions_->log_number()) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+
+  SequenceNumber max_sequence = versions_->last_sequence();
+  VersionEdit edit;
+  for (uint64_t log_number : logs) {
+    versions_->MarkFileNumberUsed(log_number);
+    s = RecoverLogFile(log_number, &max_sequence, &edit);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  versions_->SetLastSequence(max_sequence);
+
+  // Start a fresh memtable + log; everything replayed is now either in L0
+  // tables (via the edit) or re-bufferable.
+  s = NewMemTableAndLog();
+  if (!s.ok()) {
+    return s;
+  }
+  edit.SetLogNumber(log_file_number_);
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_->LogAndApply(&edit);
+}
+
+Status DB::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
+                          VersionEdit* edit) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = options_.env->NewSequentialFile(LogFileName(dbname_, log_number),
+                                             &file);
+  if (!s.ok()) {
+    return s;
+  }
+
+  struct Reporter : public wal::Reader::Reporter {
+    Logger* logger;
+    void Corruption(size_t bytes, const Status& status) override {
+      LSMLAB_LOG_WARN(logger, "WAL corruption: dropping %zu bytes: %s", bytes,
+                      status.ToString().c_str());
+    }
+  } reporter;
+  reporter.logger = options_.info_log.get();
+
+  wal::Reader reader(file.get(), &reporter);
+  Slice record;
+  std::string scratch;
+  std::unique_ptr<MemTable> mem;
+
+  // Replays one batch into the recovery memtable.
+  class Inserter : public WriteBatch::Handler {
+   public:
+    Inserter(MemTable* mem, SequenceNumber seq) : mem_(mem), seq_(seq) {}
+    void TypedRecord(ValueType type, const Slice& key,
+                     const Slice& value) override {
+      mem_->Add(seq_++, type, key, value);
+    }
+    void Put(const Slice&, const Slice&) override {}
+    void Delete(const Slice&) override {}
+    void SingleDelete(const Slice&) override {}
+    void Merge(const Slice&, const Slice&) override {}
+    SequenceNumber last_sequence() const { return seq_ - 1; }
+
+   private:
+    MemTable* const mem_;
+    SequenceNumber seq_;
+  };
+
+  while (reader.ReadRecord(&record, &scratch)) {
+    // Each WAL record is one serialized WriteBatch.
+    WriteBatch batch;
+    s = batch.SetRep(record);
+    if (!s.ok()) {
+      return s;
+    }
+    if (mem == nullptr) {
+      mem = MakeMemTable();
+    }
+    Inserter inserter(mem.get(), batch.sequence());
+    s = batch.Iterate(&inserter);
+    if (!s.ok()) {
+      return s;
+    }
+    if (batch.Count() > 0 && inserter.last_sequence() > *max_sequence) {
+      *max_sequence = inserter.last_sequence();
+    }
+
+    if (mem->DataSize() >= options_.write_buffer_size) {
+      MemTableIteratorAdapter iter(std::shared_ptr<MemTable>(std::move(mem)));
+      iter.SeekToFirst();
+      FileMetaData meta;
+      s = BuildTableFromIterator(&iter, 0,
+                                 options_.clock->NowMicros(), &meta);
+      if (!s.ok()) {
+        return s;
+      }
+      edit->AddFile(0, meta);
+      mem.reset();
+    }
+  }
+  if (mem != nullptr && !mem->Empty()) {
+    MemTableIteratorAdapter iter(std::shared_ptr<MemTable>(std::move(mem)));
+    iter.SeekToFirst();
+    FileMetaData meta;
+    s = BuildTableFromIterator(&iter, 0, options_.clock->NowMicros(), &meta);
+    if (!s.ok()) {
+      return s;
+    }
+    edit->AddFile(0, meta);
+  }
+  return Status::OK();
+}
+
+Status DB::NewMemTableAndLog() {
+  uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  if (options_.enable_wal) {
+    Status s = options_.env->NewWritableFile(
+        LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  log_file_ = std::move(lfile);
+  log_ = log_file_ ? std::make_unique<wal::Writer>(log_file_.get()) : nullptr;
+  log_file_number_ = new_log_number;
+  mem_ = std::shared_ptr<MemTable>(MakeMemTable());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status DB::Put(const WriteOptions& options, const Slice& key,
+               const Slice& value) {
+  if (options_.kv_separation && vlog_ != nullptr &&
+      value.size() >= options_.kv_separation_threshold) {
+    VlogPointer ptr;
+    Status s = vlog_->Append(key, value, &ptr);
+    if (!s.ok()) {
+      return s;
+    }
+    std::string encoded;
+    ptr.EncodeTo(&encoded);
+    return WriteInternal(options, kTypeVlogPointer, key, encoded);
+  }
+  return WriteInternal(options, kTypeValue, key, value);
+}
+
+Status DB::Delete(const WriteOptions& options, const Slice& key) {
+  // A tombstone: key plus an (empty) marker value (tutorial §2.1.2).
+  return WriteInternal(options, kTypeDeletion, key, Slice());
+}
+
+Status DB::SingleDelete(const WriteOptions& options, const Slice& key) {
+  return WriteInternal(options, kTypeSingleDeletion, key, Slice());
+}
+
+Status DB::Merge(const WriteOptions& options, const Slice& key,
+                 const Slice& operand) {
+  if (options_.merge_operator == nullptr) {
+    return Status::InvalidArgument("Merge requires Options::merge_operator");
+  }
+  return WriteInternal(options, kTypeMerge, key, operand);
+}
+
+Status DB::DeleteRange(const WriteOptions& options, const Slice& begin,
+                       const Slice& end) {
+  // Simplification (documented): snapshot-scan the range and tombstone each
+  // live key. Native range tombstones are future work.
+  ReadOptions read_options;
+  auto iter = NewIterator(read_options);
+  std::vector<std::string> doomed;
+  for (iter->Seek(begin); iter->Valid(); iter->Next()) {
+    if (options_.comparator->Compare(iter->key(), end) >= 0) {
+      break;
+    }
+    doomed.push_back(iter->key().ToString());
+  }
+  Status s = iter->status();
+  if (!s.ok()) {
+    return s;
+  }
+  for (const auto& key : doomed) {
+    s = Delete(options, key);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status DB::WriteInternal(const WriteOptions& options, ValueType type,
+                         const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.PutTyped(type, key, value);
+  return WriteBatchInternal(options, &batch);
+}
+
+Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr || batch->Count() == 0) {
+    return Status::OK();
+  }
+  if (options_.kv_separation && vlog_ != nullptr) {
+    // Rewrite large put values into vlog pointers before logging, so the
+    // WAL (and the LSM) only carry pointers.
+    class Separator : public WriteBatch::Handler {
+     public:
+      Separator(DB* db, WriteBatch* out) : db_(db), out_(out) {}
+      void TypedRecord(ValueType type, const Slice& key,
+                       const Slice& value) override {
+        if (type == kTypeValue &&
+            value.size() >= db_->options_.kv_separation_threshold) {
+          VlogPointer ptr;
+          Status s = db_->vlog_->Append(key, value, &ptr);
+          if (!s.ok()) {
+            if (status_.ok()) {
+              status_ = s;
+            }
+            return;
+          }
+          std::string encoded;
+          ptr.EncodeTo(&encoded);
+          out_->PutTyped(kTypeVlogPointer, key, encoded);
+          return;
+        }
+        out_->PutTyped(type, key, value);
+      }
+      void Put(const Slice&, const Slice&) override {}
+      void Delete(const Slice&) override {}
+      void SingleDelete(const Slice&) override {}
+      void Merge(const Slice&, const Slice&) override {}
+      Status status_;
+
+     private:
+      DB* const db_;
+      WriteBatch* const out_;
+    };
+    WriteBatch separated;
+    Separator separator(this, &separated);
+    Status s = batch->Iterate(&separator);
+    if (s.ok()) {
+      s = separator.status_;
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    return WriteBatchInternal(options, &separated);
+  }
+  return WriteBatchInternal(options, batch);
+}
+
+Status DB::WriteBatchInternal(const WriteOptions& options,
+                              WriteBatch* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Status s = MakeRoomForWrite(&lock, options.no_slowdown);
+  if (!s.ok()) {
+    return s;
+  }
+
+  const uint32_t count = batch->Count();
+  SequenceNumber seq_start = versions_->last_sequence() + 1;
+  batch->SetSequence(seq_start);
+  versions_->SetLastSequence(seq_start + count - 1);
+
+  if (log_ != nullptr) {
+    s = log_->AddRecord(batch->rep());
+    if (s.ok() && (options.sync || options_.sync_wal)) {
+      s = log_file_->Sync();
+    }
+    if (!s.ok()) {
+      background_error_ = s;
+      return s;
+    }
+  }
+
+  // Apply to the memtable with consecutive sequence numbers.
+  class Inserter : public WriteBatch::Handler {
+   public:
+    Inserter(MemTable* mem, SequenceNumber seq) : mem_(mem), seq_(seq) {}
+    void TypedRecord(ValueType type, const Slice& key,
+                     const Slice& value) override {
+      mem_->Add(seq_++, type, key, value);
+    }
+    void Put(const Slice&, const Slice&) override {}
+    void Delete(const Slice&) override {}
+    void SingleDelete(const Slice&) override {}
+    void Merge(const Slice&, const Slice&) override {}
+
+   private:
+    MemTable* const mem_;
+    SequenceNumber seq_;
+  };
+  Inserter inserter(mem_.get(), seq_start);
+  s = batch->Iterate(&inserter);
+  stats_.writes.fetch_add(count, std::memory_order_relaxed);
+  return s;
+}
+
+Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
+                            bool no_slowdown) {
+  bool allow_delay = true;
+  while (true) {
+    if (!background_error_.ok()) {
+      return background_error_;
+    }
+
+    int l0_files = versions_->current()->NumFiles(0);
+
+    if (allow_delay && l0_files >= options_.level0_slowdown_writes_trigger &&
+        l0_files < options_.level0_stop_writes_trigger) {
+      // Soft stall: give compaction a 1ms head start, once per write.
+      if (no_slowdown) {
+        return Status::Busy("write slowdown active");
+      }
+      lock->unlock();
+      options_.clock->SleepForMicros(1000);
+      stats_.write_slowdown_micros.fetch_add(1000, std::memory_order_relaxed);
+      lock->lock();
+      allow_delay = false;
+      continue;
+    }
+
+    if (mem_->DataSize() < options_.write_buffer_size) {
+      return Status::OK();  // Room available.
+    }
+
+    // The active memtable is full.
+    if (static_cast<int>(imms_.size()) >=
+        options_.max_write_buffer_number - 1) {
+      // All buffers full: hard stall until a flush retires one.
+      if (no_slowdown) {
+        return Status::Busy("memtable limit");
+      }
+      uint64_t start = options_.clock->NowMicros();
+      MaybeScheduleFlush();
+      background_cv_.wait(*lock, [this] {
+        return !background_error_.ok() ||
+               static_cast<int>(imms_.size()) <
+                   options_.max_write_buffer_number - 1;
+      });
+      stats_.write_stall_micros.fetch_add(
+          options_.clock->NowMicros() - start, std::memory_order_relaxed);
+      continue;
+    }
+
+    if (l0_files >= options_.level0_stop_writes_trigger) {
+      // Hard stall on L0 pileup.
+      if (no_slowdown) {
+        return Status::Busy("l0 stop trigger");
+      }
+      uint64_t start = options_.clock->NowMicros();
+      MaybeScheduleCompaction();
+      background_cv_.wait(*lock, [this] {
+        return !background_error_.ok() ||
+               versions_->current()->NumFiles(0) <
+                   options_.level0_stop_writes_trigger;
+      });
+      stats_.write_stall_micros.fetch_add(
+          options_.clock->NowMicros() - start, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Seal the active memtable and swap in a fresh one (§2.2.1: multiple
+    // buffers absorb bursts while flushes drain).
+    Status s = NewMemTableAndLogLocked();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+}
+
+// Seals mem_ into imms_ and creates a fresh memtable + WAL. mu_ held.
+Status DB::NewMemTableAndLogLocked() {
+  imms_.push_back(mem_);
+  imm_log_numbers_.push_back(log_file_number_);
+
+  uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  if (options_.enable_wal) {
+    Status s = options_.env->NewWritableFile(
+        LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) {
+      imms_.pop_back();
+      imm_log_numbers_.pop_back();
+      return s;
+    }
+  }
+  log_file_ = std::move(lfile);
+  log_ = log_file_ ? std::make_unique<wal::Writer>(log_file_.get()) : nullptr;
+  log_file_number_ = new_log_number;
+  mem_ = std::shared_ptr<MemTable>(MakeMemTable());
+  MaybeScheduleFlush();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+Status DB::ResolveValue(const Slice& user_key, ValueType type,
+                        const std::string& raw, std::string* value) {
+  if (type == kTypeVlogPointer) {
+    VlogPointer ptr;
+    if (vlog_ == nullptr || !ptr.DecodeFrom(raw)) {
+      return Status::Corruption("bad vlog pointer");
+    }
+    return vlog_->Read(ptr, user_key, value);
+  }
+  *value = raw;
+  return Status::OK();
+}
+
+Status DB::ResolveMerge(const ReadOptions& options, const Slice& key,
+                        SequenceNumber snapshot, std::string* value) {
+  // Walk every version of `key` visible at `snapshot`, newest first,
+  // collecting merge operands until a base value, tombstone, or the end of
+  // the key's history.
+  SequenceNumber unused;
+  auto iter = NewInternalIterator(options, &unused);
+  std::string seek_key;
+  AppendInternalKey(&seek_key,
+                    ParsedInternalKey(key, snapshot, kValueTypeForSeek));
+  std::vector<std::string> operand_storage;  // Newest first.
+  std::string base_storage;
+  bool has_base = false;
+  bool deleted = false;
+
+  for (iter->Seek(seek_key); iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter->key(), &parsed)) {
+      return Status::Corruption("malformed internal key during merge");
+    }
+    if (options_.comparator->Compare(parsed.user_key, key) != 0) {
+      break;  // Past this key's history.
+    }
+    if (parsed.sequence > snapshot) {
+      continue;
+    }
+    if (parsed.type == kTypeMerge) {
+      operand_storage.push_back(iter->value().ToString());
+      continue;
+    }
+    if (parsed.type == kTypeDeletion || parsed.type == kTypeSingleDeletion) {
+      deleted = true;
+    } else {
+      Status s = ResolveValue(parsed.user_key, parsed.type,
+                              iter->value().ToString(), &base_storage);
+      if (!s.ok()) {
+        return s;
+      }
+      has_base = true;
+    }
+    break;  // Any non-merge entry terminates the operand chain.
+  }
+  if (!iter->status().ok()) {
+    return iter->status();
+  }
+  if (operand_storage.empty() && deleted) {
+    return Status::NotFound("key deleted");
+  }
+
+  Slice base_slice(base_storage);
+  const Slice* base = has_base ? &base_slice : nullptr;
+
+  std::vector<Slice> operands;  // Oldest first for the operator.
+  operands.reserve(operand_storage.size());
+  for (auto it = operand_storage.rbegin(); it != operand_storage.rend();
+       ++it) {
+    operands.emplace_back(*it);
+  }
+  if (!options_.merge_operator->Merge(key, base, operands, value)) {
+    return Status::Corruption("merge operands failed to combine");
+  }
+  return Status::OK();
+}
+
+Status DB::Get(const ReadOptions& options, const Slice& key,
+               std::string* value) {
+  stats_.point_lookups.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<MemTable> mem;
+  std::vector<std::shared_ptr<MemTable>> imms;
+  std::shared_ptr<const Version> version;
+  SequenceNumber snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = mem_;
+    imms.assign(imms_.begin(), imms_.end());
+    version = versions_->current();
+    snapshot = options.snapshot_seqno != 0 ? options.snapshot_seqno
+                                           : versions_->last_sequence();
+  }
+
+  LookupKey lkey(key, snapshot);
+  std::string raw;
+  ValueType type;
+
+  // 1. Active memtable.
+  if (mem->Get(lkey, &raw, &type)) {
+    if (type == kTypeDeletion || type == kTypeSingleDeletion) {
+      return Status::NotFound("key deleted");
+    }
+    stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+    if (type == kTypeMerge) {
+      return ResolveMerge(options, key, snapshot, value);
+    }
+    return ResolveValue(key, type, raw, value);
+  }
+  // 2. Immutable memtables, newest first.
+  for (auto it = imms.rbegin(); it != imms.rend(); ++it) {
+    if ((*it)->Get(lkey, &raw, &type)) {
+      if (type == kTypeDeletion || type == kTypeSingleDeletion) {
+        return Status::NotFound("key deleted");
+      }
+      stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+      if (type == kTypeMerge) {
+        return ResolveMerge(options, key, snapshot, value);
+      }
+      return ResolveValue(key, type, raw, value);
+    }
+  }
+
+  // 3. Disk levels, shallow to deep; within a tiered level newest run first
+  // (tutorial §2.1.2 get path). Filters gate every run probe (§2.1.3).
+  for (int level = 0; level < version->num_levels(); ++level) {
+    for (const FileMetaData* f : version->FilesContaining(level, key)) {
+      std::shared_ptr<TableReader> reader;
+      Status s = table_cache_->GetReader(f->file_number, f->file_size,
+                                         &reader);
+      if (!s.ok()) {
+        return s;
+      }
+      if (reader->KeyDefinitelyAbsent(key)) {
+        stats_.runs_skipped_by_filter.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      stats_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+
+      bool found;
+      std::string entry_key;
+      s = reader->InternalGet(options, lkey.internal_key(), &found,
+                              &entry_key, &raw);
+      if (!s.ok()) {
+        return s;
+      }
+      if (!found) {
+        if (reader->has_filter()) {
+          // The filter said "maybe" but the run lacked the key.
+          stats_.filter_false_positives.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        continue;
+      }
+      ValueType found_type = ExtractValueType(entry_key);
+      if (found_type == kTypeDeletion || found_type == kTypeSingleDeletion) {
+        return Status::NotFound("key deleted");
+      }
+      stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+      if (found_type == kTypeMerge) {
+        return ResolveMerge(options, key, snapshot, value);
+      }
+      return ResolveValue(key, found_type, raw, value);
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+// ---------------------------------------------------------------------------
+// Iterators / scans
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Iterator> DB::NewInternalIterator(
+    const ReadOptions& options, SequenceNumber* latest_sequence) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::shared_ptr<const Version> version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    *latest_sequence = versions_->last_sequence();
+    children.push_back(std::make_unique<MemTableIteratorAdapter>(mem_));
+    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+      children.push_back(std::make_unique<MemTableIteratorAdapter>(*it));
+    }
+    version = versions_->current();
+  }
+
+  for (int level = 0; level < version->num_levels(); ++level) {
+    for (const auto& f : version->files(level)) {
+      std::shared_ptr<TableReader> reader;
+      Status s =
+          table_cache_->GetReader(f.file_number, f.file_size, &reader);
+      if (!s.ok()) {
+        return NewEmptyIterator(s);
+      }
+      auto iter = reader->NewIterator(options);
+      children.push_back(std::make_unique<TableIteratorHolder>(
+          std::move(reader), std::move(iter)));
+    }
+  }
+  return NewMergingIterator(&internal_comparator_, std::move(children));
+}
+
+/// User-facing iterator: collapses versions, hides tombstones, resolves
+/// value-log pointers, and honours the snapshot.
+class DB::DBIter final : public Iterator {
+ public:
+  DBIter(DB* db, std::unique_ptr<Iterator> internal, SequenceNumber snapshot)
+      : db_(db), iter_(std::move(internal)), snapshot_(snapshot) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    iter_->SeekToFirst();
+    skip_key_.clear();
+    iter_already_advanced_ = false;
+    FindNextUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    std::string seek_key;
+    AppendInternalKey(&seek_key, ParsedInternalKey(target, snapshot_,
+                                                   kValueTypeForSeek));
+    iter_->Seek(seek_key);
+    skip_key_.clear();
+    iter_already_advanced_ = false;
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    skip_key_ = current_key_;  // Skip remaining versions of this key.
+    if (iter_already_advanced_) {
+      // A merge-chain resolution consumed this key's history and left the
+      // internal iterator on the next entry already.
+      iter_already_advanced_ = false;
+    } else {
+      iter_->Next();
+    }
+    FindNextUserEntry();
+  }
+
+  Slice key() const override {
+    assert(valid_);
+    return Slice(current_key_);
+  }
+  Slice value() const override {
+    assert(valid_);
+    return Slice(current_value_);
+  }
+  Status status() const override {
+    return status_.ok() ? iter_->status() : status_;
+  }
+
+ private:
+  void FindNextUserEntry() {
+    valid_ = false;
+    const Comparator* ucmp = db_->options_.comparator;
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        status_ = Status::Corruption("malformed internal key in iterator");
+        return;
+      }
+      if (parsed.sequence > snapshot_) {
+        iter_->Next();
+        continue;
+      }
+      if (!skip_key_.empty() &&
+          ucmp->Compare(parsed.user_key, skip_key_) == 0) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion ||
+          parsed.type == kTypeSingleDeletion) {
+        // Tombstone: hide all older versions of this key.
+        skip_key_ = parsed.user_key.ToString();
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeMerge) {
+        // Collect the operand chain down to the base value (§2.2.6).
+        if (!ResolveMergeChain(parsed.user_key)) {
+          return;  // status_ set.
+        }
+        iter_already_advanced_ = true;
+        valid_ = true;
+        return;
+      }
+      // Newest visible version of a live key.
+      current_key_ = parsed.user_key.ToString();
+      Status s = db_->ResolveValue(parsed.user_key, parsed.type,
+                                   iter_->value().ToString(),
+                                   &current_value_);
+      if (!s.ok()) {
+        status_ = s;
+        return;
+      }
+      valid_ = true;
+      return;
+    }
+  }
+
+  /// Positioned on the newest visible merge operand of `user_key`:
+  /// consumes the rest of the key's visible history, combines operands with
+  /// the base, and leaves current_key_/current_value_ set. Returns false if
+  /// an error occurred (status_ set). The internal iterator ends up past
+  /// this user key either way.
+  bool ResolveMergeChain(const Slice& user_key) {
+    const Comparator* ucmp = db_->options_.comparator;
+    current_key_ = user_key.ToString();
+    std::vector<std::string> operand_storage;
+    std::string base_storage;
+    bool has_base = false;
+
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        status_ = Status::Corruption("malformed internal key in merge chain");
+        return false;
+      }
+      if (ucmp->Compare(parsed.user_key, Slice(current_key_)) != 0) {
+        break;  // Past this key's history.
+      }
+      if (parsed.sequence > snapshot_) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeMerge) {
+        operand_storage.push_back(iter_->value().ToString());
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion ||
+          parsed.type == kTypeSingleDeletion) {
+        // Chain bottoms out at a tombstone: merge over nothing.
+        break;
+      }
+      Status s = db_->ResolveValue(parsed.user_key, parsed.type,
+                                   iter_->value().ToString(), &base_storage);
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+      has_base = true;
+      break;
+    }
+    skip_key_ = current_key_;  // Remaining versions are consumed.
+
+    Slice base_slice(base_storage);
+    std::vector<Slice> operands;
+    operands.reserve(operand_storage.size());
+    for (auto it = operand_storage.rbegin(); it != operand_storage.rend();
+         ++it) {
+      operands.emplace_back(*it);
+    }
+    if (db_->options_.merge_operator == nullptr ||
+        !db_->options_.merge_operator->Merge(current_key_,
+                                             has_base ? &base_slice : nullptr,
+                                             operands, &current_value_)) {
+      status_ = Status::Corruption("merge operands failed to combine");
+      return false;
+    }
+    return true;
+  }
+
+  DB* const db_;
+  std::unique_ptr<Iterator> iter_;
+  const SequenceNumber snapshot_;
+  bool valid_ = false;
+  bool iter_already_advanced_ = false;
+  std::string current_key_;
+  std::string current_value_;
+  std::string skip_key_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& options) {
+  stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
+  SequenceNumber latest;
+  auto internal = NewInternalIterator(options, &latest);
+  SequenceNumber snapshot =
+      options.snapshot_seqno != 0 ? options.snapshot_seqno : latest;
+  return std::make_unique<DBIter>(this, std::move(internal), snapshot);
+}
+
+SequenceNumber DB::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SequenceNumber snapshot = versions_->last_sequence();
+  snapshots_.insert(snapshot);
+  return snapshot;
+}
+
+void DB::ReleaseSnapshot(SequenceNumber snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshots_.find(snapshot);
+  if (it != snapshots_.end()) {
+    snapshots_.erase(it);
+  }
+}
+
+SequenceNumber DB::OldestSnapshot() const {
+  return snapshots_.empty() ? versions_->last_sequence()
+                            : *snapshots_.begin();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::string DB::LevelsDebugString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_->current()->DebugString();
+}
+
+int DB::TotalSortedRuns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_->current()->TotalSortedRuns();
+}
+
+uint64_t DB::TotalSstBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_->current()->TotalBytes();
+}
+
+uint64_t DB::CountLiveEntries() {
+  auto iter = NewIterator(ReadOptions());
+  uint64_t count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ++count;
+  }
+  return count;
+}
+
+Status DB::ValidateTreeInvariants() const {
+  std::shared_ptr<const Version> version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = versions_->current();
+  }
+  const Comparator* ucmp = options_.comparator;
+  for (int level = 0; level < version->num_levels(); ++level) {
+    const auto& files = version->files(level);
+    for (const auto& f : files) {
+      if (f.file_number == 0 || f.file_size == 0) {
+        return Status::Corruption("file with zero number/size at level " +
+                                  std::to_string(level));
+      }
+      if (ucmp->Compare(f.smallest.user_key(), f.largest.user_key()) > 0) {
+        return Status::Corruption("file with inverted key range at level " +
+                                  std::to_string(level));
+      }
+      if (f.num_tombstones > f.num_entries) {
+        return Status::Corruption("more tombstones than entries at level " +
+                                  std::to_string(level));
+      }
+      if (f.num_tombstones > 0 && f.oldest_tombstone_time_micros == 0) {
+        return Status::Corruption(
+            "tombstones without an age stamp at level " +
+            std::to_string(level));
+      }
+    }
+    // Leveled levels (other than the overlap-tolerant L0) must hold sorted,
+    // pairwise-disjoint files: together they form one sorted run.
+    if (level > 0 && !version->IsTieredLevel(level)) {
+      for (size_t i = 1; i < files.size(); ++i) {
+        if (ucmp->Compare(files[i - 1].largest.user_key(),
+                          files[i].smallest.user_key()) >= 0) {
+          return Status::Corruption("overlapping files in leveled level " +
+                                    std::to_string(level));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DestroyDB(const Options& options, const std::string& name) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  std::vector<std::string> children;
+  Status s = env->GetChildren(name, &children);
+  if (s.IsNotFound()) {
+    return Status::OK();
+  }
+  for (const auto& child : children) {
+    env->RemoveFile(name + "/" + child);
+  }
+  env->RemoveDir(name);
+  return Status::OK();
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,213 @@
+#ifndef LSMLAB_DB_DB_H_
+#define LSMLAB_DB_DB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "compaction/compaction_picker.h"
+#include "db/dbformat.h"
+#include "db/statistics.h"
+#include "db/table_cache.h"
+#include "db/write_batch.h"
+#include "io/wal_writer.h"
+#include "kvsep/vlog.h"
+#include "memtable/memtable.h"
+#include "table/iterator.h"
+#include "table/table_builder.h"
+#include "util/histogram.h"
+#include "util/options.h"
+#include "util/rate_limiter.h"
+#include "util/thread_pool.h"
+#include "version/version_set.h"
+
+namespace lsmlab {
+
+/// DB is the lsmlab storage engine: a single-keyspace LSM-tree exposing the
+/// external operations of tutorial §2.1.2 (put, get, scan, delete) with
+/// every internal design decision (§2.2, §2.3) controlled by Options.
+///
+/// Concurrency model: any number of reader threads; writers are serialized
+/// internally; flushes and compactions run on a background pool. Forward
+/// iteration only.
+class DB {
+ public:
+  /// Opens (creating if configured) the database at `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  // --- External operations (tutorial §2.1.2) -------------------------------
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value);
+  /// Logical delete: writes a tombstone (§2.1.2).
+  Status Delete(const WriteOptions& options, const Slice& key);
+  /// Single-delete for keys written at most once; the tombstone annihilates
+  /// with the first older put it meets during compaction (§2.3.3).
+  Status SingleDelete(const WriteOptions& options, const Slice& key);
+  /// Range delete, realized as a snapshot scan writing one tombstone per
+  /// live key in [begin, end) — the simple strategy predating native range
+  /// tombstones (documented simplification).
+  Status DeleteRange(const WriteOptions& options, const Slice& begin,
+                     const Slice& end);
+
+  /// Read-modify-write without reading (tutorial §2.2.6): buffers a merge
+  /// operand combined with the base value lazily at read/compaction time.
+  /// Requires Options::merge_operator.
+  Status Merge(const WriteOptions& options, const Slice& key,
+               const Slice& operand);
+
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value);
+
+  /// Applies all operations in `batch` atomically: one WAL record, one
+  /// sequence-number range, all-or-nothing recovery.
+  Status Write(const WriteOptions& options, WriteBatch* batch);
+
+  /// Iterator over user keys (newest visible version of each, tombstones
+  /// suppressed). Forward-only.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options);
+
+  /// Snapshots pin a sequence number; reads at a snapshot see only writes
+  /// with sequence <= it, and compactions preserve what snapshots need.
+  SequenceNumber GetSnapshot();
+  void ReleaseSnapshot(SequenceNumber snapshot);
+
+  // --- Internal operations, exposed for control & experiments --------------
+  /// Forces the current memtable to disk and waits for the flush.
+  Status Flush();
+  /// Merges everything down as far as the layout allows (manual, blocking).
+  Status CompactRange();
+  /// Blocks until no flush or compaction is queued or running.
+  Status WaitForBackgroundWork();
+  /// Rewrites value logs dropping dead values (WiscKey GC). No-op without
+  /// kv separation.
+  Status GarbageCollectVlog();
+
+  // --- Introspection --------------------------------------------------------
+  Statistics* statistics() { return &stats_; }
+  LruCache* block_cache() { return block_cache_.get(); }
+  VlogManager* vlog() { return vlog_.get(); }
+  /// Current tree shape, one line per non-empty level.
+  std::string LevelsDebugString() const;
+  /// Number of sorted runs a point lookup may probe.
+  int TotalSortedRuns() const;
+  uint64_t TotalSstBytes() const;
+  /// Approximate count of live (visible) entries; walks a full iterator.
+  uint64_t CountLiveEntries();
+  const Options& options() const { return options_; }
+
+  /// Structural self-check of the LSM invariants (DESIGN.md §4): leveled
+  /// levels hold disjoint, sorted files; every file's metadata matches its
+  /// contents; no level exceeds num_levels. Returns the first violation.
+  /// Intended for tests and debugging; walks file metadata only.
+  Status ValidateTreeInvariants() const;
+
+ private:
+  DB(const Options& options, std::string dbname);
+
+  struct Writer;
+
+  Status Initialize();
+  Status Recover();
+  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
+                        VersionEdit* edit);
+  Status NewMemTableAndLog();
+  /// Seals the active memtable into imms_ and swaps in a fresh one. mu_ held.
+  Status NewMemTableAndLogLocked();
+  std::unique_ptr<MemTable> MakeMemTable() const;
+
+  Status WriteInternal(const WriteOptions& options, ValueType type,
+                       const Slice& key, const Slice& value);
+  /// Shared core: logs the (sequenced) batch and applies it to the
+  /// memtable under the write mutex.
+  Status WriteBatchInternal(const WriteOptions& options, WriteBatch* batch);
+  /// Blocks (or fails with Busy under no_slowdown) until the write path has
+  /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
+                          bool no_slowdown);
+
+  /// Builds an SSTable at `level` from `iter`; returns its metadata.
+  Status BuildTableFromIterator(Iterator* iter, int level,
+                                uint64_t oldest_tombstone_hint,
+                                FileMetaData* meta);
+  TableBuilderOptions MakeBuilderOptions(int level) const;
+
+  void MaybeScheduleFlush();
+  void MaybeScheduleCompaction();
+  void BackgroundFlush();
+  void BackgroundCompaction();
+  Status RunCompaction(const CompactionJob& job);
+  void RemoveObsoleteFiles();
+
+  SequenceNumber OldestSnapshot() const;  // Requires mu_ held.
+
+  Status ResolveValue(const Slice& user_key, ValueType type,
+                      const std::string& raw, std::string* value);
+
+  /// Slow path for keys whose newest visible entry is a merge operand:
+  /// walks all versions of `key` at `snapshot`, collects operands down to
+  /// the base value, and applies the merge operator.
+  Status ResolveMerge(const ReadOptions& options, const Slice& key,
+                      SequenceNumber snapshot, std::string* value);
+
+  class DBIter;
+  std::unique_ptr<Iterator> NewInternalIterator(
+      const ReadOptions& options, SequenceNumber* latest_sequence);
+  /// Fetches the raw (unresolved) vlog pointer currently stored for `key`;
+  /// NotFound when the key is deleted, absent, or stored inline.
+  Status GetRawPointer(const ReadOptions& options, const Slice& key,
+                       std::string* raw);
+
+  // ---------------------------------------------------------------------
+  const Options options_;  // Normalized copy (env/clock/comparator filled).
+  const std::string dbname_;
+  InternalKeyComparator internal_comparator_;
+  Statistics stats_;
+
+  std::unique_ptr<LruCache> block_cache_;
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPicker> picker_;
+  std::unique_ptr<RateLimiter> compaction_rate_limiter_;
+  std::unique_ptr<VlogManager> vlog_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<double> monkey_bits_;  // Per-level filter bits (Monkey).
+
+  mutable std::mutex mu_;
+  std::condition_variable background_cv_;
+
+  std::shared_ptr<MemTable> mem_;
+  std::deque<std::shared_ptr<MemTable>> imms_;  // Oldest first.
+  uint64_t log_file_number_ = 0;
+  std::unique_ptr<WritableFile> log_file_;
+  std::unique_ptr<wal::Writer> log_;
+  /// Log numbers backing the immutable memtables (oldest first).
+  std::deque<uint64_t> imm_log_numbers_;
+
+  std::multiset<SequenceNumber> snapshots_;
+
+  bool flush_scheduled_ = false;
+  bool compaction_scheduled_ = false;
+  bool shutting_down_ = false;
+  Status background_error_;
+
+  std::mutex writers_mu_;  // Serializes writers ahead of mu_.
+};
+
+/// Destroys the database at `name` (removes all its files). For tests and
+/// benches.
+Status DestroyDB(const Options& options, const std::string& name);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_DB_H_

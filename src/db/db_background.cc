@@ -1,0 +1,806 @@
+// Background half of DB: flushes, compactions, file garbage collection, and
+// value-log GC. Split from db.cc for readability; same class.
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "db/db.h"
+#include "db/filename.h"
+#include "db/internal_iterators.h"
+#include "table/merging_iterator.h"
+#include "table/table_builder.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace lsmlab {
+
+namespace {
+/// Charge the rate limiter in chunks so throttling is smooth but cheap.
+constexpr uint64_t kRateLimitChunk = 256 << 10;
+}  // namespace
+
+TableBuilderOptions DB::MakeBuilderOptions(int level) const {
+  TableBuilderOptions topt;
+  topt.comparator = &internal_comparator_;
+  topt.block_size = options_.block_size;
+  topt.block_restart_interval = options_.block_restart_interval;
+  topt.creation_time_micros = options_.clock->NowMicros();
+
+  if (options_.filter_policy != nullptr) {
+    double bits = monkey_bits_[static_cast<size_t>(
+        std::min(level, options_.num_levels - 1))];
+    topt.filter_bits_per_key = bits;
+    if (options_.filter_allocation == FilterAllocation::kMonkey) {
+      // Monkey varies bits per level; build with a per-level Bloom filter.
+      // (Monkey allocation presumes Bloom-style filters; a level whose
+      // optimal FPR reaches 1.0 gets no filter at all.)
+      topt.filter_policy =
+          bits >= 0.5 ? NewBloomFilterPolicy(bits) : nullptr;
+    } else {
+      topt.filter_policy = options_.filter_policy;
+    }
+  }
+  return topt;
+}
+
+Status DB::BuildTableFromIterator(Iterator* iter, int level,
+                                  uint64_t oldest_tombstone_hint,
+                                  FileMetaData* meta) {
+  uint64_t file_number;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    file_number = versions_->NewFileNumber();
+  }
+  std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<WritableFile> file;
+  Status s = options_.env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+
+  TableBuilderOptions topt = MakeBuilderOptions(level);
+  topt.oldest_tombstone_time_micros = oldest_tombstone_hint;
+  TableBuilder builder(topt, file.get());
+
+  InternalKey smallest, largest;
+  bool first = true;
+  for (; iter->Valid(); iter->Next()) {
+    if (first) {
+      smallest.DecodeFrom(iter->key());
+      first = false;
+    }
+    largest.DecodeFrom(iter->key());
+    builder.Add(iter->key(), iter->value());
+  }
+  if (!iter->status().ok()) {
+    builder.Abandon();
+    options_.env->RemoveFile(fname);
+    return iter->status();
+  }
+  if (first) {
+    // Nothing to write.
+    builder.Abandon();
+    options_.env->RemoveFile(fname);
+    meta->file_number = 0;
+    return Status::OK();
+  }
+
+  s = builder.Finish();
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  if (!s.ok()) {
+    options_.env->RemoveFile(fname);
+    return s;
+  }
+
+  meta->file_number = file_number;
+  meta->file_size = builder.FileSize();
+  meta->smallest = smallest;
+  meta->largest = largest;
+  meta->num_entries = builder.properties().num_entries;
+  meta->num_tombstones = builder.properties().num_tombstones;
+  meta->creation_time_micros = builder.properties().creation_time_micros;
+  meta->oldest_tombstone_time_micros =
+      builder.properties().num_tombstones > 0
+          ? builder.properties().oldest_tombstone_time_micros
+          : 0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Flush
+// ---------------------------------------------------------------------------
+
+void DB::MaybeScheduleFlush() {
+  // mu_ held.
+  if (flush_scheduled_ || shutting_down_ || imms_.empty()) {
+    return;
+  }
+  flush_scheduled_ = true;
+  pool_->Schedule([this] { BackgroundFlush(); }, ThreadPool::Priority::kHigh);
+}
+
+void DB::BackgroundFlush() {
+  std::shared_ptr<MemTable> imm;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ || imms_.empty()) {
+      flush_scheduled_ = false;
+      background_cv_.notify_all();
+      return;
+    }
+    imm = imms_.front();
+  }
+
+  // Build the L0 run outside the lock (tutorial §2.1.2: flush).
+  MemTableIteratorAdapter iter(imm);
+  iter.SeekToFirst();
+  FileMetaData meta;
+  Status s = BuildTableFromIterator(&iter, /*level=*/0,
+                                    options_.clock->NowMicros(), &meta);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (s.ok() && meta.file_number != 0) {
+    VersionEdit edit;
+    edit.AddFile(0, meta);
+    // Everything in logs older than the next immutable (or the active log)
+    // is now durable in SSTables.
+    uint64_t min_log = imm_log_numbers_.size() > 1 ? imm_log_numbers_[1]
+                                                   : log_file_number_;
+    edit.SetLogNumber(min_log);
+    s = versions_->LogAndApply(&edit);
+    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    stats_.flush_bytes_written.fetch_add(meta.file_size,
+                                         std::memory_order_relaxed);
+  } else if (s.ok()) {
+    // Memtable held nothing (possible after DeleteRange on empty DB).
+    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (s.ok()) {
+    imms_.pop_front();
+    uint64_t old_log = imm_log_numbers_.front();
+    imm_log_numbers_.pop_front();
+    if (options_.enable_wal) {
+      options_.env->RemoveFile(LogFileName(dbname_, old_log));
+    }
+    LSMLAB_LOG_INFO(options_.info_log.get(),
+                    "flushed memtable -> L0 file %llu (%llu bytes)",
+                    static_cast<unsigned long long>(meta.file_number),
+                    static_cast<unsigned long long>(meta.file_size));
+  } else {
+    background_error_ = s;
+  }
+
+  flush_scheduled_ = false;
+  if (!imms_.empty()) {
+    MaybeScheduleFlush();
+  }
+  MaybeScheduleCompaction();
+  background_cv_.notify_all();
+}
+
+Status DB::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!mem_->Empty()) {
+      Status s = NewMemTableAndLogLocked();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    background_cv_.wait(lock, [this] {
+      return !background_error_.ok() || imms_.empty();
+    });
+    if (!background_error_.ok()) {
+      return background_error_;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+void DB::MaybeScheduleCompaction() {
+  // mu_ held.
+  if (compaction_scheduled_ || shutting_down_) {
+    return;
+  }
+  auto job = picker_->Pick(*versions_->current(), options_.clock->NowMicros());
+  if (!job.has_value()) {
+    return;
+  }
+  compaction_scheduled_ = true;
+  pool_->Schedule([this] { BackgroundCompaction(); },
+                  ThreadPool::Priority::kLow);
+}
+
+void DB::BackgroundCompaction() {
+  std::optional<CompactionJob> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      compaction_scheduled_ = false;
+      background_cv_.notify_all();
+      return;
+    }
+    job = picker_->Pick(*versions_->current(), options_.clock->NowMicros());
+    if (!job.has_value()) {
+      compaction_scheduled_ = false;
+      background_cv_.notify_all();
+      return;
+    }
+  }
+
+  Status s = RunCompaction(*job);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.ok()) {
+    background_error_ = s;
+  }
+  compaction_scheduled_ = false;
+  MaybeScheduleCompaction();  // More pressure may remain.
+  background_cv_.notify_all();
+}
+
+Status DB::RunCompaction(const CompactionJob& job) {
+  SequenceNumber oldest_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    oldest_snapshot = OldestSnapshot();
+  }
+  LSMLAB_LOG_INFO(options_.info_log.get(), "%s", job.DebugString().c_str());
+
+  // Open input iterators, newest runs first (tie order irrelevant: internal
+  // keys are unique, but keep it anyway for clarity).
+  std::vector<std::unique_ptr<Iterator>> children;
+  uint64_t oldest_tombstone_hint = 0;
+  auto add_file = [&](const FileMetaData& f) -> Status {
+    std::shared_ptr<TableReader> reader;
+    Status s = table_cache_->GetReader(f.file_number, f.file_size, &reader);
+    if (!s.ok()) {
+      return s;
+    }
+    ReadOptions read_options;
+    read_options.fill_cache = false;  // Compactions must not wipe the cache.
+    auto iter = reader->NewIterator(read_options);
+    children.push_back(std::make_unique<TableIteratorHolder>(
+        std::move(reader), std::move(iter)));
+    if (f.oldest_tombstone_time_micros != 0 &&
+        (oldest_tombstone_hint == 0 ||
+         f.oldest_tombstone_time_micros < oldest_tombstone_hint)) {
+      oldest_tombstone_hint = f.oldest_tombstone_time_micros;
+    }
+    stats_.compaction_bytes_read.fetch_add(f.file_size,
+                                           std::memory_order_relaxed);
+    return Status::OK();
+  };
+  for (const auto& f : job.inputs) {
+    Status s = add_file(f);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  for (const auto& f : job.overlap) {
+    Status s = add_file(f);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (oldest_tombstone_hint == 0) {
+    oldest_tombstone_hint = options_.clock->NowMicros();
+  }
+
+  auto input =
+      NewMergingIterator(&internal_comparator_, std::move(children));
+  input->SeekToFirst();
+
+  // A run in a tiered level must stay a single file: files there count as
+  // independent runs, so splitting a merge's output would multiply the run
+  // count and the level could never get back under its trigger. Only
+  // leveled targets partition output into target_file_size files.
+  const bool split_outputs = !LevelIsTiered(
+      options_.data_layout, job.output_level, options_.num_levels);
+
+  // Merge loop with the LevelDB drop rules plus single-delete annihilation.
+  TableBuilderOptions topt = MakeBuilderOptions(job.output_level);
+  topt.oldest_tombstone_time_micros = oldest_tombstone_hint;
+
+  std::vector<FileMetaData> outputs;
+  std::unique_ptr<WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t out_file_number = 0;
+  InternalKey out_smallest, out_largest;
+  uint64_t rate_limit_pending = 0;
+
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  // True once a full overwrite (value/tombstone/pointer — NOT a merge
+  // operand) with seq <= oldest_snapshot has been seen for the current
+  // user key: everything older is invisible to every reader and can drop.
+  bool shadowed_below_snapshot = false;
+
+  // Pending single-delete tombstone waiting to annihilate with an older put.
+  bool pending_sd = false;
+  std::string pending_sd_key;   // Internal key bytes.
+  std::string pending_sd_ukey;  // Its user key.
+
+  Status s;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) {
+      return Status::OK();
+    }
+    Status fs = builder->Finish();
+    if (fs.ok()) {
+      fs = out_file->Sync();
+    }
+    if (fs.ok()) {
+      fs = out_file->Close();
+    }
+    if (fs.ok()) {
+      FileMetaData meta;
+      meta.file_number = out_file_number;
+      meta.file_size = builder->FileSize();
+      meta.smallest = out_smallest;
+      meta.largest = out_largest;
+      meta.num_entries = builder->properties().num_entries;
+      meta.num_tombstones = builder->properties().num_tombstones;
+      meta.creation_time_micros = builder->properties().creation_time_micros;
+      meta.oldest_tombstone_time_micros =
+          meta.num_tombstones > 0 ? oldest_tombstone_hint : 0;
+      outputs.push_back(meta);
+      stats_.compaction_bytes_written.fetch_add(meta.file_size,
+                                                std::memory_order_relaxed);
+    }
+    builder.reset();
+    out_file.reset();
+    return fs;
+  };
+
+  auto emit = [&](const Slice& internal_key, const Slice& value) -> Status {
+    if (builder == nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        out_file_number = versions_->NewFileNumber();
+      }
+      Status es = options_.env->NewWritableFile(
+          TableFileName(dbname_, out_file_number), &out_file);
+      if (!es.ok()) {
+        return es;
+      }
+      builder = std::make_unique<TableBuilder>(topt, out_file.get());
+      out_smallest.DecodeFrom(internal_key);
+    }
+    out_largest.DecodeFrom(internal_key);
+    builder->Add(internal_key, value);
+
+    // SILK-style bandwidth throttling: charge compaction traffic only.
+    rate_limit_pending += internal_key.size() + value.size();
+    if (rate_limit_pending >= kRateLimitChunk) {
+      compaction_rate_limiter_->Request(rate_limit_pending);
+      rate_limit_pending = 0;
+    }
+
+    if (split_outputs && builder->FileSize() >= options_.target_file_size) {
+      return finish_output();
+    }
+    return Status::OK();
+  };
+
+  auto flush_pending_sd = [&]() -> Status {
+    if (!pending_sd) {
+      return Status::OK();
+    }
+    pending_sd = false;
+    SequenceNumber sd_seq = ExtractSequence(pending_sd_key);
+    if (job.bottommost && sd_seq <= oldest_snapshot) {
+      // Nothing below can match it: the tombstone itself can go.
+      stats_.tombstones_dropped.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    return emit(pending_sd_key, Slice());
+  };
+
+  for (; s.ok() && input->Valid(); input->Next()) {
+    Slice internal_key = input->key();
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_key, &parsed)) {
+      s = Status::Corruption("malformed key in compaction input");
+      break;
+    }
+
+    // Single-delete annihilation: the pending SD meets the next entry.
+    if (pending_sd) {
+      if (options_.comparator->Compare(parsed.user_key, pending_sd_ukey) ==
+          0) {
+        SequenceNumber sd_seq = ExtractSequence(pending_sd_key);
+        if (parsed.type == kTypeValue && parsed.sequence <= oldest_snapshot &&
+            sd_seq <= oldest_snapshot) {
+          // Annihilate the pair: drop both the SD and the put it deletes.
+          pending_sd = false;
+          stats_.tombstones_dropped.fetch_add(1, std::memory_order_relaxed);
+          stats_.entries_dropped_obsolete.fetch_add(
+              1, std::memory_order_relaxed);
+          if (parsed.type == kTypeVlogPointer && vlog_ != nullptr) {
+            VlogPointer ptr;
+            if (ptr.DecodeFrom(input->value())) {
+              vlog_->AddGarbage(ptr.file_number, ptr.size);
+            }
+          }
+          // Older versions of this key fall through to the normal rule
+          // with the annihilated pair acting as the shadow.
+          current_user_key = parsed.user_key.ToString();
+          has_current_user_key = true;
+          shadowed_below_snapshot = true;
+          continue;
+        }
+        // Not annihilable: emit the SD, then process this entry normally.
+        s = flush_pending_sd();
+        if (!s.ok()) {
+          break;
+        }
+      } else {
+        s = flush_pending_sd();
+        if (!s.ok()) {
+          break;
+        }
+      }
+    }
+
+    bool drop = false;
+    if (!has_current_user_key ||
+        options_.comparator->Compare(parsed.user_key,
+                                     Slice(current_user_key)) != 0) {
+      // First occurrence (newest version) of this user key.
+      current_user_key = parsed.user_key.ToString();
+      has_current_user_key = true;
+      shadowed_below_snapshot = false;
+    }
+
+    if (shadowed_below_snapshot) {
+      // A newer full overwrite visible to every snapshot shadows this entry
+      // (§2.1.1-B: updates/deletes applied lazily, here at merge time).
+      drop = true;
+      stats_.entries_dropped_obsolete.fetch_add(1, std::memory_order_relaxed);
+      if (parsed.type == kTypeVlogPointer && vlog_ != nullptr) {
+        VlogPointer ptr;
+        if (ptr.DecodeFrom(input->value())) {
+          vlog_->AddGarbage(ptr.file_number, ptr.size);
+        }
+      }
+    } else if (parsed.type == kTypeDeletion &&
+               parsed.sequence <= oldest_snapshot && job.bottommost) {
+      // Tombstone at the bottom: everything it shadows is gone, so the
+      // tombstone itself is garbage (§2.1.2: delete persistence).
+      drop = true;
+      shadowed_below_snapshot = true;
+      stats_.tombstones_dropped.fetch_add(1, std::memory_order_relaxed);
+    } else if (parsed.type == kTypeSingleDeletion &&
+               parsed.sequence <= oldest_snapshot) {
+      // Buffer: it annihilates with the first older put of the same key.
+      pending_sd = true;
+      pending_sd_key.assign(internal_key.data(), internal_key.size());
+      pending_sd_ukey = parsed.user_key.ToString();
+      shadowed_below_snapshot = true;
+      continue;
+    } else if (parsed.type != kTypeMerge &&
+               parsed.sequence <= oldest_snapshot) {
+      // Values, tombstones, and vlog pointers shadow everything older;
+      // merge operands do NOT — they depend on the base value below them.
+      shadowed_below_snapshot = true;
+    }
+
+    if (!drop) {
+      s = emit(internal_key, input->value());
+    }
+  }
+  if (s.ok()) {
+    s = flush_pending_sd();
+  }
+  if (s.ok() && !input->status().ok()) {
+    s = input->status();
+  }
+  if (s.ok()) {
+    s = finish_output();
+  }
+  if (rate_limit_pending > 0) {
+    compaction_rate_limiter_->Request(rate_limit_pending);
+  }
+
+  if (!s.ok()) {
+    // Clean up partial outputs.
+    if (builder != nullptr) {
+      builder->Abandon();
+      builder.reset();
+      out_file.reset();
+      options_.env->RemoveFile(TableFileName(dbname_, out_file_number));
+    }
+    for (const auto& meta : outputs) {
+      options_.env->RemoveFile(TableFileName(dbname_, meta.file_number));
+    }
+    return s;
+  }
+
+  // Install the result.
+  VersionEdit edit;
+  for (const auto& f : job.inputs) {
+    edit.RemoveFile(job.input_level, f.file_number);
+  }
+  for (const auto& f : job.overlap) {
+    edit.RemoveFile(job.output_level, f.file_number);
+  }
+  for (const auto& meta : outputs) {
+    edit.AddFile(job.output_level, meta);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = versions_->LogAndApply(&edit);
+    if (s.ok()) {
+      stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+      RemoveObsoleteFiles();
+    }
+  }
+
+  // Leaper-inspired cache re-warm: immediately reload the hot region that
+  // the compaction displaced (tutorial §2.1.3).
+  if (s.ok() && options_.cache_rewarm_after_compaction &&
+      block_cache_ != nullptr) {
+    for (const auto& meta : outputs) {
+      std::shared_ptr<TableReader> reader;
+      if (table_cache_->GetReader(meta.file_number, meta.file_size, &reader)
+              .ok()) {
+        reader->WarmCache();
+      }
+    }
+  }
+  return s;
+}
+
+Status DB::CompactRange() {
+  Status s = Flush();
+  if (!s.ok()) {
+    return s;
+  }
+  // Drain the automatic backlog first, then force every level down.
+  s = WaitForBackgroundWork();
+  if (!s.ok()) {
+    return s;
+  }
+
+  while (true) {
+    std::optional<CompactionJob> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (compaction_scheduled_) {
+        continue;  // Racing background task; retry after it finishes.
+      }
+      const Version& v = *versions_->current();
+      for (int level = 0; level < v.num_levels() - 1; ++level) {
+        if (v.NumFiles(level) > 0) {
+          job = picker_->PickManual(v, level);
+          break;
+        }
+      }
+      if (!job.has_value()) {
+        // Compact a multi-run last level down to one run (pure tiering).
+        int last = v.num_levels() - 1;
+        if (v.NumFiles(last) > 1 && v.IsTieredLevel(last)) {
+          job = picker_->PickManual(v, last);
+        }
+      }
+      if (!job.has_value()) {
+        return Status::OK();
+      }
+      compaction_scheduled_ = true;  // Block background racers.
+    }
+    s = RunCompaction(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      compaction_scheduled_ = false;
+      background_cv_.notify_all();
+    }
+    if (!s.ok()) {
+      return s;
+    }
+  }
+}
+
+Status DB::WaitForBackgroundWork() {
+  std::unique_lock<std::mutex> lock(mu_);
+  MaybeScheduleFlush();
+  MaybeScheduleCompaction();
+  background_cv_.wait(lock, [this] {
+    if (!background_error_.ok()) {
+      return true;
+    }
+    if (flush_scheduled_ || compaction_scheduled_ || !imms_.empty()) {
+      return false;
+    }
+    // No pending work and nothing the picker would start.
+    return !picker_->Pick(*versions_->current(),
+                          options_.clock->NowMicros())
+                .has_value();
+  });
+  return background_error_;
+}
+
+void DB::RemoveObsoleteFiles() {
+  // mu_ held.
+  std::set<uint64_t> live;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> children;
+  if (!options_.env->GetChildren(dbname_, &children).ok()) {
+    return;
+  }
+  uint64_t min_log = imm_log_numbers_.empty() ? log_file_number_
+                                              : imm_log_numbers_.front();
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type)) {
+      continue;
+    }
+    bool keep = true;
+    switch (type) {
+      case FileType::kTableFile:
+        keep = live.count(number) > 0;
+        break;
+      case FileType::kLogFile:
+        keep = number >= min_log;
+        break;
+      case FileType::kManifestFile:
+        keep = number >= versions_->manifest_file_number();
+        break;
+      case FileType::kTempFile:
+        keep = false;
+        break;
+      case FileType::kVlogFile:   // Managed by vlog GC.
+      case FileType::kCurrentFile:
+      case FileType::kUnknown:
+        keep = true;
+        break;
+    }
+    if (!keep) {
+      if (type == FileType::kTableFile) {
+        table_cache_->Evict(number);
+      }
+      options_.env->RemoveFile(dbname_ + "/" + child);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WiscKey value-log GC
+// ---------------------------------------------------------------------------
+
+Status DB::GarbageCollectVlog() {
+  if (vlog_ == nullptr) {
+    return Status::OK();
+  }
+  // Roll to a fresh active log so old logs become immutable, then rewrite
+  // every live value from the old logs and drop the old files. Liveness is
+  // checked by comparing each record's pointer against the key's current
+  // pointer in the LSM.
+  std::vector<uint64_t> old_logs;
+  {
+    std::vector<std::string> children;
+    Status s = options_.env->GetChildren(dbname_, &children);
+    if (!s.ok()) {
+      return s;
+    }
+    for (const auto& child : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(child, &number, &type) &&
+          type == FileType::kVlogFile) {
+        old_logs.push_back(number);
+      }
+    }
+  }
+  uint64_t new_log;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    new_log = versions_->NewFileNumber();
+  }
+  Status s = vlog_->OpenActive(new_log);
+  if (!s.ok()) {
+    return s;
+  }
+
+  for (uint64_t log : old_logs) {
+    if (log == new_log) {
+      continue;
+    }
+    s = vlog_->ForEachRecord(
+        log, [&](const Slice& key, const Slice& value, const VlogPointer& ptr) {
+          // Live iff the LSM still points at exactly this record.
+          std::string current;
+          Status gs = GetRawPointer(ReadOptions(), key, &current);
+          if (!gs.ok()) {
+            return true;  // Deleted or overwritten inline: dead record.
+          }
+          VlogPointer current_ptr;
+          if (!current_ptr.DecodeFrom(current) ||
+              current_ptr.file_number != ptr.file_number ||
+              current_ptr.offset != ptr.offset) {
+            return true;  // Superseded: dead record.
+          }
+          // Live: relocate by re-putting through the normal write path.
+          WriteOptions wo;
+          Put(wo, key, value);
+          return true;
+        });
+    if (!s.ok()) {
+      return s;
+    }
+    s = vlog_->DeleteLog(log);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status DB::GetRawPointer(const ReadOptions& options, const Slice& key,
+                         std::string* raw) {
+  std::shared_ptr<MemTable> mem;
+  std::vector<std::shared_ptr<MemTable>> imms;
+  std::shared_ptr<const Version> version;
+  SequenceNumber snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = mem_;
+    imms.assign(imms_.begin(), imms_.end());
+    version = versions_->current();
+    snapshot = versions_->last_sequence();
+  }
+  LookupKey lkey(key, snapshot);
+  ValueType type;
+  if (mem->Get(lkey, raw, &type)) {
+    return type == kTypeVlogPointer ? Status::OK()
+                                    : Status::NotFound("not separated");
+  }
+  for (auto it = imms.rbegin(); it != imms.rend(); ++it) {
+    if ((*it)->Get(lkey, raw, &type)) {
+      return type == kTypeVlogPointer ? Status::OK()
+                                      : Status::NotFound("not separated");
+    }
+  }
+  for (int level = 0; level < version->num_levels(); ++level) {
+    for (const FileMetaData* f : version->FilesContaining(level, key)) {
+      std::shared_ptr<TableReader> reader;
+      Status s =
+          table_cache_->GetReader(f->file_number, f->file_size, &reader);
+      if (!s.ok()) {
+        return s;
+      }
+      if (reader->KeyDefinitelyAbsent(key)) {
+        continue;
+      }
+      bool found;
+      std::string entry_key;
+      s = reader->InternalGet(options, lkey.internal_key(), &found,
+                              &entry_key, raw);
+      if (!s.ok()) {
+        return s;
+      }
+      if (found) {
+        return ExtractValueType(entry_key) == kTypeVlogPointer
+                   ? Status::OK()
+                   : Status::NotFound("not separated");
+      }
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+}  // namespace lsmlab

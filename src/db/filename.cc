@@ -1,0 +1,84 @@
+#include "db/filename.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsmlab {
+
+namespace {
+std::string MakeFileName(const std::string& dbname, uint64_t number,
+                         const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06llu.%s",
+                static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+}  // namespace
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "sst");
+}
+
+std::string VlogFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "vlog");
+}
+
+std::string ManifestFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+                static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string TempFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "tmp");
+}
+
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type) {
+  if (filename == "CURRENT") {
+    *number = 0;
+    *type = FileType::kCurrentFile;
+    return true;
+  }
+  if (filename.rfind("MANIFEST-", 0) == 0) {
+    char* end;
+    unsigned long long num = strtoull(filename.c_str() + 9, &end, 10);
+    if (*end != '\0') {
+      return false;
+    }
+    *number = num;
+    *type = FileType::kManifestFile;
+    return true;
+  }
+  char* end;
+  unsigned long long num = strtoull(filename.c_str(), &end, 10);
+  if (end == filename.c_str()) {
+    return false;
+  }
+  std::string suffix(end);
+  *number = num;
+  if (suffix == ".log") {
+    *type = FileType::kLogFile;
+  } else if (suffix == ".sst") {
+    *type = FileType::kTableFile;
+  } else if (suffix == ".vlog") {
+    *type = FileType::kVlogFile;
+  } else if (suffix == ".tmp") {
+    *type = FileType::kTempFile;
+  } else {
+    *type = FileType::kUnknown;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,33 @@
+#ifndef LSMLAB_DB_FILENAME_H_
+#define LSMLAB_DB_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lsmlab {
+
+/// The kinds of files living in a DB directory.
+enum class FileType {
+  kLogFile,       // <number>.log  : write-ahead log
+  kTableFile,     // <number>.sst  : sorted run
+  kVlogFile,      // <number>.vlog : WiscKey value log
+  kManifestFile,  // MANIFEST-<number>
+  kCurrentFile,   // CURRENT
+  kTempFile,      // <number>.tmp
+  kUnknown,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string VlogFileName(const std::string& dbname, uint64_t number);
+std::string ManifestFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+/// Parses a directory entry. Returns false for unrecognized names.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_FILENAME_H_

@@ -1,0 +1,56 @@
+#ifndef LSMLAB_DB_INTERNAL_ITERATORS_H_
+#define LSMLAB_DB_INTERNAL_ITERATORS_H_
+
+#include <memory>
+
+#include "memtable/memtable.h"
+#include "table/iterator.h"
+#include "table/table_reader.h"
+
+namespace lsmlab {
+
+/// Adapts MemTable::Iterator to the common Iterator interface, sharing
+/// ownership of the memtable so flushed memtables stay alive under readers.
+class MemTableIteratorAdapter final : public Iterator {
+ public:
+  explicit MemTableIteratorAdapter(std::shared_ptr<MemTable> mem)
+      : mem_(std::move(mem)), iter_(mem_->NewIterator()) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemTable> mem_;
+  std::unique_ptr<MemTable::Iterator> iter_;
+};
+
+/// Wraps a TableReader iterator together with the shared reader, so tables
+/// evicted mid-scan (their file deleted by compaction) stay readable until
+/// the scan drains.
+class TableIteratorHolder final : public Iterator {
+ public:
+  TableIteratorHolder(std::shared_ptr<TableReader> reader,
+                      std::unique_ptr<Iterator> iter)
+      : reader_(std::move(reader)), iter_(std::move(iter)) {}
+
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void Seek(const Slice& target) override { iter_->Seek(target); }
+  void Next() override { iter_->Next(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<TableReader> reader_;
+  std::unique_ptr<Iterator> iter_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_INTERNAL_ITERATORS_H_

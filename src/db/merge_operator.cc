@@ -1,0 +1,83 @@
+#include "db/merge_operator.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsmlab {
+
+namespace {
+
+class Int64AddOperator final : public MergeOperator {
+ public:
+  const char* Name() const override { return "lsmlab.Int64Add"; }
+
+  bool Merge(const Slice& /*key*/, const Slice* base_value,
+             const std::vector<Slice>& operands,
+             std::string* result) const override {
+    int64_t total = 0;
+    if (base_value != nullptr && !ParseInt(*base_value, &total)) {
+      return false;
+    }
+    for (const Slice& op : operands) {
+      int64_t delta;
+      if (!ParseInt(op, &delta)) {
+        return false;
+      }
+      total += delta;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(total));
+    result->assign(buf);
+    return true;
+  }
+
+ private:
+  static bool ParseInt(const Slice& s, int64_t* value) {
+    if (s.empty() || s.size() > 20) {
+      return false;
+    }
+    std::string str = s.ToString();
+    char* end = nullptr;
+    *value = std::strtoll(str.c_str(), &end, 10);
+    return end == str.c_str() + str.size();
+  }
+};
+
+class StringAppendOperator final : public MergeOperator {
+ public:
+  explicit StringAppendOperator(char delimiter) : delimiter_(delimiter) {}
+
+  const char* Name() const override { return "lsmlab.StringAppend"; }
+
+  bool Merge(const Slice& /*key*/, const Slice* base_value,
+             const std::vector<Slice>& operands,
+             std::string* result) const override {
+    result->clear();
+    if (base_value != nullptr) {
+      result->assign(base_value->data(), base_value->size());
+    }
+    for (const Slice& op : operands) {
+      if (!result->empty()) {
+        result->push_back(delimiter_);
+      }
+      result->append(op.data(), op.size());
+    }
+    return true;
+  }
+
+ private:
+  const char delimiter_;
+};
+
+}  // namespace
+
+std::shared_ptr<const MergeOperator> NewInt64AddOperator() {
+  return std::make_shared<Int64AddOperator>();
+}
+
+std::shared_ptr<const MergeOperator> NewStringAppendOperator(char delimiter) {
+  return std::make_shared<StringAppendOperator>(delimiter);
+}
+
+}  // namespace lsmlab

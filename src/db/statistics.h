@@ -1,0 +1,77 @@
+#ifndef LSMLAB_DB_STATISTICS_H_
+#define LSMLAB_DB_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lsmlab {
+
+/// Engine-wide counters. Every experiment reads these to report the
+/// I/O-shape metrics the tutorial reasons about (superfluous probes saved by
+/// filters, compaction traffic, stall time). All fields are atomics;
+/// increments are relaxed.
+struct Statistics {
+  // Read path.
+  std::atomic<uint64_t> point_lookups{0};
+  std::atomic<uint64_t> point_lookup_found{0};
+  std::atomic<uint64_t> runs_probed{0};          // Sorted runs actually read.
+  std::atomic<uint64_t> runs_skipped_by_filter{0};
+  std::atomic<uint64_t> filter_checks{0};
+  std::atomic<uint64_t> filter_false_positives{0};
+  std::atomic<uint64_t> range_scans{0};
+
+  // Write path.
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> write_stall_micros{0};
+  std::atomic<uint64_t> write_slowdown_micros{0};
+
+  // Internal operations.
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> compaction_bytes_read{0};
+  std::atomic<uint64_t> compaction_bytes_written{0};
+  std::atomic<uint64_t> flush_bytes_written{0};
+  std::atomic<uint64_t> tombstones_dropped{0};
+  std::atomic<uint64_t> entries_dropped_obsolete{0};
+
+  void Reset() {
+    point_lookups = 0;
+    point_lookup_found = 0;
+    runs_probed = 0;
+    runs_skipped_by_filter = 0;
+    filter_checks = 0;
+    filter_false_positives = 0;
+    range_scans = 0;
+    writes = 0;
+    write_stall_micros = 0;
+    write_slowdown_micros = 0;
+    flushes = 0;
+    compactions = 0;
+    compaction_bytes_read = 0;
+    compaction_bytes_written = 0;
+    flush_bytes_written = 0;
+    tombstones_dropped = 0;
+    entries_dropped_obsolete = 0;
+  }
+
+  /// Average sorted runs touched per point lookup — the read-cost metric of
+  /// the tutorial's filter discussion.
+  double RunsProbedPerLookup() const {
+    uint64_t lookups = point_lookups.load();
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(runs_probed.load()) /
+                              static_cast<double>(lookups);
+  }
+
+  double FilterFalsePositiveRate() const {
+    uint64_t checks = filter_checks.load();
+    return checks == 0 ? 0.0
+                       : static_cast<double>(filter_false_positives.load()) /
+                             static_cast<double>(checks);
+  }
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_STATISTICS_H_

@@ -1,0 +1,54 @@
+#include "db/table_cache.h"
+
+#include "db/filename.h"
+#include "io/env.h"
+
+namespace lsmlab {
+
+TableCache::TableCache(std::string dbname, const Options* options,
+                       const InternalKeyComparator* icmp,
+                       LruCache* block_cache, Statistics* statistics)
+    : dbname_(std::move(dbname)), options_(options) {
+  reader_options_.comparator = icmp;
+  reader_options_.filter_policy = options->filter_policy;
+  reader_options_.block_cache = block_cache;
+  reader_options_.statistics = statistics;
+  reader_options_.verify_checksums = false;
+}
+
+Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
+                             std::shared_ptr<TableReader>* reader) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = readers_.find(file_number);
+    if (it != readers_.end()) {
+      *reader = it->second;
+      return Status::OK();
+    }
+  }
+
+  std::unique_ptr<RandomAccessFile> file;
+  std::string fname = TableFileName(dbname_, file_number);
+  Status s = options_->env->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<TableReader> table;
+  s = TableReader::Open(reader_options_, std::move(file), file_size,
+                        file_number, &table);
+  if (!s.ok()) {
+    return s;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = readers_.emplace(file_number, std::move(table));
+  *reader = it->second;
+  return Status::OK();
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  readers_.erase(file_number);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,45 @@
+#ifndef LSMLAB_DB_TABLE_CACHE_H_
+#define LSMLAB_DB_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "table/table_reader.h"
+#include "util/options.h"
+
+namespace lsmlab {
+
+/// Keeps one open TableReader per live SSTable. Readers are shared_ptrs so
+/// a table can be evicted (file deleted by compaction) while an iterator
+/// still drains it. Thread-safe.
+class TableCache {
+ public:
+  TableCache(std::string dbname, const Options* options,
+             const InternalKeyComparator* icmp, LruCache* block_cache,
+             Statistics* statistics);
+
+  /// Returns (opening on miss) the reader for `file_number`.
+  Status GetReader(uint64_t file_number, uint64_t file_size,
+                   std::shared_ptr<TableReader>* reader);
+
+  /// Drops the cached reader (after the file is deleted).
+  void Evict(uint64_t file_number);
+
+  /// Per-table effective filter policy override used by Monkey: tables are
+  /// opened with the shared policy; this just re-exposes the reader options.
+  const TableReaderOptions& reader_options() const { return reader_options_; }
+
+ private:
+  const std::string dbname_;
+  const Options* const options_;
+  TableReaderOptions reader_options_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<TableReader>> readers_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_TABLE_CACHE_H_

@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <cmath>
+
+#include "filter/filter_policy.h"
+#include "util/hash.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Double hashing: probe_i = h1 + i * h2, the standard trick that gets
+/// k independent-enough probes from one 64-bit hash.
+inline uint32_t BloomHash(const Slice& key) {
+  return HashSlice32(key, 0xbc9f1d34u);
+}
+
+class BloomFilterPolicy final : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(double bits_per_key)
+      : bits_per_key_(std::max(0.0, bits_per_key)) {
+    // k = bits_per_key * ln(2) minimizes the false-positive rate.
+    k_ = static_cast<int>(std::round(bits_per_key_ * 0.69314718056));
+    k_ = std::clamp(k_, 1, 30);
+  }
+
+  const char* Name() const override { return "lsmlab.BloomFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    size_t bits = static_cast<size_t>(
+        std::max(64.0, bits_per_key_ * static_cast<double>(n)));
+    size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    dst->push_back(static_cast<char>(k_));  // Probe count trailer.
+    char* array = dst->data() + init_size;
+    for (int i = 0; i < n; ++i) {
+      uint32_t h = BloomHash(keys[i]);
+      const uint32_t delta = (h >> 17) | (h << 15);
+      for (int j = 0; j < k_; ++j) {
+        const uint32_t bitpos = h % bits;
+        array[bitpos / 8] |= (1 << (bitpos % 8));
+        h += delta;
+      }
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    const size_t len = filter.size();
+    if (len < 2) {
+      return false;
+    }
+    const char* array = filter.data();
+    const size_t bits = (len - 1) * 8;
+
+    const int k = array[len - 1];
+    if (k > 30 || k < 1) {
+      // Reserved for future encodings: treat as a match (no false negatives).
+      return true;
+    }
+
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k; ++j) {
+      const uint32_t bitpos = h % bits;
+      if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+        return false;
+      }
+      h += delta;
+    }
+    return true;
+  }
+
+ private:
+  double bits_per_key_;
+  int k_;
+};
+
+class BlockedBloomFilterPolicy final : public FilterPolicy {
+ public:
+  explicit BlockedBloomFilterPolicy(double bits_per_key)
+      : bits_per_key_(std::max(0.0, bits_per_key)) {
+    k_ = static_cast<int>(std::round(bits_per_key_ * 0.69314718056));
+    k_ = std::clamp(k_, 1, 16);
+  }
+
+  const char* Name() const override { return "lsmlab.BlockedBloomFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    size_t bits = static_cast<size_t>(
+        std::max(static_cast<double>(kLineBits),
+                 bits_per_key_ * static_cast<double>(n)));
+    size_t num_lines = (bits + kLineBits - 1) / kLineBits;
+    size_t bytes = num_lines * kLineBytes;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    dst->push_back(static_cast<char>(k_));
+    char* array = dst->data() + init_size;
+    for (int i = 0; i < n; ++i) {
+      uint64_t h = HashSlice64(keys[i]);
+      // High bits pick the cache line; low bits drive in-line probes.
+      size_t line = (h >> 32) % num_lines;
+      char* line_start = array + line * kLineBytes;
+      uint32_t probe = static_cast<uint32_t>(h);
+      const uint32_t delta = (probe >> 17) | (probe << 15);
+      for (int j = 0; j < k_; ++j) {
+        uint32_t bitpos = probe % kLineBits;
+        line_start[bitpos / 8] |= (1 << (bitpos % 8));
+        probe += delta;
+      }
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    if (filter.size() < kLineBytes + 1) {
+      return false;
+    }
+    const char* array = filter.data();
+    const size_t num_lines = (filter.size() - 1) / kLineBytes;
+    const int k = array[filter.size() - 1];
+    if (k > 16 || k < 1) {
+      return true;
+    }
+    uint64_t h = HashSlice64(key);
+    size_t line = (h >> 32) % num_lines;
+    const char* line_start = array + line * kLineBytes;
+    uint32_t probe = static_cast<uint32_t>(h);
+    const uint32_t delta = (probe >> 17) | (probe << 15);
+    for (int j = 0; j < k; ++j) {
+      uint32_t bitpos = probe % kLineBits;
+      if ((line_start[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+        return false;
+      }
+      probe += delta;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr size_t kLineBytes = 64;
+  static constexpr size_t kLineBits = kLineBytes * 8;
+
+  double bits_per_key_;
+  int k_;
+};
+
+}  // namespace
+
+std::shared_ptr<const FilterPolicy> NewBloomFilterPolicy(double bits_per_key) {
+  return std::make_shared<BloomFilterPolicy>(bits_per_key);
+}
+
+std::shared_ptr<const FilterPolicy> NewBlockedBloomFilterPolicy(
+    double bits_per_key) {
+  return std::make_shared<BlockedBloomFilterPolicy>(bits_per_key);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,150 @@
+#include <cstring>
+#include <vector>
+
+#include "filter/filter_policy.h"
+#include "util/coding.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Cuckoo filter (Fan et al.): fingerprints in a 4-way-associative bucket
+/// array, with the partial-key displacement trick so each fingerprint has
+/// two candidate buckets. Build here is offline (all keys known), so a build
+/// failure simply falls back to a larger table.
+///
+/// On-disk layout: fixed32(num_buckets) | fixed8(fp_bits) | bucket array of
+/// 16-bit slots (0 = empty).
+class CuckooFilterPolicy final : public FilterPolicy {
+ public:
+  explicit CuckooFilterPolicy(size_t fingerprint_bits)
+      : fp_bits_(fingerprint_bits < 4 ? 4
+                 : fingerprint_bits > 16
+                     ? 16
+                     : fingerprint_bits) {}
+
+  const char* Name() const override { return "lsmlab.CuckooFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    // 4 slots per bucket, target load factor ~0.84.
+    size_t num_buckets = 1;
+    size_t needed = static_cast<size_t>(static_cast<double>(n) / 0.84 / 4.0) + 1;
+    while (num_buckets < needed) {
+      num_buckets <<= 1;
+    }
+
+    std::vector<uint16_t> table;
+    while (true) {
+      table.assign(num_buckets * 4, 0);
+      if (TryBuild(keys, n, num_buckets, &table)) {
+        break;
+      }
+      num_buckets <<= 1;  // Rare with offline builds; double and retry.
+    }
+
+    PutFixed32(dst, static_cast<uint32_t>(num_buckets));
+    dst->push_back(static_cast<char>(fp_bits_));
+    dst->append(reinterpret_cast<const char*>(table.data()),
+                table.size() * sizeof(uint16_t));
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    if (filter.size() < 5) {
+      return true;
+    }
+    uint32_t num_buckets = DecodeFixed32(filter.data());
+    const char* table = filter.data() + 5;
+    size_t table_slots = (filter.size() - 5) / sizeof(uint16_t);
+    if (table_slots < static_cast<size_t>(num_buckets) * 4) {
+      return true;  // Malformed; fail open.
+    }
+    auto slot_at = [table](size_t index) {
+      uint16_t v;
+      std::memcpy(&v, table + index * sizeof(uint16_t), sizeof(v));
+      return v;
+    };
+
+    uint16_t fp;
+    size_t b1, b2;
+    Locate(key, num_buckets, &fp, &b1, &b2);
+    for (int s = 0; s < 4; ++s) {
+      if (slot_at(b1 * 4 + s) == fp || slot_at(b2 * 4 + s) == fp) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  void Locate(const Slice& key, size_t num_buckets, uint16_t* fp, size_t* b1,
+              size_t* b2) const {
+    uint64_t h = HashSlice64(key);
+    uint16_t mask = static_cast<uint16_t>((1u << fp_bits_) - 1);
+    *fp = static_cast<uint16_t>((h >> 48) & mask);
+    if (*fp == 0) {
+      *fp = 1;  // 0 marks an empty slot.
+    }
+    *b1 = (h & 0xffffffffu) & (num_buckets - 1);
+    // Partial-key cuckoo: the alternate bucket is b ^ hash(fp).
+    *b2 = (*b1 ^ Hash64(reinterpret_cast<const char*>(fp), 2, 0x5bd1e995)) &
+          (num_buckets - 1);
+  }
+
+  bool TryBuild(const Slice* keys, int n, size_t num_buckets,
+                std::vector<uint16_t>* table) const {
+    Random rnd(0xc0ffee);
+    for (int i = 0; i < n; ++i) {
+      uint16_t fp;
+      size_t b1, b2;
+      Locate(keys[i], num_buckets, &fp, &b1, &b2);
+      if (InsertInto(table, b1, fp) || InsertInto(table, b2, fp)) {
+        continue;
+      }
+      // Displace: kick a random resident fingerprint to its alternate.
+      size_t bucket = rnd.OneIn(2) ? b1 : b2;
+      uint16_t cur = fp;
+      bool placed = false;
+      for (int kick = 0; kick < 500; ++kick) {
+        size_t slot = rnd.Uniform(4);
+        std::swap(cur, (*table)[bucket * 4 + slot]);
+        size_t alt =
+            (bucket ^
+             Hash64(reinterpret_cast<const char*>(&cur), 2, 0x5bd1e995)) &
+            (num_buckets - 1);
+        if (InsertInto(table, alt, cur)) {
+          placed = true;
+          break;
+        }
+        bucket = alt;
+      }
+      if (!placed) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool InsertInto(std::vector<uint16_t>* table, size_t bucket,
+                         uint16_t fp) {
+    for (int s = 0; s < 4; ++s) {
+      if ((*table)[bucket * 4 + s] == 0) {
+        (*table)[bucket * 4 + s] = fp;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const size_t fp_bits_;
+};
+
+}  // namespace
+
+std::shared_ptr<const FilterPolicy> NewCuckooFilterPolicy(
+    size_t fingerprint_bits) {
+  return std::make_shared<CuckooFilterPolicy>(fingerprint_bits);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,49 @@
+#ifndef LSMLAB_FILTER_FILTER_POLICY_H_
+#define LSMLAB_FILTER_FILTER_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// FilterPolicy builds the per-run point-query filters of tutorial §2.1.3:
+/// an approximate set-membership structure consulted before any disk I/O.
+/// False positives cost a wasted I/O; false negatives are forbidden.
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// Name written into the SSTable; a mismatch at read time disables the
+  /// filter rather than misinterpreting its bits.
+  virtual const char* Name() const = 0;
+
+  /// Appends a filter summarizing keys[0..n-1] (user keys) to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+
+  /// True if `key` may be in the set summarized by `filter`. Must return
+  /// true for every key passed to CreateFilter (no false negatives).
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+/// Standard Bloom filter with ~0.69 * bits_per_key hash probes.
+/// `bits_per_key` may be fractional (Monkey hands shallower levels more).
+std::shared_ptr<const FilterPolicy> NewBloomFilterPolicy(double bits_per_key);
+
+/// Cache-local ("blocked") Bloom filter: all probes of a key land in one
+/// 64-byte cache line. Slightly higher false-positive rate for the same
+/// memory, much cheaper CPU (tutorial §2.1.3, hash-sharing/CPU-cost work).
+std::shared_ptr<const FilterPolicy> NewBlockedBloomFilterPolicy(
+    double bits_per_key);
+
+/// Cuckoo filter storing 12-bit fingerprints in two candidate buckets.
+/// Supports the same membership API; the structural basis of Chucky-style
+/// unified filter/index designs (tutorial §2.1.3).
+std::shared_ptr<const FilterPolicy> NewCuckooFilterPolicy(
+    size_t fingerprint_bits = 12);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FILTER_FILTER_POLICY_H_

@@ -1,0 +1,61 @@
+#ifndef LSMLAB_FILTER_RANGE_FILTER_H_
+#define LSMLAB_FILTER_RANGE_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// RangeFilter answers "may this sorted run contain any key in [lo, hi]?"
+/// before the run is touched on disk — the range-query counterpart of Bloom
+/// filters (tutorial §2.1.3). False positives waste a run probe; false
+/// negatives are forbidden.
+class RangeFilter {
+ public:
+  virtual ~RangeFilter() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Adds one key of the run. Keys may arrive in any order.
+  virtual void AddKey(const Slice& key) = 0;
+
+  /// Freezes the filter; must be called before queries.
+  virtual void Finish() = 0;
+
+  /// True if some key in [lo, hi] (inclusive) may be present.
+  virtual bool MayContainRange(const Slice& lo, const Slice& hi) const = 0;
+
+  virtual size_t MemoryUsage() const = 0;
+};
+
+/// Fixed-length prefix Bloom filter (RocksDB prefix bloom, tutorial §2.1.3):
+/// stores the distinct `prefix_len`-byte prefixes of all keys. A range probe
+/// enumerates the prefixes covering [lo, hi] (up to a budget) and checks
+/// each; ranges spanning too many prefixes return "maybe". Best for long
+/// ranges that stay within few prefixes.
+std::unique_ptr<RangeFilter> NewPrefixBloomRangeFilter(size_t prefix_len,
+                                                       double bits_per_prefix);
+
+/// Rosetta-style filter (tutorial §2.1.3): a hierarchy of Bloom filters over
+/// the binary prefixes of a 64-bit encoding of each key, logically forming a
+/// segment tree. Range probes decompose [lo, hi] into dyadic intervals and
+/// resolve doubts downward, which makes short ranges cheap and precise.
+///
+/// `key_codec` maps a key to the 64-bit value whose order must mirror the
+/// key order within the filtered domain (defaults to the big-endian value of
+/// the first 8 bytes).
+std::unique_ptr<RangeFilter> NewRosettaRangeFilter(
+    double bits_per_key, int levels = 64,
+    std::function<uint64_t(const Slice&)> key_codec = nullptr);
+
+/// Big-endian 64-bit value of the first 8 bytes (zero padded): the default
+/// order-preserving key encoding.
+uint64_t DefaultKeyToUint64(const Slice& key);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_FILTER_RANGE_FILTER_H_

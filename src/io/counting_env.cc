@@ -1,0 +1,172 @@
+#include "io/counting_env.h"
+
+namespace lsmlab {
+
+namespace {
+
+class CountingSequentialFile final : public SequentialFile {
+ public:
+  CountingSequentialFile(std::unique_ptr<SequentialFile> base,
+                         CountingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok()) {
+      env_->RecordRead(result->size());
+    }
+    return s;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  CountingEnv* const env_;
+};
+
+class CountingRandomAccessFile final : public RandomAccessFile {
+ public:
+  CountingRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                           CountingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      env_->RecordRead(result->size());
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  CountingEnv* const env_;
+};
+
+class CountingWritableFile final : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> base, CountingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) {
+      env_->RecordWrite(data.size());
+    }
+    return s;
+  }
+  Status Close() override { return base_->Close(); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    env_->RecordSync();
+    return base_->Sync();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  CountingEnv* const env_;
+};
+
+class CountingRandomRWFile final : public RandomRWFile {
+ public:
+  CountingRandomRWFile(std::unique_ptr<RandomRWFile> base, CountingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    Status s = base_->Write(offset, data);
+    if (s.ok()) {
+      env_->RecordWrite(data.size());
+    }
+    return s;
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      env_->RecordRead(result->size());
+    }
+    return s;
+  }
+
+  Status Sync() override {
+    env_->RecordSync();
+    return base_->Sync();
+  }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  CountingEnv* const env_;
+};
+
+}  // namespace
+
+Status CountingEnv::NewRandomRWFile(const std::string& fname,
+                                    std::unique_ptr<RandomRWFile>* result) {
+  std::unique_ptr<RandomRWFile> base_file;
+  Status s = base_->NewRandomRWFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<CountingRandomRWFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+Status CountingEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base_file;
+  Status s = base_->NewSequentialFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<CountingSequentialFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+Status CountingEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  Status s = base_->NewRandomAccessFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<CountingRandomAccessFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+Status CountingEnv::NewWritableFile(const std::string& fname,
+                                    std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (s.ok()) {
+    files_created_.fetch_add(1, std::memory_order_relaxed);
+    *result =
+        std::make_unique<CountingWritableFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+IoStats CountingEnv::GetStats() const {
+  IoStats stats;
+  stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  stats.read_ops = read_ops_.load(std::memory_order_relaxed);
+  stats.write_ops = write_ops_.load(std::memory_order_relaxed);
+  stats.syncs = syncs_.load(std::memory_order_relaxed);
+  stats.files_created = files_created_.load(std::memory_order_relaxed);
+  stats.files_removed = files_removed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void CountingEnv::ResetStats() {
+  bytes_read_.store(0, std::memory_order_relaxed);
+  bytes_written_.store(0, std::memory_order_relaxed);
+  read_ops_.store(0, std::memory_order_relaxed);
+  write_ops_.store(0, std::memory_order_relaxed);
+  syncs_.store(0, std::memory_order_relaxed);
+  files_created_.store(0, std::memory_order_relaxed);
+  files_removed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,103 @@
+#ifndef LSMLAB_IO_COUNTING_ENV_H_
+#define LSMLAB_IO_COUNTING_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "io/env.h"
+
+namespace lsmlab {
+
+/// Aggregated I/O counters. The measurement substrate for every experiment:
+/// the tutorial's tradeoffs are stated in I/O terms (write amplification,
+/// lookup I/Os), which these counters reproduce deterministically.
+struct IoStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t syncs = 0;
+  uint64_t files_created = 0;
+  uint64_t files_removed = 0;
+
+  /// Write amplification relative to `user_bytes` of ingested data.
+  double WriteAmplification(uint64_t user_bytes) const {
+    return user_bytes == 0
+               ? 0.0
+               : static_cast<double>(bytes_written) /
+                     static_cast<double>(user_bytes);
+  }
+};
+
+/// Env decorator that tallies every I/O passing through it. Thread-safe.
+class CountingEnv final : public Env {
+ public:
+  /// Does not take ownership of `base`.
+  explicit CountingEnv(Env* base) : base_(base) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override;
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    Status s = base_->RemoveFile(fname);
+    if (s.ok()) {
+      files_removed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+  IoStats GetStats() const;
+  void ResetStats();
+
+  // Internal: counter taps used by the wrapper file classes.
+  void RecordRead(uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordSync() { syncs_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  Env* const base_;
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> files_created_{0};
+  std::atomic<uint64_t> files_removed_{0};
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_IO_COUNTING_ENV_H_

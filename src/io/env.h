@@ -1,0 +1,100 @@
+#ifndef LSMLAB_IO_ENV_H_
+#define LSMLAB_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// A file opened for sequential reading (WAL/manifest replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes. `*result` points into `scratch`, which must have
+  /// at least `n` bytes. A short read signals EOF.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// A file opened for positional reads (SSTables). Thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset`. `*result` points into
+  /// `scratch`.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// A file opened for positional reads AND writes (the in-place page file of
+/// the B+-tree baseline; LSM files never need this — they are immutable).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual Status Sync() = 0;
+};
+
+/// A file opened for appending (table building, WAL, manifest).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Close() = 0;
+  virtual Status Flush() = 0;
+  /// Forces data to stable storage.
+  virtual Status Sync() = 0;
+};
+
+/// Env abstracts the storage substrate. Production code uses the POSIX Env;
+/// tests use MemEnv; measurement wraps either in CountingEnv, and device
+/// emulation wraps in LatencyEnv. All methods are thread-safe.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The default POSIX environment. Singleton; do not delete.
+  static Env* Default();
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  /// Opens (creating if absent) a read-write file; existing contents are
+  /// preserved (unlike NewWritableFile, which truncates).
+  virtual Status NewRandomRWFile(const std::string& fname,
+                                 std::unique_ptr<RandomRWFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+};
+
+/// Reads the entire named file into `*data`.
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+/// Writes `data` as the full contents of the named file (then syncs).
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_IO_ENV_H_

@@ -1,0 +1,153 @@
+#include "io/latency_env.h"
+
+namespace lsmlab {
+
+namespace {
+
+class LatencySequentialFile final : public SequentialFile {
+ public:
+  LatencySequentialFile(std::unique_ptr<SequentialFile> base,
+                        const LatencyEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok()) {
+      env_->ChargeIo(result->size());
+    }
+    return s;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  const LatencyEnv* const env_;
+};
+
+class LatencyRandomAccessFile final : public RandomAccessFile {
+ public:
+  LatencyRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                          const LatencyEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      env_->ChargeIo(result->size());
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  const LatencyEnv* const env_;
+};
+
+class LatencyWritableFile final : public WritableFile {
+ public:
+  LatencyWritableFile(std::unique_ptr<WritableFile> base,
+                      const LatencyEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) {
+      env_->ChargeIo(data.size());
+    }
+    return s;
+  }
+  Status Close() override { return base_->Close(); }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  const LatencyEnv* const env_;
+};
+
+class LatencyRandomRWFile final : public RandomRWFile {
+ public:
+  LatencyRandomRWFile(std::unique_ptr<RandomRWFile> base,
+                      const LatencyEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    Status s = base_->Write(offset, data);
+    if (s.ok()) {
+      env_->ChargeIo(data.size());
+    }
+    return s;
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      env_->ChargeIo(result->size());
+    }
+    return s;
+  }
+
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  const LatencyEnv* const env_;
+};
+
+}  // namespace
+
+Status LatencyEnv::NewRandomRWFile(const std::string& fname,
+                                   std::unique_ptr<RandomRWFile>* result) {
+  std::unique_ptr<RandomRWFile> base_file;
+  Status s = base_->NewRandomRWFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LatencyRandomRWFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+void LatencyEnv::ChargeIo(uint64_t bytes) const {
+  uint64_t transfer_micros =
+      model_.bandwidth_bytes_per_sec == 0
+          ? 0
+          : bytes * 1000000ull / model_.bandwidth_bytes_per_sec;
+  clock_->SleepForMicros(model_.per_op_latency_micros + transfer_micros);
+}
+
+Status LatencyEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base_file;
+  Status s = base_->NewSequentialFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LatencySequentialFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+Status LatencyEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  Status s = base_->NewRandomAccessFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LatencyRandomAccessFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+Status LatencyEnv::NewWritableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LatencyWritableFile>(std::move(base_file), this);
+  }
+  return s;
+}
+
+}  // namespace lsmlab

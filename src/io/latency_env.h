@@ -1,0 +1,79 @@
+#ifndef LSMLAB_IO_LATENCY_ENV_H_
+#define LSMLAB_IO_LATENCY_ENV_H_
+
+#include <cstdint>
+
+#include "io/env.h"
+#include "util/clock.h"
+
+namespace lsmlab {
+
+/// Parameters of an emulated storage device. The tutorial's experiments ran
+/// on real SSD/HDD testbeds; LatencyEnv substitutes a configurable device
+/// model so latency-shaped results (write stalls, SILK tail latencies) are
+/// reproducible on any machine.
+struct DeviceModel {
+  /// Fixed cost per I/O operation (seek/command overhead).
+  uint64_t per_op_latency_micros = 100;
+  /// Streaming throughput in bytes/sec used to charge transfer time.
+  uint64_t bandwidth_bytes_per_sec = 200ull << 20;
+
+  static DeviceModel Ssd() { return DeviceModel{100, 500ull << 20}; }
+  static DeviceModel Hdd() { return DeviceModel{8000, 150ull << 20}; }
+  static DeviceModel Nvme() { return DeviceModel{20, 2000ull << 20}; }
+};
+
+/// Env decorator that charges DeviceModel time for every read/write by
+/// sleeping on the provided Clock. Combine with MockClock for deterministic
+/// virtual-time experiments, or SystemClock for wall-clock emulation.
+class LatencyEnv final : public Env {
+ public:
+  /// Does not take ownership of `base` or `clock`.
+  LatencyEnv(Env* base, DeviceModel model, Clock* clock)
+      : base_(base), model_(model), clock_(clock) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override;
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status RemoveDir(const std::string& dirname) override {
+    return base_->RemoveDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+  // Internal: charges `bytes` of transfer plus one op of fixed latency.
+  void ChargeIo(uint64_t bytes) const;
+
+ private:
+  Env* const base_;
+  const DeviceModel model_;
+  Clock* const clock_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_IO_LATENCY_ENV_H_

@@ -1,0 +1,27 @@
+#ifndef LSMLAB_IO_WAL_FORMAT_H_
+#define LSMLAB_IO_WAL_FORMAT_H_
+
+namespace lsmlab::wal {
+
+/// WAL records are packed into fixed-size blocks; a logical record that does
+/// not fit is fragmented across blocks. Each physical record is
+///   checksum(4) | length(2) | type(1) | payload
+/// where type says whether this fragment is the full record or its
+/// first/middle/last fragment.
+enum RecordType {
+  kZeroType = 0,  // Preallocated/zeroed space.
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+constexpr int kMaxRecordType = kLastType;
+
+constexpr int kBlockSize = 32768;
+
+/// Header: checksum (4 bytes), length (2 bytes), type (1 byte).
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace lsmlab::wal
+
+#endif  // LSMLAB_IO_WAL_FORMAT_H_

@@ -1,0 +1,54 @@
+#ifndef LSMLAB_IO_WAL_READER_H_
+#define LSMLAB_IO_WAL_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+#include "io/wal_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab::wal {
+
+/// Replays records written by wal::Writer, reassembling fragments and
+/// verifying CRCs. Corrupt tails (from a crash mid-write) are reported via
+/// the Reporter and skipped, matching recovery semantics.
+class Reader {
+ public:
+  /// Interface for reporting dropped bytes during replay.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  /// Does not take ownership of `file` or `reporter` (either may be null
+  /// only for `reporter`).
+  Reader(SequentialFile* file, Reporter* reporter);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next complete logical record into *record. Returns false at
+  /// EOF. *scratch is backing storage for fragmented records.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extended record types for internal signalling.
+  enum { kEof = kMaxRecordType + 1, kBadRecord = kMaxRecordType + 2 };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;
+  bool eof_;
+};
+
+}  // namespace lsmlab::wal
+
+#endif  // LSMLAB_IO_WAL_READER_H_

@@ -1,0 +1,88 @@
+#include "io/wal_writer.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace lsmlab::wal {
+
+Writer::Writer(WritableFile* dest) : dest_(dest), block_offset_(0) {
+  for (int i = 0; i <= kMaxRecordType; ++i) {
+    char t = static_cast<char>(i);
+    type_crc_[i] = crc32c::Value(&t, 1);
+  }
+}
+
+Status Writer::AddRecord(const Slice& slice) {
+  const char* ptr = slice.data();
+  size_t left = slice.size();
+
+  // Fragment the record if necessary. Empty records still emit one
+  // zero-length kFullType fragment.
+  Status s;
+  bool begin = true;
+  do {
+    const int leftover = kBlockSize - block_offset_;
+    assert(leftover >= 0);
+    if (leftover < kHeaderSize) {
+      // Not even a header fits; pad the block with zeros.
+      if (leftover > 0) {
+        s = dest_->Append(Slice("\x00\x00\x00\x00\x00\x00", leftover));
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail =
+        static_cast<size_t>(kBlockSize - block_offset_ - kHeaderSize);
+    const size_t fragment_length = (left < avail) ? left : avail;
+
+    RecordType type;
+    const bool end = (left == fragment_length);
+    if (begin && end) {
+      type = kFullType;
+    } else if (begin) {
+      type = kFirstType;
+    } else if (end) {
+      type = kLastType;
+    } else {
+      type = kMiddleType;
+    }
+
+    s = EmitPhysicalRecord(type, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
+                                  size_t length) {
+  assert(length <= 0xffff);
+  assert(block_offset_ + kHeaderSize + static_cast<int>(length) <= kBlockSize);
+
+  char buf[kHeaderSize];
+  buf[4] = static_cast<char>(length & 0xff);
+  buf[5] = static_cast<char>(length >> 8);
+  buf[6] = static_cast<char>(type);
+
+  uint32_t crc = crc32c::Extend(type_crc_[type], ptr, length);
+  crc = crc32c::Mask(crc);
+  EncodeFixed32(buf, crc);
+
+  Status s = dest_->Append(Slice(buf, kHeaderSize));
+  if (s.ok()) {
+    s = dest_->Append(Slice(ptr, length));
+    if (s.ok()) {
+      s = dest_->Flush();
+    }
+  }
+  block_offset_ += kHeaderSize + static_cast<int>(length);
+  return s;
+}
+
+}  // namespace lsmlab::wal

@@ -1,0 +1,41 @@
+#ifndef LSMLAB_IO_WAL_WRITER_H_
+#define LSMLAB_IO_WAL_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "io/env.h"
+#include "io/wal_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab::wal {
+
+/// Appends length-prefixed, CRC-protected records to a log file. Used for
+/// both the write-ahead log and the manifest. Not thread-safe; the write
+/// path serializes access.
+class Writer {
+ public:
+  /// Does not take ownership of `dest`, which must remain live.
+  explicit Writer(WritableFile* dest);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+  /// Forces buffered data to stable storage.
+  Status Sync() { return dest_->Sync(); }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // Current offset within the current block.
+  // Pre-computed CRCs of the record-type bytes, extended with payload.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace lsmlab::wal
+
+#endif  // LSMLAB_IO_WAL_WRITER_H_

@@ -1,0 +1,98 @@
+#include "memtable/memtable.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace lsmlab {
+
+MemTable::MemTable(const InternalKeyComparator* comparator,
+                   MemTableRepType rep_type, size_t hash_bucket_count)
+    : comparator_(comparator->user_comparator()),
+      entry_comparator_(&comparator_),
+      rep_(NewMemTableRep(rep_type, entry_comparator_, &arena_,
+                          hash_bucket_count)) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+                   const Slice& value) {
+  // Entry format:
+  //   varint32(internal_key_size) | user_key | fixed64(seq<<8|type)
+  //   | varint32(value_size) | value
+  size_t user_key_size = user_key.size();
+  size_t internal_key_size = user_key_size + 8;
+  size_t value_size = value.size();
+  size_t encoded_len = VarintLength(internal_key_size) + internal_key_size +
+                       VarintLength(value_size) + value_size;
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = buf;
+
+  // varint32 internal key size.
+  uint32_t iks = static_cast<uint32_t>(internal_key_size);
+  while (iks >= 128) {
+    *p++ = static_cast<char>(iks | 128);
+    iks >>= 7;
+  }
+  *p++ = static_cast<char>(iks);
+
+  std::memcpy(p, user_key.data(), user_key_size);
+  p += user_key_size;
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+
+  uint32_t vs = static_cast<uint32_t>(value_size);
+  while (vs >= 128) {
+    *p++ = static_cast<char>(vs | 128);
+    vs >>= 7;
+  }
+  *p++ = static_cast<char>(vs);
+  std::memcpy(p, value.data(), value_size);
+
+  rep_->Insert(buf);
+  data_size_ += user_key_size + value_size;
+}
+
+bool MemTable::Get(const LookupKey& key, std::string* value,
+                   ValueType* type_out) {
+  const char* entry = rep_->PointSeek(key.internal_key());
+  if (entry == nullptr) {
+    return false;
+  }
+  Slice internal_key = GetLengthPrefixedEntryKey(entry);
+  // The seek may land on a later user key (or a hash-bucket neighbour).
+  if (comparator_.user_comparator()->Compare(ExtractUserKey(internal_key),
+                                             key.user_key()) != 0) {
+    return false;
+  }
+  ValueType type = ExtractValueType(internal_key);
+  *type_out = type;
+  if (type == kTypeValue || type == kTypeVlogPointer || type == kTypeMerge) {
+    // The length-prefixed value immediately follows the internal key.
+    const char* value_start = internal_key.data() + internal_key.size();
+    uint32_t len;
+    const char* p = GetVarint32Ptr(value_start, value_start + 5, &len);
+    value->assign(p, len);
+  }
+  return true;
+}
+
+Slice MemTable::Iterator::key() const {
+  return GetLengthPrefixedEntryKey(iter_->entry());
+}
+
+Slice MemTable::Iterator::value() const {
+  Slice internal_key = GetLengthPrefixedEntryKey(iter_->entry());
+  const char* value_start = internal_key.data() + internal_key.size();
+  uint32_t len;
+  const char* p = GetVarint32Ptr(value_start, value_start + 5, &len);
+  return Slice(p, len);
+}
+
+std::unique_ptr<MemTable::Iterator> MemTable::NewIterator() {
+  return std::make_unique<Iterator>(rep_->NewIterator());
+}
+
+size_t MemTable::ApproximateMemoryUsage() const {
+  return arena_.MemoryUsage();
+}
+
+}  // namespace lsmlab

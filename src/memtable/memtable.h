@@ -1,0 +1,77 @@
+#ifndef LSMLAB_MEMTABLE_MEMTABLE_H_
+#define LSMLAB_MEMTABLE_MEMTABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "db/dbformat.h"
+#include "memtable/memtable_rep.h"
+#include "util/arena.h"
+#include "util/options.h"
+
+namespace lsmlab {
+
+/// MemTable is the in-memory LSM component (tutorial §2.1): an ordered
+/// buffer of recent writes. Writes are serialized externally; the skip-list
+/// rep additionally allows reads concurrent with a writer. MemTables are
+/// shared between the active write path, flush jobs, and live iterators via
+/// shared_ptr.
+class MemTable {
+ public:
+  MemTable(const InternalKeyComparator* comparator, MemTableRepType rep_type,
+           size_t hash_bucket_count);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Buffers an entry. `type` distinguishes puts, deletes, single-deletes,
+  /// and vlog pointers.
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// Point lookup at `key`'s snapshot. Returns true if this memtable
+  /// resolves the key (value found or tombstone hit); the entry type is
+  /// returned through `type_out` and the value (if any) through `value`.
+  bool Get(const LookupKey& key, std::string* value, ValueType* type_out);
+
+  /// Iterator over entries in internal-key order. The iterator (and the
+  /// values it yields) remain valid for the memtable's lifetime.
+  class Iterator {
+   public:
+    explicit Iterator(std::unique_ptr<MemTableRep::Iterator> iter)
+        : iter_(std::move(iter)) {}
+
+    bool Valid() const { return iter_->Valid(); }
+    void SeekToFirst() { iter_->SeekToFirst(); }
+    void Seek(const Slice& internal_key) { iter_->Seek(internal_key); }
+    void Next() { iter_->Next(); }
+    /// The full internal key of the current entry.
+    Slice key() const;
+    Slice value() const;
+
+   private:
+    std::unique_ptr<MemTableRep::Iterator> iter_;
+  };
+
+  std::unique_ptr<Iterator> NewIterator();
+
+  size_t ApproximateMemoryUsage() const;
+  size_t Count() const { return rep_->Count(); }
+  bool Empty() const { return rep_->Count() == 0; }
+
+  /// Bytes of raw user data (keys+values) added; drives flush triggering.
+  size_t DataSize() const { return data_size_; }
+
+  const InternalKeyComparator* comparator() const { return &comparator_; }
+
+ private:
+  InternalKeyComparator comparator_;
+  MemTableKeyComparator entry_comparator_;
+  Arena arena_;
+  std::unique_ptr<MemTableRep> rep_;
+  size_t data_size_ = 0;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_MEMTABLE_MEMTABLE_H_

@@ -1,0 +1,41 @@
+#include "memtable/memtable_rep.h"
+
+#include "util/coding.h"
+
+namespace lsmlab {
+
+Slice GetLengthPrefixedEntryKey(const char* entry) {
+  uint32_t len;
+  // +5: a varint32 is at most 5 bytes.
+  const char* p = GetVarint32Ptr(entry, entry + 5, &len);
+  return Slice(p, len);
+}
+
+int MemTableKeyComparator::operator()(const char* a, const char* b) const {
+  return comparator_->Compare(GetLengthPrefixedEntryKey(a),
+                              GetLengthPrefixedEntryKey(b));
+}
+
+int MemTableKeyComparator::CompareEntryToKey(const char* entry,
+                                             const Slice& internal_key) const {
+  return comparator_->Compare(GetLengthPrefixedEntryKey(entry), internal_key);
+}
+
+std::unique_ptr<MemTableRep> NewMemTableRep(MemTableRepType type,
+                                            const MemTableKeyComparator& cmp,
+                                            Arena* arena,
+                                            size_t bucket_count) {
+  switch (type) {
+    case MemTableRepType::kSkipList:
+      return NewSkipListRep(cmp, arena);
+    case MemTableRepType::kVector:
+      return NewVectorRep(cmp);
+    case MemTableRepType::kHashSkipList:
+      return NewHashSkipListRep(cmp, arena, bucket_count);
+    case MemTableRepType::kHashLinkList:
+      return NewHashLinkListRep(cmp, arena, bucket_count);
+  }
+  return NewSkipListRep(cmp, arena);
+}
+
+}  // namespace lsmlab

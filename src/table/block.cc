@@ -1,0 +1,205 @@
+#include "table/block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace lsmlab {
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  uint32_t num_restarts = NumRestarts();
+  uint64_t restart_bytes =
+      (static_cast<uint64_t>(num_restarts) + 1) * sizeof(uint32_t);
+  if (restart_bytes > data_.size()) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ =
+      static_cast<uint32_t>(data_.size() - restart_bytes);
+}
+
+uint32_t Block::NumRestarts() const {
+  return DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
+}
+
+namespace {
+
+/// Decodes the three varint32 lengths of an entry header. Returns nullptr on
+/// corruption.
+const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
+                        uint32_t* non_shared, uint32_t* value_length) {
+  if (limit - p < 3) {
+    return nullptr;
+  }
+  *shared = static_cast<uint8_t>(p[0]);
+  *non_shared = static_cast<uint8_t>(p[1]);
+  *value_length = static_cast<uint8_t>(p[2]);
+  if ((*shared | *non_shared | *value_length) < 128) {
+    // Fast path: all three lengths are single-byte varints.
+    p += 3;
+  } else {
+    if ((p = GetVarint32Ptr(p, limit, shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) return nullptr;
+  }
+  if (static_cast<uint32_t>(limit - p) < (*non_shared + *value_length)) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+class Block::Iter final : public Iterator {
+ public:
+  Iter(const Comparator* comparator, const char* data, uint32_t restart_offset,
+       uint32_t num_restarts)
+      : comparator_(comparator),
+        data_(data),
+        restarts_(restart_offset),
+        num_restarts_(num_restarts),
+        current_(restart_offset),
+        restart_index_(num_restarts) {}
+
+  bool Valid() const override { return current_ < restarts_; }
+  Status status() const override { return status_; }
+  Slice key() const override {
+    assert(Valid());
+    return Slice(key_);
+  }
+  Slice value() const override {
+    assert(Valid());
+    return value_;
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextEntry();
+  }
+
+  void SeekToFirst() override {
+    SeekToRestartPoint(0);
+    ParseNextEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary-search the restart array for the last restart with key < target
+    // (the fence-pointer search within a block), then scan linearly.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      uint32_t region_offset = GetRestartPoint(mid);
+      uint32_t shared, non_shared, value_length;
+      const char* key_ptr =
+          DecodeEntry(data_ + region_offset, data_ + restarts_, &shared,
+                      &non_shared, &value_length);
+      if (key_ptr == nullptr || (shared != 0)) {
+        CorruptionError();
+        return;
+      }
+      Slice mid_key(key_ptr, non_shared);
+      if (comparator_->Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+
+    SeekToRestartPoint(left);
+    while (true) {
+      if (!ParseNextEntry()) {
+        return;  // Ran off the end: leave invalid (no entry >= target).
+      }
+      if (comparator_->Compare(Slice(key_), target) >= 0) {
+        return;
+      }
+    }
+  }
+
+ private:
+  uint32_t GetRestartPoint(uint32_t index) const {
+    assert(index < num_restarts_);
+    return DecodeFixed32(data_ + restarts_ + index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    restart_index_ = index;
+    // ParseNextEntry starts at value_ end; emulate by pointing value_ at the
+    // restart offset with zero length.
+    uint32_t offset = GetRestartPoint(index);
+    value_ = Slice(data_ + offset, 0);
+  }
+
+  uint32_t NextEntryOffset() const {
+    return static_cast<uint32_t>((value_.data() + value_.size()) - data_);
+  }
+
+  void CorruptionError() {
+    current_ = restarts_;
+    restart_index_ = num_restarts_;
+    status_ = Status::Corruption("bad entry in block");
+    key_.clear();
+    value_.clear();
+  }
+
+  bool ParseNextEntry() {
+    current_ = NextEntryOffset();
+    const char* p = data_ + current_;
+    const char* limit = data_ + restarts_;
+    if (p >= limit) {
+      // No more entries; mark invalid.
+      current_ = restarts_;
+      restart_index_ = num_restarts_;
+      return false;
+    }
+
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || key_.size() < shared) {
+      CorruptionError();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_length);
+    while (restart_index_ + 1 < num_restarts_ &&
+           GetRestartPoint(restart_index_ + 1) < current_) {
+      ++restart_index_;
+    }
+    return true;
+  }
+
+  const Comparator* const comparator_;
+  const char* const data_;
+  const uint32_t restarts_;
+  const uint32_t num_restarts_;
+
+  uint32_t current_;  // Offset of the current entry; >= restarts_ if invalid.
+  uint32_t restart_index_;
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Block::NewIterator(
+    const Comparator* comparator) const {
+  if (malformed_) {
+    return NewEmptyIterator(Status::Corruption("malformed block"));
+  }
+  uint32_t num_restarts = NumRestarts();
+  if (num_restarts == 0) {
+    return NewEmptyIterator();
+  }
+  return std::make_unique<Iter>(comparator, data_.data(), restart_offset_,
+                                num_restarts);
+}
+
+}  // namespace lsmlab

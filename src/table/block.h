@@ -1,0 +1,42 @@
+#ifndef LSMLAB_TABLE_BLOCK_H_
+#define LSMLAB_TABLE_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "table/iterator.h"
+#include "util/comparator.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// An immutable, parsed block (data, index, or metaindex). Owns its bytes;
+/// shared between the block cache and live iterators.
+class Block {
+ public:
+  /// Takes ownership of `contents`.
+  explicit Block(std::string contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+
+  /// Iterator over the block's entries; keeps the Block alive via the
+  /// owner pointer held by the caller.
+  std::unique_ptr<Iterator> NewIterator(const Comparator* comparator) const;
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // Offset of the restart array.
+  bool malformed_ = false;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TABLE_BLOCK_H_

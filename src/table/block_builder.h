@@ -1,0 +1,53 @@
+#ifndef LSMLAB_TABLE_BLOCK_BUILDER_H_
+#define LSMLAB_TABLE_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/comparator.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Builds a sorted block with restart-point prefix compression: keys share
+/// the prefix of their predecessor except at restart points, where full keys
+/// anchor binary search.
+///
+/// Block layout:
+///   entry*  = shared(varint32) | non_shared(varint32) | value_len(varint32)
+///             | key_delta | value
+///   trailer = restart offsets (fixed32 each) | num_restarts (fixed32)
+class BlockBuilder {
+ public:
+  BlockBuilder(const Comparator* comparator, int restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  /// Appends an entry. Keys must arrive in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finishes the block and returns its full contents; valid until Reset().
+  Slice Finish();
+
+  /// Bytes the block would occupy if finished now.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const Comparator* const comparator_;
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;  // Entries since the last restart point.
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TABLE_BLOCK_BUILDER_H_

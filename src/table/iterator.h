@@ -1,0 +1,39 @@
+#ifndef LSMLAB_TABLE_ITERATOR_H_
+#define LSMLAB_TABLE_ITERATOR_H_
+
+#include <memory>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// Forward iterator over (internal key, value) pairs. lsmlab supports
+/// forward scans only; reverse iteration is out of scope (noted in README).
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  /// Requires Valid(). The returned slices stay valid until the next
+  /// mutation of the iterator.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  /// Non-OK if the iterator encountered corruption or I/O errors.
+  virtual Status status() const = 0;
+};
+
+/// An iterator over nothing, optionally carrying an error.
+std::unique_ptr<Iterator> NewEmptyIterator(Status status = Status::OK());
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TABLE_ITERATOR_H_

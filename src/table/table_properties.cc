@@ -1,0 +1,31 @@
+#include "table/table_properties.h"
+
+#include "util/coding.h"
+
+namespace lsmlab {
+
+void TableProperties::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, num_entries);
+  PutVarint64(dst, num_tombstones);
+  PutVarint64(dst, num_data_blocks);
+  PutVarint64(dst, raw_key_bytes);
+  PutVarint64(dst, raw_value_bytes);
+  PutVarint64(dst, creation_time_micros);
+  PutVarint64(dst, oldest_tombstone_time_micros);
+}
+
+Status TableProperties::DecodeFrom(const Slice& src) {
+  Slice input = src;
+  if (GetVarint64(&input, &num_entries) &&
+      GetVarint64(&input, &num_tombstones) &&
+      GetVarint64(&input, &num_data_blocks) &&
+      GetVarint64(&input, &raw_key_bytes) &&
+      GetVarint64(&input, &raw_value_bytes) &&
+      GetVarint64(&input, &creation_time_micros) &&
+      GetVarint64(&input, &oldest_tombstone_time_micros)) {
+    return Status::OK();
+  }
+  return Status::Corruption("bad table properties");
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,41 @@
+#ifndef LSMLAB_TABLE_TABLE_PROPERTIES_H_
+#define LSMLAB_TABLE_TABLE_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// Per-SSTable statistics persisted in the properties meta block. Compaction
+/// picking policies (most-tombstones, FADE) read these without opening the
+/// data blocks.
+struct TableProperties {
+  uint64_t num_entries = 0;
+  /// Point + single-delete tombstones in this run.
+  uint64_t num_tombstones = 0;
+  uint64_t num_data_blocks = 0;
+  uint64_t raw_key_bytes = 0;
+  uint64_t raw_value_bytes = 0;
+  /// Microsecond timestamp when the run was created (flush or compaction).
+  uint64_t creation_time_micros = 0;
+  /// Creation time of the oldest run whose tombstones flowed into this one;
+  /// drives the FADE tombstone-TTL trigger. Zero if the run has no
+  /// tombstones.
+  uint64_t oldest_tombstone_time_micros = 0;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+
+  double TombstoneDensity() const {
+    return num_entries == 0 ? 0.0
+                            : static_cast<double>(num_tombstones) /
+                                  static_cast<double>(num_entries);
+  }
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TABLE_TABLE_PROPERTIES_H_

@@ -1,0 +1,289 @@
+#include "table/table_reader.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace lsmlab {
+
+TableReader::TableReader(const TableReaderOptions& options,
+                         std::unique_ptr<RandomAccessFile> file,
+                         uint64_t file_number)
+    : options_(options), file_(std::move(file)), file_number_(file_number) {}
+
+Status TableReader::Open(const TableReaderOptions& options,
+                         std::unique_ptr<RandomAccessFile> file,
+                         uint64_t file_size, uint64_t file_number,
+                         std::unique_ptr<TableReader>* table) {
+  table->reset();
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s =
+      file->Read(file_size - Footer::kEncodedLength, Footer::kEncodedLength,
+                 &footer_input, footer_space);
+  if (!s.ok()) {
+    return s;
+  }
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) {
+    return s;
+  }
+
+  auto reader = std::unique_ptr<TableReader>(
+      new TableReader(options, std::move(file), file_number));
+
+  // Index block: pinned fence pointers.
+  BlockContents index_contents;
+  s = ReadBlock(reader->file_.get(), footer.index_handle(),
+                options.verify_checksums, &index_contents);
+  if (!s.ok()) {
+    return s;
+  }
+  reader->index_block_ = std::make_unique<Block>(std::move(index_contents.data));
+
+  // Metaindex: locate filter and properties.
+  BlockContents metaindex_contents;
+  s = ReadBlock(reader->file_.get(), footer.metaindex_handle(),
+                options.verify_checksums, &metaindex_contents);
+  if (!s.ok()) {
+    return s;
+  }
+  Block metaindex_block(std::move(metaindex_contents.data));
+  auto meta_iter = metaindex_block.NewIterator(BytewiseComparator());
+
+  if (options.filter_policy != nullptr) {
+    std::string filter_key =
+        std::string("filter.") + options.filter_policy->Name();
+    meta_iter->Seek(filter_key);
+    if (meta_iter->Valid() && meta_iter->key() == Slice(filter_key)) {
+      Slice handle_value = meta_iter->value();
+      BlockHandle filter_handle;
+      if (filter_handle.DecodeFrom(&handle_value).ok()) {
+        BlockContents filter_contents;
+        s = ReadBlock(reader->file_.get(), filter_handle,
+                      options.verify_checksums, &filter_contents);
+        if (!s.ok()) {
+          return s;
+        }
+        reader->filter_data_ = std::move(filter_contents.data);
+        reader->has_filter_ = true;
+      }
+    }
+  }
+
+  meta_iter->Seek("lsmlab.properties");
+  if (meta_iter->Valid() && meta_iter->key() == Slice("lsmlab.properties")) {
+    Slice handle_value = meta_iter->value();
+    BlockHandle props_handle;
+    if (props_handle.DecodeFrom(&handle_value).ok()) {
+      BlockContents props_contents;
+      s = ReadBlock(reader->file_.get(), props_handle,
+                    options.verify_checksums, &props_contents);
+      if (!s.ok()) {
+        return s;
+      }
+      s = reader->properties_.DecodeFrom(props_contents.data);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  }
+
+  *table = std::move(reader);
+  return Status::OK();
+}
+
+bool TableReader::KeyDefinitelyAbsent(const Slice& user_key) {
+  if (!has_filter_ || options_.filter_policy == nullptr) {
+    return false;
+  }
+  if (options_.statistics != nullptr) {
+    options_.statistics->filter_checks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return !options_.filter_policy->KeyMayMatch(user_key, filter_data_);
+}
+
+std::shared_ptr<const Block> TableReader::GetDataBlock(
+    const Slice& handle_encoding, bool fill_cache, Status* s) {
+  Slice input = handle_encoding;
+  BlockHandle handle;
+  *s = handle.DecodeFrom(&input);
+  if (!s->ok()) {
+    return nullptr;
+  }
+
+  // Cache key: file number + block offset.
+  char cache_key[16];
+  EncodeFixed64(cache_key, file_number_);
+  EncodeFixed64(cache_key + 8, handle.offset());
+  Slice key(cache_key, sizeof(cache_key));
+
+  if (options_.block_cache != nullptr) {
+    auto cached = options_.block_cache->Lookup(key);
+    if (cached != nullptr) {
+      return std::static_pointer_cast<const Block>(cached);
+    }
+  }
+
+  BlockContents contents;
+  *s = ReadBlock(file_.get(), handle, options_.verify_checksums, &contents);
+  if (!s->ok()) {
+    return nullptr;
+  }
+  auto block = std::make_shared<const Block>(std::move(contents.data));
+  if (options_.block_cache != nullptr && fill_cache) {
+    options_.block_cache->Insert(key, block, block->size());
+  }
+  return block;
+}
+
+Status TableReader::InternalGet(const ReadOptions& read_options,
+                                const Slice& internal_key, bool* found_entry,
+                                std::string* entry_key,
+                                std::string* entry_value) {
+  *found_entry = false;
+
+  auto index_iter = index_block_->NewIterator(options_.comparator);
+  index_iter->Seek(internal_key);
+  if (!index_iter->Valid()) {
+    return index_iter->status();
+  }
+
+  Status s;
+  auto block =
+      GetDataBlock(index_iter->value(), read_options.fill_cache, &s);
+  if (!s.ok()) {
+    return s;
+  }
+  auto block_iter = block->NewIterator(options_.comparator);
+  block_iter->Seek(internal_key);
+  if (block_iter->Valid()) {
+    Slice found_key = block_iter->key();
+    if (options_.comparator->user_comparator()->Compare(
+            ExtractUserKey(found_key), ExtractUserKey(internal_key)) == 0) {
+      *found_entry = true;
+      entry_key->assign(found_key.data(), found_key.size());
+      Slice v = block_iter->value();
+      entry_value->assign(v.data(), v.size());
+    }
+  }
+  return block_iter->status();
+}
+
+/// Classic two-level iteration: an index iterator yields block handles; a
+/// data iterator walks the current block.
+class TableReader::TwoLevelIterator final : public Iterator {
+ public:
+  TwoLevelIterator(TableReader* table, ReadOptions read_options)
+      : table_(table),
+        read_options_(read_options),
+        index_iter_(
+            table->index_block_->NewIterator(table->options_.comparator)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->SeekToFirst();
+    }
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) {
+      data_iter_->Seek(target);
+    }
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) {
+      return index_iter_->status();
+    }
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      data_iter_.reset();
+      data_block_.reset();
+      return;
+    }
+    Status s;
+    data_block_ = table_->GetDataBlock(index_iter_->value(),
+                                       read_options_.fill_cache, &s);
+    if (!s.ok()) {
+      status_ = s;
+      data_iter_.reset();
+      data_block_.reset();
+      return;
+    }
+    data_iter_ = data_block_->NewIterator(table_->options_.comparator);
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) {
+        data_iter_->SeekToFirst();
+      }
+    }
+  }
+
+  TableReader* const table_;
+  const ReadOptions read_options_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<const Block> data_block_;  // Keeps the block alive.
+  std::unique_ptr<Iterator> data_iter_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> TableReader::NewIterator(
+    const ReadOptions& read_options) {
+  return std::make_unique<TwoLevelIterator>(this, read_options);
+}
+
+void TableReader::WarmCache() {
+  if (options_.block_cache == nullptr) {
+    return;
+  }
+  auto index_iter = index_block_->NewIterator(options_.comparator);
+  for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
+    Status s;
+    GetDataBlock(index_iter->value(), /*fill_cache=*/true, &s);
+    if (!s.ok()) {
+      return;
+    }
+  }
+}
+
+}  // namespace lsmlab

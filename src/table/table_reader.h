@@ -1,0 +1,94 @@
+#ifndef LSMLAB_TABLE_TABLE_READER_H_
+#define LSMLAB_TABLE_TABLE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/lru_cache.h"
+#include "db/dbformat.h"
+#include "db/statistics.h"
+#include "filter/filter_policy.h"
+#include "io/env.h"
+#include "table/block.h"
+#include "table/format.h"
+#include "table/iterator.h"
+#include "table/table_properties.h"
+#include "util/options.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// Dependencies a reader needs; shared across all tables of a DB.
+struct TableReaderOptions {
+  const InternalKeyComparator* comparator = nullptr;
+  std::shared_ptr<const FilterPolicy> filter_policy;
+  /// Shared block cache; nullptr disables caching.
+  LruCache* block_cache = nullptr;
+  /// Shared statistics sink; nullptr disables counting.
+  Statistics* statistics = nullptr;
+  bool verify_checksums = false;
+};
+
+/// Read side of an SSTable. The index block ("fence pointers") and the
+/// per-run filter stay pinned in memory, matching tutorial §2.1.3; data
+/// blocks are fetched on demand through the block cache.
+class TableReader {
+ public:
+  /// Opens the table in `file` of `file_size` bytes. `file_number` both
+  /// names cache entries and identifies the table in stats.
+  static Status Open(const TableReaderOptions& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, uint64_t file_number,
+                     std::unique_ptr<TableReader>* table);
+
+  TableReader(const TableReader&) = delete;
+  TableReader& operator=(const TableReader&) = delete;
+
+  /// Point lookup. If the run may contain `internal_key`'s user key, seeks
+  /// to the first entry >= internal_key; `*found_entry` is set when such an
+  /// entry exists with a matching user key. The entry's internal key and
+  /// value are returned through the out parameters.
+  Status InternalGet(const ReadOptions& read_options,
+                     const Slice& internal_key, bool* found_entry,
+                     std::string* entry_key, std::string* entry_value);
+
+  /// True if the per-run filter rules out `user_key` (saving all I/O for
+  /// this run). Always false (i.e. "may match") when no filter is present.
+  bool KeyDefinitelyAbsent(const Slice& user_key);
+
+  /// Iterator over the full run.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& read_options);
+
+  const TableProperties& properties() const { return properties_; }
+  uint64_t file_number() const { return file_number_; }
+  bool has_filter() const { return has_filter_; }
+
+  /// Loads every data block into the block cache (Leaper-style re-warm).
+  void WarmCache();
+
+ private:
+  TableReader(const TableReaderOptions& options,
+              std::unique_ptr<RandomAccessFile> file, uint64_t file_number);
+
+  /// Fetches (via cache if configured) the data block at `handle_encoding`.
+  std::shared_ptr<const Block> GetDataBlock(const Slice& handle_encoding,
+                                            bool fill_cache, Status* s);
+
+  class TwoLevelIterator;
+
+  TableReaderOptions options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_number_;
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;
+  bool has_filter_ = false;
+  TableProperties properties_;
+
+  // Cached ReadOptions defaults used by WarmCache.
+  friend class TableCache;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TABLE_TABLE_READER_H_

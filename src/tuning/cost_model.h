@@ -1,0 +1,85 @@
+#ifndef LSMLAB_TUNING_COST_MODEL_H_
+#define LSMLAB_TUNING_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/options.h"
+
+namespace lsmlab {
+
+/// A point in the LSM design space, in the analytical model's terms
+/// (tutorial §2.3.1: Monkey/Dostoevsky-style closed forms).
+struct LsmDesign {
+  DataLayout layout = DataLayout::kLeveling;
+  int size_ratio = 10;                 // T.
+  uint64_t buffer_bytes = 4 << 20;     // Memtable budget.
+  double filter_bits_per_key = 10.0;   // 0 disables filters.
+  bool monkey_allocation = false;
+
+  std::string Label() const;
+};
+
+/// Workload composition for the model: fractions must sum to 1.
+struct WorkloadMix {
+  double writes = 0.25;
+  double point_reads = 0.25;       // Lookups of existing keys.
+  double empty_point_reads = 0.25; // Zero-result lookups.
+  double short_scans = 0.25;
+
+  WorkloadMix() = default;
+  WorkloadMix(double w, double r, double e, double s)
+      : writes(w), point_reads(r), empty_point_reads(e), short_scans(s) {}
+};
+
+/// Data characteristics the model needs.
+struct DataSpec {
+  uint64_t num_entries = 10'000'000;
+  uint64_t entry_bytes = 128;
+  uint64_t page_bytes = 4096;
+
+  double EntriesPerPage() const {
+    return static_cast<double>(page_bytes) /
+           static_cast<double>(entry_bytes);
+  }
+};
+
+/// Closed-form I/O cost model of an LSM-tree (tutorial §2.3.1). Costs are
+/// expected disk I/Os (pages) per operation; smaller is better. The model
+/// intentionally mirrors the Monkey/Dostoevsky analyses:
+///   - leveling: write O(T·L/B), zero-result read O(L·fpr), read O(1 + ...)
+///   - tiering:  write O(L/B),   zero-result read O(T·L·fpr), ...
+class CostModel {
+ public:
+  CostModel(const LsmDesign& design, const DataSpec& data);
+
+  /// Number of disk levels implied by buffer, T, and data volume.
+  int NumLevels() const { return num_levels_; }
+
+  /// Amortized page I/Os per inserted entry (write amplification / B).
+  double WriteCost() const;
+  /// Expected I/Os for a lookup of an existing key (found at a random run).
+  double PointLookupCost() const;
+  /// Expected I/Os for a lookup of an absent key (pure filter misses).
+  double ZeroResultLookupCost() const;
+  /// Expected I/Os for a short scan touching one page per relevant run.
+  double ShortScanCost() const;
+  /// Space amplification: dead bytes / live bytes (worst-case model).
+  double SpaceAmplification() const;
+
+  /// Weighted cost of one average operation under `mix`.
+  double WorkloadCost(const WorkloadMix& mix) const;
+
+ private:
+  double RunsPerLevel(int level) const;
+  /// False-positive rate of the filter at `level` under the allocation.
+  double LevelFpr(int level) const;
+
+  LsmDesign design_;
+  DataSpec data_;
+  int num_levels_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_COST_MODEL_H_

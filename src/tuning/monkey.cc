@@ -1,0 +1,92 @@
+#include "tuning/monkey.h"
+
+#include <cmath>
+
+namespace lsmlab {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+// bits/key -> FPR: exp(-bits * ln(2)^2); FPR -> bits: -ln(FPR)/ln(2)^2.
+constexpr double kLn2Sq = kLn2 * kLn2;
+}  // namespace
+
+double BloomFpr(double bits_per_key) {
+  if (bits_per_key <= 0) {
+    return 1.0;
+  }
+  return std::exp(-bits_per_key * kLn2Sq);
+}
+
+std::vector<double> MonkeyBitsPerLevel(double avg_bits_per_key,
+                                       int num_levels, int size_ratio) {
+  std::vector<double> bits(static_cast<size_t>(num_levels), 0.0);
+  if (num_levels <= 0) {
+    return bits;
+  }
+  if (avg_bits_per_key <= 0.0) {
+    return bits;
+  }
+  if (size_ratio < 2) {
+    size_ratio = 2;
+  }
+
+  // Level i holds n_i entries with n_i = n_{i-1} * T; normalize weights so
+  // sum(w_i) = 1 with w_i proportional to T^i.
+  std::vector<double> weight(static_cast<size_t>(num_levels));
+  double total_w = 0;
+  double w = 1.0;
+  for (int i = 0; i < num_levels; ++i) {
+    weight[static_cast<size_t>(i)] = w;
+    total_w += w;
+    w *= static_cast<double>(size_ratio);
+  }
+  for (auto& x : weight) {
+    x /= total_w;
+  }
+
+  // Monkey's optimum: FPR_i = min(1, c * T^i). Binary-search the scale c so
+  // that the weighted bits match the budget. Total bits decrease
+  // monotonically in c.
+  auto bits_for = [&](double c) {
+    double total = 0;
+    double mult = 1.0;
+    for (int i = 0; i < num_levels; ++i) {
+      double fpr = c * mult;
+      if (fpr < 1.0) {
+        total += weight[static_cast<size_t>(i)] * (-std::log(fpr) / kLn2Sq);
+      }
+      mult *= static_cast<double>(size_ratio);
+    }
+    return total;
+  };
+
+  double lo = 1e-30, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = std::sqrt(lo * hi);  // Geometric mid: c spans many decades.
+    if (bits_for(mid) > avg_bits_per_key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  double c = std::sqrt(lo * hi);
+
+  double mult = 1.0;
+  for (int i = 0; i < num_levels; ++i) {
+    double fpr = c * mult;
+    bits[static_cast<size_t>(i)] =
+        fpr >= 1.0 ? 0.0 : -std::log(fpr) / kLn2Sq;
+    mult *= static_cast<double>(size_ratio);
+  }
+  return bits;
+}
+
+double ExpectedFalsePositiveIos(const std::vector<double>& bits_per_level) {
+  double total = 0;
+  for (double bits : bits_per_level) {
+    total += BloomFpr(bits);
+  }
+  return total;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,35 @@
+#ifndef LSMLAB_TUNING_MONKEY_H_
+#define LSMLAB_TUNING_MONKEY_H_
+
+#include <vector>
+
+namespace lsmlab {
+
+/// Monkey filter-memory allocation (Dayan et al., tutorial §2.1.3).
+///
+/// With a fixed filter-memory budget, uniform bits-per-key is suboptimal:
+/// deeper levels hold exponentially more entries, so their filters consume
+/// almost all memory while every level contributes equally (one run ~ one
+/// wasted I/O) to the expected lookup cost. Monkey instead equalizes
+/// *marginal* benefit, which yields false-positive rates increasing
+/// geometrically with depth — shallow levels get more bits per key, the
+/// deepest get fewer.
+///
+/// Returns bits-per-key for levels 0..num_levels-1 such that the *weighted
+/// average* (by level entry count, which grows by `size_ratio` per level)
+/// equals `avg_bits_per_key`. All outputs are >= 0; a level whose optimal
+/// FPR reaches 1.0 gets 0 bits (filter disabled there).
+std::vector<double> MonkeyBitsPerLevel(double avg_bits_per_key,
+                                       int num_levels, int size_ratio);
+
+/// Expected false-positive rate of a Bloom filter with `bits_per_key`.
+double BloomFpr(double bits_per_key);
+
+/// Expected sum of per-run false-positive rates for a tree with the given
+/// per-level bits — the expected number of superfluous I/Os for a lookup of
+/// an absent key (the tutorial's zero-result lookup cost).
+double ExpectedFalsePositiveIos(const std::vector<double>& bits_per_level);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_MONKEY_H_

@@ -1,0 +1,146 @@
+#include "tuning/navigator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsmlab {
+
+namespace {
+
+/// Filter bits per key implied by giving `filter_bytes` to the filters.
+double BitsPerKey(uint64_t filter_bytes, uint64_t num_entries) {
+  if (num_entries == 0) {
+    return 0;
+  }
+  return static_cast<double>(filter_bytes) * 8.0 /
+         static_cast<double>(num_entries);
+}
+
+}  // namespace
+
+std::vector<ScoredDesign> EnumerateDesigns(const DesignSpaceSpec& space,
+                                           const DataSpec& data,
+                                           const WorkloadMix& mix) {
+  std::vector<ScoredDesign> results;
+  for (DataLayout layout : space.layouts) {
+    for (int t = space.min_size_ratio; t <= space.max_size_ratio; ++t) {
+      for (double buffer_fraction : space.buffer_fractions) {
+        uint64_t buffer = static_cast<uint64_t>(
+            static_cast<double>(space.memory_budget_bytes) *
+            buffer_fraction);
+        buffer = std::max<uint64_t>(buffer, 64 << 10);
+        uint64_t filter_bytes =
+            space.memory_budget_bytes > buffer
+                ? space.memory_budget_bytes - buffer
+                : 0;
+        for (bool monkey : space.consider_monkey
+                               ? std::vector<bool>{false, true}
+                               : std::vector<bool>{false}) {
+          LsmDesign design;
+          design.layout = layout;
+          design.size_ratio = t;
+          design.buffer_bytes = buffer;
+          design.filter_bits_per_key =
+              BitsPerKey(filter_bytes, data.num_entries);
+          design.monkey_allocation = monkey;
+          CostModel model(design, data);
+          results.push_back({design, model.WorkloadCost(mix)});
+        }
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const ScoredDesign& a, const ScoredDesign& b) {
+              return a.cost < b.cost;
+            });
+  return results;
+}
+
+LsmDesign NominalTuning(const DesignSpaceSpec& space, const DataSpec& data,
+                        const WorkloadMix& mix) {
+  auto designs = EnumerateDesigns(space, data, mix);
+  return designs.front().design;
+}
+
+double WorstCaseCost(const LsmDesign& design, const DataSpec& data,
+                     const WorkloadMix& expected, double rho) {
+  // The cost is linear in the mix, so the worst case over the L1 ball is at
+  // a vertex: shift up to rho of mass onto the single most expensive
+  // operation type (from the cheapest types first).
+  CostModel model(design, data);
+  double costs[4] = {model.WriteCost(), model.PointLookupCost(),
+                     model.ZeroResultLookupCost(), model.ShortScanCost()};
+  double mass[4] = {expected.writes, expected.point_reads,
+                    expected.empty_point_reads, expected.short_scans};
+
+  // Move `rho/2` of probability mass from the cheapest ops to the most
+  // expensive one (total variation distance rho/2 == L1 distance rho).
+  int worst = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (costs[i] > costs[worst]) {
+      worst = i;
+    }
+  }
+  double to_move = rho / 2.0;
+  // Take from cheapest first.
+  int order[4] = {0, 1, 2, 3};
+  std::sort(order, order + 4,
+            [&](int a, int b) { return costs[a] < costs[b]; });
+  for (int idx = 0; idx < 4 && to_move > 0; ++idx) {
+    int i = order[idx];
+    if (i == worst) {
+      continue;
+    }
+    double take = std::min(mass[i], to_move);
+    mass[i] -= take;
+    mass[worst] += take;
+    to_move -= take;
+  }
+
+  double cost = 0;
+  for (int i = 0; i < 4; ++i) {
+    cost += mass[i] * costs[i];
+  }
+  return cost;
+}
+
+LsmDesign RobustTuning(const DesignSpaceSpec& space, const DataSpec& data,
+                       const WorkloadMix& expected, double rho) {
+  LsmDesign best;
+  double best_cost = -1;
+  for (DataLayout layout : space.layouts) {
+    for (int t = space.min_size_ratio; t <= space.max_size_ratio; ++t) {
+      for (double buffer_fraction : space.buffer_fractions) {
+        uint64_t buffer = std::max<uint64_t>(
+            static_cast<uint64_t>(
+                static_cast<double>(space.memory_budget_bytes) *
+                buffer_fraction),
+            64 << 10);
+        uint64_t filter_bytes =
+            space.memory_budget_bytes > buffer
+                ? space.memory_budget_bytes - buffer
+                : 0;
+        for (bool monkey : space.consider_monkey
+                               ? std::vector<bool>{false, true}
+                               : std::vector<bool>{false}) {
+          LsmDesign design;
+          design.layout = layout;
+          design.size_ratio = t;
+          design.buffer_bytes = buffer;
+          design.filter_bits_per_key =
+              static_cast<double>(filter_bytes) * 8.0 /
+              static_cast<double>(data.num_entries);
+          design.monkey_allocation = monkey;
+          double cost = WorstCaseCost(design, data, expected, rho);
+          if (best_cost < 0 || cost < best_cost) {
+            best_cost = cost;
+            best = design;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lsmlab

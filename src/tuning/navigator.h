@@ -1,0 +1,55 @@
+#ifndef LSMLAB_TUNING_NAVIGATOR_H_
+#define LSMLAB_TUNING_NAVIGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tuning/cost_model.h"
+
+namespace lsmlab {
+
+/// Bounds of the design space the navigator enumerates.
+struct DesignSpaceSpec {
+  std::vector<DataLayout> layouts = {
+      DataLayout::kLeveling, DataLayout::kTiering, DataLayout::kLazyLeveling};
+  int min_size_ratio = 2;
+  int max_size_ratio = 16;
+  /// Total memory to split between buffer and filters (bytes).
+  uint64_t memory_budget_bytes = 64 << 20;
+  /// Buffer fractions of the budget to consider.
+  std::vector<double> buffer_fractions = {0.05, 0.1, 0.2, 0.35, 0.5,
+                                          0.7,  0.9, 0.99};
+  bool consider_monkey = true;
+};
+
+/// A scored design point.
+struct ScoredDesign {
+  LsmDesign design;
+  double cost = 0;
+};
+
+/// Navigator: exhaustive enumeration of the (layout × T × memory-split ×
+/// allocation) space under the cost model, the mechanical core of
+/// "navigating the LSM design space" (tutorial §2.3.1). Returns designs
+/// sorted by ascending cost.
+std::vector<ScoredDesign> EnumerateDesigns(const DesignSpaceSpec& space,
+                                           const DataSpec& data,
+                                           const WorkloadMix& mix);
+
+/// The minimum-cost design for `mix` ("nominal tuning").
+LsmDesign NominalTuning(const DesignSpaceSpec& space, const DataSpec& data,
+                        const WorkloadMix& mix);
+
+/// Endure-style robust tuning (tutorial §2.3.2): minimizes the *worst-case*
+/// cost over all workload mixes within L1 distance `rho` of the expected
+/// mix, rather than the cost at the expected mix itself.
+LsmDesign RobustTuning(const DesignSpaceSpec& space, const DataSpec& data,
+                       const WorkloadMix& expected, double rho);
+
+/// Worst-case cost of `design` over the rho-neighbourhood of `expected`.
+double WorstCaseCost(const LsmDesign& design, const DataSpec& data,
+                     const WorkloadMix& expected, double rho);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_TUNING_NAVIGATOR_H_

@@ -1,0 +1,49 @@
+#ifndef LSMLAB_UTIL_ARENA_H_
+#define LSMLAB_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lsmlab {
+
+/// Arena is a bump allocator used by memtables: allocation is a pointer bump,
+/// and all memory is released at once when the memtable is dropped after a
+/// flush. Not thread-safe for allocation; MemoryUsage() may be read
+/// concurrently.
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to `bytes` bytes of uninitialized memory.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate but the result is aligned for any scalar type.
+  char* AllocateAligned(size_t bytes);
+
+  /// Total bytes reserved by the arena (approximate, includes slack).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_ARENA_H_

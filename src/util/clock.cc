@@ -1,0 +1,31 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lsmlab {
+
+namespace {
+
+class SystemClockImpl : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepForMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+Clock* SystemClock() {
+  static SystemClockImpl* singleton = new SystemClockImpl;
+  return singleton;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,42 @@
+#ifndef LSMLAB_UTIL_CLOCK_H_
+#define LSMLAB_UTIL_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace lsmlab {
+
+/// Clock abstracts time so that TTL-driven behaviour (FADE tombstone ageing,
+/// rate limiting) is testable without sleeping.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic time in microseconds.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread for `micros` microseconds.
+  virtual void SleepForMicros(uint64_t micros) = 0;
+};
+
+/// The real wall clock. Singleton; do not delete.
+Clock* SystemClock();
+
+/// A manually advanced clock for deterministic tests.
+class MockClock : public Clock {
+ public:
+  explicit MockClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override { return now_; }
+  void SleepForMicros(uint64_t micros) override { now_ += micros; }
+
+  void Advance(uint64_t micros) { now_ += micros; }
+  void SetMicros(uint64_t micros) { now_ = micros; }
+
+ private:
+  uint64_t now_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_CLOCK_H_

@@ -1,0 +1,89 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace lsmlab {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  // MurmurHash-inspired mixing, as in LevelDB's Hash().
+  const uint32_t m = 0xc6a4a793u;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w;
+    std::memcpy(&w, data, sizeof(w));
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  // MurmurHash64A.
+  const uint64_t m = 0xc6a4a7935bd1e995ull;
+  const int r = 47;
+  uint64_t h = seed ^ (n * m);
+
+  const char* p = data;
+  const char* end = data + (n / 8) * 8;
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, sizeof(k));
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  switch (n & 7) {
+    case 7:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[6])) << 48;
+      [[fallthrough]];
+    case 6:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[5])) << 40;
+      [[fallthrough]];
+    case 5:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[4])) << 32;
+      [[fallthrough]];
+    case 4:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[3])) << 24;
+      [[fallthrough]];
+    case 3:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[2])) << 16;
+      [[fallthrough]];
+    case 2:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[1])) << 8;
+      [[fallthrough]];
+    case 1:
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(p[0]));
+      h *= m;
+      break;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,29 @@
+#ifndef LSMLAB_UTIL_HASH_H_
+#define LSMLAB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// 32-bit hash of `data`, seeded. Used for Bloom filter probes and cache
+/// sharding.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed);
+
+/// 64-bit hash (MurmurHash64A). Used for cuckoo fingerprints and hashed
+/// memtable bucketing.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+inline uint32_t HashSlice32(const Slice& s, uint32_t seed = 0xbc9f1d34u) {
+  return Hash32(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashSlice64(const Slice& s, uint64_t seed = 0x9e3779b97f4a7c15ull) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_HASH_H_

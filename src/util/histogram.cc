@@ -1,0 +1,117 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lsmlab {
+
+const std::vector<double>& Histogram::BucketLimits() {
+  // Exponential bucket limits: 1, 2, 3, 4, 5, 6, 8, 10, ..., growing ~25%
+  // per bucket up to ~1e12.
+  static const std::vector<double>* limits = [] {
+    auto* v = new std::vector<double>();
+    double limit = 1.0;
+    while (limit < 1e12) {
+      v->push_back(limit);
+      double next = limit * 1.25;
+      if (next - limit < 1.0) next = limit + 1.0;
+      limit = next;
+    }
+    v->push_back(std::numeric_limits<double>::infinity());
+    return v;
+  }();
+  return *limits;
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(BucketLimits().size(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = BucketLimits();
+  // Binary search for the first bucket limit > value.
+  size_t lo = 0, hi = limits.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (limits[mid] > value) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  buckets_[lo] += 1;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++num_;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Average() const {
+  if (num_ == 0) return 0.0;
+  return sum_ / static_cast<double>(num_);
+}
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0) return 0.0;
+  double n = static_cast<double>(num_);
+  double variance = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return variance > 0 ? std::sqrt(variance) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0.0;
+  const auto& limits = BucketLimits();
+  double threshold = static_cast<double>(num_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    cumulative += static_cast<double>(buckets_[b]);
+    if (cumulative >= threshold) {
+      double left = (b == 0) ? 0.0 : limits[b - 1];
+      double right = limits[b];
+      if (!std::isfinite(right)) right = max_;
+      double left_count = cumulative - static_cast<double>(buckets_[b]);
+      double pos = (buckets_[b] == 0)
+                       ? 0.0
+                       : (threshold - left_count) /
+                             static_cast<double>(buckets_[b]);
+      double r = left + (right - left) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.2f sd=%.2f min=%.2f p50=%.2f p99=%.2f "
+                "p99.9=%.2f max=%.2f",
+                static_cast<unsigned long long>(num_), Average(),
+                StandardDeviation(), num_ ? min_ : 0.0, Percentile(50),
+                Percentile(99), Percentile(99.9), max_);
+  return std::string(buf);
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,45 @@
+#ifndef LSMLAB_UTIL_HISTOGRAM_H_
+#define LSMLAB_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsmlab {
+
+/// Histogram accumulates latency-style samples into exponentially sized
+/// buckets and answers percentile queries. Used by benches for p50/p99/p999
+/// write-stall and lookup latency reporting.
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t num() const { return num_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Average() const;
+  double StandardDeviation() const;
+  /// Linear interpolation within the containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  std::string ToString() const;
+
+ private:
+  static const std::vector<double>& BucketLimits();
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_HISTOGRAM_H_

@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <vector>
+
+namespace lsmlab {
+
+void Logger::Log(Level level, const char* format, ...) {
+  va_list ap;
+  va_start(ap, format);
+  Logv(level, format, ap);
+  va_end(ap);
+}
+
+namespace {
+const char* LevelName(Logger::Level level) {
+  switch (level) {
+    case Logger::Level::kDebug:
+      return "DEBUG";
+    case Logger::Level::kInfo:
+      return "INFO";
+    case Logger::Level::kWarn:
+      return "WARN";
+    case Logger::Level::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void StderrLogger::Logv(Level level, const char* format, va_list ap) {
+  if (level < min_level_) {
+    return;
+  }
+  char buf[1024];
+  vsnprintf(buf, sizeof(buf), format, ap);
+  std::lock_guard<std::mutex> lock(mu_);
+  fprintf(out_, "[lsmlab %s] %s\n", LevelName(level), buf);
+}
+
+void CapturingLogger::Logv(Level level, const char* format, va_list ap) {
+  char buf[1024];
+  vsnprintf(buf, sizeof(buf), format, ap);
+  std::lock_guard<std::mutex> lock(mu_);
+  messages_.push_back(std::string(LevelName(level)) + ": " + buf);
+}
+
+std::vector<std::string> CapturingLogger::TakeMessages() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.swap(messages_);
+  return out;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,70 @@
+#ifndef LSMLAB_UTIL_LOGGING_H_
+#define LSMLAB_UTIL_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsmlab {
+
+/// Logger sinks diagnostic messages from the engine (flush/compaction events,
+/// stall transitions). Implementations must be thread-safe.
+class Logger {
+ public:
+  enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+  virtual ~Logger() = default;
+
+  virtual void Logv(Level level, const char* format, va_list ap) = 0;
+
+  void Log(Level level, const char* format, ...)
+#if defined(__GNUC__)
+      __attribute__((__format__(__printf__, 3, 4)))
+#endif
+      ;
+};
+
+/// Logger writing to a FILE* (stderr by default). Does not own the stream.
+class StderrLogger : public Logger {
+ public:
+  explicit StderrLogger(Level min_level = Level::kInfo, FILE* out = stderr)
+      : min_level_(min_level), out_(out) {}
+
+  void Logv(Level level, const char* format, va_list ap) override;
+
+ private:
+  const Level min_level_;
+  FILE* const out_;
+  std::mutex mu_;
+};
+
+/// Logger that retains messages in memory; used by tests to assert on events.
+class CapturingLogger : public Logger {
+ public:
+  void Logv(Level level, const char* format, va_list ap) override;
+
+  std::vector<std::string> TakeMessages();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> messages_;
+};
+
+#define LSMLAB_LOG(logger, level, ...)                           \
+  do {                                                           \
+    if ((logger) != nullptr) {                                   \
+      (logger)->Log((level), __VA_ARGS__);                       \
+    }                                                            \
+  } while (0)
+
+#define LSMLAB_LOG_INFO(logger, ...) \
+  LSMLAB_LOG(logger, ::lsmlab::Logger::Level::kInfo, __VA_ARGS__)
+#define LSMLAB_LOG_WARN(logger, ...) \
+  LSMLAB_LOG(logger, ::lsmlab::Logger::Level::kWarn, __VA_ARGS__)
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_LOGGING_H_

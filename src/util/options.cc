@@ -1,0 +1,106 @@
+#include "util/options.h"
+
+#include <cstdio>
+
+namespace lsmlab {
+
+Status Options::Validate() const {
+  if (size_ratio < 2) {
+    return Status::InvalidArgument("size_ratio must be >= 2");
+  }
+  if (num_levels < 2) {
+    return Status::InvalidArgument("num_levels must be >= 2");
+  }
+  if (max_write_buffer_number < 1) {
+    return Status::InvalidArgument("max_write_buffer_number must be >= 1");
+  }
+  if (level0_file_num_compaction_trigger < 1) {
+    return Status::InvalidArgument(
+        "level0_file_num_compaction_trigger must be >= 1");
+  }
+  if (level0_slowdown_writes_trigger < level0_file_num_compaction_trigger) {
+    return Status::InvalidArgument(
+        "level0_slowdown_writes_trigger must be >= compaction trigger");
+  }
+  if (level0_stop_writes_trigger < level0_slowdown_writes_trigger) {
+    return Status::InvalidArgument(
+        "level0_stop_writes_trigger must be >= slowdown trigger");
+  }
+  if (write_buffer_size < 1024) {
+    return Status::InvalidArgument("write_buffer_size must be >= 1KiB");
+  }
+  if (target_file_size < 1024) {
+    return Status::InvalidArgument("target_file_size must be >= 1KiB");
+  }
+  if (filter_bits_per_key < 0.0) {
+    return Status::InvalidArgument("filter_bits_per_key must be >= 0");
+  }
+  if (block_restart_interval < 1) {
+    return Status::InvalidArgument("block_restart_interval must be >= 1");
+  }
+  if (kv_separation &&
+      (vlog_gc_trigger_ratio <= 0.0 || vlog_gc_trigger_ratio > 1.0)) {
+    return Status::InvalidArgument(
+        "vlog_gc_trigger_ratio must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+std::string Options::DesignPointLabel() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s/T=%d/%s/%s/bpk=%.1f",
+                DataLayoutName(data_layout), size_ratio,
+                compaction_granularity == CompactionGranularity::kWholeLevel
+                    ? "whole"
+                    : FilePickPolicyName(file_pick_policy),
+                filter_allocation == FilterAllocation::kMonkey ? "monkey"
+                                                               : "uniform",
+                filter_bits_per_key);
+  return std::string(buf);
+}
+
+const char* DataLayoutName(DataLayout layout) {
+  switch (layout) {
+    case DataLayout::kLeveling:
+      return "leveling";
+    case DataLayout::kTiering:
+      return "tiering";
+    case DataLayout::kLazyLeveling:
+      return "lazy-leveling";
+    case DataLayout::kOneLeveling:
+      return "1-leveling";
+  }
+  return "unknown";
+}
+
+const char* FilePickPolicyName(FilePickPolicy policy) {
+  switch (policy) {
+    case FilePickPolicy::kRoundRobin:
+      return "round-robin";
+    case FilePickPolicy::kLeastOverlap:
+      return "least-overlap";
+    case FilePickPolicy::kMostTombstones:
+      return "most-tombstones";
+    case FilePickPolicy::kOldestFirst:
+      return "oldest-first";
+    case FilePickPolicy::kWidestRange:
+      return "widest-range";
+  }
+  return "unknown";
+}
+
+const char* MemTableRepTypeName(MemTableRepType type) {
+  switch (type) {
+    case MemTableRepType::kSkipList:
+      return "skiplist";
+    case MemTableRepType::kVector:
+      return "vector";
+    case MemTableRepType::kHashSkipList:
+      return "hash-skiplist";
+    case MemTableRepType::kHashLinkList:
+      return "hash-linklist";
+  }
+  return "unknown";
+}
+
+}  // namespace lsmlab

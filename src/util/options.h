@@ -1,0 +1,204 @@
+#ifndef LSMLAB_UTIL_OPTIONS_H_
+#define LSMLAB_UTIL_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace lsmlab {
+
+class Clock;
+class Comparator;
+class Env;
+class FilterPolicy;
+class Logger;
+class MergeOperator;
+
+/// Disk data layout of the LSM-tree (tutorial §2.1.2, §2.2.2). Determines
+/// how many sorted runs a level may hold before a merge is forced.
+enum class DataLayout {
+  /// At most one run per level; every incoming run is greedily merged.
+  kLeveling,
+  /// Each level accumulates up to `size_ratio` runs before merging down.
+  kTiering,
+  /// Dostoevsky: tiering on all intermediate levels, leveling on the last.
+  kLazyLeveling,
+  /// RocksDB default: tiering in level 0 only, leveling in levels >= 1.
+  kOneLeveling,
+};
+
+/// Granularity of a compaction job (tutorial §2.2.3).
+enum class CompactionGranularity {
+  /// Merge all data of the level with the next level at once.
+  kWholeLevel,
+  /// Pick one file at a time, amortizing the compaction I/O.
+  kPartial,
+};
+
+/// Which file a partial compaction picks (tutorial §2.2.3).
+enum class FilePickPolicy {
+  /// Cycle through the key space (LevelDB-style).
+  kRoundRobin,
+  /// File with the least key-range overlap with the next level.
+  kLeastOverlap,
+  /// File with the highest tombstone density (delete-aware, Lethe-style).
+  kMostTombstones,
+  /// File least recently appended to the level ("cold" data first).
+  kOldestFirst,
+  /// File covering the largest key range (drains wide files early).
+  kWidestRange,
+};
+
+/// How a memtable organizes entries in memory (tutorial §2.2.1; the four
+/// RocksDB MemTableRep choices).
+enum class MemTableRepType {
+  kSkipList,
+  kVector,
+  kHashSkipList,
+  kHashLinkList,
+};
+
+/// How Bloom-filter memory is divided among levels (tutorial §2.1.3).
+enum class FilterAllocation {
+  /// Same bits-per-key at every level.
+  kUniform,
+  /// Monkey: exponentially more bits per key at shallower levels, minimizing
+  /// the expected number of superfluous I/Os for a fixed memory budget.
+  kMonkey,
+};
+
+/// Statistics-selection constants for DB::GetProperty-style inspection.
+struct WriteStallCause {
+  static constexpr const char* kNone = "none";
+  static constexpr const char* kMemtableLimit = "memtable-limit";
+  static constexpr const char* kL0Stall = "l0-stall";
+};
+
+/// Options is the knob board of lsmlab: every first-order design decision
+/// called out by the tutorial is an independent field here.
+struct Options {
+  // --- Substrate -----------------------------------------------------------
+  /// Environment used for all file I/O. Defaults to the POSIX filesystem.
+  Env* env = nullptr;  // nullptr means Env::Default()
+  /// Clock used for TTLs and throttling. Defaults to the system clock.
+  Clock* clock = nullptr;  // nullptr means SystemClock()
+  /// Total order over user keys.
+  const Comparator* comparator = nullptr;  // nullptr means BytewiseComparator()
+  /// Destination for info logging. Null disables logging.
+  std::shared_ptr<Logger> info_log;
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  // --- In-memory component (§2.2.1) ---------------------------------------
+  /// Memtable implementation.
+  MemTableRepType memtable_rep = MemTableRepType::kSkipList;
+  /// Bytes buffered in memory before a flush is scheduled.
+  size_t write_buffer_size = 4 << 20;
+  /// Number of memtables (active + immutable) tolerated before write stalls;
+  /// >= 2 absorbs ingestion bursts while a flush is in flight.
+  int max_write_buffer_number = 2;
+  /// Bucket count for the hashed memtable representations.
+  size_t memtable_hash_bucket_count = 4096;
+
+  // --- Disk data layout (§2.1.2, §2.2.2) -----------------------------------
+  DataLayout data_layout = DataLayout::kOneLeveling;
+  /// Size ratio T between adjacent levels; also the run count per tiered
+  /// level. The single most influential LSM tuning knob.
+  int size_ratio = 10;
+  /// Number of runs in L0 that triggers a flush-into-L1 compaction.
+  int level0_file_num_compaction_trigger = 4;
+  /// Number of runs in L0 at which writes are slowed (soft stall).
+  int level0_slowdown_writes_trigger = 12;
+  /// Number of runs in L0 at which writes stop (hard stall).
+  int level0_stop_writes_trigger = 20;
+  /// Capacity of level 1 in bytes; level i holds base * T^(i-1).
+  uint64_t max_bytes_for_level_base = 16 << 20;
+  /// Target size of one SSTable file.
+  uint64_t target_file_size = 2 << 20;
+  /// Maximum number of levels.
+  int num_levels = 7;
+
+  // --- Compaction primitives (§2.2.3, §2.2.4) ------------------------------
+  CompactionGranularity compaction_granularity =
+      CompactionGranularity::kPartial;
+  FilePickPolicy file_pick_policy = FilePickPolicy::kLeastOverlap;
+  /// Background threads shared by flushes and compactions.
+  int background_threads = 1;
+  /// If > 0, compaction disk bandwidth is throttled to this many bytes/sec
+  /// (SILK-style; flushes always have priority and are never throttled).
+  uint64_t compaction_rate_limit_bytes_per_sec = 0;
+  /// FADE (Lethe): if > 0, a file whose oldest tombstone is older than this
+  /// many microseconds becomes the top compaction priority, bounding delete
+  /// persistence latency.
+  uint64_t tombstone_ttl_micros = 0;
+
+  // --- Read path (§2.1.3) ---------------------------------------------------
+  /// Point-query filter; nullptr disables filtering.
+  std::shared_ptr<const FilterPolicy> filter_policy;
+  /// How filter memory is split across levels.
+  FilterAllocation filter_allocation = FilterAllocation::kUniform;
+  /// Bits per key for the filter (average across tree for kMonkey).
+  double filter_bits_per_key = 10.0;
+  /// Block size for SSTable data blocks.
+  size_t block_size = 4096;
+  /// Restart interval for prefix compression within a block.
+  int block_restart_interval = 16;
+  /// Capacity in bytes of the shared block cache; 0 disables caching.
+  size_t block_cache_capacity = 8 << 20;
+  /// Re-warm block cache with the output of a compaction (Leaper-inspired).
+  bool cache_rewarm_after_compaction = false;
+
+  // --- Read-modify-write (§2.2.6) -------------------------------------------
+  /// Combines merge operands with base values; required to use DB::Merge.
+  std::shared_ptr<const MergeOperator> merge_operator;
+
+  // --- Durability ----------------------------------------------------------
+  /// Write-ahead logging; disable only for bulk loads that can be redone.
+  bool enable_wal = true;
+  /// fsync WAL on every write (vs. on flush only).
+  bool sync_wal = false;
+
+  // --- Key-value separation (§2.2.2, WiscKey) -------------------------------
+  /// If true, values >= kv_separation_threshold bytes are stored in a value
+  /// log; the LSM keeps (key -> log pointer).
+  bool kv_separation = false;
+  size_t kv_separation_threshold = 128;
+  /// Garbage ratio of the value log that triggers value-log GC.
+  double vlog_gc_trigger_ratio = 0.5;
+
+  /// Validates cross-field consistency (e.g. stall thresholds ordered).
+  Status Validate() const;
+
+  /// One-line description of the design point, for bench labelling.
+  std::string DesignPointLabel() const;
+};
+
+/// Per-read options.
+struct ReadOptions {
+  /// Verify block checksums on read.
+  bool verify_checksums = false;
+  /// Populate the block cache with blocks read by this operation.
+  bool fill_cache = true;
+  /// If nonzero, read at this sequence number (snapshot read).
+  uint64_t snapshot_seqno = 0;
+};
+
+/// Per-write options.
+struct WriteOptions {
+  /// If true, fsync the WAL before acknowledging the write.
+  bool sync = false;
+  /// If true, never block on write stalls; return Status::Busy instead.
+  bool no_slowdown = false;
+};
+
+const char* DataLayoutName(DataLayout layout);
+const char* FilePickPolicyName(FilePickPolicy policy);
+const char* MemTableRepTypeName(MemTableRepType type);
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_OPTIONS_H_

@@ -1,0 +1,48 @@
+#ifndef LSMLAB_UTIL_RANDOM_H_
+#define LSMLAB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace lsmlab {
+
+/// A small, fast, deterministic PRNG (xorshift64*). Deterministic seeds keep
+/// workloads and property tests reproducible across runs and machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x2545f4914f6cdd1dull : seed) {}
+
+  uint64_t Next64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Skewed: picks "base" uniformly from [0, max_log] and returns a uniform
+  /// value in [0, 2^base). Favors small numbers.
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(static_cast<uint64_t>(max_log) + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_RANDOM_H_

@@ -1,0 +1,78 @@
+#include "util/rate_limiter.h"
+
+#include <algorithm>
+
+namespace lsmlab {
+
+namespace {
+// Refill granularity; shorter intervals give smoother throttling.
+constexpr uint64_t kRefillIntervalMicros = 10 * 1000;
+}  // namespace
+
+RateLimiter::RateLimiter(uint64_t bytes_per_second, Clock* clock)
+    : clock_(clock),
+      bytes_per_second_(bytes_per_second),
+      available_bytes_(0),
+      last_refill_micros_(clock->NowMicros()) {}
+
+void RateLimiter::Refill(uint64_t now_micros) {
+  if (now_micros <= last_refill_micros_) {
+    return;
+  }
+  double elapsed_sec =
+      static_cast<double>(now_micros - last_refill_micros_) / 1e6;
+  double cap = static_cast<double>(bytes_per_second_) *
+               (static_cast<double>(kRefillIntervalMicros) / 1e6);
+  available_bytes_ = std::min(
+      available_bytes_ + elapsed_sec * static_cast<double>(bytes_per_second_),
+      std::max(cap, 1.0));
+  last_refill_micros_ = now_micros;
+}
+
+void RateLimiter::Request(uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  total_bytes_through_ += bytes;
+  if (bytes_per_second_ == 0) {
+    return;
+  }
+  Refill(clock_->NowMicros());
+  // Debt model: take the tokens immediately (possibly going negative) and
+  // sleep off the deficit. This throttles the average rate without looping,
+  // so single requests larger than the bucket cannot deadlock.
+  available_bytes_ -= static_cast<double>(bytes);
+  if (available_bytes_ < 0) {
+    uint64_t wait_micros = static_cast<uint64_t>(
+        -available_bytes_ / static_cast<double>(bytes_per_second_) * 1e6);
+    uint64_t rate = bytes_per_second_;
+    lock.unlock();
+    clock_->SleepForMicros(wait_micros);
+    lock.lock();
+    // Repay the debt for the time slept (Refill caps positive balance only).
+    if (bytes_per_second_ == rate) {
+      available_bytes_ +=
+          static_cast<double>(wait_micros) / 1e6 * static_cast<double>(rate);
+      last_refill_micros_ = clock_->NowMicros();
+    }
+  }
+}
+
+void RateLimiter::SetBytesPerSecond(uint64_t bytes_per_second) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_per_second_ = bytes_per_second;
+    last_refill_micros_ = clock_->NowMicros();
+  }
+  cv_.notify_all();
+}
+
+uint64_t RateLimiter::bytes_per_second() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_per_second_;
+}
+
+uint64_t RateLimiter::total_bytes_through() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_through_;
+}
+
+}  // namespace lsmlab

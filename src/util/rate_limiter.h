@@ -1,0 +1,49 @@
+#ifndef LSMLAB_UTIL_RATE_LIMITER_H_
+#define LSMLAB_UTIL_RATE_LIMITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace lsmlab {
+
+/// Token-bucket byte rate limiter used to throttle compaction I/O (SILK-style
+/// bandwidth scheduling, tutorial §2.2.3). Thread-safe. Flush traffic bypasses
+/// the limiter entirely; only compactions call Request().
+class RateLimiter {
+ public:
+  /// `bytes_per_second` == 0 means unlimited.
+  RateLimiter(uint64_t bytes_per_second, Clock* clock);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// Blocks until `bytes` may proceed under the configured rate.
+  void Request(uint64_t bytes);
+
+  /// Dynamically adjusts the rate (0 = unlimited). Wakes all waiters.
+  void SetBytesPerSecond(uint64_t bytes_per_second);
+
+  uint64_t bytes_per_second() const;
+
+  /// Total bytes that have passed through the limiter.
+  uint64_t total_bytes_through() const;
+
+ private:
+  void Refill(uint64_t now_micros);
+
+  Clock* const clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t bytes_per_second_;
+  // Token bucket: capacity is one refill interval's worth of bytes.
+  double available_bytes_;
+  uint64_t last_refill_micros_;
+  uint64_t total_bytes_through_ = 0;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_RATE_LIMITER_H_

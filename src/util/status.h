@@ -1,0 +1,97 @@
+#ifndef LSMLAB_UTIL_STATUS_H_
+#define LSMLAB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Status reports the outcome of an operation. Success is represented by the
+/// cheap-to-copy OK state; errors carry a code and a message. lsmlab does not
+/// use exceptions: every fallible public API returns a Status (or Result<T>).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    kAborted = 7,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg,
+                                const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+  static Status Aborted(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kAborted, msg, msg2);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+
+  /// Human-readable form, e.g. "IO error: <msg>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T> couples a Status with a value; the value is only meaningful when
+/// the status is OK. This avoids output parameters for value-producing APIs.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)), value_() {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_STATUS_H_

@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace lsmlab {
+
+ThreadPool::ThreadPool(int num_threads) {
+  assert(num_threads >= 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task, Priority priority) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return;
+    }
+    if (priority == Priority::kHigh) {
+      high_queue_.push_back(std::move(task));
+    } else {
+      low_queue_.push_back(std::move(task));
+    }
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitForIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return high_queue_.empty() && low_queue_.empty() && running_ == 0;
+  });
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_queue_.size() + low_queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return shutting_down_ || !high_queue_.empty() || !low_queue_.empty();
+    });
+    if (shutting_down_ && high_queue_.empty() && low_queue_.empty()) {
+      return;
+    }
+    std::function<void()> task;
+    if (!high_queue_.empty()) {
+      task = std::move(high_queue_.front());
+      high_queue_.pop_front();
+    } else {
+      task = std::move(low_queue_.front());
+      low_queue_.pop_front();
+    }
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    if (high_queue_.empty() && low_queue_.empty() && running_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lsmlab

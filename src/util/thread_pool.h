@@ -1,0 +1,52 @@
+#ifndef LSMLAB_UTIL_THREAD_POOL_H_
+#define LSMLAB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsmlab {
+
+/// Fixed-size background worker pool used for flushes and compactions
+/// (tutorial §2.2.5). Tasks have two priorities: high-priority tasks
+/// (flushes) always run before low-priority tasks (compactions), mirroring
+/// the flush-first scheduling that prevents write stalls.
+class ThreadPool {
+ public:
+  enum class Priority { kHigh, kLow };
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Never blocks.
+  void Schedule(std::function<void()> task,
+                Priority priority = Priority::kLow);
+
+  /// Blocks until all queued and running tasks have finished.
+  void WaitForIdle();
+
+  /// Number of tasks queued but not yet started.
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> high_queue_;
+  std::deque<std::function<void()>> low_queue_;
+  int running_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,379 @@
+#include "version/version_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "db/filename.h"
+#include "io/wal_reader.h"
+#include "util/clock.h"
+#include "util/comparator.h"
+#include "util/logging.h"
+
+namespace lsmlab {
+
+bool LevelIsTiered(DataLayout layout, int level, int num_levels) {
+  switch (layout) {
+    case DataLayout::kLeveling:
+      // Even L0 is merged down immediately; no level accumulates runs.
+      return false;
+    case DataLayout::kTiering:
+      return true;
+    case DataLayout::kLazyLeveling:
+      // Dostoevsky: all levels tiered except the last.
+      return level < num_levels - 1;
+    case DataLayout::kOneLeveling:
+      // RocksDB default: only L0 accumulates runs.
+      return level == 0;
+  }
+  return false;
+}
+
+Version::Version(const Options* options, const InternalKeyComparator* icmp)
+    : options_(options), icmp_(icmp) {
+  files_.resize(static_cast<size_t>(options->num_levels));
+}
+
+bool Version::IsTieredLevel(int level) const {
+  return LevelIsTiered(options_->data_layout, level, options_->num_levels);
+}
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : files_[level]) {
+    total += f.file_size;
+  }
+  return total;
+}
+
+uint64_t Version::TotalBytes() const {
+  uint64_t total = 0;
+  for (int level = 0; level < num_levels(); ++level) {
+    total += LevelBytes(level);
+  }
+  return total;
+}
+
+uint64_t Version::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& level : files_) {
+    for (const auto& f : level) {
+      total += f.num_entries;
+    }
+  }
+  return total;
+}
+
+int Version::TotalSortedRuns() const {
+  int runs = 0;
+  for (int level = 0; level < num_levels(); ++level) {
+    if (files_[level].empty()) {
+      continue;
+    }
+    runs += IsTieredLevel(level) ? NumFiles(level) : 1;
+  }
+  return runs;
+}
+
+std::vector<const FileMetaData*> Version::FilesContaining(
+    int level, const Slice& user_key) const {
+  std::vector<const FileMetaData*> result;
+  const Comparator* ucmp = icmp_->user_comparator();
+  // L0 files overlap in every layout (flushes are not key-partitioned), so
+  // L0 is always probed exhaustively, newest file first.
+  if (level == 0 || IsTieredLevel(level)) {
+    // Files are kept newest-first; all covering files are candidates.
+    for (const auto& f : files_[level]) {
+      if (ucmp->Compare(user_key, f.smallest.user_key()) >= 0 &&
+          ucmp->Compare(user_key, f.largest.user_key()) <= 0) {
+        result.push_back(&f);
+      }
+    }
+  } else {
+    // Files are sorted by smallest key and disjoint: binary search.
+    const auto& files = files_[level];
+    size_t lo = 0, hi = files.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (ucmp->Compare(files[mid].largest.user_key(), user_key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < files.size() &&
+        ucmp->Compare(user_key, files[lo].smallest.user_key()) >= 0) {
+      result.push_back(&files[lo]);
+    }
+  }
+  return result;
+}
+
+std::vector<const FileMetaData*> Version::FilesOverlapping(
+    int level, const Slice* begin, const Slice* end) const {
+  std::vector<const FileMetaData*> result;
+  const Comparator* ucmp = icmp_->user_comparator();
+  for (const auto& f : files_[level]) {
+    if (begin != nullptr &&
+        ucmp->Compare(f.largest.user_key(), *begin) < 0) {
+      continue;
+    }
+    if (end != nullptr && ucmp->Compare(f.smallest.user_key(), *end) > 0) {
+      continue;
+    }
+    result.push_back(&f);
+  }
+  return result;
+}
+
+std::string Version::DebugString() const {
+  std::string result;
+  for (int level = 0; level < num_levels(); ++level) {
+    if (files_[level].empty()) {
+      continue;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "level %d (%s): %d files, %llu bytes\n",
+                  level, IsTieredLevel(level) ? "tiered" : "leveled",
+                  NumFiles(level),
+                  static_cast<unsigned long long>(LevelBytes(level)));
+    result += buf;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// VersionSetBuilder: applies a sequence of edits to a base version.
+// ---------------------------------------------------------------------------
+
+class VersionSetBuilder {
+ public:
+  VersionSetBuilder(const Options* options, const InternalKeyComparator* icmp,
+                    const Version* base)
+      : options_(options), icmp_(icmp) {
+    levels_.resize(static_cast<size_t>(options->num_levels));
+    if (base != nullptr) {
+      for (int level = 0; level < base->num_levels(); ++level) {
+        for (const auto& f : base->files(level)) {
+          levels_[level][f.file_number] = f;
+        }
+      }
+    }
+  }
+
+  void Apply(const VersionEdit& edit) {
+    for (const auto& [level, number] : edit.deleted_files()) {
+      if (level < static_cast<int>(levels_.size())) {
+        levels_[level].erase(number);
+      }
+    }
+    for (const auto& [level, f] : edit.new_files()) {
+      assert(level < static_cast<int>(levels_.size()));
+      levels_[level][f.file_number] = f;
+    }
+  }
+
+  std::shared_ptr<Version> Build() const {
+    auto v = std::make_shared<Version>(options_, icmp_);
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      auto& out = v->files_[level];
+      out.reserve(levels_[level].size());
+      for (const auto& [number, f] : levels_[level]) {
+        out.push_back(f);
+      }
+      if (level == 0 ||
+          LevelIsTiered(options_->data_layout, static_cast<int>(level),
+                        options_->num_levels)) {
+        // Newest run first: higher file numbers are newer.
+        std::sort(out.begin(), out.end(),
+                  [](const FileMetaData& a, const FileMetaData& b) {
+                    return a.file_number > b.file_number;
+                  });
+      } else {
+        std::sort(out.begin(), out.end(),
+                  [this](const FileMetaData& a, const FileMetaData& b) {
+                    return icmp_->Compare(a.smallest.Encode(),
+                                          b.smallest.Encode()) < 0;
+                  });
+      }
+    }
+    return v;
+  }
+
+ private:
+  const Options* const options_;
+  const InternalKeyComparator* const icmp_;
+  std::vector<std::map<uint64_t, FileMetaData>> levels_;
+};
+
+// ---------------------------------------------------------------------------
+// VersionSet
+// ---------------------------------------------------------------------------
+
+VersionSet::VersionSet(std::string dbname, const Options* options,
+                       const InternalKeyComparator* icmp)
+    : dbname_(std::move(dbname)),
+      options_(options),
+      icmp_(icmp),
+      current_(std::make_shared<Version>(options, icmp)) {}
+
+VersionSet::~VersionSet() = default;
+
+Env* VersionSet::env() const { return options_->env; }
+
+void VersionSet::MarkFileNumberUsed(uint64_t number) {
+  if (next_file_number_ <= number) {
+    next_file_number_ = number + 1;
+  }
+}
+
+Status VersionSet::WriteSnapshot(wal::Writer* writer) {
+  VersionEdit edit;
+  edit.SetComparatorName(icmp_->user_comparator()->Name());
+  for (int level = 0; level < current_->num_levels(); ++level) {
+    for (const auto& f : current_->files(level)) {
+      edit.AddFile(level, f);
+    }
+  }
+  edit.SetLogNumber(log_number_);
+  edit.SetNextFileNumber(next_file_number_);
+  edit.SetLastSequence(last_sequence_);
+  std::string record;
+  edit.EncodeTo(&record);
+  return writer->AddRecord(record);
+}
+
+Status VersionSet::CreateNew() {
+  manifest_file_number_ = NewFileNumber();
+  std::string manifest_name = ManifestFileName(dbname_, manifest_file_number_);
+  Status s = env()->NewWritableFile(manifest_name, &manifest_file_);
+  if (!s.ok()) {
+    return s;
+  }
+  manifest_log_ = std::make_unique<wal::Writer>(manifest_file_.get());
+  s = WriteSnapshot(manifest_log_.get());
+  if (s.ok()) {
+    s = manifest_file_->Sync();
+  }
+  if (s.ok()) {
+    // Point CURRENT at the new manifest (atomically via temp + rename).
+    std::string current_contents =
+        manifest_name.substr(dbname_.size() + 1) + "\n";
+    s = WriteStringToFile(env(), current_contents, CurrentFileName(dbname_));
+  }
+  return s;
+}
+
+Status VersionSet::Recover() {
+  std::string current_contents;
+  Status s =
+      ReadFileToString(env(), CurrentFileName(dbname_), &current_contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (current_contents.empty() || current_contents.back() != '\n') {
+    return Status::Corruption("CURRENT file malformed");
+  }
+  current_contents.pop_back();
+  std::string manifest_name = dbname_ + "/" + current_contents;
+
+  std::unique_ptr<SequentialFile> manifest;
+  s = env()->NewSequentialFile(manifest_name, &manifest);
+  if (!s.ok()) {
+    return s;
+  }
+
+  struct Reporter : public wal::Reader::Reporter {
+    Status status;
+    void Corruption(size_t, const Status& s) override {
+      if (status.ok()) {
+        status = s;
+      }
+    }
+  } reporter;
+
+  VersionSetBuilder builder(options_, icmp_, current_.get());
+  wal::Reader reader(manifest.get(), &reporter);
+  Slice record;
+  std::string scratch;
+  bool have_log_number = false, have_next_file = false, have_last_seq = false;
+  while (reader.ReadRecord(&record, &scratch)) {
+    VersionEdit edit;
+    s = edit.DecodeFrom(record);
+    if (!s.ok()) {
+      return s;
+    }
+    if (edit.has_comparator() &&
+        edit.comparator() != icmp_->user_comparator()->Name()) {
+      return Status::InvalidArgument(
+          "comparator does not match existing DB: ", edit.comparator());
+    }
+    builder.Apply(edit);
+    if (edit.has_log_number()) {
+      log_number_ = edit.log_number();
+      have_log_number = true;
+    }
+    if (edit.has_next_file_number()) {
+      next_file_number_ = edit.next_file_number();
+      have_next_file = true;
+    }
+    if (edit.has_last_sequence()) {
+      last_sequence_ = edit.last_sequence();
+      have_last_seq = true;
+    }
+  }
+  if (!reporter.status.ok()) {
+    return reporter.status;
+  }
+  if (!have_next_file || !have_log_number || !have_last_seq) {
+    return Status::Corruption("manifest missing meta fields");
+  }
+  current_ = builder.Build();
+  MarkFileNumberUsed(log_number_);
+
+  // Append future edits to a fresh manifest (simpler than appending to the
+  // old one, and it compacts the edit history at every open).
+  return CreateNew();
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  if (edit->has_log_number()) {
+    assert(edit->log_number() >= log_number_);
+  } else {
+    edit->SetLogNumber(log_number_);
+  }
+  edit->SetNextFileNumber(next_file_number_);
+  edit->SetLastSequence(last_sequence_);
+
+  VersionSetBuilder builder(options_, icmp_, current_.get());
+  builder.Apply(*edit);
+  auto new_version = builder.Build();
+
+  assert(manifest_log_ != nullptr);
+  std::string record;
+  edit->EncodeTo(&record);
+  Status s = manifest_log_->AddRecord(record);
+  if (s.ok()) {
+    s = manifest_file_->Sync();
+  }
+  if (!s.ok()) {
+    return s;
+  }
+
+  current_ = std::move(new_version);
+  if (edit->has_log_number()) {
+    log_number_ = edit->log_number();
+  }
+  return Status::OK();
+}
+
+void VersionSet::AddLiveFiles(std::set<uint64_t>* live) const {
+  for (int level = 0; level < current_->num_levels(); ++level) {
+    for (const auto& f : current_->files(level)) {
+      live->insert(f.file_number);
+    }
+  }
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,129 @@
+#ifndef LSMLAB_VERSION_VERSION_SET_H_
+#define LSMLAB_VERSION_VERSION_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/dbformat.h"
+#include "io/env.h"
+#include "io/wal_writer.h"
+#include "util/options.h"
+#include "version/version_edit.h"
+
+namespace lsmlab {
+
+/// True if level `level` holds multiple independent (possibly overlapping)
+/// sorted runs under `layout`; false if its files form one sorted run.
+/// This single predicate is where the four disk data layouts of tutorial
+/// §2.2.2 differ.
+bool LevelIsTiered(DataLayout layout, int level, int num_levels);
+
+/// An immutable snapshot of the tree shape: which files live at which level.
+/// Shared by readers, flush, and compaction via shared_ptr; a new Version is
+/// installed for every metadata change (MVCC over metadata).
+class Version {
+ public:
+  Version(const Options* options, const InternalKeyComparator* icmp);
+
+  int num_levels() const { return static_cast<int>(files_.size()); }
+  const std::vector<FileMetaData>& files(int level) const {
+    return files_[level];
+  }
+  int NumFiles(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+  uint64_t LevelBytes(int level) const;
+  uint64_t TotalBytes() const;
+  uint64_t TotalEntries() const;
+
+  /// Number of sorted runs a point lookup may need to probe, totalled over
+  /// the tree — the tutorial's read-cost unit.
+  int TotalSortedRuns() const;
+
+  /// True if this level's files may overlap one another.
+  bool IsTieredLevel(int level) const;
+
+  /// Files of `level` that could contain `user_key`, in probe order (newest
+  /// run first for tiered levels; the unique covering file for leveled).
+  std::vector<const FileMetaData*> FilesContaining(
+      int level, const Slice& user_key) const;
+
+  /// Files of `level` overlapping the user-key range [begin, end]
+  /// (inclusive). Null begin/end mean unbounded.
+  std::vector<const FileMetaData*> FilesOverlapping(
+      int level, const Slice* begin, const Slice* end) const;
+
+  /// One-line-per-level description for logs and examples.
+  std::string DebugString() const;
+
+ private:
+  friend class VersionSetBuilder;
+
+  const Options* options_;
+  const InternalKeyComparator* icmp_;
+  std::vector<std::vector<FileMetaData>> files_;
+};
+
+/// Owns the version history, the manifest, and the file-number/sequence
+/// counters. All methods require the caller (DBImpl) to hold the DB mutex;
+/// manifest I/O happens inside LogAndApply with the mutex held, which is
+/// acceptable at lsmlab's scale.
+class VersionSet {
+ public:
+  VersionSet(std::string dbname, const Options* options,
+             const InternalKeyComparator* icmp);
+  ~VersionSet();
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  /// Applies `edit` to the current version, persists it to the manifest, and
+  /// installs the result as current.
+  Status LogAndApply(VersionEdit* edit);
+
+  /// Recovers state from an existing manifest (CURRENT must exist).
+  Status Recover();
+
+  /// Initializes a brand-new DB: writes the first manifest and CURRENT.
+  Status CreateNew();
+
+  std::shared_ptr<const Version> current() const { return current_; }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t next_file_number() const { return next_file_number_; }
+  /// Re-reserves `number` so recovery never reuses replayed file numbers.
+  void MarkFileNumberUsed(uint64_t number);
+
+  SequenceNumber last_sequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+
+  uint64_t log_number() const { return log_number_; }
+  void SetLogNumber(uint64_t n) { log_number_ = n; }
+
+  uint64_t manifest_file_number() const { return manifest_file_number_; }
+
+  /// Collects the numbers of all files referenced by the current version.
+  void AddLiveFiles(std::set<uint64_t>* live) const;
+
+ private:
+  Status WriteSnapshot(wal::Writer* writer);
+  Env* env() const;
+
+  const std::string dbname_;
+  const Options* const options_;
+  const InternalKeyComparator* const icmp_;
+
+  std::shared_ptr<const Version> current_;
+  uint64_t next_file_number_ = 2;
+  uint64_t manifest_file_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t log_number_ = 0;
+
+  std::unique_ptr<WritableFile> manifest_file_;
+  std::unique_ptr<wal::Writer> manifest_log_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_VERSION_VERSION_SET_H_

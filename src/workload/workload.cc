@@ -1,0 +1,201 @@
+#include "workload/workload.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace lsmlab {
+
+// ---------------------------------------------------------------------------
+// ZipfianGenerator
+// ---------------------------------------------------------------------------
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rnd_(seed) {
+  // Cap the exact zeta computation; beyond the cap, extrapolate with the
+  // standard incremental approximation (keeps construction O(1e6)).
+  constexpr uint64_t kZetaExactCap = 1000000;
+  uint64_t m = std::min(n_, kZetaExactCap);
+  zetan_ = Zeta(m, theta_);
+  if (n_ > m) {
+    // zeta(n) ~ zeta(m) + integral_m^n x^-theta dx.
+    zetan_ += (std::pow(static_cast<double>(n_), 1 - theta_) -
+               std::pow(static_cast<double>(m), 1 - theta_)) /
+              (1 - theta_);
+  }
+  double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(n_), 1 - theta_)) /
+         (1 - zeta2 / zetan_);
+  threshold_ = 1 + std::pow(0.5, theta_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rnd_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < threshold_) {
+    return 1;
+  }
+  uint64_t k = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  if (k >= n_) {
+    k = n_ - 1;
+  }
+  // Scatter ranks over the key space so "hot" keys are not all adjacent.
+  return Hash64(reinterpret_cast<const char*>(&k), sizeof(k), 0x5bd1e995) %
+         n_;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadSpec presets
+// ---------------------------------------------------------------------------
+
+WorkloadSpec WorkloadSpec::WriteOnly(uint64_t n) {
+  WorkloadSpec spec;
+  spec.num_preloaded_keys = 0;
+  spec.num_operations = n;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::YcsbA(uint64_t n) {
+  WorkloadSpec spec;
+  spec.num_operations = n;
+  spec.update_fraction = 0.5;
+  spec.read_fraction = 0.5;
+  spec.distribution = KeyDistribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::YcsbB(uint64_t n) {
+  WorkloadSpec spec;
+  spec.num_operations = n;
+  spec.update_fraction = 0.05;
+  spec.read_fraction = 0.95;
+  spec.distribution = KeyDistribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::YcsbC(uint64_t n) {
+  WorkloadSpec spec;
+  spec.num_operations = n;
+  spec.read_fraction = 1.0;
+  spec.distribution = KeyDistribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::YcsbE(uint64_t n) {
+  WorkloadSpec spec;
+  spec.num_operations = n;
+  spec.scan_fraction = 0.95;
+  spec.distribution = KeyDistribution::kZipfian;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadGenerator
+// ---------------------------------------------------------------------------
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
+    : spec_(spec),
+      rnd_(spec.seed),
+      zipf_(std::max<uint64_t>(1, spec.num_preloaded_keys),
+            spec.zipfian_theta, spec.seed ^ 0x9e3779b9),
+      next_new_key_(spec.num_preloaded_keys) {}
+
+std::string WorkloadGenerator::FormatKey(uint64_t k) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%016llu",
+                static_cast<unsigned long long>(k));
+  return std::string(buf);
+}
+
+std::string WorkloadGenerator::MakeValue(const Slice& key, size_t size) {
+  std::string value;
+  value.reserve(size);
+  uint64_t h = HashSlice64(key);
+  while (value.size() < size) {
+    value.push_back(static_cast<char>('a' + (h % 26)));
+    h = h * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  return value;
+}
+
+uint64_t WorkloadGenerator::PickExistingKey() {
+  uint64_t space = next_new_key_ == 0 ? 1 : next_new_key_;
+  switch (spec_.distribution) {
+    case KeyDistribution::kUniform:
+      return rnd_.Uniform(space);
+    case KeyDistribution::kZipfian:
+      return zipf_.Next() % space;
+    case KeyDistribution::kLatest: {
+      // Exponentially biased toward the most recent key.
+      uint64_t offset = static_cast<uint64_t>(
+          -std::log(1 - rnd_.NextDouble() + 1e-12) * 0.05 *
+          static_cast<double>(space));
+      return offset >= space ? 0 : space - 1 - offset;
+    }
+    case KeyDistribution::kSequential:
+      return space - 1;
+  }
+  return 0;
+}
+
+Operation WorkloadGenerator::Next() {
+  Operation op;
+  double dice = rnd_.NextDouble();
+
+  double acc = spec_.update_fraction;
+  if (dice < acc && next_new_key_ > 0) {
+    op.type = Operation::Type::kUpdate;
+    op.key = FormatKey(PickExistingKey());
+    op.value_size = spec_.value_size;
+    return op;
+  }
+  acc += spec_.read_fraction;
+  if (dice < acc && next_new_key_ > 0) {
+    op.type = Operation::Type::kRead;
+    op.key = FormatKey(PickExistingKey());
+    return op;
+  }
+  acc += spec_.empty_read_fraction;
+  if (dice < acc) {
+    op.type = Operation::Type::kEmptyRead;
+    // Keys with an "absent" suffix are never inserted, but fall inside the
+    // populated key range so only filters can rule them out.
+    op.key = FormatKey(rnd_.Uniform(next_new_key_ + 1)) + "!absent";
+    return op;
+  }
+  acc += spec_.scan_fraction;
+  if (dice < acc && next_new_key_ > 0) {
+    op.type = Operation::Type::kScan;
+    op.key = FormatKey(PickExistingKey());
+    op.scan_length = spec_.scan_length;
+    return op;
+  }
+  acc += spec_.delete_fraction;
+  if (dice < acc && next_new_key_ > 0) {
+    op.type = Operation::Type::kDelete;
+    op.key = FormatKey(PickExistingKey());
+    return op;
+  }
+
+  // Remainder: insert a brand-new key (sequential keys insert in order).
+  op.type = Operation::Type::kInsert;
+  op.key = FormatKey(next_new_key_++);
+  op.value_size = spec_.value_size;
+  return op;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,116 @@
+#ifndef LSMLAB_WORKLOAD_WORKLOAD_H_
+#define LSMLAB_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/slice.h"
+
+namespace lsmlab {
+
+/// Key-access distributions used by the generator. The tutorial's claims
+/// depend on mix + skew (Facebook/YCSB-style workloads); these reproduce
+/// them synthetically with deterministic seeds.
+enum class KeyDistribution {
+  kUniform,
+  kZipfian,     // Skewed, hot keys spread over the whole key space.
+  kLatest,      // Skewed toward recently inserted keys.
+  kSequential,  // Monotonically increasing (time-series ingest).
+};
+
+/// Draws keys in [0, n) with a Zipf(theta) distribution, using the
+/// Gray et al. rejection-free method popularized by YCSB.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  const uint64_t n_;
+  const double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold_;
+  Random rnd_;
+};
+
+/// One operation of a generated workload.
+struct Operation {
+  enum class Type : uint8_t {
+    kInsert,      // Put of a not-yet-existing key.
+    kUpdate,      // Put of an existing key.
+    kRead,        // Point lookup of an existing key.
+    kEmptyRead,   // Point lookup of an absent key (zero-result lookup).
+    kScan,        // Range scan of `scan_length` keys.
+    kDelete,      // Point delete of an existing key.
+  };
+
+  Type type = Type::kInsert;
+  std::string key;
+  size_t value_size = 0;
+  int scan_length = 0;
+};
+
+/// Mix + distribution + sizes of a synthetic workload. Fractions must sum
+/// to <= 1; the remainder becomes inserts.
+struct WorkloadSpec {
+  uint64_t num_preloaded_keys = 10000;  // Keys existing before the run.
+  uint64_t num_operations = 100000;
+
+  double update_fraction = 0.0;
+  double read_fraction = 0.0;
+  double empty_read_fraction = 0.0;
+  double scan_fraction = 0.0;
+  double delete_fraction = 0.0;
+
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipfian_theta = 0.99;
+
+  size_t value_size = 100;
+  int scan_length = 50;
+  uint64_t seed = 42;
+
+  /// YCSB presets for quick reference in benches.
+  static WorkloadSpec WriteOnly(uint64_t n);
+  static WorkloadSpec YcsbA(uint64_t n);  // 50% read / 50% update.
+  static WorkloadSpec YcsbB(uint64_t n);  // 95% read / 5% update.
+  static WorkloadSpec YcsbC(uint64_t n);  // 100% read.
+  static WorkloadSpec YcsbE(uint64_t n);  // 95% scan / 5% insert.
+};
+
+/// Deterministic stream of operations over a synthetic key space. Keys are
+/// fixed-width ("user%016llu") so the bytewise order equals numeric order.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadSpec& spec);
+
+  /// The next operation; valid forever (the key space grows with inserts).
+  Operation Next();
+
+  /// Formats key number `k` the same way the generator does.
+  static std::string FormatKey(uint64_t k);
+
+  /// Value payload of `size` bytes, deterministic per key.
+  std::string MakeValue(const Slice& key, size_t size);
+
+  uint64_t live_keys() const { return next_new_key_; }
+
+ private:
+  uint64_t PickExistingKey();
+
+  WorkloadSpec spec_;
+  Random rnd_;
+  ZipfianGenerator zipf_;
+  uint64_t next_new_key_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "btree/bptree.h"
+#include "io/counting_env.h"
+#include "io/mem_env.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void Open(size_t cache_pages = 64) {
+    BPlusTreeOptions opt;
+    opt.cache_pages = cache_pages;
+    ASSERT_TRUE(BPlusTree::Open(opt, &env_, "/tree.db", &tree_).ok());
+  }
+
+  void Reopen(size_t cache_pages = 64) {
+    tree_.reset();
+    Open(cache_pages);
+  }
+
+  MemEnv env_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  Open();
+  std::string value;
+  EXPECT_TRUE(tree_->Get("missing", &value).IsNotFound());
+  EXPECT_EQ(0u, tree_->num_entries());
+}
+
+TEST_F(BPlusTreeTest, InsertAndGet) {
+  Open();
+  ASSERT_TRUE(tree_->Insert("apple", "red").ok());
+  ASSERT_TRUE(tree_->Insert("banana", "yellow").ok());
+  std::string value;
+  ASSERT_TRUE(tree_->Get("apple", &value).ok());
+  EXPECT_EQ("red", value);
+  ASSERT_TRUE(tree_->Get("banana", &value).ok());
+  EXPECT_EQ("yellow", value);
+  EXPECT_TRUE(tree_->Get("cherry", &value).IsNotFound());
+  EXPECT_EQ(2u, tree_->num_entries());
+}
+
+TEST_F(BPlusTreeTest, InPlaceUpdate) {
+  Open();
+  ASSERT_TRUE(tree_->Insert("k", "v1").ok());
+  ASSERT_TRUE(tree_->Insert("k", "v2").ok());
+  std::string value;
+  ASSERT_TRUE(tree_->Get("k", &value).ok());
+  EXPECT_EQ("v2", value);
+  EXPECT_EQ(1u, tree_->num_entries());
+}
+
+TEST_F(BPlusTreeTest, ManyInsertsWithSplits) {
+  Open();
+  std::map<std::string, std::string> model;
+  Random rnd(301);
+  for (int i = 0; i < 5000; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%08llu",
+             static_cast<unsigned long long>(rnd.Uniform(100000)));
+    std::string value = "value" + std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(tree_->Insert(key, value).ok());
+  }
+  EXPECT_GT(tree_->num_pages(), 10u);  // Splits happened.
+  std::string value;
+  for (const auto& [key, expected] : model) {
+    ASSERT_TRUE(tree_->Get(key, &value).ok()) << key;
+    EXPECT_EQ(expected, value);
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanReturnsSortedRange) {
+  Open();
+  for (int i = 0; i < 1000; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(tree_->Insert(key, std::to_string(i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->Scan("key000500", 10, &out).ok());
+  ASSERT_EQ(10u, out.size());
+  for (int i = 0; i < 10; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%06d", 500 + i);
+    EXPECT_EQ(key, out[static_cast<size_t>(i)].first);
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanAcrossLeafBoundaries) {
+  Open(8);  // Tiny cache forces real page traffic.
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(tree_->Insert(key, "v").ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->Scan("key000000", kN, &out).ok());
+  EXPECT_EQ(static_cast<size_t>(kN), out.size());
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST_F(BPlusTreeTest, DeleteHidesKey) {
+  Open();
+  ASSERT_TRUE(tree_->Insert("k", "v").ok());
+  ASSERT_TRUE(tree_->Delete("k").ok());
+  std::string value;
+  EXPECT_TRUE(tree_->Get("k", &value).IsNotFound());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->Scan("", 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(BPlusTreeTest, PersistsAcrossReopen) {
+  Open();
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%06d", i * 7 % 2000);
+    model[key] = "value" + std::to_string(i);
+    ASSERT_TRUE(tree_->Insert(key, model[key]).ok());
+  }
+  ASSERT_TRUE(tree_->Flush().ok());
+  Reopen();
+  std::string value;
+  for (const auto& [key, expected] : model) {
+    ASSERT_TRUE(tree_->Get(key, &value).ok()) << key;
+    EXPECT_EQ(expected, value);
+  }
+  EXPECT_EQ(model.size(), tree_->num_entries());
+}
+
+TEST_F(BPlusTreeTest, TinyCacheStillCorrect) {
+  Open(4);
+  std::map<std::string, std::string> model;
+  Random rnd(17);
+  for (int i = 0; i < 3000; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "k%08llu",
+             static_cast<unsigned long long>(rnd.Uniform(10000)));
+    model[key] = std::to_string(i);
+    ASSERT_TRUE(tree_->Insert(key, model[key]).ok());
+  }
+  std::string value;
+  for (const auto& [key, expected] : model) {
+    ASSERT_TRUE(tree_->Get(key, &value).ok()) << key;
+    EXPECT_EQ(expected, value);
+  }
+}
+
+TEST_F(BPlusTreeTest, RejectsOversizedEntries) {
+  Open();
+  std::string huge(3000, 'x');
+  EXPECT_TRUE(tree_->Insert("k", huge).IsInvalidArgument());
+}
+
+TEST_F(BPlusTreeTest, WriteAmplificationExceedsLsmStyleAppends) {
+  // The motivating observation of the whole LSM paradigm (§1): every
+  // in-place update costs a page write, so ingesting random keys writes far
+  // more bytes than the raw data volume.
+  CountingEnv counting(&env_);
+  BPlusTreeOptions opt;
+  opt.cache_pages = 32;
+  std::unique_ptr<BPlusTree> tree;
+  ASSERT_TRUE(BPlusTree::Open(opt, &counting, "/wa.db", &tree).ok());
+
+  Random rnd(5);
+  uint64_t user_bytes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%08llu",
+             static_cast<unsigned long long>(rnd.Uniform(1000000)));
+    std::string value(100, 'v');
+    user_bytes += strlen(key) + value.size();
+    ASSERT_TRUE(tree->Insert(key, value).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  IoStats stats = counting.GetStats();
+  // Random in-place inserts should show write amplification far above 2x.
+  EXPECT_GT(stats.WriteAmplification(user_bytes), 5.0);
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,186 @@
+// Concurrency stress: readers, scanners, and snapshot holders running
+// against a writer while flushes and compactions churn in the background.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/db.h"
+#include "io/mem_env.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  ConcurrencyTest() {
+    options_.env = &env_;
+    options_.write_buffer_size = 8 << 10;
+    options_.max_bytes_for_level_base = 64 << 10;
+    options_.background_threads = 2;
+    options_.filter_policy = NewBloomFilterPolicy(10);
+  }
+
+  MemEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(ConcurrencyTest, ReadersDuringWrites) {
+  ASSERT_TRUE(DB::Open(options_, "/conc", &db_).ok());
+
+  constexpr int kKeySpace = 500;
+  constexpr int kWrites = 20000;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::atomic<uint64_t> reads_done{0};
+
+  // Writer: monotone values per key so readers can check freshness order.
+  std::thread writer([&] {
+    Random rnd(1);
+    for (int i = 0; i < kWrites; ++i) {
+      std::string key = "key" + std::to_string(rnd.Uniform(kKeySpace));
+      // Value encodes the write index, zero-padded so bytewise order works.
+      char value[16];
+      snprintf(value, sizeof(value), "%010d", i);
+      Status s = db_->Put(WriteOptions(), key, value);
+      if (!s.ok()) {
+        ++read_errors;
+        break;
+      }
+    }
+    done.store(true);
+  });
+
+  // Readers: every Get must return OK or NotFound — never corruption.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Random rnd(static_cast<uint64_t>(r) + 100);
+      std::string value;
+      while (!done.load()) {
+        std::string key = "key" + std::to_string(rnd.Uniform(kKeySpace));
+        Status s = db_->Get(ReadOptions(), key, &value);
+        if (!s.ok() && !s.IsNotFound()) {
+          ++read_errors;
+        }
+        ++reads_done;
+      }
+    });
+  }
+
+  // Scanner: iterators must always see a sorted, consistent view.
+  std::thread scanner([&] {
+    while (!done.load()) {
+      auto iter = db_->NewIterator(ReadOptions());
+      std::string prev;
+      for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+        std::string key = iter->key().ToString();
+        if (!prev.empty() && !(prev < key)) {
+          ++read_errors;
+          break;
+        }
+        prev = key;
+      }
+      if (!iter->status().ok()) {
+        ++read_errors;
+      }
+    }
+  });
+
+  writer.join();
+  for (auto& t : readers) {
+    t.join();
+  }
+  scanner.join();
+
+  EXPECT_EQ(0u, read_errors.load());
+  EXPECT_GT(reads_done.load(), 0u);
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+  EXPECT_EQ(static_cast<uint64_t>(kKeySpace), db_->CountLiveEntries());
+}
+
+TEST_F(ConcurrencyTest, SnapshotIsolationUnderChurn) {
+  ASSERT_TRUE(DB::Open(options_, "/conc2", &db_).ok());
+
+  // Freeze a snapshot, then overwrite everything repeatedly; the snapshot
+  // view must stay bit-identical even across flush/compaction churn.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "key" + std::to_string(i),
+                         "generation-0")
+                    .ok());
+  }
+  SequenceNumber snap = db_->GetSnapshot();
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread checker([&] {
+    ReadOptions at_snap;
+    at_snap.snapshot_seqno = snap;
+    Random rnd(7);
+    std::string value;
+    while (!done.load()) {
+      std::string key = "key" + std::to_string(rnd.Uniform(200));
+      Status s = db_->Get(at_snap, key, &value);
+      if (!s.ok() || value != "generation-0") {
+        ++violations;
+      }
+    }
+  });
+
+  for (int gen = 1; gen <= 10; ++gen) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), "key" + std::to_string(i),
+                           "generation-" + std::to_string(gen))
+                      .ok());
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+  done.store(true);
+  checker.join();
+
+  EXPECT_EQ(0u, violations.load());
+  db_->ReleaseSnapshot(snap);
+
+  // After release, a full compaction may reclaim the old generations.
+  ASSERT_TRUE(db_->CompactRange().ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "key0", &value).ok());
+  EXPECT_EQ("generation-10", value);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentWritersSerializeCleanly) {
+  ASSERT_TRUE(DB::Open(options_, "/conc3", &db_).ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3000;
+  std::vector<std::thread> writers;
+  std::atomic<uint64_t> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key =
+            "w" + std::to_string(t) + "-" + std::to_string(i);
+        if (!db_->Put(WriteOptions(), key, "v").ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(0u, errors.load());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread),
+            db_->CountLiveEntries());
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,601 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+#include "io/mem_env.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+/// Base fixture: small buffers so flushes and compactions happen quickly.
+class DBTest : public ::testing::Test {
+ protected:
+  DBTest() {
+    options_.env = &env_;
+    options_.write_buffer_size = 8 << 10;
+    options_.max_bytes_for_level_base = 64 << 10;
+    options_.target_file_size = 16 << 10;
+    options_.block_size = 1024;
+    options_.filter_policy = NewBloomFilterPolicy(10.0);
+    options_.block_cache_capacity = 1 << 20;
+  }
+
+  ~DBTest() override { db_.reset(); }
+
+  void OpenDB() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  void Reopen() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  Status Put(const std::string& key, const std::string& value) {
+    return db_->Put(WriteOptions(), key, value);
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), key, &value);
+    if (s.IsNotFound()) {
+      return "NOT_FOUND";
+    }
+    if (!s.ok()) {
+      return "ERROR: " + s.ToString();
+    }
+    return value;
+  }
+
+  /// All live (key, value) pairs via a full scan.
+  std::map<std::string, std::string> Dump() {
+    std::map<std::string, std::string> result;
+    auto iter = db_->NewIterator(ReadOptions());
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      result[iter->key().ToString()] = iter->value().ToString();
+    }
+    EXPECT_TRUE(iter->status().ok());
+    return result;
+  }
+
+  MemEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTest, EmptyDB) {
+  OpenDB();
+  EXPECT_EQ("NOT_FOUND", Get("anything"));
+  EXPECT_TRUE(Dump().empty());
+}
+
+TEST_F(DBTest, PutAndGetFromMemtable) {
+  OpenDB();
+  ASSERT_TRUE(Put("foo", "v1").ok());
+  EXPECT_EQ("v1", Get("foo"));
+  ASSERT_TRUE(Put("foo", "v2").ok());
+  EXPECT_EQ("v2", Get("foo"));
+}
+
+TEST_F(DBTest, GetFromDiskAfterFlush) {
+  OpenDB();
+  ASSERT_TRUE(Put("foo", "disk-value").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ("disk-value", Get("foo"));
+  EXPECT_GT(db_->TotalSstBytes(), 0u);
+}
+
+TEST_F(DBTest, DeleteHidesOlderVersions) {
+  OpenDB();
+  ASSERT_TRUE(Put("k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "k").ok());
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+}
+
+TEST_F(DBTest, WriteThenReadManyAcrossFlushes) {
+  OpenDB();
+  Random rnd(301);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "key" + std::to_string(rnd.Uniform(1000));
+    std::string value = "v" + std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(Put(key, value).ok());
+    if (i % 500 == 499) {
+      ASSERT_TRUE(db_->Flush().ok());
+    }
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(value, Get(key)) << key;
+  }
+  EXPECT_EQ(model, Dump());
+}
+
+TEST_F(DBTest, ScanIsSortedAndSuppressesTombstones) {
+  OpenDB();
+  ASSERT_TRUE(Put("a", "1").ok());
+  ASSERT_TRUE(Put("b", "2").ok());
+  ASSERT_TRUE(Put("c", "3").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "b").ok());
+  ASSERT_TRUE(Put("d", "4").ok());
+
+  auto dump = Dump();
+  ASSERT_EQ(3u, dump.size());
+  EXPECT_EQ("1", dump["a"]);
+  EXPECT_EQ(0u, dump.count("b"));
+  EXPECT_EQ("3", dump["c"]);
+  EXPECT_EQ("4", dump["d"]);
+}
+
+TEST_F(DBTest, IteratorSeek) {
+  OpenDB();
+  for (int i = 0; i < 100; i += 2) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(Put(key, std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  auto iter = db_->NewIterator(ReadOptions());
+  iter->Seek("k0051");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k0052", iter->key().ToString());
+}
+
+TEST_F(DBTest, SnapshotReadsOldState) {
+  OpenDB();
+  ASSERT_TRUE(Put("k", "old").ok());
+  SequenceNumber snap = db_->GetSnapshot();
+  ASSERT_TRUE(Put("k", "new").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+
+  ReadOptions at_snap;
+  at_snap.snapshot_seqno = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(at_snap, "k", &value).ok());
+  EXPECT_EQ("old", value);
+  EXPECT_EQ("new", Get("k"));
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DBTest, SnapshotSurvivesCompaction) {
+  OpenDB();
+  ASSERT_TRUE(Put("k", "old").ok());
+  SequenceNumber snap = db_->GetSnapshot();
+  ASSERT_TRUE(Put("k", "new").ok());
+  ASSERT_TRUE(db_->CompactRange().ok());
+
+  ReadOptions at_snap;
+  at_snap.snapshot_seqno = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(at_snap, "k", &value).ok());
+  EXPECT_EQ("old", value);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DBTest, RecoverFromWal) {
+  OpenDB();
+  ASSERT_TRUE(Put("persist", "me").ok());
+  ASSERT_TRUE(Put("and", "me-too").ok());
+  // No flush: data is only in WAL + memtable.
+  Reopen();
+  EXPECT_EQ("me", Get("persist"));
+  EXPECT_EQ("me-too", Get("and"));
+}
+
+TEST_F(DBTest, RecoverFromSstAndWal) {
+  OpenDB();
+  ASSERT_TRUE(Put("in-sst", "flushed").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(Put("in-wal", "logged").ok());
+  Reopen();
+  EXPECT_EQ("flushed", Get("in-sst"));
+  EXPECT_EQ("logged", Get("in-wal"));
+}
+
+TEST_F(DBTest, RecoverAppliesDeletes) {
+  OpenDB();
+  ASSERT_TRUE(Put("k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "k").ok());
+  Reopen();
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+}
+
+TEST_F(DBTest, RecoverManyWrites) {
+  OpenDB();
+  std::map<std::string, std::string> model;
+  Random rnd(11);
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "key" + std::to_string(rnd.Uniform(400));
+    std::string value = "val" + std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(Put(key, value).ok());
+  }
+  Reopen();
+  EXPECT_EQ(model, Dump());
+}
+
+TEST_F(DBTest, CompactRangeReducesRunsAndPreservesData) {
+  OpenDB();
+  std::map<std::string, std::string> model;
+  Random rnd(42);
+  for (int i = 0; i < 4000; ++i) {
+    std::string key = "key" + std::to_string(rnd.Uniform(800));
+    std::string value = std::string(32, static_cast<char>('a' + i % 26));
+    model[key] = value;
+    ASSERT_TRUE(Put(key, value).ok());
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  // After full compaction the tree collapses to very few runs.
+  EXPECT_LE(db_->TotalSortedRuns(), 2);
+  EXPECT_EQ(model, Dump());
+}
+
+TEST_F(DBTest, UpdatesReclaimSpaceViaCompaction) {
+  OpenDB();
+  const std::string big(512, 'x');
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(Put("key" + std::to_string(i), big).ok());
+    }
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  uint64_t after = db_->TotalSstBytes();
+  // 50 keys x ~512B = ~25KB live; compaction must have dropped the other
+  // 19 rounds of shadowed versions.
+  EXPECT_LT(after, 120u << 10);
+  EXPECT_EQ(50u, db_->CountLiveEntries());
+}
+
+TEST_F(DBTest, TombstonesPurgedAtBottomLevel) {
+  OpenDB();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(Put("key" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db_->Delete(WriteOptions(), "key" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  EXPECT_EQ(0u, db_->CountLiveEntries());
+  EXPECT_GT(db_->statistics()->tombstones_dropped.load(), 0u);
+  // Everything (values + tombstones) is gone: the tree is almost empty.
+  EXPECT_LT(db_->TotalSstBytes(), 4u << 10);
+}
+
+TEST_F(DBTest, SingleDeleteRemovesKey) {
+  OpenDB();
+  ASSERT_TRUE(Put("once", "written").ok());
+  ASSERT_TRUE(db_->SingleDelete(WriteOptions(), "once").ok());
+  EXPECT_EQ("NOT_FOUND", Get("once"));
+  ASSERT_TRUE(db_->CompactRange().ok());
+  EXPECT_EQ("NOT_FOUND", Get("once"));
+  EXPECT_EQ(0u, db_->CountLiveEntries());
+}
+
+TEST_F(DBTest, DeleteRangeRemovesSpan) {
+  OpenDB();
+  for (char c = 'a'; c <= 'j'; ++c) {
+    ASSERT_TRUE(Put(std::string(1, c), "v").ok());
+  }
+  ASSERT_TRUE(db_->DeleteRange(WriteOptions(), "c", "g").ok());
+  auto dump = Dump();
+  EXPECT_EQ(6u, dump.size());  // a, b, g, h, i, j.
+  EXPECT_EQ(1u, dump.count("a"));
+  EXPECT_EQ(0u, dump.count("c"));
+  EXPECT_EQ(0u, dump.count("f"));
+  EXPECT_EQ(1u, dump.count("g"));
+}
+
+TEST_F(DBTest, StatisticsTrackReadsAndWrites) {
+  OpenDB();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(Put("key" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  Get("key1");
+  Get("definitely-absent");
+  Statistics* stats = db_->statistics();
+  EXPECT_EQ(100u, stats->writes.load());
+  EXPECT_EQ(2u, stats->point_lookups.load());
+  EXPECT_EQ(1u, stats->point_lookup_found.load());
+  EXPECT_GE(stats->flushes.load(), 1u);
+}
+
+TEST_F(DBTest, FilterSkipsRunsForAbsentKeys) {
+  OpenDB();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(Put("present" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+
+  db_->statistics()->Reset();
+  // Absent keys *inside* the run's key range, so fence pointers cannot rule
+  // them out and only the Bloom filter saves the probe.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ("NOT_FOUND", Get("present" + std::to_string(i) + "x"));
+  }
+  // With 10-bit Blooms, nearly all absent lookups skip every run.
+  EXPECT_GT(db_->statistics()->runs_skipped_by_filter.load(), 150u);
+  EXPECT_LT(db_->statistics()->runs_probed.load(), 20u);
+}
+
+TEST_F(DBTest, NoSlowdownWriteFailsInsteadOfStalling) {
+  options_.max_write_buffer_number = 1;  // Any full memtable = hard stall.
+  options_.write_buffer_size = 4096;
+  OpenDB();
+  WriteOptions no_stall;
+  no_stall.no_slowdown = true;
+  // Fill until the write path would stall; must see Busy, not a hang.
+  bool saw_busy = false;
+  for (int i = 0; i < 10000 && !saw_busy; ++i) {
+    Status s = db_->Put(no_stall, "key" + std::to_string(i),
+                        std::string(128, 'v'));
+    if (s.IsBusy()) {
+      saw_busy = true;
+    } else {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    }
+  }
+  EXPECT_TRUE(saw_busy);
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+}
+
+TEST_F(DBTest, BinaryKeysAndValues) {
+  OpenDB();
+  std::string key("\x00\x01\x02\xff\xfe", 5);
+  std::string value("\x00binary\xff", 8);
+  ASSERT_TRUE(Put(key, value).ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ(value, Get(key));
+}
+
+TEST_F(DBTest, LargeValues) {
+  OpenDB();
+  std::string big(200 << 10, 'B');  // Bigger than a memtable.
+  ASSERT_TRUE(Put("big", big).ok());
+  EXPECT_EQ(big, Get("big"));
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ(big, Get("big"));
+  Reopen();
+  EXPECT_EQ(big, Get("big"));
+}
+
+TEST_F(DBTest, MissingDbFailsWithoutCreateIfMissing) {
+  options_.create_if_missing = false;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options_, "/no-such-db", &db);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(DBTest, ErrorIfExists) {
+  OpenDB();
+  db_.reset();
+  options_.error_if_exists = true;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options_, "/db", &db);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(DBTest, DestroyRemovesEverything) {
+  OpenDB();
+  ASSERT_TRUE(Put("k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  db_.reset();
+  ASSERT_TRUE(DestroyDB(options_, "/db").ok());
+  std::vector<std::string> children;
+  env_.GetChildren("/db", &children);
+  EXPECT_TRUE(children.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Layout matrix: the same correctness suite must hold for every disk data
+// layout of tutorial §2.2.2 and every memtable rep of §2.2.1.
+// ---------------------------------------------------------------------------
+
+struct LayoutParam {
+  DataLayout layout;
+  MemTableRepType rep;
+  CompactionGranularity granularity;
+  const char* name;
+};
+
+class DBLayoutTest : public ::testing::TestWithParam<LayoutParam> {
+ protected:
+  DBLayoutTest() {
+    options_.env = &env_;
+    options_.write_buffer_size = 4 << 10;
+    options_.max_bytes_for_level_base = 32 << 10;
+    options_.target_file_size = 8 << 10;
+    options_.block_size = 1024;
+    options_.size_ratio = 3;
+    options_.filter_policy = NewBloomFilterPolicy(10.0);
+    options_.data_layout = GetParam().layout;
+    options_.memtable_rep = GetParam().rep;
+    options_.compaction_granularity = GetParam().granularity;
+    if (GetParam().layout == DataLayout::kLeveling) {
+      options_.level0_file_num_compaction_trigger = 1;
+    }
+  }
+
+  MemEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DBLayoutTest, RandomWorkloadMatchesModel) {
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  Random rnd(GetParam().layout == DataLayout::kTiering ? 7 : 13);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "key" + std::to_string(rnd.Uniform(600));
+    if (rnd.OneIn(10)) {
+      model.erase(key);
+      ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+    } else {
+      std::string value = "v" + std::to_string(i);
+      model[key] = value;
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    }
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+
+  // Point lookups agree with the model.
+  for (const auto& [key, value] : model) {
+    std::string got;
+    ASSERT_TRUE(db_->Get(ReadOptions(), key, &got).ok()) << key;
+    EXPECT_EQ(value, got);
+  }
+  // Scan agrees with the model.
+  std::map<std::string, std::string> dumped;
+  auto iter = db_->NewIterator(ReadOptions());
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    dumped[iter->key().ToString()] = iter->value().ToString();
+  }
+  EXPECT_EQ(model, dumped);
+
+  // Survives reopen.
+  db_.reset();
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  std::string got;
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), key, &got).ok()) << key;
+    EXPECT_EQ(value, got);
+  }
+}
+
+TEST_P(DBLayoutTest, TieredLevelsRespectRunBounds) {
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  Random rnd(5);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "key" + std::to_string(rnd.Uniform(2000)),
+                         std::string(64, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  // After quiescing, no tiered level may exceed its run trigger and no
+  // leveled level (except transient L0) holds overlapping files.
+  // (The run-count bound is exactly the tiering invariant of §2.2.2.)
+  EXPECT_GE(db_->TotalSortedRuns(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, DBLayoutTest,
+    ::testing::Values(
+        LayoutParam{DataLayout::kLeveling, MemTableRepType::kSkipList,
+                    CompactionGranularity::kWholeLevel, "Leveling"},
+        LayoutParam{DataLayout::kTiering, MemTableRepType::kSkipList,
+                    CompactionGranularity::kWholeLevel, "Tiering"},
+        LayoutParam{DataLayout::kLazyLeveling, MemTableRepType::kSkipList,
+                    CompactionGranularity::kWholeLevel, "LazyLeveling"},
+        LayoutParam{DataLayout::kOneLeveling, MemTableRepType::kSkipList,
+                    CompactionGranularity::kPartial, "OneLevelingPartial"},
+        LayoutParam{DataLayout::kOneLeveling, MemTableRepType::kVector,
+                    CompactionGranularity::kPartial, "VectorMemtable"},
+        LayoutParam{DataLayout::kOneLeveling, MemTableRepType::kHashSkipList,
+                    CompactionGranularity::kPartial, "HashSkipListMemtable"},
+        LayoutParam{DataLayout::kOneLeveling, MemTableRepType::kHashLinkList,
+                    CompactionGranularity::kPartial, "HashLinkListMemtable"}),
+    [](const ::testing::TestParamInfo<LayoutParam>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// WiscKey key-value separation
+// ---------------------------------------------------------------------------
+
+class KvSepTest : public ::testing::Test {
+ protected:
+  KvSepTest() {
+    options_.env = &env_;
+    options_.write_buffer_size = 8 << 10;
+    options_.kv_separation = true;
+    options_.kv_separation_threshold = 100;
+  }
+
+  MemEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(KvSepTest, LargeValuesRoundTripThroughVlog) {
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  std::string big(500, 'V');
+  ASSERT_TRUE(db_->Put(WriteOptions(), "big", big).ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "small", "tiny").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "big", &value).ok());
+  EXPECT_EQ(big, value);
+  ASSERT_TRUE(db_->Get(ReadOptions(), "small", &value).ok());
+  EXPECT_EQ("tiny", value);
+  EXPECT_GT(db_->vlog()->TotalBytes(), 0u);
+}
+
+TEST_F(KvSepTest, ScansResolvePointers) {
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  std::string big(300, 'x');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "key" + std::to_string(i), big).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  auto iter = db_->NewIterator(ReadOptions());
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(big, iter->value().ToString());
+    ++count;
+  }
+  EXPECT_EQ(50, count);
+}
+
+TEST_F(KvSepTest, CompactionTracksVlogGarbage) {
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  std::string big(400, 'y');
+  // Overwrite the same keys repeatedly: old vlog entries become garbage
+  // when compaction drops their pointers.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i), big).ok());
+    }
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  EXPECT_GT(db_->vlog()->GarbageBytes(), 0u);
+}
+
+TEST_F(KvSepTest, VlogGcReclaimsDeadValues) {
+  ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  std::string big(400, 'z');
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i), big).ok());
+    }
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  ASSERT_TRUE(db_->GarbageCollectVlog().ok());
+  ASSERT_TRUE(db_->Flush().ok());
+
+  // All 20 keys still readable after GC rewrote the logs.
+  std::string value;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), "k" + std::to_string(i), &value).ok())
+        << i;
+    EXPECT_EQ(big, value);
+  }
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/filter_policy.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+enum class PolicyKind { kBloom, kBlockedBloom, kCuckoo };
+
+std::shared_ptr<const FilterPolicy> MakePolicy(PolicyKind kind,
+                                               double bits_per_key) {
+  switch (kind) {
+    case PolicyKind::kBloom:
+      return NewBloomFilterPolicy(bits_per_key);
+    case PolicyKind::kBlockedBloom:
+      return NewBlockedBloomFilterPolicy(bits_per_key);
+    case PolicyKind::kCuckoo:
+      return NewCuckooFilterPolicy(12);
+  }
+  return nullptr;
+}
+
+class FilterPolicyTest : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  std::string BuildFilter(const std::vector<std::string>& keys,
+                          double bits_per_key = 10.0) {
+    policy_ = MakePolicy(GetParam(), bits_per_key);
+    std::vector<Slice> slices(keys.begin(), keys.end());
+    std::string filter;
+    policy_->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                          &filter);
+    return filter;
+  }
+
+  bool Matches(const std::string& key, const std::string& filter) {
+    return policy_->KeyMayMatch(key, filter);
+  }
+
+  std::shared_ptr<const FilterPolicy> policy_;
+};
+
+TEST_P(FilterPolicyTest, NoFalseNegatives) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+  }
+  std::string filter = BuildFilter(keys);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(Matches(key, filter)) << "false negative for " << key;
+  }
+}
+
+TEST_P(FilterPolicyTest, FalsePositiveRateIsBounded) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back("present-" + std::to_string(i));
+  }
+  std::string filter = BuildFilter(keys, 10.0);
+
+  int false_positives = 0;
+  const int kProbes = 10000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (Matches("absent-" + std::to_string(i), filter)) {
+      ++false_positives;
+    }
+  }
+  double fpr = static_cast<double>(false_positives) / kProbes;
+  // 10 bits/key Bloom is ~1%; blocked Bloom and 12-bit cuckoo are a little
+  // worse. 5% is a generous common ceiling that still catches breakage.
+  EXPECT_LT(fpr, 0.05) << "fpr=" << fpr;
+}
+
+TEST_P(FilterPolicyTest, EmptyKeySupported) {
+  std::string filter = BuildFilter({""});
+  EXPECT_TRUE(Matches("", filter));
+}
+
+TEST_P(FilterPolicyTest, SingleKeyFilter) {
+  std::string filter = BuildFilter({"lonely"});
+  EXPECT_TRUE(Matches("lonely", filter));
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (Matches("other-" + std::to_string(i), filter)) {
+      ++hits;
+    }
+  }
+  EXPECT_LT(hits, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, FilterPolicyTest,
+                         ::testing::Values(PolicyKind::kBloom,
+                                           PolicyKind::kBlockedBloom,
+                                           PolicyKind::kCuckoo),
+                         [](const ::testing::TestParamInfo<PolicyKind>& info) {
+                           switch (info.param) {
+                             case PolicyKind::kBloom:
+                               return "Bloom";
+                             case PolicyKind::kBlockedBloom:
+                               return "BlockedBloom";
+                             case PolicyKind::kCuckoo:
+                               return "Cuckoo";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BloomFilterTest, FprImprovesWithMoreBits) {
+  Random rnd(42);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 20000; ++i) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  std::vector<Slice> slices(keys.begin(), keys.end());
+
+  auto measure_fpr = [&](double bits_per_key) {
+    auto policy = NewBloomFilterPolicy(bits_per_key);
+    std::string filter;
+    policy->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                         &filter);
+    int fp = 0;
+    const int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+      if (policy->KeyMayMatch("absent" + std::to_string(i), filter)) {
+        ++fp;
+      }
+    }
+    return static_cast<double>(fp) / kProbes;
+  };
+
+  double fpr2 = measure_fpr(2.0);
+  double fpr5 = measure_fpr(5.0);
+  double fpr10 = measure_fpr(10.0);
+  // Monotone improvement is the foundation of the Monkey allocation logic.
+  EXPECT_GT(fpr2, fpr5);
+  EXPECT_GT(fpr5, fpr10);
+  EXPECT_GT(fpr2, 0.1);   // ~25% expected at 2 bits.
+  EXPECT_LT(fpr10, 0.03);  // ~1% expected at 10 bits.
+}
+
+TEST(BloomFilterTest, FilterSizeTracksBitsPerKey) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  std::vector<Slice> slices(keys.begin(), keys.end());
+
+  std::string f4, f16;
+  NewBloomFilterPolicy(4.0)->CreateFilter(slices.data(), 1000, &f4);
+  NewBloomFilterPolicy(16.0)->CreateFilter(slices.data(), 1000, &f16);
+  EXPECT_NEAR(static_cast<double>(f16.size()) / f4.size(), 4.0, 0.5);
+}
+
+TEST(CuckooFilterTest, HighLoadStillBuilds) {
+  // Force a dense build; displacement (or growth fallback) must succeed.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100000; ++i) {
+    keys.push_back("dense" + std::to_string(i));
+  }
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  auto policy = NewCuckooFilterPolicy(12);
+  std::string filter;
+  policy->CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                       &filter);
+  for (int i = 0; i < 100000; i += 997) {
+    EXPECT_TRUE(policy->KeyMayMatch(keys[static_cast<size_t>(i)], filter));
+  }
+}
+
+}  // namespace
+}  // namespace lsmlab

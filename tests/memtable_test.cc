@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/dbformat.h"
+#include "memtable/memtable.h"
+#include "memtable/skiplist.h"
+#include "util/arena.h"
+#include "util/comparator.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+// ------------------------------------------------------------- dbformat ----
+
+TEST(DbFormatTest, InternalKeyRoundTrip) {
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey("user-key", 1234, kTypeValue));
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(encoded, &parsed));
+  EXPECT_EQ("user-key", parsed.user_key.ToString());
+  EXPECT_EQ(1234u, parsed.sequence);
+  EXPECT_EQ(kTypeValue, parsed.type);
+}
+
+TEST(DbFormatTest, ParseRejectsShortKeys) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &parsed));
+}
+
+TEST(DbFormatTest, InternalKeyOrdering) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  auto make = [](const std::string& ukey, SequenceNumber seq, ValueType t) {
+    std::string s;
+    AppendInternalKey(&s, ParsedInternalKey(ukey, seq, t));
+    return s;
+  };
+  // User key ascending dominates.
+  EXPECT_LT(cmp.Compare(make("a", 1, kTypeValue), make("b", 100, kTypeValue)),
+            0);
+  // Same user key: higher sequence sorts first (newest first).
+  EXPECT_LT(cmp.Compare(make("a", 5, kTypeValue), make("a", 4, kTypeValue)),
+            0);
+  // Same user key + sequence: higher type tag sorts first.
+  EXPECT_LT(cmp.Compare(make("a", 5, kTypeValue),
+                        make("a", 5, kTypeDeletion)),
+            0);
+}
+
+TEST(DbFormatTest, LookupKeyForms) {
+  LookupKey lkey("mykey", 42);
+  EXPECT_EQ("mykey", lkey.user_key().ToString());
+  EXPECT_EQ(lkey.user_key().size() + 8, lkey.internal_key().size());
+  EXPECT_GT(lkey.memtable_key().size(), lkey.internal_key().size());
+  EXPECT_EQ(42u, ExtractSequence(lkey.internal_key()));
+}
+
+TEST(DbFormatTest, LookupKeyLongKeyHeapPath) {
+  std::string long_key(500, 'k');
+  LookupKey lkey(long_key, 7);
+  EXPECT_EQ(long_key, lkey.user_key().ToString());
+}
+
+TEST(DbFormatTest, SeekKeyFindsAllOlderEntries) {
+  // A lookup key at snapshot S must sort <= any entry of the same user key
+  // with sequence <= S, and > entries with sequence > S.
+  InternalKeyComparator cmp(BytewiseComparator());
+  LookupKey lkey("k", 10);
+  auto make = [](SequenceNumber seq) {
+    std::string s;
+    AppendInternalKey(&s, ParsedInternalKey("k", seq, kTypeValue));
+    return s;
+  };
+  EXPECT_LE(cmp.Compare(lkey.internal_key(), make(10)), 0);
+  EXPECT_LE(cmp.Compare(lkey.internal_key(), make(3)), 0);
+  EXPECT_GT(cmp.Compare(lkey.internal_key(), make(11)), 0);
+}
+
+// ------------------------------------------------------------- skiplist ----
+
+struct IntComparator {
+  int operator()(const int& a, const int& b) const {
+    return (a < b) ? -1 : (a > b) ? 1 : 0;
+  }
+};
+
+TEST(SkipListTest, InsertAndContains) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator(), &arena);
+  Random rnd(301);
+  std::set<int> keys;
+  for (int i = 0; i < 2000; ++i) {
+    int key = static_cast<int>(rnd.Uniform(10000));
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(keys.count(i) > 0, list.Contains(i)) << i;
+  }
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator(), &arena);
+  std::set<int> keys;
+  Random rnd(99);
+  for (int i = 0; i < 500; ++i) {
+    int key = static_cast<int>(rnd.Uniform(100000));
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+  SkipList<int, IntComparator>::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (int expected : keys) {
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(expected, iter.key());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, SeekSemantics) {
+  Arena arena;
+  SkipList<int, IntComparator> list(IntComparator(), &arena);
+  for (int k : {10, 20, 30}) {
+    list.Insert(k);
+  }
+  SkipList<int, IntComparator>::Iterator iter(&list);
+  iter.Seek(15);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(20, iter.key());
+  iter.Seek(20);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(20, iter.key());
+  iter.Seek(31);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToLast();
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(30, iter.key());
+}
+
+// ------------------------------------------------------------- memtable ----
+
+class MemTableTest : public ::testing::TestWithParam<MemTableRepType> {
+ protected:
+  MemTableTest() : internal_cmp_(BytewiseComparator()) {}
+
+  std::unique_ptr<MemTable> NewTable() {
+    return std::make_unique<MemTable>(&internal_cmp_, GetParam(), 64);
+  }
+
+  // Point-get helper at the given snapshot.
+  bool Get(MemTable* table, const std::string& key, SequenceNumber snapshot,
+           std::string* value, ValueType* type) {
+    LookupKey lkey(key, snapshot);
+    return table->Get(lkey, value, type);
+  }
+
+  InternalKeyComparator internal_cmp_;
+};
+
+TEST_P(MemTableTest, AddAndGet) {
+  auto table = NewTable();
+  table->Add(1, kTypeValue, "apple", "red");
+  table->Add(2, kTypeValue, "banana", "yellow");
+
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(Get(table.get(), "apple", 100, &value, &type));
+  EXPECT_EQ(kTypeValue, type);
+  EXPECT_EQ("red", value);
+  ASSERT_TRUE(Get(table.get(), "banana", 100, &value, &type));
+  EXPECT_EQ("yellow", value);
+  EXPECT_FALSE(Get(table.get(), "cherry", 100, &value, &type));
+}
+
+TEST_P(MemTableTest, NewerVersionShadowsOlder) {
+  auto table = NewTable();
+  table->Add(1, kTypeValue, "k", "v1");
+  table->Add(2, kTypeValue, "k", "v2");
+  table->Add(3, kTypeValue, "k", "v3");
+
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(Get(table.get(), "k", 100, &value, &type));
+  EXPECT_EQ("v3", value);
+}
+
+TEST_P(MemTableTest, SnapshotReadsSeeOldVersions) {
+  auto table = NewTable();
+  table->Add(1, kTypeValue, "k", "v1");
+  table->Add(5, kTypeValue, "k", "v5");
+
+  std::string value;
+  ValueType type;
+  // Snapshot at 3 sees only the seq<=3 version.
+  ASSERT_TRUE(Get(table.get(), "k", 3, &value, &type));
+  EXPECT_EQ("v1", value);
+  ASSERT_TRUE(Get(table.get(), "k", 5, &value, &type));
+  EXPECT_EQ("v5", value);
+}
+
+TEST_P(MemTableTest, TombstoneResolvesAsDeletion) {
+  auto table = NewTable();
+  table->Add(1, kTypeValue, "k", "v1");
+  table->Add(2, kTypeDeletion, "k", "");
+
+  std::string value;
+  ValueType type;
+  ASSERT_TRUE(Get(table.get(), "k", 100, &value, &type));
+  EXPECT_EQ(kTypeDeletion, type);
+  // The old version is still visible below the tombstone's snapshot.
+  ASSERT_TRUE(Get(table.get(), "k", 1, &value, &type));
+  EXPECT_EQ(kTypeValue, type);
+  EXPECT_EQ("v1", value);
+}
+
+TEST_P(MemTableTest, IterationSortedAndComplete) {
+  auto table = NewTable();
+  Random rnd(17);
+  std::map<std::string, std::string> model;
+  SequenceNumber seq = 1;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "key" + std::to_string(rnd.Uniform(500));
+    std::string value = "val" + std::to_string(i);
+    model[key] = value;
+    table->Add(seq++, kTypeValue, key, value);
+  }
+
+  auto iter = table->NewIterator();
+  iter->SeekToFirst();
+  std::string last_user_key;
+  std::map<std::string, std::string> seen;
+  std::string prev_internal;
+  while (iter->Valid()) {
+    Slice ikey = iter->key();
+    if (!prev_internal.empty()) {
+      EXPECT_LT(internal_cmp_.Compare(prev_internal, ikey), 0)
+          << "iteration must be strictly sorted";
+    }
+    prev_internal.assign(ikey.data(), ikey.size());
+    std::string user_key = ExtractUserKey(ikey).ToString();
+    // Newest version of each user key comes first.
+    if (seen.find(user_key) == seen.end()) {
+      seen[user_key] = iter->value().ToString();
+    }
+    iter->Next();
+  }
+  EXPECT_EQ(model, seen);
+}
+
+TEST_P(MemTableTest, SeekPositionsAtLowerBound) {
+  auto table = NewTable();
+  table->Add(1, kTypeValue, "b", "vb");
+  table->Add(2, kTypeValue, "d", "vd");
+
+  auto iter = table->NewIterator();
+  std::string target;
+  AppendInternalKey(&target,
+                    ParsedInternalKey("c", kMaxSequenceNumber,
+                                      kValueTypeForSeek));
+  iter->Seek(target);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("d", ExtractUserKey(iter->key()).ToString());
+}
+
+TEST_P(MemTableTest, CountAndMemoryGrow) {
+  auto table = NewTable();
+  EXPECT_TRUE(table->Empty());
+  size_t base_usage = table->ApproximateMemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    table->Add(static_cast<SequenceNumber>(i + 1), kTypeValue,
+               "key" + std::to_string(i), std::string(100, 'v'));
+  }
+  EXPECT_EQ(100u, table->Count());
+  EXPECT_FALSE(table->Empty());
+  EXPECT_GT(table->ApproximateMemoryUsage(), base_usage);
+  EXPECT_GT(table->DataSize(), 100u * 100u);
+}
+
+TEST_P(MemTableTest, EmptyValueAndBinaryKeys) {
+  auto table = NewTable();
+  std::string binary_key("\x00\x01\xff\x7f", 4);
+  table->Add(1, kTypeValue, binary_key, "");
+  std::string value = "sentinel";
+  ValueType type;
+  ASSERT_TRUE(Get(table.get(), binary_key, 10, &value, &type));
+  EXPECT_EQ(kTypeValue, type);
+  EXPECT_EQ("", value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReps, MemTableTest,
+    ::testing::Values(MemTableRepType::kSkipList, MemTableRepType::kVector,
+                      MemTableRepType::kHashSkipList,
+                      MemTableRepType::kHashLinkList),
+    [](const ::testing::TestParamInfo<MemTableRepType>& info) {
+      switch (info.param) {
+        case MemTableRepType::kSkipList:
+          return "SkipList";
+        case MemTableRepType::kVector:
+          return "Vector";
+        case MemTableRepType::kHashSkipList:
+          return "HashSkipList";
+        case MemTableRepType::kHashLinkList:
+          return "HashLinkList";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace lsmlab

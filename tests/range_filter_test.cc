@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "filter/range_filter.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+std::string NumKey(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+/// Codec for NumKey-formatted keys: parse the number so the 64-bit order
+/// matches key order exactly.
+uint64_t NumKeyCodec(const Slice& key) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < key.size(); ++i) {
+    char c = key[i];
+    if (c < '0' || c > '9') break;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+enum class Kind { kPrefix, kRosetta };
+
+class RangeFilterTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  std::unique_ptr<RangeFilter> Make() {
+    switch (GetParam()) {
+      case Kind::kPrefix:
+        // 14 decimal digits: each prefix covers a block of 100 keys, fine
+        // enough to separate the gaps the tests probe.
+        return NewPrefixBloomRangeFilter(14, 12.0);
+      case Kind::kRosetta:
+        return NewRosettaRangeFilter(22.0, 16, NumKeyCodec);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(RangeFilterTest, NoFalseNegativesOnPointRanges) {
+  auto filter = Make();
+  std::set<uint64_t> keys;
+  Random rnd(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t k = rnd.Uniform(1000000) * 100;  // Sparse key space.
+    keys.insert(k);
+    filter->AddKey(NumKey(k));
+  }
+  filter->Finish();
+  for (uint64_t k : keys) {
+    EXPECT_TRUE(filter->MayContainRange(NumKey(k), NumKey(k)))
+        << "false negative at " << k;
+  }
+}
+
+TEST_P(RangeFilterTest, NoFalseNegativesOnCoveringRanges) {
+  auto filter = Make();
+  std::set<uint64_t> keys;
+  Random rnd(2);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t k = rnd.Uniform(10000000);
+    keys.insert(k);
+    filter->AddKey(NumKey(k));
+  }
+  filter->Finish();
+  Random probe(3);
+  for (int i = 0; i < 500; ++i) {
+    // A range straddling a real key must never be rejected.
+    auto it = keys.lower_bound(probe.Uniform(10000000));
+    if (it == keys.end()) continue;
+    uint64_t k = *it;
+    uint64_t lo = k >= 5 ? k - 5 : 0;
+    EXPECT_TRUE(filter->MayContainRange(NumKey(lo), NumKey(k + 5)));
+  }
+}
+
+TEST_P(RangeFilterTest, EmptyRangesMostlyRejected) {
+  auto filter = Make();
+  std::set<uint64_t> keys;
+  // Keys spaced 1000 apart: gaps of ~998 numbers are definitively empty.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    keys.insert(i * 1000);
+    filter->AddKey(NumKey(i * 1000));
+  }
+  filter->Finish();
+
+  int false_positives = 0;
+  const int kProbes = 1000;
+  Random rnd(7);
+  for (int i = 0; i < kProbes; ++i) {
+    // Short range strictly inside a gap.
+    uint64_t base = rnd.Uniform(1999) * 1000;
+    uint64_t lo = base + 100 + rnd.Uniform(700);
+    uint64_t hi = lo + 8;
+    if (filter->MayContainRange(NumKey(lo), NumKey(hi))) {
+      ++false_positives;
+    }
+  }
+  double fpr = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(fpr, 0.5) << filter->Name() << " fpr=" << fpr;
+}
+
+TEST_P(RangeFilterTest, MemoryUsageReported) {
+  auto filter = Make();
+  for (int i = 0; i < 100; ++i) {
+    filter->AddKey(NumKey(static_cast<uint64_t>(i) * 7));
+  }
+  filter->Finish();
+  EXPECT_GT(filter->MemoryUsage(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RangeFilterTest,
+                         ::testing::Values(Kind::kPrefix, Kind::kRosetta),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           return info.param == Kind::kPrefix ? "PrefixBloom"
+                                                              : "Rosetta";
+                         });
+
+TEST(RosettaTest, ShortRangesBeatPrefixBloomOnFpr) {
+  // The tutorial's claim (§2.1.3): Rosetta fits short ranges; prefix Bloom
+  // (coarse fixed-length prefixes) fits long ranges. Compare short-range
+  // FPR at comparable memory.
+  auto rosetta = NewRosettaRangeFilter(22.0, 16, NumKeyCodec);
+  auto prefix = NewPrefixBloomRangeFilter(12, 12.0);
+  std::set<uint64_t> keys;
+  Random rnd(11);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rnd.Uniform(100000000);
+    keys.insert(k);
+    rosetta->AddKey(NumKey(k));
+    prefix->AddKey(NumKey(k));
+  }
+  rosetta->Finish();
+  prefix->Finish();
+
+  auto measure = [&](RangeFilter* f) {
+    int fp = 0, probes = 0;
+    Random prnd(13);
+    while (probes < 500) {
+      uint64_t lo = prnd.Uniform(100000000);
+      uint64_t hi = lo + 4;
+      auto it = keys.lower_bound(lo);
+      if (it != keys.end() && *it <= hi) {
+        continue;  // Not an empty range.
+      }
+      ++probes;
+      if (f->MayContainRange(NumKey(lo), NumKey(hi))) {
+        ++fp;
+      }
+    }
+    return static_cast<double>(fp) / probes;
+  };
+
+  double rosetta_fpr = measure(rosetta.get());
+  double prefix_fpr = measure(prefix.get());
+  EXPECT_LT(rosetta_fpr, prefix_fpr)
+      << "rosetta=" << rosetta_fpr << " prefix=" << prefix_fpr;
+  EXPECT_LT(rosetta_fpr, 0.2);
+}
+
+TEST(PrefixBloomTest, LongRangeWithinPrefixIsCheap) {
+  auto filter = NewPrefixBloomRangeFilter(8, 14.0);
+  // All keys share 8-byte prefixes "prefixA\0".. style.
+  for (int i = 0; i < 1000; ++i) {
+    filter->AddKey("groupA__suffix" + std::to_string(i));
+  }
+  filter->Finish();
+  // Long range inside an existing prefix: maybe (correct).
+  EXPECT_TRUE(filter->MayContainRange("groupA__a", "groupA__zzzz"));
+  // Long range inside an absent prefix: rejected.
+  EXPECT_FALSE(filter->MayContainRange("groupB__a", "groupB__zzzz"));
+}
+
+TEST(DefaultCodecTest, PreservesOrderOfFirstEightBytes) {
+  EXPECT_LT(DefaultKeyToUint64("aaaaaaaa"), DefaultKeyToUint64("aaaaaaab"));
+  EXPECT_LT(DefaultKeyToUint64("a"), DefaultKeyToUint64("b"));
+  EXPECT_EQ(DefaultKeyToUint64(""), 0u);
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,274 @@
+// Crash-safety and fault-injection tests: torn WAL tails, corrupted
+// manifests, obsolete-file GC, and repeated reopen cycles.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+#include "db/filename.h"
+#include "io/mem_env.h"
+#include "util/random.h"
+#include "version/version_edit.h"
+
+namespace lsmlab {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    options_.env = &env_;
+    options_.write_buffer_size = 8 << 10;
+    options_.max_bytes_for_level_base = 64 << 10;
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok()); }
+  void Close() { db_.reset(); }
+  void Reopen() {
+    Close();
+    Open();
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), key, &value);
+    return s.ok() ? value : (s.IsNotFound() ? "NOT_FOUND" : s.ToString());
+  }
+
+  /// Finds files of `type` in the DB dir.
+  std::vector<std::string> FilesOfType(FileType want) {
+    std::vector<std::string> children, result;
+    EXPECT_TRUE(env_.GetChildren("/db", &children).ok());
+    for (const auto& child : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(child, &number, &type) && type == want) {
+        result.push_back("/db/" + child);
+      }
+    }
+    return result;
+  }
+
+  void TruncateFile(const std::string& path, size_t drop_bytes) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(&env_, path, &contents).ok());
+    ASSERT_GT(contents.size(), drop_bytes);
+    contents.resize(contents.size() - drop_bytes);
+    ASSERT_TRUE(WriteStringToFile(&env_, contents, path).ok());
+  }
+
+  void CorruptFile(const std::string& path, size_t offset) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(&env_, path, &contents).ok());
+    ASSERT_GT(contents.size(), offset);
+    contents[offset] ^= 0x42;
+    ASSERT_TRUE(WriteStringToFile(&env_, contents, path).ok());
+  }
+
+  MemEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(RecoveryTest, TornWalTailLosesOnlyTheTornWrite) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "committed1", "v1").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "committed2", "v2").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "torn", "vX").ok());
+  Close();
+
+  // Simulate a crash mid-write: chop bytes off the newest WAL.
+  auto logs = FilesOfType(FileType::kLogFile);
+  ASSERT_FALSE(logs.empty());
+  TruncateFile(logs.back(), 3);
+
+  Open();
+  EXPECT_EQ("v1", Get("committed1"));
+  EXPECT_EQ("v2", Get("committed2"));
+  // The torn record is gone — not corrupted data, just an unacknowledged
+  // loss at the tail, the WAL contract.
+  EXPECT_EQ("NOT_FOUND", Get("torn"));
+}
+
+TEST_F(RecoveryTest, RepeatedReopenPreservesEverything) {
+  Open();
+  std::map<std::string, std::string> model;
+  Random rnd(3);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      std::string key = "key" + std::to_string(rnd.Uniform(300));
+      std::string value = "r" + std::to_string(round) + "-" +
+                          std::to_string(i);
+      model[key] = value;
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+    }
+    Reopen();
+    for (const auto& [key, value] : model) {
+      ASSERT_EQ(value, Get(key)) << "round " << round << " key " << key;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, RecoveryAfterCompactionKeepsOnlyLiveFiles) {
+  Open();
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), "key" + std::to_string(i % 500),
+                 std::string(64, 'v'))
+            .ok());
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  size_t tables_after_compact = FilesOfType(FileType::kTableFile).size();
+  Reopen();
+  // Reopen must not resurrect deleted inputs nor lose live outputs.
+  EXPECT_EQ(tables_after_compact,
+            FilesOfType(FileType::kTableFile).size());
+  EXPECT_EQ(500u, db_->CountLiveEntries());
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+}
+
+TEST_F(RecoveryTest, ObsoleteWalsAreRemoved) {
+  Open();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "key" + std::to_string(i),
+                         std::string(64, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  // After a flush, only the active WAL should remain.
+  EXPECT_LE(FilesOfType(FileType::kLogFile).size(), 1u);
+}
+
+TEST_F(RecoveryTest, CorruptManifestFailsOpenCleanly) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  Close();
+
+  auto manifests = FilesOfType(FileType::kManifestFile);
+  ASSERT_FALSE(manifests.empty());
+  CorruptFile(manifests.back(), 12);
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options_, "/db", &db);
+  // A corrupted manifest must surface as an error, never a silent
+  // half-recovered database.
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(RecoveryTest, MissingCurrentRecoversWalResidentWrites) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "in-wal", "recovered").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "flushed", "orphaned").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "post-flush", "recovered2").ok());
+  Close();
+  // Losing CURRENT loses the manifest pointer: with create_if_missing the
+  // DB reinitializes its metadata, orphaning flushed SSTables — but WAL
+  // files still on disk are replayed, so unflushed writes survive.
+  ASSERT_TRUE(env_.RemoveFile(CurrentFileName("/db")).ok());
+  Open();
+  EXPECT_EQ("recovered2", Get("post-flush"));
+  EXPECT_EQ("NOT_FOUND", Get("flushed"));  // Its SST is orphaned.
+}
+
+TEST_F(RecoveryTest, SequenceNumbersResumeAfterReopen) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "old").ok());
+  Reopen();
+  // A new write after reopen must shadow the pre-reopen write: sequence
+  // numbers may never regress.
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "new").ok());
+  Reopen();
+  EXPECT_EQ("new", Get("k"));
+}
+
+TEST_F(RecoveryTest, LargeWalRecoverySpillsToL0) {
+  // A WAL bigger than the write buffer must flush to L0 tables during
+  // replay rather than building an oversized memtable.
+  options_.write_buffer_size = 4 << 10;
+  Open();
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "key" + std::to_string(i);
+    std::string value(100, static_cast<char>('a' + i % 26));
+    model[key] = value;
+    ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+  }
+  Reopen();
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(value, Get(key));
+  }
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+}
+
+TEST_F(RecoveryTest, VersionEditRoundTrip) {
+  VersionEdit edit;
+  edit.SetComparatorName("cmp-name");
+  edit.SetLogNumber(42);
+  edit.SetNextFileNumber(99);
+  edit.SetLastSequence(123456789);
+  FileMetaData f;
+  f.file_number = 7;
+  f.file_size = 4096;
+  f.smallest = InternalKey("aaa", 10, kTypeValue);
+  f.largest = InternalKey("zzz", 5, kTypeDeletion);
+  f.num_entries = 100;
+  f.num_tombstones = 3;
+  f.creation_time_micros = 111;
+  f.oldest_tombstone_time_micros = 110;
+  edit.AddFile(2, f);
+  edit.RemoveFile(1, 6);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(encoded).ok());
+  EXPECT_EQ("cmp-name", decoded.comparator());
+  EXPECT_EQ(42u, decoded.log_number());
+  EXPECT_EQ(99u, decoded.next_file_number());
+  EXPECT_EQ(123456789u, decoded.last_sequence());
+  ASSERT_EQ(1u, decoded.new_files().size());
+  const auto& [level, nf] = decoded.new_files()[0];
+  EXPECT_EQ(2, level);
+  EXPECT_EQ(7u, nf.file_number);
+  EXPECT_EQ("aaa", nf.smallest.user_key().ToString());
+  EXPECT_EQ("zzz", nf.largest.user_key().ToString());
+  EXPECT_EQ(3u, nf.num_tombstones);
+  EXPECT_EQ(1u, decoded.deleted_files().count({1, 6}));
+}
+
+TEST_F(RecoveryTest, VersionEditRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_TRUE(edit.DecodeFrom(Slice("\x07garbage-bytes")).IsCorruption());
+}
+
+TEST_F(RecoveryTest, ComparatorMismatchRefusesOpen) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  Close();
+
+  // Reopen with a comparator claiming a different name.
+  class RenamedComparator : public Comparator {
+   public:
+    int Compare(const Slice& a, const Slice& b) const override {
+      return a.compare(b);
+    }
+    const char* Name() const override { return "other.Comparator"; }
+    void FindShortestSeparator(std::string*, const Slice&) const override {}
+    void FindShortSuccessor(std::string*) const override {}
+  };
+  RenamedComparator other;
+  Options options = options_;
+  options.comparator = &other;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, "/db", &db);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace lsmlab

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/dbformat.h"
+#include "filter/filter_policy.h"
+#include "io/counting_env.h"
+#include "io/mem_env.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/format.h"
+#include "table/merging_iterator.h"
+#include "table/table_builder.h"
+#include "table/table_reader.h"
+#include "util/random.h"
+
+namespace lsmlab {
+namespace {
+
+// ---------------------------------------------------------------- Block ----
+
+TEST(BlockTest, BuildAndIterate) {
+  BlockBuilder builder(BytewiseComparator(), 4);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%04d", i);
+    std::string value = "value" + std::to_string(i);
+    model[key] = value;
+    builder.Add(key, value);
+  }
+  Block block(builder.Finish().ToString());
+
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(key, iter->key().ToString());
+    EXPECT_EQ(value, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST(BlockTest, SeekLowerBound) {
+  BlockBuilder builder(BytewiseComparator(), 2);
+  builder.Add("b", "1");
+  builder.Add("d", "2");
+  builder.Add("f", "3");
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+
+  iter->Seek("a");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", iter->key().ToString());
+
+  iter->Seek("d");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("d", iter->key().ToString());
+
+  iter->Seek("e");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("f", iter->key().ToString());
+
+  iter->Seek("g");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, EmptyBlock) {
+  BlockBuilder builder(BytewiseComparator(), 16);
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, PrefixCompressionShrinksBlock) {
+  // Keys sharing long prefixes must compress well vs restart-every-entry.
+  auto build_size = [](int restart_interval) {
+    BlockBuilder builder(BytewiseComparator(), restart_interval);
+    for (int i = 0; i < 500; ++i) {
+      char key[64];
+      snprintf(key, sizeof(key), "a/very/long/shared/key/prefix/%06d", i);
+      builder.Add(key, "v");
+    }
+    return builder.Finish().size();
+  };
+  EXPECT_LT(build_size(16), build_size(1) * 2 / 3);
+}
+
+TEST(BlockTest, RandomizedSeekMatchesModel) {
+  Random rnd(1234);
+  BlockBuilder builder(BytewiseComparator(), 8);
+  std::map<std::string, std::string> model;
+  std::string prev;
+  for (int i = 0; i < 300; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "%08llu",
+             static_cast<unsigned long long>(rnd.Uniform(1000000)));
+    if (model.count(key)) continue;
+    model[key] = std::to_string(i);
+  }
+  for (const auto& [key, value] : model) {
+    builder.Add(key, value);
+  }
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+
+  for (int probe = 0; probe < 500; ++probe) {
+    char target[32];
+    snprintf(target, sizeof(target), "%08llu",
+             static_cast<unsigned long long>(rnd.Uniform(1000000)));
+    iter->Seek(target);
+    auto expect = model.lower_bound(target);
+    if (expect == model.end()) {
+      EXPECT_FALSE(iter->Valid());
+    } else {
+      ASSERT_TRUE(iter->Valid());
+      EXPECT_EQ(expect->first, iter->key().ToString());
+      EXPECT_EQ(expect->second, iter->value().ToString());
+    }
+  }
+}
+
+// ----------------------------------------------------------- BlockHandle ----
+
+TEST(FormatTest, BlockHandleRoundTrip) {
+  BlockHandle handle;
+  handle.set_offset(123456789);
+  handle.set_size(987654);
+  std::string encoded;
+  handle.EncodeTo(&encoded);
+  BlockHandle decoded;
+  Slice input(encoded);
+  ASSERT_TRUE(decoded.DecodeFrom(&input).ok());
+  EXPECT_EQ(123456789u, decoded.offset());
+  EXPECT_EQ(987654u, decoded.size());
+}
+
+TEST(FormatTest, FooterRoundTrip) {
+  Footer footer;
+  BlockHandle meta, index;
+  meta.set_offset(100);
+  meta.set_size(50);
+  index.set_offset(200);
+  index.set_size(60);
+  footer.set_metaindex_handle(meta);
+  footer.set_index_handle(index);
+  std::string encoded;
+  footer.EncodeTo(&encoded);
+  EXPECT_EQ(Footer::kEncodedLength, encoded.size());
+
+  Footer decoded;
+  Slice input(encoded);
+  ASSERT_TRUE(decoded.DecodeFrom(&input).ok());
+  EXPECT_EQ(100u, decoded.metaindex_handle().offset());
+  EXPECT_EQ(60u, decoded.index_handle().size());
+}
+
+TEST(FormatTest, FooterRejectsBadMagic) {
+  std::string encoded(Footer::kEncodedLength, '\x07');
+  Footer footer;
+  Slice input(encoded);
+  EXPECT_TRUE(footer.DecodeFrom(&input).IsCorruption());
+}
+
+// ---------------------------------------------------------------- Table ----
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : icmp_(BytewiseComparator()) {}
+
+  // Builds a table from `entries` (user_key -> value), all at seq 1..n.
+  void BuildTable(const std::map<std::string, std::string>& entries,
+                  std::shared_ptr<const FilterPolicy> filter_policy = nullptr,
+                  LruCache* cache = nullptr) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_.NewWritableFile("/t.sst", &file).ok());
+    TableBuilderOptions topt;
+    topt.comparator = &icmp_;
+    topt.filter_policy = filter_policy;
+    topt.block_size = 256;  // Small blocks exercise the index.
+    TableBuilder builder(topt, file.get());
+    SequenceNumber seq = 1;
+    for (const auto& [key, value] : entries) {
+      std::string ikey;
+      AppendInternalKey(&ikey, ParsedInternalKey(key, seq++, kTypeValue));
+      builder.Add(ikey, value);
+    }
+    ASSERT_TRUE(builder.Finish().ok()) << builder.status().ToString();
+    ASSERT_TRUE(file->Close().ok());
+
+    uint64_t size;
+    ASSERT_TRUE(env_.GetFileSize("/t.sst", &size).ok());
+    std::unique_ptr<RandomAccessFile> read_file;
+    ASSERT_TRUE(env_.NewRandomAccessFile("/t.sst", &read_file).ok());
+    TableReaderOptions ropt;
+    ropt.comparator = &icmp_;
+    ropt.filter_policy = filter_policy;
+    ropt.block_cache = cache;
+    ropt.verify_checksums = true;
+    ASSERT_TRUE(TableReader::Open(ropt, std::move(read_file), size, 1,
+                                  &reader_)
+                    .ok());
+  }
+
+  // Point lookup through the reader.
+  bool Lookup(const std::string& user_key, std::string* value) {
+    std::string ikey;
+    AppendInternalKey(
+        &ikey, ParsedInternalKey(user_key, kMaxSequenceNumber,
+                                 kValueTypeForSeek));
+    bool found = false;
+    std::string fkey;
+    Status s = reader_->InternalGet(ReadOptions(), ikey, &found, &fkey, value);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return found;
+  }
+
+  MemEnv env_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<TableReader> reader_;
+};
+
+TEST_F(TableTest, BuildAndGet) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 1000; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "value" + std::to_string(i);
+  }
+  BuildTable(entries);
+
+  std::string value;
+  EXPECT_TRUE(Lookup("key000000", &value));
+  EXPECT_EQ("value0", value);
+  EXPECT_TRUE(Lookup("key000999", &value));
+  EXPECT_EQ("value999", value);
+  EXPECT_TRUE(Lookup("key000500", &value));
+  EXPECT_EQ("value500", value);
+  EXPECT_FALSE(Lookup("nonexistent", &value));
+  EXPECT_FALSE(Lookup("key001000", &value));
+}
+
+TEST_F(TableTest, FullScanMatchesModel) {
+  std::map<std::string, std::string> entries;
+  Random rnd(7);
+  for (int i = 0; i < 2000; ++i) {
+    entries["k" + std::to_string(rnd.Uniform(100000))] =
+        std::string(rnd.Uniform(64) + 1, 'v');
+  }
+  BuildTable(entries);
+
+  auto iter = reader_->NewIterator(ReadOptions());
+  iter->SeekToFirst();
+  for (const auto& [key, value] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(key, ExtractUserKey(iter->key()).ToString());
+    EXPECT_EQ(value, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_F(TableTest, IteratorSeek) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 100; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i * 10);
+    entries[key] = std::to_string(i);
+  }
+  BuildTable(entries);
+
+  auto iter = reader_->NewIterator(ReadOptions());
+  std::string target;
+  AppendInternalKey(&target, ParsedInternalKey("k0005", kMaxSequenceNumber,
+                                               kValueTypeForSeek));
+  iter->Seek(target);
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k0010", ExtractUserKey(iter->key()).ToString());
+}
+
+TEST_F(TableTest, PropertiesPersisted) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 321; ++i) {
+    entries["key" + std::to_string(i)] = "v";
+  }
+  BuildTable(entries);
+  EXPECT_EQ(321u, reader_->properties().num_entries);
+  EXPECT_EQ(0u, reader_->properties().num_tombstones);
+  EXPECT_GT(reader_->properties().num_data_blocks, 1u);
+  EXPECT_GT(reader_->properties().raw_key_bytes, 0u);
+}
+
+TEST_F(TableTest, TombstonesCountedInProperties) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/t.sst", &file).ok());
+  TableBuilderOptions topt;
+  topt.comparator = &icmp_;
+  TableBuilder builder(topt, file.get());
+  std::string ikey;
+  AppendInternalKey(&ikey, ParsedInternalKey("a", 1, kTypeValue));
+  builder.Add(ikey, "v");
+  ikey.clear();
+  AppendInternalKey(&ikey, ParsedInternalKey("b", 2, kTypeDeletion));
+  builder.Add(ikey, "");
+  ikey.clear();
+  AppendInternalKey(&ikey, ParsedInternalKey("c", 3, kTypeSingleDeletion));
+  builder.Add(ikey, "");
+  ASSERT_TRUE(builder.Finish().ok());
+  EXPECT_EQ(3u, builder.properties().num_entries);
+  EXPECT_EQ(2u, builder.properties().num_tombstones);
+}
+
+TEST_F(TableTest, FilterSkipsAbsentKeys) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 1000; ++i) {
+    entries["present" + std::to_string(i)] = "v";
+  }
+  BuildTable(entries, NewBloomFilterPolicy(10.0));
+
+  // Present keys can never be ruled out.
+  for (int i = 0; i < 1000; i += 97) {
+    EXPECT_FALSE(
+        reader_->KeyDefinitelyAbsent("present" + std::to_string(i)));
+  }
+  // Most absent keys are ruled out without touching data blocks.
+  int ruled_out = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (reader_->KeyDefinitelyAbsent("absent" + std::to_string(i))) {
+      ++ruled_out;
+    }
+  }
+  EXPECT_GT(ruled_out, 950);
+}
+
+TEST_F(TableTest, BlockCachePopulatedAndHit) {
+  LruCache cache(1 << 20, 1);
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "value";
+  }
+  BuildTable(entries, nullptr, &cache);
+
+  std::string value;
+  EXPECT_TRUE(Lookup("key000123", &value));
+  CacheStats stats1 = cache.GetStats();
+  EXPECT_GE(stats1.inserts, 1u);
+
+  // Same block again: served from cache.
+  EXPECT_TRUE(Lookup("key000123", &value));
+  CacheStats stats2 = cache.GetStats();
+  EXPECT_GT(stats2.hits, stats1.hits);
+}
+
+TEST_F(TableTest, WarmCacheLoadsAllDataBlocks) {
+  LruCache cache(4 << 20, 1);
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 2000; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "value";
+  }
+  BuildTable(entries, nullptr, &cache);
+  reader_->WarmCache();
+  EXPECT_GE(cache.GetStats().inserts, reader_->properties().num_data_blocks);
+}
+
+TEST_F(TableTest, CorruptBlockDetectedWithChecksums) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 200; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "value" + std::to_string(i);
+  }
+  BuildTable(entries);
+
+  // Flip a byte early in the file (inside the first data block).
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/t.sst", &contents).ok());
+  contents[10] ^= 0x1;
+  ASSERT_TRUE(WriteStringToFile(&env_, contents, "/t.sst").ok());
+
+  uint64_t size;
+  ASSERT_TRUE(env_.GetFileSize("/t.sst", &size).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/t.sst", &file).ok());
+  TableReaderOptions ropt;
+  ropt.comparator = &icmp_;
+  ropt.verify_checksums = true;
+  std::unique_ptr<TableReader> reader;
+  ASSERT_TRUE(TableReader::Open(ropt, std::move(file), size, 2, &reader).ok());
+
+  std::string ikey;
+  AppendInternalKey(&ikey, ParsedInternalKey("key000000", kMaxSequenceNumber,
+                                             kValueTypeForSeek));
+  bool found;
+  std::string fkey, value;
+  ReadOptions read_options;
+  read_options.verify_checksums = true;
+  Status s = reader->InternalGet(read_options, ikey, &found, &fkey, &value);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+// ------------------------------------------------------- MergingIterator ----
+
+std::unique_ptr<Iterator> BlockIterOver(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    std::shared_ptr<Block>* out_block) {
+  BlockBuilder builder(BytewiseComparator(), 4);
+  for (const auto& [key, value] : entries) {
+    builder.Add(key, value);
+  }
+  *out_block = std::make_shared<Block>(builder.Finish().ToString());
+  return (*out_block)->NewIterator(BytewiseComparator());
+}
+
+TEST(MergingIteratorTest, MergesSortedStreams) {
+  std::shared_ptr<Block> b1, b2, b3;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(BlockIterOver({{"a", "1"}, {"d", "4"}, {"g", "7"}}, &b1));
+  children.push_back(BlockIterOver({{"b", "2"}, {"e", "5"}}, &b2));
+  children.push_back(BlockIterOver({{"c", "3"}, {"f", "6"}, {"h", "8"}}, &b3));
+
+  auto merged = NewMergingIterator(BytewiseComparator(), std::move(children));
+  merged->SeekToFirst();
+  std::string got;
+  while (merged->Valid()) {
+    got += merged->key().ToString();
+    merged->Next();
+  }
+  EXPECT_EQ("abcdefgh", got);
+}
+
+TEST(MergingIteratorTest, TieBreaksByChildOrder) {
+  // Children with equal keys must surface the first (newest) child's entry
+  // first — the LSM shadowing rule.
+  std::shared_ptr<Block> b1, b2;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(BlockIterOver({{"k", "new"}}, &b1));
+  children.push_back(BlockIterOver({{"k", "old"}}, &b2));
+  auto merged = NewMergingIterator(BytewiseComparator(), std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("new", merged->value().ToString());
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("old", merged->value().ToString());
+}
+
+TEST(MergingIteratorTest, SeekAcrossChildren) {
+  std::shared_ptr<Block> b1, b2;
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(BlockIterOver({{"a", "1"}, {"m", "2"}}, &b1));
+  children.push_back(BlockIterOver({{"c", "3"}, {"z", "4"}}, &b2));
+  auto merged = NewMergingIterator(BytewiseComparator(), std::move(children));
+  merged->Seek("b");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("c", merged->key().ToString());
+  merged->Seek("n");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("z", merged->key().ToString());
+}
+
+TEST(MergingIteratorTest, EmptyChildrenYieldEmpty) {
+  auto merged = NewMergingIterator(BytewiseComparator(), {});
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+}
+
+}  // namespace
+}  // namespace lsmlab

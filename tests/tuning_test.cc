@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuning/cost_model.h"
+#include "tuning/monkey.h"
+#include "tuning/navigator.h"
+
+namespace lsmlab {
+namespace {
+
+// ------------------------------------------------------------------ Monkey --
+
+TEST(MonkeyTest, ShallowLevelsGetMoreBits) {
+  auto bits = MonkeyBitsPerLevel(10.0, 5, 10);
+  ASSERT_EQ(5u, bits.size());
+  for (size_t i = 1; i < bits.size(); ++i) {
+    EXPECT_GE(bits[i - 1], bits[i]) << "level " << i;
+  }
+  EXPECT_GT(bits[0], 10.0);  // Shallower than average.
+}
+
+TEST(MonkeyTest, BudgetIsRespected) {
+  const int kLevels = 5;
+  const int kT = 10;
+  const double kAvg = 8.0;
+  auto bits = MonkeyBitsPerLevel(kAvg, kLevels, kT);
+
+  // Weighted average (weights ~ T^i) must match the budget.
+  double total_w = 0, total_bits = 0, w = 1;
+  for (int i = 0; i < kLevels; ++i) {
+    total_bits += w * bits[static_cast<size_t>(i)];
+    total_w += w;
+    w *= kT;
+  }
+  EXPECT_NEAR(total_bits / total_w, kAvg, 0.05);
+}
+
+TEST(MonkeyTest, MonkeyBeatsUniformOnExpectedFalsePositives) {
+  const int kLevels = 6;
+  const int kT = 10;
+  const double kAvg = 8.0;
+  auto monkey = MonkeyBitsPerLevel(kAvg, kLevels, kT);
+  std::vector<double> uniform(kLevels, kAvg);
+  // The whole point of Monkey (§2.1.3): fewer expected superfluous I/Os for
+  // the same filter memory.
+  EXPECT_LT(ExpectedFalsePositiveIos(monkey),
+            ExpectedFalsePositiveIos(uniform));
+}
+
+TEST(MonkeyTest, ZeroBudgetDisablesFilters) {
+  auto bits = MonkeyBitsPerLevel(0.0, 4, 10);
+  for (double b : bits) {
+    EXPECT_EQ(0.0, b);
+  }
+  EXPECT_DOUBLE_EQ(1.0, BloomFpr(0.0));
+}
+
+TEST(MonkeyTest, BloomFprMatchesTheory) {
+  // 10 bits/key -> ~0.82% FPR (exp(-10 * ln2^2)).
+  EXPECT_NEAR(BloomFpr(10.0), 0.0082, 0.001);
+  EXPECT_NEAR(BloomFpr(5.0), 0.0905, 0.005);
+}
+
+// --------------------------------------------------------------- CostModel --
+
+DataSpec TestData() {
+  DataSpec data;
+  data.num_entries = 100'000'000;
+  data.entry_bytes = 128;
+  return data;
+}
+
+TEST(CostModelTest, TieringWritesCheaperLevelingReadsCheaper) {
+  DataSpec data = TestData();
+  LsmDesign leveling;
+  leveling.layout = DataLayout::kLeveling;
+  LsmDesign tiering = leveling;
+  tiering.layout = DataLayout::kTiering;
+
+  CostModel lm(leveling, data), tm(tiering, data);
+  // The foundational tradeoff of §2.2.2.
+  EXPECT_LT(tm.WriteCost(), lm.WriteCost());
+  EXPECT_LT(lm.ZeroResultLookupCost(), tm.ZeroResultLookupCost());
+  EXPECT_LT(lm.ShortScanCost(), tm.ShortScanCost());
+  EXPECT_LT(lm.SpaceAmplification(), tm.SpaceAmplification());
+}
+
+TEST(CostModelTest, LazyLevelingBetweenExtremes) {
+  DataSpec data = TestData();
+  LsmDesign l, t, lazy;
+  l.layout = DataLayout::kLeveling;
+  t.layout = DataLayout::kTiering;
+  lazy.layout = DataLayout::kLazyLeveling;
+  CostModel lm(l, data), tm(t, data), zm(lazy, data);
+  // Dostoevsky: writes like tiering (cheaper than leveling), point reads
+  // close to leveling (much better than tiering).
+  EXPECT_LT(zm.WriteCost(), lm.WriteCost());
+  EXPECT_LT(zm.ZeroResultLookupCost(), tm.ZeroResultLookupCost());
+}
+
+TEST(CostModelTest, LargerSizeRatioFlattensTree) {
+  DataSpec data = TestData();
+  LsmDesign t4, t16;
+  t4.size_ratio = 4;
+  t16.size_ratio = 16;
+  CostModel m4(t4, data), m16(t16, data);
+  EXPECT_GT(m4.NumLevels(), m16.NumLevels());
+  // Leveling: higher T -> costlier writes, cheaper zero-result reads.
+  EXPECT_GT(m16.WriteCost(), m4.WriteCost());
+  EXPECT_LE(m16.ZeroResultLookupCost(), m4.ZeroResultLookupCost());
+}
+
+TEST(CostModelTest, FiltersCutZeroResultCost) {
+  DataSpec data = TestData();
+  LsmDesign with, without;
+  with.filter_bits_per_key = 10;
+  without.filter_bits_per_key = 0;
+  CostModel mw(with, data), mo(without, data);
+  EXPECT_LT(mw.ZeroResultLookupCost(), mo.ZeroResultLookupCost() / 10);
+  // Filters do not change write cost.
+  EXPECT_DOUBLE_EQ(mw.WriteCost(), mo.WriteCost());
+}
+
+TEST(CostModelTest, MonkeyReducesZeroResultCost) {
+  DataSpec data = TestData();
+  LsmDesign uniform, monkey;
+  uniform.filter_bits_per_key = monkey.filter_bits_per_key = 8;
+  monkey.monkey_allocation = true;
+  CostModel mu(uniform, data), mm(monkey, data);
+  EXPECT_LT(mm.ZeroResultLookupCost(), mu.ZeroResultLookupCost());
+}
+
+TEST(CostModelTest, BiggerBufferFewerLevels) {
+  DataSpec data = TestData();
+  LsmDesign small, big;
+  small.buffer_bytes = 1 << 20;
+  big.buffer_bytes = 256 << 20;
+  CostModel ms(small, data), mb(big, data);
+  EXPECT_GT(ms.NumLevels(), mb.NumLevels());
+  EXPECT_GT(ms.WriteCost(), mb.WriteCost());
+}
+
+// --------------------------------------------------------------- Navigator --
+
+TEST(NavigatorTest, WriteHeavyPrefersTiering) {
+  DataSpec data = TestData();
+  DesignSpaceSpec space;
+  WorkloadMix write_heavy(0.95, 0.02, 0.02, 0.01);
+  LsmDesign best = NominalTuning(space, data, write_heavy);
+  EXPECT_TRUE(best.layout == DataLayout::kTiering ||
+              best.layout == DataLayout::kLazyLeveling)
+      << best.Label();
+}
+
+TEST(NavigatorTest, ReadHeavyPrefersLeveling) {
+  DataSpec data = TestData();
+  DesignSpaceSpec space;
+  WorkloadMix read_heavy(0.02, 0.58, 0.2, 0.2);
+  LsmDesign best = NominalTuning(space, data, read_heavy);
+  EXPECT_TRUE(best.layout == DataLayout::kLeveling ||
+              best.layout == DataLayout::kLazyLeveling)
+      << best.Label();
+}
+
+TEST(NavigatorTest, EnumerationIsSortedByCost) {
+  DataSpec data = TestData();
+  DesignSpaceSpec space;
+  space.max_size_ratio = 6;
+  auto designs = EnumerateDesigns(space, data, WorkloadMix());
+  ASSERT_GT(designs.size(), 10u);
+  for (size_t i = 1; i < designs.size(); ++i) {
+    EXPECT_LE(designs[i - 1].cost, designs[i].cost);
+  }
+}
+
+TEST(NavigatorTest, NominalIsOptimalAtExpectedMix) {
+  DataSpec data = TestData();
+  DesignSpaceSpec space;
+  space.max_size_ratio = 8;
+  WorkloadMix mix(0.5, 0.3, 0.1, 0.1);
+  LsmDesign nominal = NominalTuning(space, data, mix);
+  LsmDesign robust = RobustTuning(space, data, mix, 0.5);
+  CostModel nm(nominal, data), rm(robust, data);
+  EXPECT_LE(nm.WorkloadCost(mix), rm.WorkloadCost(mix) + 1e-12);
+}
+
+TEST(NavigatorTest, RobustWinsUnderWorstCaseShift) {
+  DataSpec data = TestData();
+  DesignSpaceSpec space;
+  space.max_size_ratio = 8;
+  WorkloadMix mix(0.9, 0.05, 0.03, 0.02);  // Believed write-heavy.
+  const double rho = 0.8;
+  LsmDesign nominal = NominalTuning(space, data, mix);
+  LsmDesign robust = RobustTuning(space, data, mix, rho);
+  // Endure's claim (§2.3.2): under the worst workload in the neighbourhood,
+  // the robust tuning does no worse (usually strictly better).
+  EXPECT_LE(WorstCaseCost(robust, data, mix, rho),
+            WorstCaseCost(nominal, data, mix, rho) + 1e-12);
+}
+
+TEST(NavigatorTest, WorstCaseAtLeastNominal) {
+  DataSpec data = TestData();
+  LsmDesign design;
+  WorkloadMix mix(0.25, 0.25, 0.25, 0.25);
+  CostModel model(design, data);
+  EXPECT_GE(WorstCaseCost(design, data, mix, 0.4),
+            model.WorkloadCost(mix) - 1e-12);
+  // rho = 0 degenerates to the nominal cost.
+  EXPECT_NEAR(WorstCaseCost(design, data, mix, 0.0),
+              model.WorkloadCost(mix), 1e-12);
+}
+
+}  // namespace
+}  // namespace lsmlab

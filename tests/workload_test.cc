@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace lsmlab {
+namespace {
+
+TEST(ZipfianTest, ValuesInRange) {
+  ZipfianGenerator gen(1000, 0.99, 42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, IsSkewed) {
+  ZipfianGenerator gen(10000, 0.99, 42);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[gen.Next()]++;
+  }
+  // The most popular key should take far more than the uniform 1/10000
+  // share, and a small set of keys should dominate.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GT(max_count, kDraws / 1000);  // >100x the uniform share.
+  // Distinct keys drawn should be well below the uniform expectation.
+  EXPECT_LT(counts.size(), 9000u);
+}
+
+TEST(ZipfianTest, DeterministicForSeed) {
+  ZipfianGenerator a(1000, 0.8, 7), b(1000, 0.8, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(WorkloadTest, KeyFormatSortsNumerically) {
+  EXPECT_LT(WorkloadGenerator::FormatKey(9),
+            WorkloadGenerator::FormatKey(10));
+  EXPECT_LT(WorkloadGenerator::FormatKey(99999),
+            WorkloadGenerator::FormatKey(100000));
+}
+
+TEST(WorkloadTest, WriteOnlyProducesOnlyInserts) {
+  WorkloadGenerator gen(WorkloadSpec::WriteOnly(1000));
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    Operation op = gen.Next();
+    EXPECT_EQ(Operation::Type::kInsert, op.type);
+    EXPECT_TRUE(keys.insert(op.key).second) << "duplicate insert key";
+  }
+  EXPECT_EQ(1000u, gen.live_keys());
+}
+
+TEST(WorkloadTest, MixFractionsRoughlyRespected) {
+  WorkloadSpec spec;
+  spec.num_preloaded_keys = 1000;
+  spec.update_fraction = 0.3;
+  spec.read_fraction = 0.4;
+  spec.empty_read_fraction = 0.1;
+  spec.scan_fraction = 0.1;
+  spec.delete_fraction = 0.05;
+  WorkloadGenerator gen(spec);
+
+  std::map<Operation::Type, int> counts;
+  const int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    counts[gen.Next().type]++;
+  }
+  EXPECT_NEAR(counts[Operation::Type::kUpdate], kOps * 0.3, kOps * 0.03);
+  EXPECT_NEAR(counts[Operation::Type::kRead], kOps * 0.4, kOps * 0.03);
+  EXPECT_NEAR(counts[Operation::Type::kEmptyRead], kOps * 0.1, kOps * 0.02);
+  EXPECT_NEAR(counts[Operation::Type::kScan], kOps * 0.1, kOps * 0.02);
+  EXPECT_NEAR(counts[Operation::Type::kDelete], kOps * 0.05, kOps * 0.02);
+  // Remainder are inserts.
+  EXPECT_NEAR(counts[Operation::Type::kInsert], kOps * 0.05, kOps * 0.02);
+}
+
+TEST(WorkloadTest, ReadsReferenceExistingKeys) {
+  WorkloadSpec spec;
+  spec.num_preloaded_keys = 100;
+  spec.read_fraction = 1.0;
+  WorkloadGenerator gen(spec);
+  for (int i = 0; i < 1000; ++i) {
+    Operation op = gen.Next();
+    ASSERT_EQ(Operation::Type::kRead, op.type);
+    // Key index must be below the live-key horizon.
+    EXPECT_LT(op.key, WorkloadGenerator::FormatKey(100));
+  }
+}
+
+TEST(WorkloadTest, EmptyReadKeysNeverCollideWithInserts) {
+  WorkloadSpec spec;
+  spec.num_preloaded_keys = 50;
+  spec.empty_read_fraction = 0.5;
+  WorkloadGenerator gen(spec);
+  for (int i = 0; i < 2000; ++i) {
+    Operation op = gen.Next();
+    if (op.type == Operation::Type::kEmptyRead) {
+      EXPECT_NE(op.key.find("!absent"), std::string::npos);
+    } else if (op.type == Operation::Type::kInsert) {
+      EXPECT_EQ(op.key.find("!absent"), std::string::npos);
+    }
+  }
+}
+
+TEST(WorkloadTest, ValuesAreDeterministicPerKey) {
+  WorkloadGenerator gen(WorkloadSpec::WriteOnly(10));
+  std::string v1 = gen.MakeValue("key1", 64);
+  std::string v2 = gen.MakeValue("key1", 64);
+  std::string v3 = gen.MakeValue("key2", 64);
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  EXPECT_EQ(64u, v1.size());
+}
+
+TEST(WorkloadTest, SequentialDistributionInsertsInOrder) {
+  WorkloadSpec spec;
+  spec.num_preloaded_keys = 0;
+  spec.distribution = KeyDistribution::kSequential;
+  WorkloadGenerator gen(spec);
+  std::string prev;
+  for (int i = 0; i < 100; ++i) {
+    Operation op = gen.Next();
+    ASSERT_EQ(Operation::Type::kInsert, op.type);
+    EXPECT_GT(op.key, prev);
+    prev = op.key;
+  }
+}
+
+TEST(WorkloadTest, PresetsSumToValidMixes) {
+  for (auto spec : {WorkloadSpec::YcsbA(10), WorkloadSpec::YcsbB(10),
+                    WorkloadSpec::YcsbC(10), WorkloadSpec::YcsbE(10)}) {
+    double total = spec.update_fraction + spec.read_fraction +
+                   spec.empty_read_fraction + spec.scan_fraction +
+                   spec.delete_fraction;
+    EXPECT_LE(total, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lsmlab
