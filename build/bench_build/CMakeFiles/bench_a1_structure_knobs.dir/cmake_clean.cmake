@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_structure_knobs"
+  "../bench/bench_a1_structure_knobs.pdb"
+  "CMakeFiles/bench_a1_structure_knobs.dir/bench_a1_structure_knobs.cc.o"
+  "CMakeFiles/bench_a1_structure_knobs.dir/bench_a1_structure_knobs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_structure_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

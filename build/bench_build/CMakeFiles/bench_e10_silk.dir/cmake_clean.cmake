@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_silk"
+  "../bench/bench_e10_silk.pdb"
+  "CMakeFiles/bench_e10_silk.dir/bench_e10_silk.cc.o"
+  "CMakeFiles/bench_e10_silk.dir/bench_e10_silk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_silk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

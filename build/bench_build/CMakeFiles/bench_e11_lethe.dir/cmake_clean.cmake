@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_lethe"
+  "../bench/bench_e11_lethe.pdb"
+  "CMakeFiles/bench_e11_lethe.dir/bench_e11_lethe.cc.o"
+  "CMakeFiles/bench_e11_lethe.dir/bench_e11_lethe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_lethe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

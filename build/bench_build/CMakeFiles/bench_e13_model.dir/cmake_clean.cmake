@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_model"
+  "../bench/bench_e13_model.pdb"
+  "CMakeFiles/bench_e13_model.dir/bench_e13_model.cc.o"
+  "CMakeFiles/bench_e13_model.dir/bench_e13_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

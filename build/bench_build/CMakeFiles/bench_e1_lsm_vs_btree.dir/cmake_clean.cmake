@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_lsm_vs_btree"
+  "../bench/bench_e1_lsm_vs_btree.pdb"
+  "CMakeFiles/bench_e1_lsm_vs_btree.dir/bench_e1_lsm_vs_btree.cc.o"
+  "CMakeFiles/bench_e1_lsm_vs_btree.dir/bench_e1_lsm_vs_btree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_lsm_vs_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_memtable"
+  "../bench/bench_e2_memtable.pdb"
+  "CMakeFiles/bench_e2_memtable.dir/bench_e2_memtable.cc.o"
+  "CMakeFiles/bench_e2_memtable.dir/bench_e2_memtable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_layouts"
+  "../bench/bench_e3_layouts.pdb"
+  "CMakeFiles/bench_e3_layouts.dir/bench_e3_layouts.cc.o"
+  "CMakeFiles/bench_e3_layouts.dir/bench_e3_layouts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_filepick"
+  "../bench/bench_e4_filepick.pdb"
+  "CMakeFiles/bench_e4_filepick.dir/bench_e4_filepick.cc.o"
+  "CMakeFiles/bench_e4_filepick.dir/bench_e4_filepick.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_filepick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_filters"
+  "../bench/bench_e5_filters.pdb"
+  "CMakeFiles/bench_e5_filters.dir/bench_e5_filters.cc.o"
+  "CMakeFiles/bench_e5_filters.dir/bench_e5_filters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_rangefilters"
+  "../bench/bench_e6_rangefilters.pdb"
+  "CMakeFiles/bench_e6_rangefilters.dir/bench_e6_rangefilters.cc.o"
+  "CMakeFiles/bench_e6_rangefilters.dir/bench_e6_rangefilters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_rangefilters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_memsplit"
+  "../bench/bench_e7_memsplit.pdb"
+  "CMakeFiles/bench_e7_memsplit.dir/bench_e7_memsplit.cc.o"
+  "CMakeFiles/bench_e7_memsplit.dir/bench_e7_memsplit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_memsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_kvsep"
+  "../bench/bench_e8_kvsep.pdb"
+  "CMakeFiles/bench_e8_kvsep.dir/bench_e8_kvsep.cc.o"
+  "CMakeFiles/bench_e8_kvsep.dir/bench_e8_kvsep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_kvsep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_robust"
+  "../bench/bench_e9_robust.pdb"
+  "CMakeFiles/bench_e9_robust.dir/bench_e9_robust.cc.o"
+  "CMakeFiles/bench_e9_robust.dir/bench_e9_robust.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_service.dir/counter_service.cpp.o"
+  "CMakeFiles/counter_service.dir/counter_service.cpp.o.d"
+  "counter_service"
+  "counter_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delete_compliance.dir/delete_compliance.cpp.o"
+  "CMakeFiles/delete_compliance.dir/delete_compliance.cpp.o.d"
+  "delete_compliance"
+  "delete_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delete_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_workbench.dir/ycsb_workbench.cpp.o"
+  "CMakeFiles/ycsb_workbench.dir/ycsb_workbench.cpp.o.d"
+  "ycsb_workbench"
+  "ycsb_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

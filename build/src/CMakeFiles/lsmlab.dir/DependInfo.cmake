@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/bptree.cc" "src/CMakeFiles/lsmlab.dir/btree/bptree.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/btree/bptree.cc.o.d"
+  "/root/repo/src/cache/lru_cache.cc" "src/CMakeFiles/lsmlab.dir/cache/lru_cache.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/cache/lru_cache.cc.o.d"
+  "/root/repo/src/compaction/compaction.cc" "src/CMakeFiles/lsmlab.dir/compaction/compaction.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/compaction/compaction.cc.o.d"
+  "/root/repo/src/compaction/compaction_picker.cc" "src/CMakeFiles/lsmlab.dir/compaction/compaction_picker.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/compaction/compaction_picker.cc.o.d"
+  "/root/repo/src/db/db.cc" "src/CMakeFiles/lsmlab.dir/db/db.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/db.cc.o.d"
+  "/root/repo/src/db/db_background.cc" "src/CMakeFiles/lsmlab.dir/db/db_background.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/db_background.cc.o.d"
+  "/root/repo/src/db/dbformat.cc" "src/CMakeFiles/lsmlab.dir/db/dbformat.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/dbformat.cc.o.d"
+  "/root/repo/src/db/filename.cc" "src/CMakeFiles/lsmlab.dir/db/filename.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/filename.cc.o.d"
+  "/root/repo/src/db/merge_operator.cc" "src/CMakeFiles/lsmlab.dir/db/merge_operator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/merge_operator.cc.o.d"
+  "/root/repo/src/db/table_cache.cc" "src/CMakeFiles/lsmlab.dir/db/table_cache.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/table_cache.cc.o.d"
+  "/root/repo/src/db/write_batch.cc" "src/CMakeFiles/lsmlab.dir/db/write_batch.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/db/write_batch.cc.o.d"
+  "/root/repo/src/filter/bloom.cc" "src/CMakeFiles/lsmlab.dir/filter/bloom.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/bloom.cc.o.d"
+  "/root/repo/src/filter/cuckoo_filter.cc" "src/CMakeFiles/lsmlab.dir/filter/cuckoo_filter.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/cuckoo_filter.cc.o.d"
+  "/root/repo/src/filter/range_filter.cc" "src/CMakeFiles/lsmlab.dir/filter/range_filter.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/filter/range_filter.cc.o.d"
+  "/root/repo/src/io/counting_env.cc" "src/CMakeFiles/lsmlab.dir/io/counting_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/counting_env.cc.o.d"
+  "/root/repo/src/io/env.cc" "src/CMakeFiles/lsmlab.dir/io/env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/env.cc.o.d"
+  "/root/repo/src/io/latency_env.cc" "src/CMakeFiles/lsmlab.dir/io/latency_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/latency_env.cc.o.d"
+  "/root/repo/src/io/mem_env.cc" "src/CMakeFiles/lsmlab.dir/io/mem_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/mem_env.cc.o.d"
+  "/root/repo/src/io/posix_env.cc" "src/CMakeFiles/lsmlab.dir/io/posix_env.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/posix_env.cc.o.d"
+  "/root/repo/src/io/wal_reader.cc" "src/CMakeFiles/lsmlab.dir/io/wal_reader.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/wal_reader.cc.o.d"
+  "/root/repo/src/io/wal_writer.cc" "src/CMakeFiles/lsmlab.dir/io/wal_writer.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/io/wal_writer.cc.o.d"
+  "/root/repo/src/kvsep/vlog.cc" "src/CMakeFiles/lsmlab.dir/kvsep/vlog.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/kvsep/vlog.cc.o.d"
+  "/root/repo/src/memtable/hash_linklist_rep.cc" "src/CMakeFiles/lsmlab.dir/memtable/hash_linklist_rep.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/hash_linklist_rep.cc.o.d"
+  "/root/repo/src/memtable/hash_skiplist_rep.cc" "src/CMakeFiles/lsmlab.dir/memtable/hash_skiplist_rep.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/hash_skiplist_rep.cc.o.d"
+  "/root/repo/src/memtable/memtable.cc" "src/CMakeFiles/lsmlab.dir/memtable/memtable.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/memtable.cc.o.d"
+  "/root/repo/src/memtable/memtable_rep.cc" "src/CMakeFiles/lsmlab.dir/memtable/memtable_rep.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/memtable_rep.cc.o.d"
+  "/root/repo/src/memtable/skiplist_rep.cc" "src/CMakeFiles/lsmlab.dir/memtable/skiplist_rep.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/skiplist_rep.cc.o.d"
+  "/root/repo/src/memtable/vector_rep.cc" "src/CMakeFiles/lsmlab.dir/memtable/vector_rep.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/memtable/vector_rep.cc.o.d"
+  "/root/repo/src/table/block.cc" "src/CMakeFiles/lsmlab.dir/table/block.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/block.cc.o.d"
+  "/root/repo/src/table/block_builder.cc" "src/CMakeFiles/lsmlab.dir/table/block_builder.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/block_builder.cc.o.d"
+  "/root/repo/src/table/format.cc" "src/CMakeFiles/lsmlab.dir/table/format.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/format.cc.o.d"
+  "/root/repo/src/table/iterator.cc" "src/CMakeFiles/lsmlab.dir/table/iterator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/iterator.cc.o.d"
+  "/root/repo/src/table/merging_iterator.cc" "src/CMakeFiles/lsmlab.dir/table/merging_iterator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/merging_iterator.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/lsmlab.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/table/table_properties.cc" "src/CMakeFiles/lsmlab.dir/table/table_properties.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/table_properties.cc.o.d"
+  "/root/repo/src/table/table_reader.cc" "src/CMakeFiles/lsmlab.dir/table/table_reader.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/table/table_reader.cc.o.d"
+  "/root/repo/src/tuning/cost_model.cc" "src/CMakeFiles/lsmlab.dir/tuning/cost_model.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/cost_model.cc.o.d"
+  "/root/repo/src/tuning/monkey.cc" "src/CMakeFiles/lsmlab.dir/tuning/monkey.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/monkey.cc.o.d"
+  "/root/repo/src/tuning/navigator.cc" "src/CMakeFiles/lsmlab.dir/tuning/navigator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/tuning/navigator.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/lsmlab.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/lsmlab.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/lsmlab.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/CMakeFiles/lsmlab.dir/util/comparator.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/CMakeFiles/lsmlab.dir/util/crc32c.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/lsmlab.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/lsmlab.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/lsmlab.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/options.cc" "src/CMakeFiles/lsmlab.dir/util/options.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/options.cc.o.d"
+  "/root/repo/src/util/rate_limiter.cc" "src/CMakeFiles/lsmlab.dir/util/rate_limiter.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/rate_limiter.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/lsmlab.dir/util/status.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/lsmlab.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/version/version_edit.cc" "src/CMakeFiles/lsmlab.dir/version/version_edit.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/version/version_edit.cc.o.d"
+  "/root/repo/src/version/version_set.cc" "src/CMakeFiles/lsmlab.dir/version/version_set.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/version/version_set.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/lsmlab.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/lsmlab.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

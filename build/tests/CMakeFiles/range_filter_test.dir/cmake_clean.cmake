@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_filter_test.dir/range_filter_test.cc.o"
+  "CMakeFiles/range_filter_test.dir/range_filter_test.cc.o.d"
+  "range_filter_test"
+  "range_filter_test.pdb"
+  "range_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
