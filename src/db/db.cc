@@ -181,7 +181,11 @@ Status DB::Recover() {
   }
   edit.SetLogNumber(log_file_number_);
   std::lock_guard<std::mutex> lock(mu_);
-  return versions_->LogAndApply(&edit);
+  s = versions_->LogAndApply(&edit);
+  // Replay tables are installed (or recovery failed); drop their pins so
+  // RemoveObsoleteFiles sees a clean slate. Recovery is single-threaded.
+  pending_outputs_.clear();
+  return s;
 }
 
 Status DB::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
@@ -411,25 +415,169 @@ Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
   return WriteBatchInternal(options, batch);
 }
 
+// One queued write (or memtable-seal request). Writers block on their own
+// condition variable until a leader commits their batch for them, or until
+// they reach the queue front and commit a group themselves.
+struct DB::Writer {
+  WriteBatch* batch;  // nullptr marks a memtable-seal request (Flush()).
+  bool sync;
+  bool no_slowdown;
+  bool done = false;
+  Status status;
+  std::condition_variable cv;
+
+  Writer(WriteBatch* b, bool s, bool ns)
+      : batch(b), sync(s), no_slowdown(ns) {}
+};
+
+namespace {
+/// Hard cap on the serialized size of one write group (one WAL record).
+constexpr size_t kMaxGroupBytes = 1 << 20;
+/// When the leader's own batch is small, limit how much follower data may
+/// ride along so a tiny write's latency is not held hostage by a megabyte
+/// of followers.
+constexpr size_t kSmallBatchBytes = 128 << 10;
+}  // namespace
+
 Status DB::WriteBatchInternal(const WriteOptions& options,
                               WriteBatch* batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Status s = MakeRoomForWrite(&lock, options.no_slowdown);
-  if (!s.ok()) {
-    return s;
+  Writer w(batch, options.sync, options.no_slowdown);
+  return EnqueueWriter(&w);
+}
+
+Status DB::SealActiveMemTable() {
+  Writer w(nullptr, /*sync=*/false, /*no_slowdown=*/false);
+  return EnqueueWriter(&w);
+}
+
+Status DB::EnqueueWriter(Writer* w) {
+  std::vector<Writer*> group;
+  {
+    std::unique_lock<std::mutex> qlock(writer_queue_mu_);
+    write_queue_.push_back(w);
+    w->cv.wait(qlock, [&] { return w->done || write_queue_.front() == w; });
+    if (w->done) {
+      return w->status;  // A leader committed this write within its group.
+    }
+    BuildWriteGroup(w, &group);
   }
 
-  const uint32_t count = batch->Count();
-  SequenceNumber seq_start = versions_->last_sequence() + 1;
-  batch->SetSequence(seq_start);
-  versions_->SetLastSequence(seq_start + count - 1);
+  // Leader path: commit the group (or seal the memtable) with the queue
+  // frozen behind us — nothing else can enter the write path until we hand
+  // leadership on below.
+  Status s;
+  if (w->batch == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = background_error_;
+    if (s.ok() && !mem_->Empty()) {
+      s = NewMemTableAndLogLocked();
+    }
+  } else {
+    s = CommitWriteGroup(w, group);
+  }
 
-  if (log_ != nullptr) {
-    s = log_->AddRecord(batch->rep());
-    if (s.ok() && (options.sync || options_.sync_wal)) {
-      s = log_file_->Sync();
+  // Deliver statuses to followers and pass leadership to the next writer.
+  {
+    std::lock_guard<std::mutex> qlock(writer_queue_mu_);
+    for (Writer* member : group) {
+      assert(write_queue_.front() == member);
+      write_queue_.pop_front();
+      if (member != w) {
+        member->status = s;
+        member->done = true;
+        member->cv.notify_one();
+      }
+    }
+    if (!write_queue_.empty()) {
+      write_queue_.front()->cv.notify_one();
+    }
+  }
+  return s;
+}
+
+void DB::BuildWriteGroup(Writer* leader, std::vector<Writer*>* group) {
+  // writer_queue_mu_ held; leader is at the queue front.
+  group->push_back(leader);
+  if (leader->batch == nullptr) {
+    return;  // Seal requests never batch with writes.
+  }
+  size_t bytes = leader->batch->ApproximateSize();
+  const size_t max_bytes =
+      bytes <= kSmallBatchBytes ? bytes + kSmallBatchBytes : kMaxGroupBytes;
+
+  for (auto it = write_queue_.begin() + 1; it != write_queue_.end(); ++it) {
+    Writer* follower = *it;
+    if (follower->batch == nullptr) {
+      break;  // Memtable-seal barrier.
+    }
+    if (follower->sync && !leader->sync) {
+      break;  // Would silently upgrade the leader's durability obligation.
+    }
+    if (follower->no_slowdown != leader->no_slowdown) {
+      break;  // Stall-ladder policy must be uniform across the group.
+    }
+    bytes += follower->batch->ApproximateSize();
+    if (bytes > max_bytes) {
+      break;
+    }
+    group->push_back(follower);
+  }
+}
+
+Status DB::CommitWriteGroup(Writer* leader,
+                            const std::vector<Writer*>& group) {
+  Status s;
+  WriteBatch* merged = nullptr;
+  SequenceNumber seq_start = 0;
+  uint32_t count = 0;
+  wal::Writer* log = nullptr;
+  WritableFile* log_file = nullptr;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    s = MakeRoomForWrite(&lock, leader->no_slowdown);
+    if (!s.ok()) {
+      return s;
+    }
+    if (group.size() == 1) {
+      merged = leader->batch;
+    } else {
+      group_batch_.Clear();
+      for (Writer* member : group) {
+        group_batch_.Append(*member->batch);
+      }
+      merged = &group_batch_;
+    }
+    count = merged->Count();
+    // Allocate — but do not publish — the group's sequence range. Readers
+    // keep snapshotting the old last_sequence, so the entries stay
+    // invisible until the WAL write has succeeded; a failed append
+    // therefore consumes no sequence numbers.
+    seq_start = versions_->last_sequence() + 1;
+    merged->SetSequence(seq_start);
+    // The WAL handles are stable outside mu_: they are only swapped by a
+    // write-queue leader (MakeRoomForWrite / seal requests), and we are
+    // the sole leader until the group completes.
+    log = log_.get();
+    log_file = log_file_.get();
+  }
+
+  if (log != nullptr) {
+    // One WAL record and at most one fsync for the whole group, outside
+    // mu_ — the point of group commit (fsync amortization, §2.2.5).
+    s = log->AddRecord(merged->rep());
+    if (s.ok()) {
+      stats_.wal_bytes_written.fetch_add(merged->rep().size(),
+                                         std::memory_order_relaxed);
+      if (leader->sync || options_.sync_wal) {
+        s = log_file->Sync();
+        if (s.ok()) {
+          stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
       background_error_ = s;
       return s;
     }
@@ -452,9 +600,26 @@ Status DB::WriteBatchInternal(const WriteOptions& options,
     MemTable* const mem_;
     SequenceNumber seq_;
   };
-  Inserter inserter(mem_.get(), seq_start);
-  s = batch->Iterate(&inserter);
-  stats_.writes.fetch_add(count, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Inserter inserter(mem_.get(), seq_start);
+    s = merged->Iterate(&inserter);
+    if (s.ok()) {
+      versions_->SetLastSequence(seq_start + count - 1);
+    } else {
+      // A partially applied group would leak unpublished sequence numbers
+      // into the memtable; poison the DB rather than risk reusing them.
+      background_error_ = s;
+    }
+  }
+  if (merged == &group_batch_) {
+    group_batch_.Clear();  // Release the coalesced bytes promptly.
+  }
+  if (s.ok()) {
+    stats_.writes.fetch_add(count, std::memory_order_relaxed);
+    stats_.write_groups.fetch_add(1, std::memory_order_relaxed);
+    stats_.RecordWriteGroupSize(group.size());
+  }
   return s;
 }
 

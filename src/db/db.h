@@ -32,9 +32,19 @@ namespace lsmlab {
 /// external operations of tutorial §2.1.2 (put, get, scan, delete) with
 /// every internal design decision (§2.2, §2.3) controlled by Options.
 ///
-/// Concurrency model: any number of reader threads; writers are serialized
-/// internally; flushes and compactions run on a background pool. Forward
-/// iteration only.
+/// Concurrency model: any number of reader threads; flushes and compactions
+/// run on a background pool. Writers go through a LevelDB/RocksDB-style
+/// group-commit queue (leader/follower protocol): each writer enqueues
+/// itself under `writer_queue_mu_`; the front writer becomes *leader*,
+/// coalesces the batches of compatible queued followers into one group,
+/// and commits the whole group — one sequence range, one WAL record, and
+/// (for sync writes) one fsync — before waking the followers with their
+/// statuses. Only the leader ever runs the write-stall ladder
+/// (MakeRoomForWrite) or touches the WAL, so the expensive WAL append +
+/// Sync happen entirely outside `mu_`; `mu_` is held only to make room,
+/// to assign sequence numbers, and to apply the merged batch to the
+/// memtable. Lock ordering: `writer_queue_mu_` is acquired before `mu_`,
+/// never after it. Forward iteration only.
 class DB {
  public:
   /// Opens (creating if configured) the database at `name`.
@@ -128,11 +138,26 @@ class DB {
 
   Status WriteInternal(const WriteOptions& options, ValueType type,
                        const Slice& key, const Slice& value);
-  /// Shared core: logs the (sequenced) batch and applies it to the
-  /// memtable under the write mutex.
+  /// Shared core of every write: enqueues onto the group-commit writer
+  /// queue and returns once a leader (possibly this writer) has committed
+  /// the batch.
   Status WriteBatchInternal(const WriteOptions& options, WriteBatch* batch);
+  /// Enqueues `w`, waits for a leader to commit it (or for leadership), and
+  /// as leader commits the whole group and hands leadership on.
+  Status EnqueueWriter(Writer* w);
+  /// Collects the leader plus compatible followers from the front of
+  /// write_queue_ into `group`. writer_queue_mu_ held.
+  void BuildWriteGroup(Writer* leader, std::vector<Writer*>* group);
+  /// Leader-only: assigns the group's sequence range, writes one WAL
+  /// record (+ optional fsync) outside mu_, applies the merged batch to
+  /// the memtable, and publishes the new last_sequence.
+  Status CommitWriteGroup(Writer* leader, const std::vector<Writer*>& group);
+  /// Seals the active memtable via the writer queue (so the swap cannot
+  /// race a leader's WAL write); used by Flush().
+  Status SealActiveMemTable();
   /// Blocks (or fails with Busy under no_slowdown) until the write path has
   /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
+  /// Only the current write-queue leader may call this. mu_ held.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
                           bool no_slowdown);
 
@@ -201,7 +226,20 @@ class DB {
   bool shutting_down_ = false;
   Status background_error_;
 
-  std::mutex writers_mu_;  // Serializes writers ahead of mu_.
+  /// Table files currently being written (flush/compaction outputs) that no
+  /// Version references yet. RemoveObsoleteFiles must not delete them.
+  /// Guarded by mu_; entries are erased once the file is installed in a
+  /// Version or its builder gave up and removed it.
+  std::set<uint64_t> pending_outputs_;
+
+  /// Group-commit writer queue (leader/follower). Acquired before mu_,
+  /// never while holding mu_. The front writer is the current leader; it is
+  /// the only thread allowed in MakeRoomForWrite, the WAL, or group_batch_
+  /// until it hands leadership to the next queued writer.
+  std::mutex writer_queue_mu_;
+  std::deque<Writer*> write_queue_;
+  /// Leader-only scratch batch holding a coalesced group (> 1 writer).
+  WriteBatch group_batch_;
 };
 
 /// Destroys the database at `name` (removes all its files). For tests and

@@ -51,11 +51,20 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
   {
     std::lock_guard<std::mutex> lock(mu_);
     file_number = versions_->NewFileNumber();
+    // The file exists on disk before any Version references it; pin it so a
+    // concurrent RemoveObsoleteFiles does not garbage-collect it mid-build.
+    // On success the caller erases the pin once the file is installed.
+    pending_outputs_.insert(file_number);
   }
+  auto unpin = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_outputs_.erase(file_number);
+  };
   std::string fname = TableFileName(dbname_, file_number);
   std::unique_ptr<WritableFile> file;
   Status s = options_.env->NewWritableFile(fname, &file);
   if (!s.ok()) {
+    unpin();
     return s;
   }
 
@@ -76,12 +85,14 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
   if (!iter->status().ok()) {
     builder.Abandon();
     options_.env->RemoveFile(fname);
+    unpin();
     return iter->status();
   }
   if (first) {
     // Nothing to write.
     builder.Abandon();
     options_.env->RemoveFile(fname);
+    unpin();
     meta->file_number = 0;
     return Status::OK();
   }
@@ -95,6 +106,7 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
   }
   if (!s.ok()) {
     options_.env->RemoveFile(fname);
+    unpin();
     return s;
   }
 
@@ -145,6 +157,11 @@ void DB::BackgroundFlush() {
                                     options_.clock->NowMicros(), &meta);
 
   std::unique_lock<std::mutex> lock(mu_);
+  if (meta.file_number != 0) {
+    // Safe to unpin here: RemoveObsoleteFiles also needs mu_, and we hold it
+    // continuously until the file is installed in a Version below.
+    pending_outputs_.erase(meta.file_number);
+  }
   if (s.ok() && meta.file_number != 0) {
     VersionEdit edit;
     edit.AddFile(0, meta);
@@ -186,22 +203,17 @@ void DB::BackgroundFlush() {
 }
 
 Status DB::Flush() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!mem_->Empty()) {
-      Status s = NewMemTableAndLogLocked();
-      if (!s.ok()) {
-        return s;
-      }
-    }
-    background_cv_.wait(lock, [this] {
-      return !background_error_.ok() || imms_.empty();
-    });
-    if (!background_error_.ok()) {
-      return background_error_;
-    }
+  // Seal through the writer queue: swapping the active memtable (and WAL
+  // handles) must not race a leader's WAL write, which happens outside mu_.
+  Status s = SealActiveMemTable();
+  if (!s.ok()) {
+    return s;
   }
-  return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  background_cv_.wait(lock, [this] {
+    return !background_error_.ok() || imms_.empty();
+  });
+  return background_error_;
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +382,9 @@ Status DB::RunCompaction(const CompactionJob& job) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         out_file_number = versions_->NewFileNumber();
+        // Pin the output until LogAndApply installs it (or cleanup below
+        // removes it); see RemoveObsoleteFiles.
+        pending_outputs_.insert(out_file_number);
       }
       Status es = options_.env->NewWritableFile(
           TableFileName(dbname_, out_file_number), &out_file);
@@ -526,6 +541,11 @@ Status DB::RunCompaction(const CompactionJob& job) {
     for (const auto& meta : outputs) {
       options_.env->RemoveFile(TableFileName(dbname_, meta.file_number));
     }
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_outputs_.erase(out_file_number);
+    for (const auto& meta : outputs) {
+      pending_outputs_.erase(meta.file_number);
+    }
     return s;
   }
 
@@ -543,6 +563,9 @@ Status DB::RunCompaction(const CompactionJob& job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s = versions_->LogAndApply(&edit);
+    for (const auto& meta : outputs) {
+      pending_outputs_.erase(meta.file_number);  // Installed (or doomed).
+    }
     if (s.ok()) {
       stats_.compactions.fetch_add(1, std::memory_order_relaxed);
       RemoveObsoleteFiles();
@@ -652,7 +675,9 @@ void DB::RemoveObsoleteFiles() {
     bool keep = true;
     switch (type) {
       case FileType::kTableFile:
-        keep = live.count(number) > 0;
+        // Live in some still-referenced Version, or an in-flight
+        // flush/compaction output not yet installed in any Version.
+        keep = live.count(number) > 0 || pending_outputs_.count(number) > 0;
         break;
       case FileType::kLogFile:
         keep = number >= min_log;

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+
+#include "util/histogram.h"
 
 namespace lsmlab {
 
@@ -21,8 +24,12 @@ struct Statistics {
   std::atomic<uint64_t> filter_false_positives{0};
   std::atomic<uint64_t> range_scans{0};
 
-  // Write path.
+  // Write path. `writes` counts operations; `write_groups` counts leader
+  // commits, so writes / write_groups is the mean group-commit batch size.
   std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> write_groups{0};
+  std::atomic<uint64_t> wal_syncs{0};
+  std::atomic<uint64_t> wal_bytes_written{0};
   std::atomic<uint64_t> write_stall_micros{0};
   std::atomic<uint64_t> write_slowdown_micros{0};
 
@@ -44,8 +51,15 @@ struct Statistics {
     filter_false_positives = 0;
     range_scans = 0;
     writes = 0;
+    write_groups = 0;
+    wal_syncs = 0;
+    wal_bytes_written = 0;
     write_stall_micros = 0;
     write_slowdown_micros = 0;
+    {
+      std::lock_guard<std::mutex> lock(write_group_size_mu_);
+      write_group_size_.Clear();
+    }
     flushes = 0;
     compactions = 0;
     compaction_bytes_read = 0;
@@ -70,6 +84,31 @@ struct Statistics {
                        : static_cast<double>(filter_false_positives.load()) /
                              static_cast<double>(checks);
   }
+
+  /// Records the number of writers coalesced into one group commit.
+  void RecordWriteGroupSize(uint64_t writers_in_group) {
+    std::lock_guard<std::mutex> lock(write_group_size_mu_);
+    write_group_size_.Add(static_cast<double>(writers_in_group));
+  }
+
+  /// Snapshot of the group-size distribution (writers per WAL record).
+  Histogram WriteGroupSizes() const {
+    std::lock_guard<std::mutex> lock(write_group_size_mu_);
+    return write_group_size_;
+  }
+
+  /// WAL fsyncs per operation; < 1 under sync writes means fsyncs are being
+  /// amortized across group-committed writers.
+  double WalSyncsPerWrite() const {
+    uint64_t w = writes.load();
+    return w == 0 ? 0.0
+                  : static_cast<double>(wal_syncs.load()) /
+                        static_cast<double>(w);
+  }
+
+ private:
+  mutable std::mutex write_group_size_mu_;
+  Histogram write_group_size_;
 };
 
 }  // namespace lsmlab

@@ -47,6 +47,16 @@ void WriteBatch::Merge(const Slice& key, const Slice& operand) {
   PutTyped(kTypeMerge, key, operand);
 }
 
+void WriteBatch::Append(const WriteBatch& other) {
+  const uint32_t other_count = other.Count();
+  if (other_count == 0) {
+    return;
+  }
+  EncodeFixed32(rep_.data() + 8, Count() + other_count);
+  rep_.append(other.rep_.data() + kHeaderSize,
+              other.rep_.size() - kHeaderSize);
+}
+
 void WriteBatch::Handler::TypedRecord(ValueType type, const Slice& key,
                                       const Slice& value) {
   switch (type) {

@@ -27,6 +27,11 @@ class WriteBatch {
   void SingleDelete(const Slice& key);
   void Merge(const Slice& key, const Slice& operand);
 
+  /// Appends all of `other`'s records to this batch, preserving their order
+  /// and this batch's sequence number. The group-commit write path uses this
+  /// to coalesce the queued writers' batches into one WAL record.
+  void Append(const WriteBatch& other);
+
   void Clear();
 
   /// Number of operations in the batch.

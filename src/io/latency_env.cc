@@ -59,7 +59,15 @@ class LatencyWritableFile final : public WritableFile {
   }
   Status Close() override { return base_->Close(); }
   Status Flush() override { return base_->Flush(); }
-  Status Sync() override { return base_->Sync(); }
+  Status Sync() override {
+    Status s = base_->Sync();
+    if (s.ok()) {
+      // An fsync costs one device round trip regardless of bytes; this is
+      // what group commit amortizes across writers.
+      env_->ChargeIo(0);
+    }
+    return s;
+  }
 
  private:
   std::unique_ptr<WritableFile> base_;

@@ -361,6 +361,9 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
     return s;
   }
 
+  // The outgoing version may still be pinned by readers; remember it so
+  // AddLiveFiles keeps protecting its files until the last reference drops.
+  referenced_versions_.push_back(current_);
   current_ = std::move(new_version);
   if (edit->has_log_number()) {
     log_number_ = edit->log_number();
@@ -369,11 +372,23 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
 }
 
 void VersionSet::AddLiveFiles(std::set<uint64_t>* live) const {
-  for (int level = 0; level < current_->num_levels(); ++level) {
-    for (const auto& f : current_->files(level)) {
-      live->insert(f.file_number);
+  auto add_version = [&](const Version& v) {
+    for (int level = 0; level < v.num_levels(); ++level) {
+      for (const auto& f : v.files(level)) {
+        live->insert(f.file_number);
+      }
+    }
+  };
+  add_version(*current_);
+  // Sweep older versions, pruning the ones nobody references anymore.
+  auto out = referenced_versions_.begin();
+  for (auto& weak : referenced_versions_) {
+    if (auto v = weak.lock()) {
+      add_version(*v);
+      *out++ = std::move(weak);
     }
   }
+  referenced_versions_.erase(out, referenced_versions_.end());
 }
 
 }  // namespace lsmlab

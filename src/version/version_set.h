@@ -103,7 +103,10 @@ class VersionSet {
 
   uint64_t manifest_file_number() const { return manifest_file_number_; }
 
-  /// Collects the numbers of all files referenced by the current version.
+  /// Collects the numbers of all files referenced by the current version or
+  /// by any older version still pinned by a reader, iterator, or snapshot
+  /// (their files must survive garbage collection until the last reference
+  /// drops).
   void AddLiveFiles(std::set<uint64_t>* live) const;
 
  private:
@@ -115,6 +118,10 @@ class VersionSet {
   const InternalKeyComparator* const icmp_;
 
   std::shared_ptr<const Version> current_;
+  /// Weak handles on every version ever installed; expired entries are
+  /// pruned on use. Lets AddLiveFiles see versions that readers still hold
+  /// after newer versions replaced them (MVCC over metadata).
+  mutable std::vector<std::weak_ptr<const Version>> referenced_versions_;
   uint64_t next_file_number_ = 2;
   uint64_t manifest_file_number_ = 0;
   SequenceNumber last_sequence_ = 0;

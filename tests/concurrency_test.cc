@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "db/db.h"
+#include "io/latency_env.h"
 #include "io/mem_env.h"
 #include "util/random.h"
 
@@ -179,6 +180,151 @@ TEST_F(ConcurrencyTest, ConcurrentWritersSerializeCleanly) {
   ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
   EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread),
             db_->CountLiveEntries());
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+}
+
+// (a) Many threads hammering Put and multi-op Write concurrently: every
+// acknowledged key must be readable afterwards and stats.writes must count
+// every operation exactly once (group commit must not double- or
+// drop-count coalesced batches).
+TEST_F(ConcurrencyTest, WriteStormAllKeysReadableAndCounted) {
+  options_.write_buffer_size = 64 << 10;
+  ASSERT_TRUE(DB::Open(options_, "/conc4", &db_).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "s" + std::to_string(t) + "-" + std::to_string(i);
+        if (i % 4 == 0) {
+          // Multi-op batch: two keys committed atomically.
+          WriteBatch batch;
+          batch.Put(key, "v");
+          batch.Put(key + "-b", "v");
+          if (!db_->Write(WriteOptions(), &batch).ok()) {
+            ++errors;
+          } else {
+            ops.fetch_add(2);
+          }
+        } else {
+          if (!db_->Put(WriteOptions(), key, "v").ok()) {
+            ++errors;
+          } else {
+            ops.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(0u, errors.load());
+  EXPECT_EQ(ops.load(), db_->statistics()->writes.load());
+
+  std::string value;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      std::string key = "s" + std::to_string(t) + "-" + std::to_string(i);
+      EXPECT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+      if (i % 4 == 0) {
+        EXPECT_TRUE(db_->Get(ReadOptions(), key + "-b", &value).ok()) << key;
+      }
+    }
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+}
+
+// (b) Under contention the leader/follower queue must actually coalesce:
+// strictly fewer WAL commits than operations, and groups of > 1 writer. A
+// slow emulated WAL device keeps each leader busy long enough for
+// followers to pile up behind it.
+TEST_F(ConcurrencyTest, GroupCommitCoalescesUnderContention) {
+  DeviceModel device;
+  device.per_op_latency_micros = 200;
+  device.bandwidth_bytes_per_sec = 1ull << 30;
+  LatencyEnv lat_env(&env_, device, SystemClock());
+  options_.env = &lat_env;
+  options_.write_buffer_size = 1 << 20;  // Keep flush churn out of the way.
+  ASSERT_TRUE(DB::Open(options_, "/conc5", &db_).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "g" + std::to_string(t) + "-" + std::to_string(i);
+        if (!db_->Put(WriteOptions(), key, "v").ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(0u, errors.load());
+
+  const Statistics* stats = db_->statistics();
+  uint64_t writes = stats->writes.load();
+  uint64_t groups = stats->write_groups.load();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread), writes);
+  EXPECT_LE(groups, writes);
+  EXPECT_LT(groups, writes) << "no coalescing happened under contention";
+  Histogram sizes = stats->WriteGroupSizes();
+  EXPECT_EQ(groups, sizes.num());
+  EXPECT_GT(sizes.max(), 1.0);
+}
+
+// (c) Sync and non-sync writers interleaved: a sync follower must never be
+// committed by a non-sync leader (durability downgrades are forbidden), but
+// every write must land regardless of which kind of leader commits it.
+TEST_F(ConcurrencyTest, MixedSyncAndAsyncWritersInterleave) {
+  ASSERT_TRUE(DB::Open(options_, "/conc6", &db_).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 300;
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      WriteOptions wo;
+      wo.sync = (t % 2 == 0);  // Even threads are sync writers.
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "m" + std::to_string(t) + "-" + std::to_string(i);
+        if (!db_->Put(wo, key, "v" + std::to_string(i)).ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(0u, errors.load());
+
+  const Statistics* stats = db_->statistics();
+  // Every sync write is covered by a sync'd group commit; there were
+  // kThreads/2 * kPerThread sync writes, so at least one sync happened and
+  // no more syncs than groups.
+  EXPECT_GE(stats->wal_syncs.load(), 1u);
+  EXPECT_LE(stats->wal_syncs.load(), stats->write_groups.load());
+
+  std::string value;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      std::string key = "m" + std::to_string(t) + "-" + std::to_string(i);
+      ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+      EXPECT_EQ("v" + std::to_string(i), value);
+    }
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
   EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
 }
 

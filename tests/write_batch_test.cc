@@ -76,6 +76,96 @@ TEST(WriteBatchTest, ClearResets) {
   EXPECT_EQ(0u, batch.Count());
 }
 
+TEST(WriteBatchTest, AppendConcatenatesCountsAndRecords) {
+  WriteBatch dst, src;
+  dst.Put("a", "1");
+  dst.Delete("b");
+  src.Put("c", "3");
+  src.Merge("d", "4");
+  src.SingleDelete("e");
+  dst.Append(src);
+  EXPECT_EQ(5u, dst.Count());
+  EXPECT_EQ(3u, src.Count());  // Source is untouched.
+
+  RecordingHandler handler;
+  ASSERT_TRUE(dst.Iterate(&handler).ok());
+  ASSERT_EQ(5u, handler.events.size());
+  EXPECT_EQ("put:a=1", handler.events[0]);
+  EXPECT_EQ("del:b", handler.events[1]);
+  EXPECT_EQ("put:c=3", handler.events[2]);
+  EXPECT_EQ("merge:d+4", handler.events[3]);
+  EXPECT_EQ("sdel:e", handler.events[4]);
+}
+
+TEST(WriteBatchTest, AppendPreservesDestinationSequence) {
+  WriteBatch dst, src;
+  dst.Put("a", "1");
+  dst.SetSequence(42);
+  src.Put("b", "2");
+  src.SetSequence(777);  // Follower sequences are ignored on append.
+  dst.Append(src);
+  EXPECT_EQ(42u, dst.sequence());
+  EXPECT_EQ(2u, dst.Count());
+}
+
+TEST(WriteBatchTest, AppendEmptyBatches) {
+  WriteBatch dst, src, empty;
+  // Empty source: no-op.
+  dst.Put("a", "1");
+  dst.Append(empty);
+  EXPECT_EQ(1u, dst.Count());
+  RecordingHandler handler;
+  ASSERT_TRUE(dst.Iterate(&handler).ok());
+  EXPECT_EQ(1u, handler.events.size());
+  // Empty destination adopts the source's records.
+  src.Put("b", "2");
+  empty.Append(src);
+  EXPECT_EQ(1u, empty.Count());
+  RecordingHandler handler2;
+  ASSERT_TRUE(empty.Iterate(&handler2).ok());
+  ASSERT_EQ(1u, handler2.events.size());
+  EXPECT_EQ("put:b=2", handler2.events[0]);
+}
+
+TEST(WriteBatchTest, AppendTypedRecordRoundTrip) {
+  // Raw typed records (e.g. vlog pointers) must survive an append intact.
+  struct TypedHandler : public WriteBatch::Handler {
+    std::vector<std::pair<ValueType, std::string>> records;
+    void TypedRecord(ValueType type, const Slice& key,
+                     const Slice& value) override {
+      records.emplace_back(type, key.ToString() + "=" + value.ToString());
+    }
+    void Put(const Slice&, const Slice&) override {}
+    void Delete(const Slice&) override {}
+    void SingleDelete(const Slice&) override {}
+    void Merge(const Slice&, const Slice&) override {}
+  };
+
+  WriteBatch dst, src;
+  dst.PutTyped(kTypeValue, "k1", "v1");
+  src.PutTyped(kTypeVlogPointer, "k2", "ptr-bytes");
+  src.PutTyped(kTypeMerge, "k3", "+1");
+  dst.Append(src);
+  ASSERT_EQ(3u, dst.Count());
+
+  TypedHandler handler;
+  ASSERT_TRUE(dst.Iterate(&handler).ok());
+  ASSERT_EQ(3u, handler.records.size());
+  EXPECT_EQ(kTypeValue, handler.records[0].first);
+  EXPECT_EQ("k1=v1", handler.records[0].second);
+  EXPECT_EQ(kTypeVlogPointer, handler.records[1].first);
+  EXPECT_EQ("k2=ptr-bytes", handler.records[1].second);
+  EXPECT_EQ(kTypeMerge, handler.records[2].first);
+  EXPECT_EQ("k3=+1", handler.records[2].second);
+
+  // The appended rep round-trips through serialization (the WAL path).
+  WriteBatch copy;
+  ASSERT_TRUE(copy.SetRep(dst.rep()).ok());
+  TypedHandler handler2;
+  ASSERT_TRUE(copy.Iterate(&handler2).ok());
+  EXPECT_EQ(handler.records, handler2.records);
+}
+
 TEST(WriteBatchTest, CorruptRepDetected) {
   WriteBatch batch;
   EXPECT_TRUE(batch.SetRep(Slice("tiny")).IsCorruption());
