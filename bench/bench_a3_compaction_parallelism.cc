@@ -1,0 +1,143 @@
+// A3 — Parallel background engine: compaction throughput and write stalls
+// vs background parallelism (tutorial §2.2.4).
+//
+// Claim: a job-based scheduler that admits multiple range-disjoint
+// compactions concurrently — and splits large leveled merges into
+// subcompaction shards — turns background threads into compaction
+// bandwidth: with the same ingest stream, 4 background threads sustain a
+// multiple of the 1-thread bytes-compacted/sec and spend less wall time
+// stalled, because disjoint L1->L2 / L2->L3 merges overlap instead of
+// queueing behind one global compaction slot. An emulated device
+// (LatencyEnv) makes per-I/O latency and bandwidth real on any machine, so
+// the parallelism is actually observable as wall time.
+
+#include "bench/bench_util.h"
+#include "io/latency_env.h"
+#include "util/random.h"
+
+namespace lsmlab::bench {
+namespace {
+
+constexpr uint64_t kOps = 20000;
+constexpr uint64_t kKeySpace = 4000;  // Overwrites force real merge work.
+constexpr size_t kValueSize = 120;
+
+struct Row {
+  double wall_secs = 0;
+  double compact_mb_per_sec = 0;
+  uint64_t compact_bytes = 0;
+  double stall_ms = 0;
+  uint64_t compactions = 0;
+  uint64_t max_parallel = 0;
+  uint64_t shards = 0;
+};
+
+Row RunOne(int threads) {
+  auto mem_env = std::make_unique<MemEnv>();
+  // A modest emulated SSD: every table write pays latency + bandwidth, so
+  // serialized compactions cost serialized wall time.
+  DeviceModel device;
+  device.per_op_latency_micros = 80;
+  device.bandwidth_bytes_per_sec = 96ull << 20;
+  auto lat_env =
+      std::make_unique<LatencyEnv>(mem_env.get(), device, SystemClock());
+
+  Options options;
+  options.env = lat_env.get();
+  options.write_buffer_size = 32 << 10;
+  options.max_bytes_for_level_base = 128 << 10;
+  options.target_file_size = 32 << 10;
+  options.size_ratio = 4;
+  options.compaction_granularity = CompactionGranularity::kPartial;
+  options.background_threads = threads;
+  options.max_subcompactions = threads;
+  // No WAL: ingest runs at memtable speed, so wall time is governed by how
+  // fast the background engine digests the backlog (stalls + drain) — the
+  // quantity under test — not by foreground WAL appends on the slow device.
+  options.enable_wal = false;
+  options.info_log = nullptr;
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, "/a3", &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return {};
+  }
+
+  WorkloadGenerator value_maker(WorkloadSpec::WriteOnly(1));
+  Random rnd(301);
+  WriteOptions wo;
+  uint64_t t0 = SystemClock()->NowMicros();
+  for (uint64_t i = 0; i < kOps; ++i) {
+    std::string key = WorkloadGenerator::FormatKey(rnd.Uniform(kKeySpace));
+    std::string value = value_maker.MakeValue(key, kValueSize);
+    s = db->Put(wo, key, value);
+    if (!s.ok()) {
+      std::fprintf(stderr, "put: %s\n", s.ToString().c_str());
+      return {};
+    }
+  }
+  // Include the drain: a scheduler that merely defers work would otherwise
+  // look fast.
+  db->WaitForBackgroundWork();
+  uint64_t wall = SystemClock()->NowMicros() - t0;
+
+  const Statistics* stats = db->statistics();
+  Row row;
+  row.wall_secs = static_cast<double>(wall) / 1e6;
+  row.compact_bytes = stats->compaction_bytes_read.load() +
+                      stats->compaction_bytes_written.load();
+  row.compact_mb_per_sec = static_cast<double>(row.compact_bytes) /
+                           (1 << 20) / row.wall_secs;
+  row.stall_ms = static_cast<double>(stats->write_stall_micros.load() +
+                                     stats->write_slowdown_micros.load()) /
+                 1000.0;
+  row.compactions = stats->compactions.load();
+  row.max_parallel = stats->max_compactions_running.load();
+  row.shards = stats->subcompactions.load();
+  db.reset();
+  return row;
+}
+
+void Run() {
+  Banner("A3: compaction parallelism via the background job engine",
+         "admitting range-disjoint compactions concurrently (plus "
+         "subcompaction splitting of large leveled merges) converts "
+         "background threads into compaction bandwidth: higher "
+         "bytes-compacted/sec and fewer write stalls at equal ingest "
+         "(tutorial §2.2.4)");
+
+  PrintHeader({"bg threads", "wall s", "compact MB/s", "speedup", "stall ms",
+               "jobs", "max parallel", "shards"});
+  double base_rate = 0.0;
+  double rate_at_4 = 0.0;
+  for (int threads : {1, 2, 4}) {
+    Row row = RunOne(threads);
+    if (threads == 1) {
+      base_rate = row.compact_mb_per_sec;
+    }
+    if (threads == 4) {
+      rate_at_4 = row.compact_mb_per_sec;
+    }
+    PrintRow({FmtInt(static_cast<uint64_t>(threads)), Fmt(row.wall_secs),
+              Fmt(row.compact_mb_per_sec),
+              Fmt(base_rate > 0 ? row.compact_mb_per_sec / base_rate : 0.0,
+                  2) +
+                  "x",
+              Fmt(row.stall_ms, 1), FmtInt(row.compactions),
+              FmtInt(row.max_parallel), FmtInt(row.shards)});
+  }
+  std::printf(
+      "\nshape check: 4 background threads should overlap jobs "
+      "(max parallel > 1, shards > 0) and sustain >= 1.5x the 1-thread "
+      "bytes-compacted/sec; measured 4-thread speedup = %.2fx.\n",
+      base_rate > 0 ? rate_at_4 / base_rate : 0.0);
+}
+
+}  // namespace
+}  // namespace lsmlab::bench
+
+int main() {
+  lsmlab::bench::Run();
+  return 0;
+}

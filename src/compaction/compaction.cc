@@ -1,6 +1,9 @@
 #include "compaction/compaction.h"
 
+#include <cassert>
 #include <cstdio>
+
+#include "util/comparator.h"
 
 namespace lsmlab {
 
@@ -18,7 +21,25 @@ const char* CompactionTriggerName(CompactionTrigger trigger) {
   return "unknown";
 }
 
-std::string CompactionJob::DebugString() const {
+void CompactionPlan::KeyRange(std::string* smallest,
+                              std::string* largest) const {
+  assert(!inputs.empty());
+  const Comparator* ucmp = BytewiseComparator();
+  bool first = true;
+  auto widen = [&](const FileMetaData& f) {
+    if (first || ucmp->Compare(f.smallest.user_key(), *smallest) < 0) {
+      *smallest = f.smallest.user_key().ToString();
+    }
+    if (first || ucmp->Compare(f.largest.user_key(), *largest) > 0) {
+      *largest = f.largest.user_key().ToString();
+    }
+    first = false;
+  };
+  for (const auto& f : inputs) widen(f);
+  for (const auto& f : overlap) widen(f);
+}
+
+std::string CompactionPlan::DebugString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "compaction[%s] L%d(%zu files) -> L%d(%zu overlap) %s",

@@ -20,12 +20,12 @@ enum class CompactionTrigger {
 
 const char* CompactionTriggerName(CompactionTrigger trigger);
 
-/// A fully specified compaction job: the picker's output, the executor's
+/// A fully specified compaction plan: the picker's output, a CompactionJob's
 /// input. Together with CompactionTrigger this encodes all four primitives
 /// of the design space: trigger, data layout (via which levels hold runs),
 /// granularity (how many input files), and data-movement policy (which
 /// files were picked).
-struct CompactionJob {
+struct CompactionPlan {
   CompactionTrigger trigger = CompactionTrigger::kLevelSize;
   int input_level = 0;
   int output_level = 0;
@@ -44,6 +44,11 @@ struct CompactionJob {
     for (const auto& f : overlap) total += f.file_size;
     return total;
   }
+
+  /// Inclusive user-key hull over inputs and overlap — the key range this
+  /// plan claims at both its levels for conflict tracking. Requires at
+  /// least one input file.
+  void KeyRange(std::string* smallest, std::string* largest) const;
 
   std::string DebugString() const;
 };

@@ -1,0 +1,157 @@
+#ifndef LSMLAB_COMPACTION_COMPACTION_JOB_H_
+#define LSMLAB_COMPACTION_COMPACTION_JOB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compaction/compaction.h"
+#include "db/dbformat.h"
+#include "db/statistics.h"
+#include "db/table_cache.h"
+#include "kvsep/vlog.h"
+#include "table/table_builder.h"
+#include "util/arena.h"
+#include "util/options.h"
+#include "util/rate_limiter.h"
+#include "util/thread_pool.h"
+#include "version/version_edit.h"
+
+namespace lsmlab {
+
+/// One background compaction, extracted from the DB into a self-contained
+/// job object: it owns its arena, per-job stats, output set, and the
+/// VersionEdit that installs its result. The scheduler (DB) creates a job
+/// from a CompactionPlan, calls Run() off the DB mutex, and either installs
+/// edit() or calls Cleanup().
+///
+/// Subcompaction splitting: when the output level is leveled and
+/// Options::max_subcompactions > 1, Run() partitions the input user-key
+/// space at file-boundary keys into N disjoint shards, executes them in
+/// parallel on the thread pool (Priority::kMedium), and stitches the shard
+/// outputs back into one atomic edit. All versions of a user key land in
+/// exactly one shard, so the merge drop rules (shadowing, bottommost
+/// tombstone drop, single-delete annihilation) stay correct per shard.
+/// While waiting for its shards the coordinating thread helps drain the
+/// kMedium queue, so splitting cannot deadlock even on a 1-thread pool.
+class CompactionJob {
+ public:
+  /// Everything a job needs from the engine. Callbacks must be safe to call
+  /// without the DB mutex held (they take it internally).
+  struct Context {
+    const Options* options = nullptr;
+    std::string dbname;
+    const InternalKeyComparator* icmp = nullptr;
+    TableCache* table_cache = nullptr;
+    VlogManager* vlog = nullptr;           // Null without kv separation.
+    RateLimiter* rate_limiter = nullptr;   // Null disables throttling.
+    Statistics* stats = nullptr;
+    ThreadPool* pool = nullptr;            // Null disables subcompactions.
+    /// Snapshot floor for the drop rules, fixed at admission time.
+    SequenceNumber oldest_snapshot = 0;
+    /// Allocates a fresh file number and pins it in pending_outputs_.
+    std::function<uint64_t()> pin_new_file_number;
+    /// Erases a pin placed by pin_new_file_number.
+    std::function<void(uint64_t)> unpin_output;
+    /// True when the job should abandon work (engine shutdown).
+    std::function<bool()> should_abort;
+    /// Per-level table-builder options (Monkey filter bits etc.).
+    std::function<TableBuilderOptions(int level)> make_builder_options;
+  };
+
+  CompactionJob(uint64_t id, CompactionPlan plan, Context context);
+
+  CompactionJob(const CompactionJob&) = delete;
+  CompactionJob& operator=(const CompactionJob&) = delete;
+
+  /// Executes the merge (possibly sharded). Returns OK on success,
+  /// Status::Aborted when should_abort() interrupted it, or the first I/O /
+  /// corruption error. On non-OK the caller must invoke Cleanup().
+  Status Run();
+
+  /// Removes every output file this job wrote and releases their pins.
+  /// Idempotent; for the failure/abort path.
+  void Cleanup();
+
+  /// Releases the pending-output pins without removing files; for the
+  /// caller once outputs are installed (or doomed to orphan collection).
+  void ReleaseOutputPins();
+
+  uint64_t id() const { return id_; }
+  const CompactionPlan& plan() const { return plan_; }
+  /// The stitched edit: inputs and overlap removed, outputs added.
+  VersionEdit* edit() { return &edit_; }
+  const std::vector<FileMetaData>& outputs() const { return outputs_; }
+
+  // Per-job stats, valid after Run().
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t tombstones_dropped() const { return tombstones_dropped_; }
+  uint64_t entries_dropped() const { return entries_dropped_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  /// One key-range shard of the merge: [begin, end) over user keys, with
+  /// nullopt meaning unbounded on that side.
+  struct Shard {
+    std::optional<Slice> begin;
+    std::optional<Slice> end;
+    std::vector<FileMetaData> outputs;
+    /// Vlog garbage discovered by the shard, applied after all shards
+    /// finish (VlogManager accounting is not assumed thread-safe).
+    std::vector<std::pair<uint64_t, uint64_t>> vlog_garbage;
+    uint64_t bytes_written = 0;
+    uint64_t tombstones_dropped = 0;
+    uint64_t entries_dropped = 0;
+    Status status;
+  };
+
+  /// Copies `key` into the job arena; the result stays valid for the job's
+  /// lifetime (shards reference boundary keys concurrently).
+  Slice CopyToArena(const Slice& key);
+
+  /// Chooses interior split keys from the input/overlap file boundaries.
+  /// Empty result means "run unsharded".
+  std::vector<Slice> ComputeShardBoundaries() const;
+
+  /// Runs one shard's merge loop; called concurrently for distinct shards.
+  Status RunShard(Shard* shard);
+
+  /// Pool entry point: runs shard `index`, records its status, and signals
+  /// the coordinator.
+  void ExecuteShard(size_t index);
+
+  const uint64_t id_;
+  const CompactionPlan plan_;
+  const Context ctx_;
+  /// Whether output may be split into target_file_size files (leveled
+  /// output) — also the precondition for subcompaction splitting.
+  const bool split_outputs_;
+
+  Arena arena_;  // Holds shard-boundary key copies.
+  std::vector<Shard> shards_;
+  VersionEdit edit_;
+  std::vector<FileMetaData> outputs_;
+
+  std::mutex shard_mu_;
+  std::condition_variable shard_cv_;
+  size_t shards_done_ = 0;
+  /// Set by the first failing/aborting shard so siblings bail out early.
+  std::atomic<bool> failed_{false};
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t tombstones_dropped_ = 0;
+  uint64_t entries_dropped_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_COMPACTION_COMPACTION_JOB_H_

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,33 @@
 
 namespace lsmlab {
 
+/// A {level, key-range} region claimed by a running compaction. A job
+/// claims the user-key hull of its inputs and overlap at both its input and
+/// output levels; candidate plans intersecting a claim are not admissible.
+struct ClaimedRange {
+  int level = 0;
+  std::string smallest;  // Inclusive user-key bounds.
+  std::string largest;
+};
+
+/// Conflict state handed to Pick() by the scheduler so concurrent
+/// compactions stay disjoint. Default-constructed context means "nothing is
+/// running" (single-job behavior).
+struct PickContext {
+  /// File numbers owned (as input or overlap) by running jobs; candidates
+  /// touching any of them are skipped.
+  const std::set<uint64_t>* busy_files = nullptr;
+  /// Level/key-range claims of running jobs; a candidate whose hull
+  /// intersects a claim at a shared level is skipped. This is what makes
+  /// two single-file L0 picks into an empty L1 safe: their L1 claims are
+  /// their input hulls, which must not intersect.
+  const std::vector<ClaimedRange>* claimed = nullptr;
+  /// Deepest output level among running jobs; bottommost is suppressed for
+  /// plans at or above it (a concurrent job deeper in the tree may hold
+  /// versions of keys whose tombstones would otherwise drop).
+  int deepest_running_output = -1;
+};
+
 /// CompactionPicker decides *whether*, *where*, and *which files* to
 /// compact — the trigger, granularity, and data-movement primitives of
 /// tutorial §2.2.4 — for all four disk data layouts of §2.2.2. Stateful only
@@ -20,13 +48,17 @@ class CompactionPicker {
  public:
   explicit CompactionPicker(const Options* options);
 
-  /// Returns the most urgent compaction, or nullopt when the tree shape is
-  /// within bounds. `now_micros` feeds the FADE tombstone-TTL trigger.
-  std::optional<CompactionJob> Pick(const Version& version,
-                                    uint64_t now_micros);
+  /// Returns the most urgent compaction admissible under `ctx`, or nullopt
+  /// when the tree shape is within bounds or every needed file/range is
+  /// claimed by a running job. `now_micros` feeds the FADE tombstone-TTL
+  /// trigger. Levels are tried in descending pressure order, so a busy
+  /// top-pressure level does not starve admissible work elsewhere.
+  std::optional<CompactionPlan> Pick(const Version& version,
+                                     uint64_t now_micros,
+                                     const PickContext& ctx = {});
 
   /// A manual whole-range compaction of `level` into `level + 1`.
-  std::optional<CompactionJob> PickManual(const Version& version, int level);
+  std::optional<CompactionPlan> PickManual(const Version& version, int level);
 
   /// Byte capacity of a leveled level (level >= 1): base * T^(level-1).
   uint64_t MaxBytesForLevel(int level) const;
@@ -39,13 +71,25 @@ class CompactionPicker {
   double Score(const Version& version, int level) const;
 
  private:
-  std::optional<CompactionJob> PickTtlCompaction(const Version& version,
-                                                 uint64_t now_micros);
-  CompactionJob BuildJob(const Version& version, CompactionTrigger trigger,
-                         int level, std::vector<FileMetaData> inputs);
-  /// Selects input files from a leveled level per the configured
-  /// FilePickPolicy (the data-movement primitive).
-  std::vector<FileMetaData> PickInputFiles(const Version& version, int level);
+  std::optional<CompactionPlan> PickTtlCompaction(const Version& version,
+                                                  uint64_t now_micros,
+                                                  const PickContext& ctx);
+  /// Builds an admissible plan for `level`, or nullopt if every choice
+  /// conflicts with `ctx`.
+  std::optional<CompactionPlan> TryPickLevel(const Version& version, int level,
+                                             const PickContext& ctx);
+  CompactionPlan BuildPlan(const Version& version, CompactionTrigger trigger,
+                           int level, std::vector<FileMetaData> inputs);
+  /// Selects one input file from `candidates` (all from leveled `level`)
+  /// per the configured FilePickPolicy (the data-movement primitive). Does
+  /// not advance the round-robin cursor; the caller commits the choice.
+  const FileMetaData* ChooseByPolicy(
+      const Version& version, int level,
+      const std::vector<const FileMetaData*>& candidates) const;
+  bool FileBusy(const FileMetaData& f, const PickContext& ctx) const;
+  /// Busy-file + claimed-range admission check; also suppresses bottommost
+  /// when a running job is at or below the plan's output level.
+  bool PlanAdmissible(CompactionPlan* plan, const PickContext& ctx) const;
 
   const Options* const options_;
   /// Round-robin cursors: the largest user key compacted so far per level.

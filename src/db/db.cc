@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "db/filename.h"
 #include "db/internal_iterators.h"
@@ -1138,6 +1139,58 @@ std::string DB::LevelsDebugString() const {
   return versions_->current()->DebugString();
 }
 
+std::string DB::DebugLevelSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const Version> v = versions_->current();
+  std::string out;
+  char buf[256];
+  for (int level = 0; level < v->num_levels(); ++level) {
+    const auto& files = v->files(level);
+    uint64_t bytes = 0;
+    for (const auto& f : files) {
+      bytes += f.file_size;
+    }
+    size_t slot = static_cast<size_t>(
+        std::min(level, Statistics::kMaxStatsLevels - 1));
+    std::snprintf(
+        buf, sizeof(buf),
+        "L%d%s: %zu files, %llu bytes | compactions=%llu read=%llu "
+        "written=%llu\n",
+        level, v->IsTieredLevel(level) ? " (tiered)" : "", files.size(),
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(stats_.compactions_at_level[slot]),
+        static_cast<unsigned long long>(
+            stats_.compaction_bytes_read_at_level[slot]),
+        static_cast<unsigned long long>(
+            stats_.compaction_bytes_written_at_level[slot]));
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "running=%d (max observed %llu), subcompaction shards=%llu\n",
+      compactions_running_,
+      static_cast<unsigned long long>(stats_.max_compactions_running),
+      static_cast<unsigned long long>(stats_.subcompactions));
+  out += buf;
+  for (const auto& rc : running_compactions_) {
+    const CompactionPlan& plan = rc.job->plan();
+    std::snprintf(buf, sizeof(buf), "  job %llu: L%d->L%d, %zu input file(s)\n",
+                  static_cast<unsigned long long>(rc.job_id), plan.input_level,
+                  plan.output_level, plan.inputs.size());
+    out += buf;
+  }
+  Histogram durations = stats_.CompactionDurations();
+  if (durations.num() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "job duration micros: n=%llu avg=%.0f p95=%.0f max=%.0f\n",
+                  static_cast<unsigned long long>(durations.num()),
+                  durations.Average(), durations.Percentile(95.0),
+                  durations.max());
+    out += buf;
+  }
+  return out;
+}
+
 int DB::TotalSortedRuns() const {
   std::lock_guard<std::mutex> lock(mu_);
   return versions_->current()->TotalSortedRuns();
@@ -1182,6 +1235,12 @@ Status DB::ValidateTreeInvariants() const {
       if (f.num_tombstones > 0 && f.oldest_tombstone_time_micros == 0) {
         return Status::Corruption(
             "tombstones without an age stamp at level " +
+            std::to_string(level));
+      }
+      if (!options_.env->FileExists(TableFileName(dbname_, f.file_number))) {
+        return Status::Corruption(
+            "version references missing table file " +
+            std::to_string(f.file_number) + " at level " +
             std::to_string(level));
       }
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "compaction/compaction_job.h"
 #include "compaction/compaction_picker.h"
 #include "db/dbformat.h"
 #include "db/statistics.h"
@@ -109,6 +110,9 @@ class DB {
   VlogManager* vlog() { return vlog_.get(); }
   /// Current tree shape, one line per non-empty level.
   std::string LevelsDebugString() const;
+  /// Multi-line dump of per-level shape and compaction counters plus the
+  /// currently running background jobs; for tests and benches.
+  std::string DebugLevelSummary() const;
   /// Number of sorted runs a point lookup may probe.
   int TotalSortedRuns() const;
   uint64_t TotalSstBytes() const;
@@ -168,10 +172,31 @@ class DB {
   TableBuilderOptions MakeBuilderOptions(int level) const;
 
   void MaybeScheduleFlush();
+  /// Admission loop: keeps picking and admitting compaction jobs whose
+  /// key-ranges and files are disjoint from every running job, until the
+  /// picker finds nothing admissible or the concurrency limit is reached.
+  /// mu_ held.
   void MaybeScheduleCompaction();
   void BackgroundFlush();
-  void BackgroundCompaction();
-  Status RunCompaction(const CompactionJob& job);
+  /// Pool entry point for one admitted job: runs it off mu_, installs its
+  /// edit (or cleans up), unregisters its claims, and re-runs admission.
+  void BackgroundCompaction(std::shared_ptr<CompactionJob> job);
+
+  /// Builds the executor context (callbacks, snapshot floor) for a new job.
+  /// mu_ held.
+  CompactionJob::Context MakeCompactionContextLocked();
+  /// Registers `plan`'s files and key-range claims, bumps the running
+  /// count, and schedules the job on the pool. mu_ held.
+  void AdmitCompactionLocked(CompactionPlan plan);
+  /// Drops a finished job's file and range claims. mu_ held.
+  void UnregisterCompactionLocked(uint64_t job_id);
+  /// Applies a finished job's edit atomically, releases its output pins,
+  /// records per-level stats, and collects obsolete inputs. mu_ held.
+  Status InstallCompactionLocked(CompactionJob* job);
+  /// Concurrency cap: max_background_compactions, defaulting to the pool
+  /// size when 0.
+  int MaxConcurrentCompactions() const;
+
   void RemoveObsoleteFiles();
 
   SequenceNumber OldestSnapshot() const;  // Requires mu_ held.
@@ -222,9 +247,27 @@ class DB {
   std::multiset<SequenceNumber> snapshots_;
 
   bool flush_scheduled_ = false;
-  bool compaction_scheduled_ = false;
   bool shutting_down_ = false;
   Status background_error_;
+
+  /// One entry per admitted-but-unfinished compaction job. The claims are
+  /// the job's input∪overlap user-key hull at its input and output levels;
+  /// the picker refuses any plan whose hull intersects a claim at a shared
+  /// level, which is what makes concurrent installs conflict-free.
+  struct RunningCompaction {
+    uint64_t job_id = 0;
+    std::shared_ptr<CompactionJob> job;
+    std::vector<ClaimedRange> claims;
+  };
+  std::vector<RunningCompaction> running_compactions_;  // Guarded by mu_.
+  /// File numbers owned by running jobs (inputs and overlap). Guarded by
+  /// mu_; the picker treats them as untouchable.
+  std::set<uint64_t> compacting_files_;
+  int compactions_running_ = 0;        // Guarded by mu_.
+  uint64_t next_compaction_job_id_ = 1;  // Guarded by mu_.
+  /// True while CompactRange holds the tree exclusively: blocks new
+  /// automatic admissions. Guarded by mu_.
+  bool manual_compaction_active_ = false;
 
   /// Table files currently being written (flush/compaction outputs) that no
   /// Version references yet. RemoveObsoleteFiles must not delete them.

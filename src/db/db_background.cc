@@ -74,6 +74,7 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
 
   InternalKey smallest, largest;
   bool first = true;
+  uint64_t rate_limit_pending = 0;
   for (; iter->Valid(); iter->Next()) {
     if (first) {
       smallest.DecodeFrom(iter->key());
@@ -81,6 +82,20 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
     }
     largest.DecodeFrom(iter->key());
     builder.Add(iter->key(), iter->value());
+
+    // Flushes and compactions share one background-I/O budget; flushes
+    // request at high priority so a compaction burst cannot stall them
+    // into a write stop (SILK, tutorial §2.2.3).
+    rate_limit_pending += iter->key().size() + iter->value().size();
+    if (rate_limit_pending >= kRateLimitChunk) {
+      compaction_rate_limiter_->Request(rate_limit_pending,
+                                        /*high_priority=*/true);
+      rate_limit_pending = 0;
+    }
+  }
+  if (rate_limit_pending > 0) {
+    compaction_rate_limiter_->Request(rate_limit_pending,
+                                      /*high_priority=*/true);
   }
   if (!iter->status().ok()) {
     builder.Abandon();
@@ -217,366 +232,166 @@ Status DB::Flush() {
 }
 
 // ---------------------------------------------------------------------------
-// Compaction
+// Compaction: the background job engine
+//
+// The picker produces CompactionPlans; AdmitCompactionLocked turns each plan
+// into a CompactionJob, registers its file and key-range claims, and hands it
+// to the pool. Multiple jobs run concurrently when their claims are disjoint
+// (the picker refuses conflicting plans), so each finished job can install
+// its VersionEdit without coordinating with its siblings.
 // ---------------------------------------------------------------------------
 
-void DB::MaybeScheduleCompaction() {
-  // mu_ held.
-  if (compaction_scheduled_ || shutting_down_) {
-    return;
+int DB::MaxConcurrentCompactions() const {
+  if (options_.max_background_compactions > 0) {
+    return options_.max_background_compactions;
   }
-  auto job = picker_->Pick(*versions_->current(), options_.clock->NowMicros());
-  if (!job.has_value()) {
-    return;
+  return std::max(1, options_.background_threads);
+}
+
+CompactionJob::Context DB::MakeCompactionContextLocked() {
+  CompactionJob::Context ctx;
+  ctx.options = &options_;
+  ctx.dbname = dbname_;
+  ctx.icmp = &internal_comparator_;
+  ctx.table_cache = table_cache_.get();
+  ctx.vlog = vlog_.get();
+  ctx.rate_limiter = compaction_rate_limiter_.get();
+  ctx.stats = &stats_;
+  ctx.pool = pool_.get();
+  // Fixed at admission: the floor only rises afterwards, so using the
+  // admission-time value is merely conservative (drops less).
+  ctx.oldest_snapshot = OldestSnapshot();
+  ctx.pin_new_file_number = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t number = versions_->NewFileNumber();
+    // The file exists on disk before any Version references it; pin it so a
+    // concurrent RemoveObsoleteFiles does not garbage-collect it mid-build.
+    pending_outputs_.insert(number);
+    return number;
+  };
+  ctx.unpin_output = [this](uint64_t number) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_outputs_.erase(number);
+  };
+  ctx.should_abort = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutting_down_;
+  };
+  ctx.make_builder_options = [this](int level) {
+    return MakeBuilderOptions(level);
+  };
+  return ctx;
+}
+
+void DB::AdmitCompactionLocked(CompactionPlan plan) {
+  RunningCompaction rc;
+  rc.job_id = next_compaction_job_id_++;
+
+  // Claim the plan's user-key hull at both levels it touches; the picker
+  // rejects any overlapping plan until the claims are dropped.
+  std::string smallest, largest;
+  plan.KeyRange(&smallest, &largest);
+  rc.claims.push_back({plan.input_level, smallest, largest});
+  if (plan.output_level != plan.input_level) {
+    rc.claims.push_back({plan.output_level, smallest, largest});
   }
-  compaction_scheduled_ = true;
-  pool_->Schedule([this] { BackgroundCompaction(); },
+  for (const auto& f : plan.inputs) {
+    compacting_files_.insert(f.file_number);
+  }
+  for (const auto& f : plan.overlap) {
+    compacting_files_.insert(f.file_number);
+  }
+
+  auto job = std::make_shared<CompactionJob>(rc.job_id, std::move(plan),
+                                             MakeCompactionContextLocked());
+  rc.job = job;
+  LSMLAB_LOG_INFO(options_.info_log.get(), "job %llu admitted: %s",
+                  static_cast<unsigned long long>(rc.job_id),
+                  job->plan().DebugString().c_str());
+  running_compactions_.push_back(std::move(rc));
+  ++compactions_running_;
+  stats_.OnCompactionAdmitted();
+  pool_->Schedule([this, job] { BackgroundCompaction(job); },
                   ThreadPool::Priority::kLow);
 }
 
-void DB::BackgroundCompaction() {
-  std::optional<CompactionJob> job;
+void DB::UnregisterCompactionLocked(uint64_t job_id) {
+  for (auto it = running_compactions_.begin(); it != running_compactions_.end();
+       ++it) {
+    if (it->job_id != job_id) {
+      continue;
+    }
+    const CompactionPlan& plan = it->job->plan();
+    for (const auto& f : plan.inputs) {
+      compacting_files_.erase(f.file_number);
+    }
+    for (const auto& f : plan.overlap) {
+      compacting_files_.erase(f.file_number);
+    }
+    running_compactions_.erase(it);
+    break;
+  }
+  --compactions_running_;
+  stats_.OnCompactionFinished();
+}
+
+void DB::MaybeScheduleCompaction() {
+  // mu_ held. Re-evaluate after every admission: the previous job's claims
+  // change what remains admissible, and a single pass would leave admissible
+  // disjoint work idle until the next flush.
+  if (shutting_down_ || manual_compaction_active_) {
+    return;
+  }
+  const int limit = MaxConcurrentCompactions();
+  while (compactions_running_ < limit) {
+    std::vector<ClaimedRange> claims;
+    int deepest_output = -1;
+    for (const auto& rc : running_compactions_) {
+      for (const auto& claim : rc.claims) {
+        deepest_output = std::max(deepest_output, claim.level);
+        claims.push_back(claim);
+      }
+    }
+    PickContext pick_ctx;
+    pick_ctx.busy_files = &compacting_files_;
+    pick_ctx.claimed = &claims;
+    pick_ctx.deepest_running_output = deepest_output;
+    auto plan = picker_->Pick(*versions_->current(),
+                              options_.clock->NowMicros(), pick_ctx);
+    if (!plan.has_value()) {
+      return;
+    }
+    AdmitCompactionLocked(std::move(*plan));
+  }
+}
+
+void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
+  const uint64_t start_micros = options_.clock->NowMicros();
+  Status s;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) {
-      compaction_scheduled_ = false;
-      background_cv_.notify_all();
-      return;
-    }
-    job = picker_->Pick(*versions_->current(), options_.clock->NowMicros());
-    if (!job.has_value()) {
-      compaction_scheduled_ = false;
-      background_cv_.notify_all();
-      return;
-    }
-  }
-
-  Status s = RunCompaction(*job);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!s.ok()) {
-    background_error_ = s;
-  }
-  compaction_scheduled_ = false;
-  MaybeScheduleCompaction();  // More pressure may remain.
-  background_cv_.notify_all();
-}
-
-Status DB::RunCompaction(const CompactionJob& job) {
-  SequenceNumber oldest_snapshot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    oldest_snapshot = OldestSnapshot();
-  }
-  LSMLAB_LOG_INFO(options_.info_log.get(), "%s", job.DebugString().c_str());
-
-  // Open input iterators, newest runs first (tie order irrelevant: internal
-  // keys are unique, but keep it anyway for clarity).
-  std::vector<std::unique_ptr<Iterator>> children;
-  uint64_t oldest_tombstone_hint = 0;
-  auto add_file = [&](const FileMetaData& f) -> Status {
-    std::shared_ptr<TableReader> reader;
-    Status s = table_cache_->GetReader(f.file_number, f.file_size, &reader);
-    if (!s.ok()) {
-      return s;
-    }
-    ReadOptions read_options;
-    read_options.fill_cache = false;  // Compactions must not wipe the cache.
-    auto iter = reader->NewIterator(read_options);
-    children.push_back(std::make_unique<TableIteratorHolder>(
-        std::move(reader), std::move(iter)));
-    if (f.oldest_tombstone_time_micros != 0 &&
-        (oldest_tombstone_hint == 0 ||
-         f.oldest_tombstone_time_micros < oldest_tombstone_hint)) {
-      oldest_tombstone_hint = f.oldest_tombstone_time_micros;
-    }
-    stats_.compaction_bytes_read.fetch_add(f.file_size,
-                                           std::memory_order_relaxed);
-    return Status::OK();
-  };
-  for (const auto& f : job.inputs) {
-    Status s = add_file(f);
-    if (!s.ok()) {
-      return s;
-    }
-  }
-  for (const auto& f : job.overlap) {
-    Status s = add_file(f);
-    if (!s.ok()) {
-      return s;
-    }
-  }
-  if (oldest_tombstone_hint == 0) {
-    oldest_tombstone_hint = options_.clock->NowMicros();
-  }
-
-  auto input =
-      NewMergingIterator(&internal_comparator_, std::move(children));
-  input->SeekToFirst();
-
-  // A run in a tiered level must stay a single file: files there count as
-  // independent runs, so splitting a merge's output would multiply the run
-  // count and the level could never get back under its trigger. Only
-  // leveled targets partition output into target_file_size files.
-  const bool split_outputs = !LevelIsTiered(
-      options_.data_layout, job.output_level, options_.num_levels);
-
-  // Merge loop with the LevelDB drop rules plus single-delete annihilation.
-  TableBuilderOptions topt = MakeBuilderOptions(job.output_level);
-  topt.oldest_tombstone_time_micros = oldest_tombstone_hint;
-
-  std::vector<FileMetaData> outputs;
-  std::unique_ptr<WritableFile> out_file;
-  std::unique_ptr<TableBuilder> builder;
-  uint64_t out_file_number = 0;
-  InternalKey out_smallest, out_largest;
-  uint64_t rate_limit_pending = 0;
-
-  std::string current_user_key;
-  bool has_current_user_key = false;
-  // True once a full overwrite (value/tombstone/pointer — NOT a merge
-  // operand) with seq <= oldest_snapshot has been seen for the current
-  // user key: everything older is invisible to every reader and can drop.
-  bool shadowed_below_snapshot = false;
-
-  // Pending single-delete tombstone waiting to annihilate with an older put.
-  bool pending_sd = false;
-  std::string pending_sd_key;   // Internal key bytes.
-  std::string pending_sd_ukey;  // Its user key.
-
-  Status s;
-
-  auto finish_output = [&]() -> Status {
-    if (builder == nullptr) {
-      return Status::OK();
-    }
-    Status fs = builder->Finish();
-    if (fs.ok()) {
-      fs = out_file->Sync();
-    }
-    if (fs.ok()) {
-      fs = out_file->Close();
-    }
-    if (fs.ok()) {
-      FileMetaData meta;
-      meta.file_number = out_file_number;
-      meta.file_size = builder->FileSize();
-      meta.smallest = out_smallest;
-      meta.largest = out_largest;
-      meta.num_entries = builder->properties().num_entries;
-      meta.num_tombstones = builder->properties().num_tombstones;
-      meta.creation_time_micros = builder->properties().creation_time_micros;
-      meta.oldest_tombstone_time_micros =
-          meta.num_tombstones > 0 ? oldest_tombstone_hint : 0;
-      outputs.push_back(meta);
-      stats_.compaction_bytes_written.fetch_add(meta.file_size,
-                                                std::memory_order_relaxed);
-    }
-    builder.reset();
-    out_file.reset();
-    return fs;
-  };
-
-  auto emit = [&](const Slice& internal_key, const Slice& value) -> Status {
-    if (builder == nullptr) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        out_file_number = versions_->NewFileNumber();
-        // Pin the output until LogAndApply installs it (or cleanup below
-        // removes it); see RemoveObsoleteFiles.
-        pending_outputs_.insert(out_file_number);
-      }
-      Status es = options_.env->NewWritableFile(
-          TableFileName(dbname_, out_file_number), &out_file);
-      if (!es.ok()) {
-        return es;
-      }
-      builder = std::make_unique<TableBuilder>(topt, out_file.get());
-      out_smallest.DecodeFrom(internal_key);
-    }
-    out_largest.DecodeFrom(internal_key);
-    builder->Add(internal_key, value);
-
-    // SILK-style bandwidth throttling: charge compaction traffic only.
-    rate_limit_pending += internal_key.size() + value.size();
-    if (rate_limit_pending >= kRateLimitChunk) {
-      compaction_rate_limiter_->Request(rate_limit_pending);
-      rate_limit_pending = 0;
-    }
-
-    if (split_outputs && builder->FileSize() >= options_.target_file_size) {
-      return finish_output();
-    }
-    return Status::OK();
-  };
-
-  auto flush_pending_sd = [&]() -> Status {
-    if (!pending_sd) {
-      return Status::OK();
-    }
-    pending_sd = false;
-    SequenceNumber sd_seq = ExtractSequence(pending_sd_key);
-    if (job.bottommost && sd_seq <= oldest_snapshot) {
-      // Nothing below can match it: the tombstone itself can go.
-      stats_.tombstones_dropped.fetch_add(1, std::memory_order_relaxed);
-      return Status::OK();
-    }
-    return emit(pending_sd_key, Slice());
-  };
-
-  for (; s.ok() && input->Valid(); input->Next()) {
-    Slice internal_key = input->key();
-    ParsedInternalKey parsed;
-    if (!ParseInternalKey(internal_key, &parsed)) {
-      s = Status::Corruption("malformed key in compaction input");
-      break;
-    }
-
-    // Single-delete annihilation: the pending SD meets the next entry.
-    if (pending_sd) {
-      if (options_.comparator->Compare(parsed.user_key, pending_sd_ukey) ==
-          0) {
-        SequenceNumber sd_seq = ExtractSequence(pending_sd_key);
-        if (parsed.type == kTypeValue && parsed.sequence <= oldest_snapshot &&
-            sd_seq <= oldest_snapshot) {
-          // Annihilate the pair: drop both the SD and the put it deletes.
-          pending_sd = false;
-          stats_.tombstones_dropped.fetch_add(1, std::memory_order_relaxed);
-          stats_.entries_dropped_obsolete.fetch_add(
-              1, std::memory_order_relaxed);
-          if (parsed.type == kTypeVlogPointer && vlog_ != nullptr) {
-            VlogPointer ptr;
-            if (ptr.DecodeFrom(input->value())) {
-              vlog_->AddGarbage(ptr.file_number, ptr.size);
-            }
-          }
-          // Older versions of this key fall through to the normal rule
-          // with the annihilated pair acting as the shadow.
-          current_user_key = parsed.user_key.ToString();
-          has_current_user_key = true;
-          shadowed_below_snapshot = true;
-          continue;
-        }
-        // Not annihilable: emit the SD, then process this entry normally.
-        s = flush_pending_sd();
-        if (!s.ok()) {
-          break;
-        }
-      } else {
-        s = flush_pending_sd();
-        if (!s.ok()) {
-          break;
-        }
-      }
-    }
-
-    bool drop = false;
-    if (!has_current_user_key ||
-        options_.comparator->Compare(parsed.user_key,
-                                     Slice(current_user_key)) != 0) {
-      // First occurrence (newest version) of this user key.
-      current_user_key = parsed.user_key.ToString();
-      has_current_user_key = true;
-      shadowed_below_snapshot = false;
-    }
-
-    if (shadowed_below_snapshot) {
-      // A newer full overwrite visible to every snapshot shadows this entry
-      // (§2.1.1-B: updates/deletes applied lazily, here at merge time).
-      drop = true;
-      stats_.entries_dropped_obsolete.fetch_add(1, std::memory_order_relaxed);
-      if (parsed.type == kTypeVlogPointer && vlog_ != nullptr) {
-        VlogPointer ptr;
-        if (ptr.DecodeFrom(input->value())) {
-          vlog_->AddGarbage(ptr.file_number, ptr.size);
-        }
-      }
-    } else if (parsed.type == kTypeDeletion &&
-               parsed.sequence <= oldest_snapshot && job.bottommost) {
-      // Tombstone at the bottom: everything it shadows is gone, so the
-      // tombstone itself is garbage (§2.1.2: delete persistence).
-      drop = true;
-      shadowed_below_snapshot = true;
-      stats_.tombstones_dropped.fetch_add(1, std::memory_order_relaxed);
-    } else if (parsed.type == kTypeSingleDeletion &&
-               parsed.sequence <= oldest_snapshot) {
-      // Buffer: it annihilates with the first older put of the same key.
-      pending_sd = true;
-      pending_sd_key.assign(internal_key.data(), internal_key.size());
-      pending_sd_ukey = parsed.user_key.ToString();
-      shadowed_below_snapshot = true;
-      continue;
-    } else if (parsed.type != kTypeMerge &&
-               parsed.sequence <= oldest_snapshot) {
-      // Values, tombstones, and vlog pointers shadow everything older;
-      // merge operands do NOT — they depend on the base value below them.
-      shadowed_below_snapshot = true;
-    }
-
-    if (!drop) {
-      s = emit(internal_key, input->value());
+      s = Status::Aborted("shutting down");
     }
   }
   if (s.ok()) {
-    s = flush_pending_sd();
+    s = job->Run();
   }
-  if (s.ok() && !input->status().ok()) {
-    s = input->status();
-  }
+
+  bool installed = false;
   if (s.ok()) {
-    s = finish_output();
-  }
-  if (rate_limit_pending > 0) {
-    compaction_rate_limiter_->Request(rate_limit_pending);
-  }
-
-  if (!s.ok()) {
-    // Clean up partial outputs.
-    if (builder != nullptr) {
-      builder->Abandon();
-      builder.reset();
-      out_file.reset();
-      options_.env->RemoveFile(TableFileName(dbname_, out_file_number));
-    }
-    for (const auto& meta : outputs) {
-      options_.env->RemoveFile(TableFileName(dbname_, meta.file_number));
-    }
     std::lock_guard<std::mutex> lock(mu_);
-    pending_outputs_.erase(out_file_number);
-    for (const auto& meta : outputs) {
-      pending_outputs_.erase(meta.file_number);
-    }
-    return s;
-  }
-
-  // Install the result.
-  VersionEdit edit;
-  for (const auto& f : job.inputs) {
-    edit.RemoveFile(job.input_level, f.file_number);
-  }
-  for (const auto& f : job.overlap) {
-    edit.RemoveFile(job.output_level, f.file_number);
-  }
-  for (const auto& meta : outputs) {
-    edit.AddFile(job.output_level, meta);
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s = versions_->LogAndApply(&edit);
-    for (const auto& meta : outputs) {
-      pending_outputs_.erase(meta.file_number);  // Installed (or doomed).
-    }
-    if (s.ok()) {
-      stats_.compactions.fetch_add(1, std::memory_order_relaxed);
-      RemoveObsoleteFiles();
-    }
+    s = InstallCompactionLocked(job.get());
+    installed = s.ok();
+  } else {
+    job->Cleanup();
   }
 
   // Leaper-inspired cache re-warm: immediately reload the hot region that
-  // the compaction displaced (tutorial §2.1.3).
-  if (s.ok() && options_.cache_rewarm_after_compaction &&
+  // the compaction displaced (tutorial §2.1.3). Outside the lock.
+  if (installed && options_.cache_rewarm_after_compaction &&
       block_cache_ != nullptr) {
-    for (const auto& meta : outputs) {
+    for (const auto& meta : job->outputs()) {
       std::shared_ptr<TableReader> reader;
       if (table_cache_->GetReader(meta.file_number, meta.file_size, &reader)
               .ok()) {
@@ -584,6 +399,39 @@ Status DB::RunCompaction(const CompactionJob& job) {
       }
     }
   }
+
+  const uint64_t duration_micros = options_.clock->NowMicros() - start_micros;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.RecordCompactionDuration(duration_micros);
+  if (!s.ok() && !s.IsAborted()) {
+    // Shutdown aborts are expected and must not poison the DB status.
+    background_error_ = s;
+  }
+  UnregisterCompactionLocked(job->id());
+  MaybeScheduleCompaction();  // The freed claims may unblock more work.
+  background_cv_.notify_all();
+}
+
+Status DB::InstallCompactionLocked(CompactionJob* job) {
+  Status s = versions_->LogAndApply(job->edit());
+  for (const auto& meta : job->outputs()) {
+    pending_outputs_.erase(meta.file_number);  // Installed (or doomed).
+  }
+  if (!s.ok()) {
+    return s;
+  }
+  const CompactionPlan& plan = job->plan();
+  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  stats_.RecordCompactionAtLevel(plan.output_level, job->bytes_read(),
+                                 job->bytes_written());
+  LSMLAB_LOG_INFO(
+      options_.info_log.get(),
+      "job %llu installed: L%d->L%d in %d shard(s), %llu in, %llu out",
+      static_cast<unsigned long long>(job->id()), plan.input_level,
+      plan.output_level, job->num_shards(),
+      static_cast<unsigned long long>(job->bytes_read()),
+      static_cast<unsigned long long>(job->bytes_written()));
+  RemoveObsoleteFiles();
   return s;
 }
 
@@ -598,42 +446,63 @@ Status DB::CompactRange() {
     return s;
   }
 
-  while (true) {
-    std::optional<CompactionJob> job;
+  // Exclusive mode: block new automatic admissions, then wait out any job
+  // admitted between the drain above and taking the lock.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    manual_compaction_active_ = true;
+    background_cv_.wait(lock, [this] {
+      return compactions_running_ == 0 || !background_error_.ok();
+    });
+    if (!background_error_.ok()) {
+      manual_compaction_active_ = false;
+      background_cv_.notify_all();
+      return background_error_;
+    }
+  }
+
+  while (s.ok()) {
+    std::shared_ptr<CompactionJob> job;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (compaction_scheduled_) {
-        continue;  // Racing background task; retry after it finishes.
-      }
+      std::optional<CompactionPlan> plan;
       const Version& v = *versions_->current();
       for (int level = 0; level < v.num_levels() - 1; ++level) {
         if (v.NumFiles(level) > 0) {
-          job = picker_->PickManual(v, level);
+          plan = picker_->PickManual(v, level);
           break;
         }
       }
-      if (!job.has_value()) {
+      if (!plan.has_value()) {
         // Compact a multi-run last level down to one run (pure tiering).
         int last = v.num_levels() - 1;
         if (v.NumFiles(last) > 1 && v.IsTieredLevel(last)) {
-          job = picker_->PickManual(v, last);
+          plan = picker_->PickManual(v, last);
         }
       }
-      if (!job.has_value()) {
-        return Status::OK();
+      if (!plan.has_value()) {
+        break;
       }
-      compaction_scheduled_ = true;  // Block background racers.
+      job = std::make_shared<CompactionJob>(next_compaction_job_id_++,
+                                            std::move(*plan),
+                                            MakeCompactionContextLocked());
     }
-    s = RunCompaction(*job);
-    {
+    s = job->Run();
+    if (s.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
-      compaction_scheduled_ = false;
-      background_cv_.notify_all();
-    }
-    if (!s.ok()) {
-      return s;
+      s = InstallCompactionLocked(job.get());
+    } else {
+      job->Cleanup();
     }
   }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    manual_compaction_active_ = false;
+    MaybeScheduleCompaction();
+    background_cv_.notify_all();
+  }
+  return s;
 }
 
 Status DB::WaitForBackgroundWork() {
@@ -644,10 +513,11 @@ Status DB::WaitForBackgroundWork() {
     if (!background_error_.ok()) {
       return true;
     }
-    if (flush_scheduled_ || compaction_scheduled_ || !imms_.empty()) {
+    if (flush_scheduled_ || compactions_running_ > 0 || !imms_.empty()) {
       return false;
     }
-    // No pending work and nothing the picker would start.
+    // Nothing running: an unconstrained pick now equals what the admission
+    // loop would see, so "no plan" means the tree is fully settled.
     return !picker_->Pick(*versions_->current(),
                           options_.clock->NowMicros())
                 .has_value();

@@ -1,6 +1,8 @@
 #ifndef LSMLAB_DB_STATISTICS_H_
 #define LSMLAB_DB_STATISTICS_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -42,6 +44,21 @@ struct Statistics {
   std::atomic<uint64_t> tombstones_dropped{0};
   std::atomic<uint64_t> entries_dropped_obsolete{0};
 
+  // Background job engine. Per-level counters are indexed by the output
+  // level of the compaction (clamped to kMaxStatsLevels - 1).
+  static constexpr int kMaxStatsLevels = 16;
+  std::array<std::atomic<uint64_t>, kMaxStatsLevels> compactions_at_level{};
+  std::array<std::atomic<uint64_t>, kMaxStatsLevels>
+      compaction_bytes_read_at_level{};
+  std::array<std::atomic<uint64_t>, kMaxStatsLevels>
+      compaction_bytes_written_at_level{};
+  /// Gauge: compactions admitted and not yet finished.
+  std::atomic<uint64_t> compactions_running{0};
+  /// High-water mark of compactions_running (observed parallelism).
+  std::atomic<uint64_t> max_compactions_running{0};
+  /// Subcompaction shards executed (counts only split jobs' shards).
+  std::atomic<uint64_t> subcompactions{0};
+
   void Reset() {
     point_lookups = 0;
     point_lookup_found = 0;
@@ -67,6 +84,19 @@ struct Statistics {
     flush_bytes_written = 0;
     tombstones_dropped = 0;
     entries_dropped_obsolete = 0;
+    for (int i = 0; i < kMaxStatsLevels; ++i) {
+      compactions_at_level[static_cast<size_t>(i)] = 0;
+      compaction_bytes_read_at_level[static_cast<size_t>(i)] = 0;
+      compaction_bytes_written_at_level[static_cast<size_t>(i)] = 0;
+    }
+    // compactions_running is a live gauge; resetting it would corrupt the
+    // scheduler's accounting, so only the high-water mark clears.
+    max_compactions_running = 0;
+    subcompactions = 0;
+    {
+      std::lock_guard<std::mutex> lock(compaction_duration_mu_);
+      compaction_duration_micros_.Clear();
+    }
   }
 
   /// Average sorted runs touched per point lookup — the read-cost metric of
@@ -106,9 +136,51 @@ struct Statistics {
                         static_cast<double>(w);
   }
 
+  /// Credits a finished compaction against its output level's counters.
+  void RecordCompactionAtLevel(int output_level, uint64_t bytes_read,
+                               uint64_t bytes_written) {
+    size_t slot = static_cast<size_t>(
+        std::min(std::max(output_level, 0), kMaxStatsLevels - 1));
+    compactions_at_level[slot].fetch_add(1, std::memory_order_relaxed);
+    compaction_bytes_read_at_level[slot].fetch_add(bytes_read,
+                                                   std::memory_order_relaxed);
+    compaction_bytes_written_at_level[slot].fetch_add(
+        bytes_written, std::memory_order_relaxed);
+  }
+
+  /// Marks a compaction admitted; returns nothing but maintains the gauge
+  /// and its high-water mark.
+  void OnCompactionAdmitted() {
+    uint64_t running =
+        compactions_running.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t seen = max_compactions_running.load(std::memory_order_relaxed);
+    while (running > seen &&
+           !max_compactions_running.compare_exchange_weak(
+               seen, running, std::memory_order_relaxed)) {
+    }
+  }
+
+  void OnCompactionFinished() {
+    compactions_running.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Records the wall-clock duration of one compaction job.
+  void RecordCompactionDuration(uint64_t micros) {
+    std::lock_guard<std::mutex> lock(compaction_duration_mu_);
+    compaction_duration_micros_.Add(static_cast<double>(micros));
+  }
+
+  /// Snapshot of the per-job compaction duration distribution (micros).
+  Histogram CompactionDurations() const {
+    std::lock_guard<std::mutex> lock(compaction_duration_mu_);
+    return compaction_duration_micros_;
+  }
+
  private:
   mutable std::mutex write_group_size_mu_;
   Histogram write_group_size_;
+  mutable std::mutex compaction_duration_mu_;
+  Histogram compaction_duration_micros_;
 };
 
 }  // namespace lsmlab

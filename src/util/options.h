@@ -128,8 +128,18 @@ struct Options {
   FilePickPolicy file_pick_policy = FilePickPolicy::kLeastOverlap;
   /// Background threads shared by flushes and compactions.
   int background_threads = 1;
-  /// If > 0, compaction disk bandwidth is throttled to this many bytes/sec
-  /// (SILK-style; flushes always have priority and are never throttled).
+  /// Maximum compactions admitted concurrently by the job scheduler; jobs
+  /// run together only when their key ranges and levels are disjoint.
+  /// 0 means "as many as background_threads".
+  int max_background_compactions = 0;
+  /// Maximum key-range shards a single large compaction may be split into
+  /// and executed in parallel on the background pool (subcompactions).
+  /// 1 disables splitting. Only compactions writing to a leveled level are
+  /// ever split: a tiered output must stay one run.
+  int max_subcompactions = 1;
+  /// If > 0, background disk bandwidth (flush + compaction writes) is
+  /// throttled to this many bytes/sec (SILK-style; flushes request at high
+  /// priority, so under contention compactions yield to them).
   uint64_t compaction_rate_limit_bytes_per_sec = 0;
   /// FADE (Lethe): if > 0, a file whose oldest tombstone is older than this
   /// many microseconds becomes the top compaction priority, bounding delete

@@ -29,11 +29,21 @@ void RateLimiter::Refill(uint64_t now_micros) {
   last_refill_micros_ = now_micros;
 }
 
-void RateLimiter::Request(uint64_t bytes) {
+void RateLimiter::Request(uint64_t bytes, bool high_priority) {
   std::unique_lock<std::mutex> lock(mu_);
   total_bytes_through_ += bytes;
   if (bytes_per_second_ == 0) {
     return;
+  }
+  if (!high_priority) {
+    // Yield to any flush currently paying off its debt; compactions take
+    // tokens only once the high-priority traffic is through.
+    cv_.wait(lock, [this] {
+      return high_priority_waiters_ == 0 || bytes_per_second_ == 0;
+    });
+    if (bytes_per_second_ == 0) {
+      return;
+    }
   }
   Refill(clock_->NowMicros());
   // Debt model: take the tokens immediately (possibly going negative) and
@@ -44,9 +54,18 @@ void RateLimiter::Request(uint64_t bytes) {
     uint64_t wait_micros = static_cast<uint64_t>(
         -available_bytes_ / static_cast<double>(bytes_per_second_) * 1e6);
     uint64_t rate = bytes_per_second_;
+    if (high_priority) {
+      ++high_priority_waiters_;
+    }
     lock.unlock();
     clock_->SleepForMicros(wait_micros);
     lock.lock();
+    if (high_priority) {
+      --high_priority_waiters_;
+      if (high_priority_waiters_ == 0) {
+        cv_.notify_all();
+      }
+    }
     // Repay the debt for the time slept (Refill caps positive balance only).
     if (bytes_per_second_ == rate) {
       available_bytes_ +=

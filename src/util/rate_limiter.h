@@ -9,9 +9,12 @@
 
 namespace lsmlab {
 
-/// Token-bucket byte rate limiter used to throttle compaction I/O (SILK-style
-/// bandwidth scheduling, tutorial §2.2.3). Thread-safe. Flush traffic bypasses
-/// the limiter entirely; only compactions call Request().
+/// Token-bucket byte rate limiter used to cap background I/O (SILK-style
+/// bandwidth scheduling, tutorial §2.2.3). Thread-safe. Both flushes and
+/// compactions charge the same bucket so the cap covers total background
+/// bandwidth, but flush traffic requests at high priority: while a
+/// high-priority request is paying off its debt, low-priority requesters
+/// queue behind it instead of competing for tokens.
 class RateLimiter {
  public:
   /// `bytes_per_second` == 0 means unlimited.
@@ -21,7 +24,9 @@ class RateLimiter {
   RateLimiter& operator=(const RateLimiter&) = delete;
 
   /// Blocks until `bytes` may proceed under the configured rate.
-  void Request(uint64_t bytes);
+  /// High-priority requests (flushes) are served ahead of low-priority ones
+  /// (compactions) when both are throttled.
+  void Request(uint64_t bytes, bool high_priority = false);
 
   /// Dynamically adjusts the rate (0 = unlimited). Wakes all waiters.
   void SetBytesPerSecond(uint64_t bytes_per_second);
@@ -42,6 +47,9 @@ class RateLimiter {
   double available_bytes_;
   uint64_t last_refill_micros_;
   uint64_t total_bytes_through_ = 0;
+  /// High-priority requests currently sleeping off their debt; low-priority
+  /// requests wait until this drops to zero before taking tokens.
+  int high_priority_waiters_ = 0;
 };
 
 }  // namespace lsmlab

@@ -23,46 +23,84 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+std::deque<std::function<void()>>* ThreadPool::QueueFor(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return &high_queue_;
+    case Priority::kMedium:
+      return &medium_queue_;
+    case Priority::kLow:
+      return &low_queue_;
+  }
+  return &low_queue_;
+}
+
 void ThreadPool::Schedule(std::function<void()> task, Priority priority) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) {
       return;
     }
-    if (priority == Priority::kHigh) {
-      high_queue_.push_back(std::move(task));
-    } else {
-      low_queue_.push_back(std::move(task));
-    }
+    QueueFor(priority)->push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunTask(Priority priority) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto* queue = QueueFor(priority);
+    if (queue->empty()) {
+      return false;
+    }
+    task = std::move(queue->front());
+    queue->pop_front();
+    ++running_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (high_queue_.empty() && medium_queue_.empty() && low_queue_.empty() &&
+        running_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+  return true;
 }
 
 void ThreadPool::WaitForIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] {
-    return high_queue_.empty() && low_queue_.empty() && running_ == 0;
+    return high_queue_.empty() && medium_queue_.empty() &&
+           low_queue_.empty() && running_ == 0;
   });
 }
 
 size_t ThreadPool::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return high_queue_.size() + low_queue_.size();
+  return high_queue_.size() + medium_queue_.size() + low_queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock, [this] {
-      return shutting_down_ || !high_queue_.empty() || !low_queue_.empty();
+      return shutting_down_ || !high_queue_.empty() ||
+             !medium_queue_.empty() || !low_queue_.empty();
     });
-    if (shutting_down_ && high_queue_.empty() && low_queue_.empty()) {
+    if (shutting_down_ && high_queue_.empty() && medium_queue_.empty() &&
+        low_queue_.empty()) {
       return;
     }
     std::function<void()> task;
     if (!high_queue_.empty()) {
       task = std::move(high_queue_.front());
       high_queue_.pop_front();
+    } else if (!medium_queue_.empty()) {
+      task = std::move(medium_queue_.front());
+      medium_queue_.pop_front();
     } else {
       task = std::move(low_queue_.front());
       low_queue_.pop_front();
@@ -72,7 +110,8 @@ void ThreadPool::WorkerLoop() {
     task();
     lock.lock();
     --running_;
-    if (high_queue_.empty() && low_queue_.empty() && running_ == 0) {
+    if (high_queue_.empty() && medium_queue_.empty() && low_queue_.empty() &&
+        running_ == 0) {
       idle_cv_.notify_all();
     }
   }

@@ -11,12 +11,13 @@
 namespace lsmlab {
 
 /// Fixed-size background worker pool used for flushes and compactions
-/// (tutorial §2.2.5). Tasks have two priorities: high-priority tasks
-/// (flushes) always run before low-priority tasks (compactions), mirroring
-/// the flush-first scheduling that prevents write stalls.
+/// (tutorial §2.2.5). Tasks have three priorities: flushes run at kHigh
+/// (flush-first scheduling prevents write stalls), subcompaction shards at
+/// kMedium (an admitted compaction should finish before new ones start),
+/// and whole compaction jobs at kLow.
 class ThreadPool {
  public:
-  enum class Priority { kHigh, kLow };
+  enum class Priority { kHigh, kMedium, kLow };
 
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
@@ -28,6 +29,12 @@ class ThreadPool {
   void Schedule(std::function<void()> task,
                 Priority priority = Priority::kLow);
 
+  /// Runs one queued task of exactly `priority` on the calling thread, if
+  /// any is queued. Lets a task that blocks on other queued work (e.g. a
+  /// compaction waiting for its subcompaction shards) help drain the queue
+  /// instead of deadlocking when every worker is occupied.
+  bool TryRunTask(Priority priority);
+
   /// Blocks until all queued and running tasks have finished.
   void WaitForIdle();
 
@@ -36,11 +43,13 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  std::deque<std::function<void()>>* QueueFor(Priority priority);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> high_queue_;
+  std::deque<std::function<void()>> medium_queue_;
   std::deque<std::function<void()>> low_queue_;
   int running_ = 0;
   bool shutting_down_ = false;

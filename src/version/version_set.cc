@@ -338,22 +338,45 @@ Status VersionSet::Recover() {
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit) {
-  if (edit->has_log_number()) {
-    assert(edit->log_number() >= log_number_);
-  } else {
-    edit->SetLogNumber(log_number_);
+  return LogAndApply(std::vector<VersionEdit*>{edit});
+}
+
+Status VersionSet::LogAndApply(const std::vector<VersionEdit*>& edits) {
+  assert(!edits.empty());
+  uint64_t new_log_number = log_number_;
+  for (VersionEdit* edit : edits) {
+    if (edit->has_log_number()) {
+      assert(edit->log_number() >= log_number_);
+      new_log_number = std::max(new_log_number, edit->log_number());
+    }
   }
-  edit->SetNextFileNumber(next_file_number_);
-  edit->SetLastSequence(last_sequence_);
+  // Meta fields go on the last edit: DecodeFrom merges concatenated edits
+  // left to right, so the last-written value wins either way — this just
+  // avoids encoding them repeatedly.
+  VersionEdit* last = edits.back();
+  if (!last->has_log_number()) {
+    last->SetLogNumber(new_log_number);
+  }
+  last->SetNextFileNumber(next_file_number_);
+  last->SetLastSequence(last_sequence_);
 
   VersionSetBuilder builder(options_, icmp_, current_.get());
-  builder.Apply(*edit);
+  for (const VersionEdit* edit : edits) {
+    builder.Apply(*edit);
+  }
   auto new_version = builder.Build();
+  Status s = CheckLevelInvariants(*new_version);
+  if (!s.ok()) {
+    return s;
+  }
 
   assert(manifest_log_ != nullptr);
+  // One record for the whole group: recovery replays it atomically.
   std::string record;
-  edit->EncodeTo(&record);
-  Status s = manifest_log_->AddRecord(record);
+  for (VersionEdit* edit : edits) {
+    edit->EncodeTo(&record);
+  }
+  s = manifest_log_->AddRecord(record);
   if (s.ok()) {
     s = manifest_file_->Sync();
   }
@@ -365,8 +388,27 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
   // AddLiveFiles keeps protecting its files until the last reference drops.
   referenced_versions_.push_back(current_);
   current_ = std::move(new_version);
-  if (edit->has_log_number()) {
-    log_number_ = edit->log_number();
+  log_number_ = new_log_number;
+  return Status::OK();
+}
+
+Status VersionSet::CheckLevelInvariants(const Version& v) const {
+  const Comparator* ucmp = icmp_->user_comparator();
+  for (int level = 1; level < v.num_levels(); ++level) {
+    if (LevelIsTiered(options_->data_layout, level, options_->num_levels)) {
+      continue;  // Tiered levels hold independent, overlapping runs.
+    }
+    const auto& files = v.files(level);
+    for (size_t i = 1; i < files.size(); ++i) {
+      if (ucmp->Compare(files[i - 1].largest.user_key(),
+                        files[i].smallest.user_key()) >= 0) {
+        return Status::Corruption(
+            "overlapping files produced at leveled level " +
+            std::to_string(level) + ": file " +
+            std::to_string(files[i - 1].file_number) + " vs file " +
+            std::to_string(files[i].file_number));
+      }
+    }
   }
   return Status::OK();
 }

@@ -82,6 +82,19 @@ class VersionSet {
   /// installs the result as current.
   Status LogAndApply(VersionEdit* edit);
 
+  /// Applies several edits as one atomic group: all of them are encoded into
+  /// a single manifest record (the tag-based encoding concatenates cleanly),
+  /// so recovery sees either all of them or none. Used to stitch the shards
+  /// of a subcompaction — and any future multi-job batch — into one
+  /// crash-consistent install. Edits are applied in order.
+  Status LogAndApply(const std::vector<VersionEdit*>& edits);
+
+  /// Structural check run on every candidate version before it is installed:
+  /// leveled levels (> 0) must hold files sorted by smallest key and
+  /// pairwise disjoint on user keys. Guards the scheduler's claim that
+  /// concurrent, range-disjoint compactions never produce overlapping files.
+  Status CheckLevelInvariants(const Version& v) const;
+
   /// Recovers state from an existing manifest (CURRENT must exist).
   Status Recover();
 

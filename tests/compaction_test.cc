@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 
 #include "compaction/compaction_picker.h"
@@ -233,6 +234,183 @@ TEST_F(PickerTest, ManualCompactionCoversLevel) {
   EXPECT_EQ(CompactionTrigger::kManual, job->trigger);
   EXPECT_EQ(2u, job->inputs.size());
   EXPECT_FALSE(picker.PickManual(*version, 3).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-aware picking: the admission rules the parallel scheduler
+// relies on to keep concurrent compactions disjoint.
+// ---------------------------------------------------------------------------
+
+TEST_F(PickerTest, BusyInputFileBlocksWholeLevelPlan) {
+  options_.data_layout = DataLayout::kOneLeveling;
+  auto version = MakeVersion({
+      {0, MakeFile(10, "a", "m")},
+      {0, MakeFile(11, "b", "z")},
+      {0, MakeFile(12, "c", "q")},
+  });
+  CompactionPicker picker(&options_);
+  ASSERT_TRUE(picker.Pick(*version, 0).has_value());
+
+  // An L0 merge needs every run; one busy file blocks the whole plan.
+  std::set<uint64_t> busy = {11};
+  PickContext ctx;
+  ctx.busy_files = &busy;
+  EXPECT_FALSE(picker.Pick(*version, 0, ctx).has_value());
+}
+
+TEST_F(PickerTest, BusyFileSkippedUnderPartialGranularity) {
+  options_.data_layout = DataLayout::kOneLeveling;
+  options_.compaction_granularity = CompactionGranularity::kPartial;
+  options_.file_pick_policy = FilePickPolicy::kOldestFirst;
+  auto version = MakeVersion({
+      {1, MakeFile(21, "a", "c", 800)},
+      {1, MakeFile(22, "d", "j", 700)},
+  });
+  CompactionPicker picker(&options_);
+
+  // Partial granularity can route around a busy candidate: with file 21
+  // (the oldest) busy, the picker falls back to file 22.
+  std::set<uint64_t> busy = {21};
+  PickContext ctx;
+  ctx.busy_files = &busy;
+  auto plan = picker.Pick(*version, 0, ctx);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(1u, plan->inputs.size());
+  EXPECT_EQ(22u, plan->inputs[0].file_number);
+
+  // Both busy: nothing admissible.
+  busy.insert(22);
+  EXPECT_FALSE(picker.Pick(*version, 0, ctx).has_value());
+}
+
+TEST_F(PickerTest, ClaimedRangeRejectsOverlappingPlan) {
+  options_.data_layout = DataLayout::kOneLeveling;
+  options_.compaction_granularity = CompactionGranularity::kPartial;
+  options_.file_pick_policy = FilePickPolicy::kOldestFirst;
+  auto version = MakeVersion({
+      {1, MakeFile(21, "a", "c", 800)},
+      {1, MakeFile(22, "d", "j", 700)},
+  });
+  CompactionPicker picker(&options_);
+
+  // A running job claims [a, e] at the output level 2. File 21's plan
+  // ([a, c] -> L2) intersects it even though no *file* is shared — this is
+  // exactly the two-overlapping-jobs-into-empty-level hazard. File 22's
+  // hull [d, j] also intersects [a, e], so nothing at L1 is admissible.
+  std::vector<ClaimedRange> claims = {{2, "a", "e"}};
+  PickContext ctx;
+  ctx.claimed = &claims;
+  auto plan = picker.Pick(*version, 0, ctx);
+  EXPECT_FALSE(plan.has_value());
+
+  // Shrink the claim to [a, c]: file 22 ([d, j]) becomes admissible.
+  claims[0].largest = "c";
+  plan = picker.Pick(*version, 0, ctx);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(1u, plan->inputs.size());
+  EXPECT_EQ(22u, plan->inputs[0].file_number);
+
+  // A claim at an unrelated level does not block anything.
+  claims[0] = {4, "a", "z"};
+  EXPECT_TRUE(picker.Pick(*version, 0, ctx).has_value());
+}
+
+TEST_F(PickerTest, DeepRunningJobSuppressesBottommost) {
+  options_.data_layout = DataLayout::kOneLeveling;
+  options_.num_levels = 3;
+  auto version = MakeVersion({
+      {1, MakeFile(21, "a", "c", 800)},
+      {1, MakeFile(22, "d", "j", 700)},
+  });
+  CompactionPicker picker(&options_);
+  auto plan = picker.Pick(*version, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(2, plan->output_level);
+  EXPECT_TRUE(plan->bottommost) << "L2 is the deepest data: tombstones drop";
+
+  // With a sibling job running at output level 2 (disjoint range, so the
+  // plan is otherwise admissible), bottommost must be conservative: that
+  // job may be writing older versions of keys this merge would drop.
+  std::vector<ClaimedRange> claims = {{2, "x", "z"}};
+  PickContext ctx;
+  ctx.claimed = &claims;
+  ctx.deepest_running_output = 2;
+  plan = picker.Pick(*version, 0, ctx);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->bottommost);
+}
+
+TEST_F(PickerTest, PlanKeyRangeIsInputOverlapHull) {
+  options_.data_layout = DataLayout::kOneLeveling;
+  auto version = MakeVersion({
+      {0, MakeFile(10, "d", "m")},
+      {0, MakeFile(11, "f", "p")},
+      {0, MakeFile(12, "c", "q")},
+      {1, MakeFile(5, "a", "j", 400)},
+      {1, MakeFile(6, "k", "z", 400)},
+  });
+  CompactionPicker picker(&options_);
+  auto plan = picker.Pick(*version, 0);
+  ASSERT_TRUE(plan.has_value());
+  std::string smallest, largest;
+  plan->KeyRange(&smallest, &largest);
+  EXPECT_EQ("a", smallest) << "hull must include the overlap files";
+  EXPECT_EQ("z", largest);
+}
+
+// ---------------------------------------------------------------------------
+// Subcompaction splitting: a sharded merge must produce the same logical
+// contents as an unsharded one.
+// ---------------------------------------------------------------------------
+
+TEST(SubcompactionTest, ShardedMergeMatchesUnsharded) {
+  auto fill_and_dump = [](int subcompactions, int threads,
+                          uint64_t* shards_run) {
+    MemEnv env;
+    Options options;
+    options.env = &env;
+    options.data_layout = DataLayout::kOneLeveling;
+    options.write_buffer_size = 4 << 10;
+    options.max_bytes_for_level_base = 32 << 10;
+    options.target_file_size = 4 << 10;
+    options.background_threads = threads;
+    options.max_subcompactions = subcompactions;
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(options, "/sub", &db).ok());
+
+    Random rnd(77);
+    for (int i = 0; i < 6000; ++i) {
+      std::string key = "key" + std::to_string(rnd.Uniform(900));
+      if (rnd.OneIn(7)) {
+        EXPECT_TRUE(db->Delete(WriteOptions(), key).ok());
+      } else {
+        EXPECT_TRUE(
+            db->Put(WriteOptions(), key, "v" + std::to_string(i)).ok());
+      }
+    }
+    EXPECT_TRUE(db->WaitForBackgroundWork().ok());
+    EXPECT_TRUE(db->CompactRange().ok());
+    Status s = db->ValidateTreeInvariants();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+
+    std::string dump;
+    auto iter = db->NewIterator(ReadOptions());
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      dump += iter->key().ToString() + "=" + iter->value().ToString() + ";";
+    }
+    *shards_run = db->statistics()->subcompactions.load();
+    return dump;
+  };
+
+  uint64_t unsharded_shards = 0, sharded_shards = 0;
+  std::string unsharded = fill_and_dump(1, 1, &unsharded_shards);
+  std::string sharded = fill_and_dump(4, 4, &sharded_shards);
+  EXPECT_EQ(unsharded, sharded);
+  EXPECT_FALSE(sharded.empty());
+  EXPECT_EQ(0u, unsharded_shards)
+      << "max_subcompactions=1 must never split";
+  EXPECT_GT(sharded_shards, 0u)
+      << "large leveled merges should have been sharded";
 }
 
 // ---------------------------------------------------------------------------

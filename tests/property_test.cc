@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "db/db.h"
 #include "filter/filter_policy.h"
@@ -223,6 +226,110 @@ INSTANTIATE_TEST_SUITE_P(
                       DbKnobParam{4096, 8 << 10, 16},
                       DbKnobParam{16384, 32 << 10, 16},
                       DbKnobParam{4096, 64 << 10, 64}));
+
+// ---------------------------------------------------------------------------
+// Parallel background engine: level invariants and read-your-writes must
+// hold under every layout while flushes and range-disjoint compactions
+// (with subcompaction splitting) run concurrently.
+// ---------------------------------------------------------------------------
+
+class ParallelCompactionSweep : public ::testing::TestWithParam<DataLayout> {};
+
+TEST_P(ParallelCompactionSweep, InvariantsHoldUnderConcurrentChurn) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.data_layout = GetParam();
+  options.write_buffer_size = 4 << 10;
+  options.max_bytes_for_level_base = 16 << 10;
+  options.target_file_size = 4 << 10;
+  options.size_ratio = 3;
+  options.background_threads = 4;
+  options.max_subcompactions = 3;
+  if (GetParam() == DataLayout::kLeveling) {
+    options.level0_file_num_compaction_trigger = 1;
+  }
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/par", &db).ok());
+
+  // Writers churn disjoint key stripes so the final model is deterministic;
+  // the main thread validates invariants while the engine compacts.
+  constexpr int kWriters = 3;
+  constexpr int kOpsPerWriter = 4000;
+  std::vector<std::thread> writers;
+  std::atomic<bool> failed{false};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Random rnd(1000 + w);
+      for (int i = 0; i < kOpsPerWriter && !failed.load(); ++i) {
+        std::string key =
+            "w" + std::to_string(w) + "/k" + std::to_string(rnd.Uniform(500));
+        Status s = rnd.OneIn(9)
+                       ? db->Delete(WriteOptions(), key)
+                       : db->Put(WriteOptions(), key, std::string(40, 'v'));
+        if (!s.ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (int check = 0; check < 10 && !failed.load(); ++check) {
+    Status s = db->ValidateTreeInvariants();
+    ASSERT_TRUE(s.ok()) << s.ToString() << "\n" << db->DebugLevelSummary();
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  ASSERT_TRUE(db->WaitForBackgroundWork().ok());
+  Status s = db->ValidateTreeInvariants();
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\n" << db->DebugLevelSummary();
+
+  // Replay each writer's stream against a model; the DB must match exactly.
+  std::map<std::string, std::string> model;
+  for (int w = 0; w < kWriters; ++w) {
+    Random rnd(1000 + w);
+    for (int i = 0; i < kOpsPerWriter; ++i) {
+      std::string key =
+          "w" + std::to_string(w) + "/k" + std::to_string(rnd.Uniform(500));
+      if (rnd.OneIn(9)) {
+        model.erase(key);
+      } else {
+        model[key] = std::string(40, 'v');
+      }
+    }
+  }
+  std::map<std::string, std::string> dumped;
+  auto iter = db->NewIterator(ReadOptions());
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    dumped[iter->key().ToString()] = iter->value().ToString();
+  }
+  EXPECT_EQ(model, dumped) << db->DebugLevelSummary();
+
+  // The summary must reflect the engine actually having run.
+  EXPECT_GT(db->statistics()->compactions.load(), 0u);
+  std::string summary = db->DebugLevelSummary();
+  EXPECT_NE(summary.find("running="), std::string::npos) << summary;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, ParallelCompactionSweep,
+    ::testing::Values(DataLayout::kLeveling, DataLayout::kTiering,
+                      DataLayout::kLazyLeveling, DataLayout::kOneLeveling),
+    [](const ::testing::TestParamInfo<DataLayout>& info) {
+      switch (info.param) {
+        case DataLayout::kLeveling:
+          return "Leveling";
+        case DataLayout::kTiering:
+          return "Tiering";
+        case DataLayout::kLazyLeveling:
+          return "LazyLeveling";
+        case DataLayout::kOneLeveling:
+          return "OneLeveling";
+      }
+      return "Unknown";
+    });
 
 }  // namespace
 }  // namespace lsmlab
