@@ -30,8 +30,8 @@ Row RunBlockKnobs(size_t block_size, int restart_interval) {
   }
   WorkloadGenerator gen(WorkloadSpec::WriteOnly(kNumInserts));
   uint64_t t0 = SystemClock()->NowMicros();
-  Load(&stack, &gen, kNumInserts);
-  stack.db->CompactRange();
+  BenchCheck(Load(&stack, &gen, kNumInserts), "Load");
+  BenchCheck(stack.db->CompactRange(), "CompactRange");
   uint64_t micros = SystemClock()->NowMicros() - t0;
 
   Row row;
@@ -45,7 +45,7 @@ Row RunBlockKnobs(size_t block_size, int restart_interval) {
   ReadOptions ro;
   std::string value;
   for (uint64_t i = 0; i < kNumReads; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
                   &value);
   }
   row.read_bytes_per_lookup =
@@ -70,7 +70,7 @@ WalRow RunWalMode(bool enable_wal, bool sync_every_write) {
   }
   WorkloadGenerator gen(WorkloadSpec::WriteOnly(kNumInserts));
   uint64_t t0 = SystemClock()->NowMicros();
-  Load(&stack, &gen, kNumInserts);
+  BenchCheck(Load(&stack, &gen, kNumInserts), "Load");
   uint64_t micros = SystemClock()->NowMicros() - t0;
   WalRow row;
   row.load_kops = static_cast<double>(kNumInserts) * 1000.0 /

@@ -63,7 +63,7 @@ Row RunOne(int threads, bool sync) {
         std::string key = WorkloadGenerator::FormatKey(
             static_cast<uint64_t>(t) * per_thread + i);
         std::string value = value_maker.MakeValue(key, kValueSize);
-        db->Put(wo, key, value);
+        BenchCheck(db->Put(wo, key, value), "Put");
       }
     });
   }
@@ -71,7 +71,7 @@ Row RunOne(int threads, bool sync) {
     w.join();
   }
   uint64_t total = SystemClock()->NowMicros() - t0;
-  db->WaitForBackgroundWork();
+  BenchCheck(db->WaitForBackgroundWork(), "WaitForBackgroundWork");
 
   const Statistics* stats = db->statistics();
   Row row;

@@ -79,7 +79,7 @@ Row RunOne(int threads) {
   }
   // Include the drain: a scheduler that merely defers work would otherwise
   // look fast.
-  db->WaitForBackgroundWork();
+  BenchCheck(db->WaitForBackgroundWork(), "WaitForBackgroundWork");
   uint64_t wall = SystemClock()->NowMicros() - t0;
 
   const Statistics* stats = db->statistics();

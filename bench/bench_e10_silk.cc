@@ -58,7 +58,7 @@ Row RunOne(uint64_t compaction_limit_bytes_per_sec) {
     std::string key = WorkloadGenerator::FormatKey(rnd.Uniform(200000));
     std::string value = value_maker.MakeValue(key, 256);
     uint64_t w0 = SystemClock()->NowMicros();
-    db->Put(wo, key, value);
+    BenchCheck(db->Put(wo, key, value), "Put");
     latencies.Add(static_cast<double>(SystemClock()->NowMicros() - w0));
   }
   uint64_t total = SystemClock()->NowMicros() - t0;
@@ -72,7 +72,7 @@ Row RunOne(uint64_t compaction_limit_bytes_per_sec) {
   row.max_ms = latencies.max() / 1000.0;
   row.stall_micros = db->statistics()->write_stall_micros.load() +
                      db->statistics()->write_slowdown_micros.load();
-  db->WaitForBackgroundWork();
+  BenchCheck(db->WaitForBackgroundWork(), "WaitForBackgroundWork");
   return row;
 }
 

@@ -41,20 +41,20 @@ Row RunOne(uint64_t ttl_micros, MockClock* clock) {
     std::string key = WorkloadGenerator::FormatKey(i);
     std::string value = value_maker.MakeValue(key, 100);
     stack.user_bytes_written += key.size() + value.size();
-    stack.db->Put(wo, key, value);
+    BenchCheck(stack.db->Put(wo, key, value), "Put");
     clock->Advance(10);
   }
-  stack.db->WaitForBackgroundWork();
+  BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
 
   // Phase 2: delete a spread of keys (GDPR-style erasure requests).
   Random rnd(77);
   for (uint64_t i = 0; i < kNumDeletes; ++i) {
-    stack.db->Delete(wo, WorkloadGenerator::FormatKey(rnd.Uniform(kNumKeys)));
+    BenchCheck(stack.db->Delete(wo, WorkloadGenerator::FormatKey(rnd.Uniform(kNumKeys))), "Delete");
     stack.user_bytes_written += 20;
     clock->Advance(10);
   }
-  stack.db->Flush();
-  stack.db->WaitForBackgroundWork();
+  BenchCheck(stack.db->Flush(), "Flush");
+  BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
 
   // Phase 3: light trickle of unrelated inserts while virtual time passes
   // beyond the TTL. Without FADE nothing forces the tombstones down.
@@ -63,11 +63,11 @@ Row RunOne(uint64_t ttl_micros, MockClock* clock) {
     for (int i = 0; i < 40; ++i) {
       std::string key =
           "zzz-trickle-" + std::to_string(step * 100 + i);  // Disjoint range.
-      stack.db->Put(wo, key, "x");
+      BenchCheck(stack.db->Put(wo, key, "x"), "Put");
       stack.user_bytes_written += key.size() + 1;
     }
-    stack.db->Flush();
-    stack.db->WaitForBackgroundWork();
+    BenchCheck(stack.db->Flush(), "Flush");
+    BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
   }
 
   Row row;

@@ -35,20 +35,20 @@ Row RunOne(size_t cache_bytes, bool rewarm) {
   WriteOptions wo;
   for (uint64_t i = 0; i < kNumKeys; ++i) {
     std::string key = WorkloadGenerator::FormatKey(i);
-    stack.db->Put(wo, key, value_maker.MakeValue(key, 100));
+    BenchCheck(stack.db->Put(wo, key, value_maker.MakeValue(key, 100)), "Put");
   }
-  stack.db->WaitForBackgroundWork();
+  BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
 
   // Phase 1: zipfian reads warm the cache; measure steady-state hits.
   ZipfianGenerator zipf(kNumKeys, 0.99, 11);
   ReadOptions ro;
   std::string value;
   for (uint64_t i = 0; i < kReadsPerPhase; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(zipf.Next()), &value);
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(zipf.Next()), &value);
   }
   stack.db->block_cache()->ResetStats();
   for (uint64_t i = 0; i < kReadsPerPhase; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(zipf.Next()), &value);
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(zipf.Next()), &value);
   }
   Row row;
   row.hit_ratio_before = stack.db->block_cache()->GetStats().HitRatio();
@@ -57,14 +57,14 @@ Row RunOne(size_t cache_bytes, bool rewarm) {
   // hot blocks belong to deleted input files afterwards.
   for (uint64_t i = 0; i < kNumKeys; i += 3) {
     std::string key = WorkloadGenerator::FormatKey(i);
-    stack.db->Put(wo, key, value_maker.MakeValue(key, 100));
+    BenchCheck(stack.db->Put(wo, key, value_maker.MakeValue(key, 100)), "Put");
   }
-  stack.db->CompactRange();
+  BenchCheck(stack.db->CompactRange(), "CompactRange");
 
   stack.db->block_cache()->ResetStats();
   stack.env->ResetStats();
   for (uint64_t i = 0; i < kReadsPerPhase; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(zipf.Next()), &value);
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(zipf.Next()), &value);
   }
   row.hit_ratio_after = stack.db->block_cache()->GetStats().HitRatio();
   row.read_ios_after = static_cast<double>(stack.env->GetStats().read_ops) /

@@ -36,7 +36,7 @@ Measured MeasureDesign(DataLayout layout, int size_ratio) {
   WorkloadSpec spec = WorkloadSpec::WriteOnly(kNumInserts);
   spec.value_size = 100;
   WorkloadGenerator gen(spec);
-  Load(&stack, &gen, kNumInserts);
+  BenchCheck(Load(&stack, &gen, kNumInserts), "Load");
 
   Measured m;
   m.write_amp =
@@ -47,7 +47,7 @@ Measured MeasureDesign(DataLayout layout, int size_ratio) {
   ReadOptions ro;
   std::string value;
   for (uint64_t i = 0; i < kNumEmptyReads; ++i) {
-    stack.db->Get(
+    BenchGet(stack.db.get(), 
         ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)) + "!x",
         &value);
   }

@@ -65,7 +65,7 @@ EngineResult RunLsm() {
   WorkloadGenerator gen(spec);
 
   uint64_t t0 = SystemClock()->NowMicros();
-  Load(&stack, &gen, kNumInserts);
+  BenchCheck(Load(&stack, &gen, kNumInserts), "Load");
   uint64_t insert_micros = SystemClock()->NowMicros() - t0;
   IoStats io = stack.env->GetStats();
   double write_amp = io.WriteAmplification(stack.user_bytes_written);
@@ -76,7 +76,7 @@ EngineResult RunLsm() {
   std::string value;
   t0 = SystemClock()->NowMicros();
   for (uint64_t i = 0; i < kNumReads; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
                   &value);
   }
   uint64_t read_micros = SystemClock()->NowMicros() - t0;
@@ -117,9 +117,9 @@ EngineResult RunBtree() {
     Operation op = gen.Next();
     std::string value = gen.MakeValue(op.key, op.value_size);
     user_bytes += op.key.size() + value.size();
-    tree->Insert(op.key, value);
+    BenchCheck(tree->Insert(op.key, value), "BPlusTree::Insert");
   }
-  tree->Flush();
+  BenchCheck(tree->Flush(), "BPlusTree::Flush");
   uint64_t insert_micros = SystemClock()->NowMicros() - t0;
   IoStats io = env->GetStats();
   double write_amp = io.WriteAmplification(user_bytes);
@@ -129,7 +129,12 @@ EngineResult RunBtree() {
   std::string value;
   t0 = SystemClock()->NowMicros();
   for (uint64_t i = 0; i < kNumReads; ++i) {
-    tree->Get(WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)), &value);
+    Status gs =
+        tree->Get(WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
+                  &value);
+    if (!gs.ok() && !gs.IsNotFound()) {
+      BenchCheck(gs, "BPlusTree::Get");
+    }
   }
   uint64_t read_micros = SystemClock()->NowMicros() - t0;
   IoStats read_io = env->GetStats();

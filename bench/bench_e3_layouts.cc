@@ -47,10 +47,10 @@ Row RunOne(DataLayout layout, int size_ratio) {
   WorkloadGenerator value_maker(WorkloadSpec::WriteOnly(1));
   for (uint64_t i = 0; i < kNumInserts; ++i) {
     std::string key = WorkloadGenerator::FormatKey(rnd.Uniform(key_space));
-    stack.db->Put(wo, key, value_maker.MakeValue(key, 100));
+    BenchCheck(stack.db->Put(wo, key, value_maker.MakeValue(key, 100)), "Put");
     stack.user_bytes_written += key.size() + 100;
   }
-  stack.db->WaitForBackgroundWork();
+  BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
 
   Row row;
   IoStats io = stack.env->GetStats();
@@ -65,7 +65,7 @@ Row RunOne(DataLayout layout, int size_ratio) {
   ReadOptions ro;
   std::string value;
   for (uint64_t i = 0; i < kNumPointReads; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(rnd.Uniform(key_space)),
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(rnd.Uniform(key_space)),
                   &value);
   }
   row.read_ios = static_cast<double>(stack.env->GetStats().read_ops) /
@@ -74,7 +74,7 @@ Row RunOne(DataLayout layout, int size_ratio) {
   // Zero-result reads (inside the key range; only filters help).
   stack.env->ResetStats();
   for (uint64_t i = 0; i < kNumEmptyReads; ++i) {
-    stack.db->Get(
+    BenchGet(stack.db.get(), 
         ro, WorkloadGenerator::FormatKey(rnd.Uniform(key_space)) + "!absent",
         &value);
   }

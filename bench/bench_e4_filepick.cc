@@ -42,21 +42,21 @@ Row RunOne(CompactionGranularity granularity, FilePickPolicy policy) {
   WorkloadGenerator gen(spec);
 
   // Preload.
-  Load(&stack, &gen, spec.num_preloaded_keys);
+  BenchCheck(Load(&stack, &gen, spec.num_preloaded_keys), "Load");
 
   WriteOptions wo;
   for (uint64_t i = 0; i < kOps; ++i) {
     Operation op = gen.Next();
     if (op.type == Operation::Type::kDelete) {
-      stack.db->Delete(wo, op.key);
+      BenchCheck(stack.db->Delete(wo, op.key), "Delete");
       stack.user_bytes_written += op.key.size();
     } else {
       std::string value = gen.MakeValue(op.key, 100);
-      stack.db->Put(wo, op.key, value);
+      BenchCheck(stack.db->Put(wo, op.key, value), "Put");
       stack.user_bytes_written += op.key.size() + value.size();
     }
   }
-  stack.db->WaitForBackgroundWork();
+  BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
 
   Row row;
   IoStats io = stack.env->GetStats();

@@ -41,7 +41,7 @@ Row RunOne(double bits_per_key, FilterAllocation allocation) {
   WorkloadSpec spec = WorkloadSpec::WriteOnly(kNumInserts);
   spec.value_size = 64;
   WorkloadGenerator gen(spec);
-  Load(&stack, &gen, kNumInserts);
+  BenchCheck(Load(&stack, &gen, kNumInserts), "Load");
 
   Row row;
   Random rnd(21);
@@ -51,7 +51,7 @@ Row RunOne(double bits_per_key, FilterAllocation allocation) {
   stack.db->statistics()->Reset();
   stack.env->ResetStats();
   for (uint64_t i = 0; i < kNumEmptyReads; ++i) {
-    stack.db->Get(
+    BenchGet(stack.db.get(), 
         ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)) + "!none",
         &value);
   }
@@ -65,7 +65,7 @@ Row RunOne(double bits_per_key, FilterAllocation allocation) {
 
   stack.env->ResetStats();
   for (uint64_t i = 0; i < kNumReads; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
                   &value);
   }
   row.read_ios = static_cast<double>(stack.env->GetStats().read_ops) /

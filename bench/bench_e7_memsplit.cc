@@ -42,7 +42,7 @@ Row RunOne(double buffer_fraction, double write_weight) {
   WorkloadSpec spec = WorkloadSpec::WriteOnly(kNumInserts);
   spec.value_size = 64;
   WorkloadGenerator gen(spec);
-  Load(&stack, &gen, kNumInserts);
+  BenchCheck(Load(&stack, &gen, kNumInserts), "Load");
 
   Row row;
   row.write_amp =
@@ -53,7 +53,7 @@ Row RunOne(double buffer_fraction, double write_weight) {
   ReadOptions ro;
   std::string value;
   for (uint64_t i = 0; i < kNumEmptyReads; ++i) {
-    stack.db->Get(
+    BenchGet(stack.db.get(), 
         ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)) + "!nil",
         &value);
   }

@@ -43,10 +43,10 @@ Row RunOne(bool kv_separation, size_t value_size) {
       std::string key = WorkloadGenerator::FormatKey(i);
       std::string value = value_maker.MakeValue(key, value_size);
       stack.user_bytes_written += key.size() + value.size();
-      stack.db->Put(wo, key, value);
+      BenchCheck(stack.db->Put(wo, key, value), "Put");
     }
   }
-  stack.db->WaitForBackgroundWork();
+  BenchCheck(stack.db->WaitForBackgroundWork(), "WaitForBackgroundWork");
   uint64_t micros = SystemClock()->NowMicros() - t0;
 
   Row row;
@@ -59,7 +59,7 @@ Row RunOne(bool kv_separation, size_t value_size) {
   ReadOptions ro;
   std::string value;
   for (uint64_t i = 0; i < kNumReads; ++i) {
-    stack.db->Get(ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
+    BenchGet(stack.db.get(), ro, WorkloadGenerator::FormatKey(rnd.Uniform(kNumInserts)),
                   &value);
   }
   row.read_ios = static_cast<double>(stack.env->GetStats().read_ops) /

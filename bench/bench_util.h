@@ -7,6 +7,7 @@
 // machine.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,25 @@
 #include "workload/workload.h"
 
 namespace lsmlab::bench {
+
+/// Aborts the bench on an unexpected error: timings measured over failing
+/// operations are meaningless, so there is no point continuing.
+inline void BenchCheck(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Point read that tolerates NotFound (empty reads are part of the measured
+/// workloads) but aborts on a real error.
+inline void BenchGet(DB* db, const ReadOptions& ro, const std::string& key,
+                     std::string* value) {
+  Status s = db->Get(ro, key, value);
+  if (!s.ok() && !s.IsNotFound()) {
+    BenchCheck(s, "Get");
+  }
+}
 
 /// A DB stack over a counting in-memory env: deterministic I/O accounting.
 struct TestStack {
@@ -79,13 +99,17 @@ inline uint64_t RunMixed(TestStack* stack, WorkloadGenerator* gen,
       case Operation::Type::kUpdate: {
         std::string v = gen->MakeValue(op.key, op.value_size);
         stack->user_bytes_written += op.key.size() + v.size();
-        stack->db->Put(wo, op.key, v);
+        BenchCheck(stack->db->Put(wo, op.key, v), "Put");
         break;
       }
       case Operation::Type::kRead:
-      case Operation::Type::kEmptyRead:
-        stack->db->Get(ro, op.key, &value);
+      case Operation::Type::kEmptyRead: {
+        Status gs = stack->db->Get(ro, op.key, &value);
+        if (!gs.ok() && !gs.IsNotFound()) {
+          BenchCheck(gs, "Get");
+        }
         break;
+      }
       case Operation::Type::kScan: {
         auto iter = stack->db->NewIterator(ro);
         int remaining = op.scan_length;
@@ -96,7 +120,7 @@ inline uint64_t RunMixed(TestStack* stack, WorkloadGenerator* gen,
         break;
       }
       case Operation::Type::kDelete:
-        stack->db->Delete(wo, op.key);
+        BenchCheck(stack->db->Delete(wo, op.key), "Delete");
         break;
     }
   }

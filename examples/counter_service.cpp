@@ -18,6 +18,19 @@
 
 using namespace lsmlab;
 
+namespace {
+
+// Abort on unexpected failure; a real application would propagate the
+// Status to its caller instead.
+void CheckOk(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // anonymous namespace
+
 int main(int argc, char** argv) {
   uint64_t num_events =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
@@ -85,9 +98,9 @@ int main(int argc, char** argv) {
               mismatches == 0 ? "all counters exact" : "MISMATCH!");
 
   // Compactions carry operand chains correctly; counts stay exact.
-  db->CompactRange();
+  CheckOk(db->CompactRange());
   std::string value;
-  db->Get(ReadOptions(), "global:views", &value);
+  CheckOk(db->Get(ReadOptions(), "global:views", &value));
   std::printf("global:views after full compaction: %s (expected %lld)\n",
               value.c_str(), model["global:views"]);
   std::printf("tree: %d sorted runs, %llu compactions\n",

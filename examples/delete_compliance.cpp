@@ -6,6 +6,7 @@
 //   ./delete_compliance
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -15,6 +16,19 @@
 #include "workload/workload.h"
 
 using namespace lsmlab;
+
+namespace {
+
+// Abort on unexpected failure; a real application would propagate the
+// Status to its caller instead.
+void CheckOk(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // anonymous namespace
 
 namespace {
 
@@ -68,19 +82,19 @@ int main() {
     WorkloadGenerator values(WorkloadSpec::WriteOnly(1));
     for (uint64_t i = 0; i < kNumKeys; ++i) {
       std::string key = WorkloadGenerator::FormatKey(i);
-      db->Put(WriteOptions(), key, values.MakeValue(key, 64));
+      CheckOk(db->Put(WriteOptions(), key, values.MakeValue(key, 64)));
       clock.Advance(5);
     }
-    db->WaitForBackgroundWork();
+    CheckOk(db->WaitForBackgroundWork());
 
     // Users request erasure of a subset.
     Random rnd(4);
     for (uint64_t i = 0; i < kNumDeletes; ++i) {
-      db->Delete(WriteOptions(), WorkloadGenerator::FormatKey(
-                                     rnd.Uniform(kNumKeys)));
+      CheckOk(db->Delete(WriteOptions(), WorkloadGenerator::FormatKey(
+                                             rnd.Uniform(kNumKeys))));
     }
-    db->Flush();
-    db->WaitForBackgroundWork();
+    CheckOk(db->Flush());
+    CheckOk(db->WaitForBackgroundWork());
     Report(db.get(), kNumDeletes, "right after delete requests:");
 
     // Time passes with only light unrelated traffic.
@@ -88,10 +102,10 @@ int main() {
       clock.Advance(kTtlMicros / 10);
       for (int i = 0; i < 20; ++i) {
         std::string key = "audit-log-" + std::to_string(step * 100 + i);
-        db->Put(WriteOptions(), key, "entry");
+        CheckOk(db->Put(WriteOptions(), key, "entry"));
       }
-      db->Flush();
-      db->WaitForBackgroundWork();
+      CheckOk(db->Flush());
+      CheckOk(db->WaitForBackgroundWork());
     }
     Report(db.get(), kNumDeletes, "after 4x TTL of light load:");
     std::printf("compactions run: %llu, write stalls: %llu us\n",

@@ -18,6 +18,19 @@ using namespace lsmlab;
 
 namespace {
 
+// Abort on unexpected failure; a real application would propagate the
+// Status to its caller instead.
+void CheckOk(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // anonymous namespace
+
+namespace {
+
 struct Cell {
   double write_amp;
   double empty_read_ios;
@@ -50,9 +63,9 @@ Cell Measure(DataLayout layout, int t, uint64_t num_inserts) {
     Operation op = gen.Next();
     std::string value = gen.MakeValue(op.key, 100);
     user_bytes += op.key.size() + value.size();
-    db->Put(WriteOptions(), op.key, value);
+    CheckOk(db->Put(WriteOptions(), op.key, value));
   }
-  db->WaitForBackgroundWork();
+  CheckOk(db->WaitForBackgroundWork());
 
   Cell cell;
   cell.write_amp = env.GetStats().WriteAmplification(user_bytes);
@@ -63,9 +76,13 @@ Cell Measure(DataLayout layout, int t, uint64_t num_inserts) {
   std::string value;
   const int kProbes = 2000;
   for (int i = 0; i < kProbes; ++i) {
-    db->Get(ReadOptions(),
-            WorkloadGenerator::FormatKey(rnd.Uniform(num_inserts)) + "!no",
-            &value);
+    Status gs = db->Get(
+        ReadOptions(),
+        WorkloadGenerator::FormatKey(rnd.Uniform(num_inserts)) + "!no",
+        &value);
+    if (!gs.IsNotFound()) {
+      CheckOk(gs);  // The probe key is absent by construction.
+    }
   }
   cell.empty_read_ios =
       static_cast<double>(env.GetStats().read_ops) / kProbes;

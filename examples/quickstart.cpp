@@ -4,16 +4,31 @@
 //   ./quickstart [db_path]
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "db/db.h"
 
+namespace {
+
+// The demo aborts on any unexpected error; a real application would
+// propagate the Status to its caller instead.
+void CheckOk(const lsmlab::Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace lsmlab;
 
   std::string path = argc > 1 ? argv[1] : "/tmp/lsmlab_quickstart";
-  DestroyDB(Options(), path);  // Start fresh for the demo.
+  // Start fresh for the demo; "nothing to destroy" is fine.
+  (void)DestroyDB(Options(), path);
 
   // 1. Configure the engine. Every design decision from the tutorial is an
   //    Options field; the defaults mirror a RocksDB-like 1-leveling tree.
@@ -51,11 +66,11 @@ int main(int argc, char** argv) {
               s.ok() ? value.c_str() : s.ToString().c_str());
 
   // 4. Update and delete are both out-of-place writes (§2.1.1-B).
-  db->Put(WriteOptions(), "fruit:00042", "crate-fresh");
-  db->Get(ReadOptions(), "fruit:00042", &value);
+  CheckOk(db->Put(WriteOptions(), "fruit:00042", "crate-fresh"));
+  CheckOk(db->Get(ReadOptions(), "fruit:00042", &value));
   std::printf("after update      -> %s\n", value.c_str());
 
-  db->Delete(WriteOptions(), "fruit:00042");
+  CheckOk(db->Delete(WriteOptions(), "fruit:00042"));
   s = db->Get(ReadOptions(), "fruit:00042", &value);
   std::printf("after delete      -> %s\n",
               s.IsNotFound() ? "NotFound (tombstoned)" : value.c_str());
@@ -71,8 +86,8 @@ int main(int argc, char** argv) {
   }
 
   // 6. Force internal operations and look inside the black box.
-  db->Flush();               // Memtable -> L0 run.
-  db->CompactRange();        // Merge everything down.
+  CheckOk(db->Flush());         // Memtable -> L0 run.
+  CheckOk(db->CompactRange());  // Merge everything down.
   std::printf("\ntree shape after flush + full compaction:\n%s",
               db->LevelsDebugString().c_str());
   std::printf("sorted runs: %d, sst bytes: %llu\n", db->TotalSortedRuns(),

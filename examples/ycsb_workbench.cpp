@@ -22,6 +22,19 @@ using namespace lsmlab;
 
 namespace {
 
+// Abort on unexpected failure; a real application would propagate the
+// Status to its caller instead.
+void CheckOk(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // anonymous namespace
+
+namespace {
+
 WorkloadSpec PickWorkload(const std::string& name, uint64_t ops) {
   if (name == "b") return WorkloadSpec::YcsbB(ops);
   if (name == "c") return WorkloadSpec::YcsbC(ops);
@@ -72,9 +85,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(spec.num_preloaded_keys));
   for (uint64_t i = 0; i < spec.num_preloaded_keys; ++i) {
     std::string key = WorkloadGenerator::FormatKey(i);
-    db->Put(WriteOptions(), key, gen.MakeValue(key, spec.value_size));
+    CheckOk(db->Put(WriteOptions(), key, gen.MakeValue(key, spec.value_size)));
   }
-  db->WaitForBackgroundWork();
+  CheckOk(db->WaitForBackgroundWork());
   env.ResetStats();
   db->statistics()->Reset();
 
@@ -88,11 +101,14 @@ int main(int argc, char** argv) {
     switch (op.type) {
       case Operation::Type::kInsert:
       case Operation::Type::kUpdate:
-        db->Put(WriteOptions(), op.key, gen.MakeValue(op.key, op.value_size));
+        CheckOk(db->Put(WriteOptions(), op.key, gen.MakeValue(op.key, op.value_size)));
         break;
       case Operation::Type::kRead:
       case Operation::Type::kEmptyRead:
-        db->Get(ReadOptions(), op.key, &value);
+        if (Status gs = db->Get(ReadOptions(), op.key, &value);
+            !gs.ok() && !gs.IsNotFound()) {
+          CheckOk(gs);
+        }
         break;
       case Operation::Type::kScan: {
         auto iter = db->NewIterator(ReadOptions());
@@ -102,12 +118,12 @@ int main(int argc, char** argv) {
         break;
       }
       case Operation::Type::kDelete:
-        db->Delete(WriteOptions(), op.key);
+        CheckOk(db->Delete(WriteOptions(), op.key));
         break;
     }
   }
   uint64_t micros = SystemClock()->NowMicros() - t0;
-  db->WaitForBackgroundWork();
+  CheckOk(db->WaitForBackgroundWork());
 
   Statistics* stats = db->statistics();
   IoStats io = env.GetStats();

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources using the compile database of an existing CMake build tree.
+#
+#   scripts/run_clang_tidy.sh [build_dir] [path...]
+#
+# Defaults: build_dir=build, paths=src. Requires a build configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists turns this
+# on). Set CLANG_TIDY to point at a specific binary, e.g. clang-tidy-17.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [ "$#" -gt 0 ]; then shift; fi
+PATHS=("$@")
+if [ "${#PATHS[@]}" -eq 0 ]; then PATHS=(src); fi
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "error: $CLANG_TIDY not found (set CLANG_TIDY to override)" >&2
+  exit 1
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing" >&2
+  echo "hint: cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+mapfile -t FILES < <(find "${PATHS[@]}" \( -name '*.cc' -o -name '*.cpp' \) | sort)
+echo "clang-tidy over ${#FILES[@]} files (${PATHS[*]})..."
+exec "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"

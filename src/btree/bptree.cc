@@ -30,7 +30,11 @@ BPlusTree::BPlusTree(const BPlusTreeOptions& options, Env* env,
                      std::string path)
     : options_(options), env_(env), path_(std::move(path)) {}
 
-BPlusTree::~BPlusTree() { Flush(); }
+BPlusTree::~BPlusTree() {
+  // A destructor cannot report the error; callers that need durability
+  // must Flush() explicitly first.
+  (void)Flush();
+}
 
 Status BPlusTree::Open(const BPlusTreeOptions& options, Env* env,
                        const std::string& path,
@@ -44,7 +48,10 @@ Status BPlusTree::Open(const BPlusTreeOptions& options, Env* env,
   }
   if (existed) {
     uint64_t size = 0;
-    env->GetFileSize(path, &size);
+    s = env->GetFileSize(path, &size);
+    if (!s.ok()) {
+      return s;
+    }
     existed = size >= options.page_size;
   }
   if (existed) {

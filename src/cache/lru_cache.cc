@@ -34,7 +34,7 @@ void LruCache::Shard::EvictIfNeeded() {
 void LruCache::Insert(const Slice& key, std::shared_ptr<const void> value,
                       size_t charge) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   std::string key_str = key.ToString();
   auto it = shard.index.find(key_str);
   if (it != shard.index.end()) {
@@ -51,7 +51,7 @@ void LruCache::Insert(const Slice& key, std::shared_ptr<const void> value,
 
 std::shared_ptr<const void> LruCache::Lookup(const Slice& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key.ToString());
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -65,7 +65,7 @@ std::shared_ptr<const void> LruCache::Lookup(const Slice& key) {
 
 void LruCache::Erase(const Slice& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key.ToString());
   if (it != shard.index.end()) {
     shard.usage -= it->second->charge;
@@ -76,7 +76,7 @@ void LruCache::Erase(const Slice& key) {
 
 void LruCache::Prune() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->lru.clear();
     shard->index.clear();
     shard->usage = 0;
@@ -86,7 +86,7 @@ void LruCache::Prune() {
 size_t LruCache::usage() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->usage;
   }
   return total;
@@ -95,7 +95,7 @@ size_t LruCache::usage() const {
 CacheStats LruCache::GetStats() const {
   CacheStats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.inserts += shard->inserts;
@@ -106,7 +106,7 @@ CacheStats LruCache::GetStats() const {
 
 void LruCache::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->hits = shard->misses = shard->inserts = shard->evictions = 0;
   }
 }

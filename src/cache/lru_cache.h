@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/slice.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -65,17 +66,18 @@ class LruCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // Front = MRU.
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    size_t usage = 0;
-    size_t capacity = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // Front = MRU.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    size_t usage GUARDED_BY(mu) = 0;
+    size_t capacity = 0;  // Set once at construction; read-only afterwards.
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t inserts GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
 
-    void EvictIfNeeded();
+    void EvictIfNeeded() REQUIRES(mu);
   };
 
   Shard& ShardFor(const Slice& key);

@@ -386,7 +386,8 @@ Status CompactionJob::RunShard(Shard* shard) {
     builder->Abandon();
     builder.reset();
     out_file.reset();
-    ctx_.options->env->RemoveFile(
+    // Best effort; an orphan is reclaimed by RemoveObsoleteFiles.
+    (void)ctx_.options->env->RemoveFile(
         TableFileName(ctx_.dbname, out_file_number));
     ctx_.unpin_output(out_file_number);
   }
@@ -407,9 +408,9 @@ void CompactionJob::ExecuteShard(size_t index) {
     // Notify while holding the lock: the coordinator may destroy this job
     // the moment its wait-predicate sees the final count, so the signal
     // must be ordered before the waiter can re-acquire shard_mu_.
-    std::lock_guard<std::mutex> lock(shard_mu_);
+    MutexLock lock(&shard_mu_);
     ++shards_done_;
-    shard_cv_.notify_all();
+    shard_cv_.SignalAll();
   }
 }
 
@@ -452,7 +453,7 @@ Status CompactionJob::Run() {
     ExecuteShard(0);
     while (true) {
       {
-        std::unique_lock<std::mutex> lock(shard_mu_);
+        MutexLock lock(&shard_mu_);
         if (shards_done_ == shards_.size()) {
           break;
         }
@@ -462,9 +463,10 @@ Status CompactionJob::Run() {
       }
       // Queue empty: every remaining shard is running on some thread and
       // will signal when done.
-      std::unique_lock<std::mutex> lock(shard_mu_);
-      shard_cv_.wait(lock,
-                     [this] { return shards_done_ == shards_.size(); });
+      MutexLock lock(&shard_mu_);
+      while (shards_done_ != shards_.size()) {
+        shard_cv_.Wait(shard_mu_);
+      }
     }
   }
 
@@ -524,7 +526,8 @@ Status CompactionJob::Run() {
 void CompactionJob::Cleanup() {
   for (auto& shard : shards_) {
     for (const auto& meta : shard.outputs) {
-      ctx_.options->env->RemoveFile(
+      // Best effort; an orphan is reclaimed by RemoveObsoleteFiles.
+      (void)ctx_.options->env->RemoveFile(
           TableFileName(ctx_.dbname, meta.file_number));
       ctx_.unpin_output(meta.file_number);
     }

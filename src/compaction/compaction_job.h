@@ -2,11 +2,9 @@
 #define LSMLAB_COMPACTION_COMPACTION_JOB_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,8 +16,10 @@
 #include "kvsep/vlog.h"
 #include "table/table_builder.h"
 #include "util/arena.h"
+#include "util/mutex.h"
 #include "util/options.h"
 #include "util/rate_limiter.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "version/version_edit.h"
 
@@ -139,9 +139,9 @@ class CompactionJob {
   VersionEdit edit_;
   std::vector<FileMetaData> outputs_;
 
-  std::mutex shard_mu_;
-  std::condition_variable shard_cv_;
-  size_t shards_done_ = 0;
+  Mutex shard_mu_;
+  CondVar shard_cv_;
+  size_t shards_done_ GUARDED_BY(shard_mu_) = 0;
   /// Set by the first failing/aborting shard so siblings bail out early.
   std::atomic<bool> failed_{false};
 

@@ -350,6 +350,7 @@ std::optional<CompactionPlan> CompactionPicker::TryPickLevel(
 std::optional<CompactionPlan> CompactionPicker::Pick(const Version& version,
                                                      uint64_t now_micros,
                                                      const PickContext& ctx) {
+  MutexLock lock(&mu_);
   // FADE first: delete persistence is a correctness-adjacent deadline.
   auto ttl_plan = PickTtlCompaction(version, now_micros, ctx);
   if (ttl_plan.has_value()) {

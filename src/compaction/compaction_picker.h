@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "compaction/compaction.h"
+#include "util/mutex.h"
 #include "util/options.h"
+#include "util/thread_annotations.h"
 #include "version/version_set.h"
 
 namespace lsmlab {
@@ -43,7 +45,10 @@ struct PickContext {
 /// CompactionPicker decides *whether*, *where*, and *which files* to
 /// compact — the trigger, granularity, and data-movement primitives of
 /// tutorial §2.2.4 — for all four disk data layouts of §2.2.2. Stateful only
-/// for the round-robin cursor. Callers serialize access (DB mutex).
+/// for the round-robin cursor, which sits behind an internal leaf mutex, so
+/// every method is individually safe from any thread. The scheduler (DB)
+/// additionally serializes Pick calls under its own mutex so that two
+/// concurrent picks never see the same tree shape and claim the same work.
 class CompactionPicker {
  public:
   explicit CompactionPicker(const Options* options);
@@ -55,7 +60,8 @@ class CompactionPicker {
   /// top-pressure level does not starve admissible work elsewhere.
   std::optional<CompactionPlan> Pick(const Version& version,
                                      uint64_t now_micros,
-                                     const PickContext& ctx = {});
+                                     const PickContext& ctx = {})
+      EXCLUDES(mu_);
 
   /// A manual whole-range compaction of `level` into `level + 1`.
   std::optional<CompactionPlan> PickManual(const Version& version, int level);
@@ -75,9 +81,10 @@ class CompactionPicker {
                                                   uint64_t now_micros,
                                                   const PickContext& ctx);
   /// Builds an admissible plan for `level`, or nullopt if every choice
-  /// conflicts with `ctx`.
+  /// conflicts with `ctx`. Commits the round-robin cursor on success.
   std::optional<CompactionPlan> TryPickLevel(const Version& version, int level,
-                                             const PickContext& ctx);
+                                             const PickContext& ctx)
+      REQUIRES(mu_);
   CompactionPlan BuildPlan(const Version& version, CompactionTrigger trigger,
                            int level, std::vector<FileMetaData> inputs);
   /// Selects one input file from `candidates` (all from leveled `level`)
@@ -85,15 +92,18 @@ class CompactionPicker {
   /// not advance the round-robin cursor; the caller commits the choice.
   const FileMetaData* ChooseByPolicy(
       const Version& version, int level,
-      const std::vector<const FileMetaData*>& candidates) const;
+      const std::vector<const FileMetaData*>& candidates) const
+      REQUIRES(mu_);
   bool FileBusy(const FileMetaData& f, const PickContext& ctx) const;
   /// Busy-file + claimed-range admission check; also suppresses bottommost
   /// when a running job is at or below the plan's output level.
   bool PlanAdmissible(CompactionPlan* plan, const PickContext& ctx) const;
 
   const Options* const options_;
+  /// Leaf lock for the picker's only mutable state.
+  mutable Mutex mu_;
   /// Round-robin cursors: the largest user key compacted so far per level.
-  std::vector<std::string> cursor_;
+  std::vector<std::string> cursor_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmlab

@@ -48,7 +48,7 @@ DB::DB(const Options& options, std::string dbname)
 
 DB::~DB() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
   if (pool_ != nullptr) {
@@ -133,7 +133,7 @@ Status DB::Initialize() {
     return s;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   RemoveObsoleteFiles();
   MaybeScheduleCompaction();
   return Status::OK();
@@ -175,16 +175,17 @@ Status DB::Recover() {
   versions_->SetLastSequence(max_sequence);
 
   // Start a fresh memtable + log; everything replayed is now either in L0
-  // tables (via the edit) or re-bufferable.
+  // tables (via the edit) or re-bufferable. Recovery is single-threaded,
+  // but the memtable/log fields are guarded, so take mu_ anyway.
+  MutexLock lock(&mu_);
   s = NewMemTableAndLog();
   if (!s.ok()) {
     return s;
   }
   edit.SetLogNumber(log_file_number_);
-  std::lock_guard<std::mutex> lock(mu_);
   s = versions_->LogAndApply(&edit);
   // Replay tables are installed (or recovery failed); drop their pins so
-  // RemoveObsoleteFiles sees a clean slate. Recovery is single-threaded.
+  // RemoveObsoleteFiles sees a clean slate.
   pending_outputs_.clear();
   return s;
 }
@@ -418,14 +419,16 @@ Status DB::Write(const WriteOptions& options, WriteBatch* batch) {
 
 // One queued write (or memtable-seal request). Writers block on their own
 // condition variable until a leader commits their batch for them, or until
-// they reach the queue front and commit a group themselves.
+// they reach the queue front and commit a group themselves. done/status are
+// written by the leader and read by the owner, both under writer_queue_mu_
+// (not expressible as GUARDED_BY: the mutex is a DB member, not ours).
 struct DB::Writer {
   WriteBatch* batch;  // nullptr marks a memtable-seal request (Flush()).
   bool sync;
   bool no_slowdown;
   bool done = false;
   Status status;
-  std::condition_variable cv;
+  CondVar cv;
 
   Writer(WriteBatch* b, bool s, bool ns)
       : batch(b), sync(s), no_slowdown(ns) {}
@@ -454,9 +457,11 @@ Status DB::SealActiveMemTable() {
 Status DB::EnqueueWriter(Writer* w) {
   std::vector<Writer*> group;
   {
-    std::unique_lock<std::mutex> qlock(writer_queue_mu_);
+    MutexLock qlock(&writer_queue_mu_);
     write_queue_.push_back(w);
-    w->cv.wait(qlock, [&] { return w->done || write_queue_.front() == w; });
+    while (!w->done && write_queue_.front() != w) {
+      w->cv.Wait(writer_queue_mu_);
+    }
     if (w->done) {
       return w->status;  // A leader committed this write within its group.
     }
@@ -468,7 +473,7 @@ Status DB::EnqueueWriter(Writer* w) {
   // leadership on below.
   Status s;
   if (w->batch == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = background_error_;
     if (s.ok() && !mem_->Empty()) {
       s = NewMemTableAndLogLocked();
@@ -479,25 +484,25 @@ Status DB::EnqueueWriter(Writer* w) {
 
   // Deliver statuses to followers and pass leadership to the next writer.
   {
-    std::lock_guard<std::mutex> qlock(writer_queue_mu_);
+    MutexLock qlock(&writer_queue_mu_);
     for (Writer* member : group) {
       assert(write_queue_.front() == member);
       write_queue_.pop_front();
       if (member != w) {
         member->status = s;
         member->done = true;
-        member->cv.notify_one();
+        member->cv.Signal();
       }
     }
     if (!write_queue_.empty()) {
-      write_queue_.front()->cv.notify_one();
+      write_queue_.front()->cv.Signal();
     }
   }
   return s;
 }
 
 void DB::BuildWriteGroup(Writer* leader, std::vector<Writer*>* group) {
-  // writer_queue_mu_ held; leader is at the queue front.
+  // Leader is at the queue front.
   group->push_back(leader);
   if (leader->batch == nullptr) {
     return;  // Seal requests never batch with writes.
@@ -535,32 +540,34 @@ Status DB::CommitWriteGroup(Writer* leader,
   WritableFile* log_file = nullptr;
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    s = MakeRoomForWrite(&lock, leader->no_slowdown);
-    if (!s.ok()) {
-      return s;
-    }
-    if (group.size() == 1) {
-      merged = leader->batch;
-    } else {
-      group_batch_.Clear();
-      for (Writer* member : group) {
-        group_batch_.Append(*member->batch);
+    MutexLock lock(&mu_);
+    s = MakeRoomForWrite(leader->no_slowdown);
+    if (s.ok()) {
+      if (group.size() == 1) {
+        merged = leader->batch;
+      } else {
+        group_batch_.Clear();
+        for (Writer* member : group) {
+          group_batch_.Append(*member->batch);
+        }
+        merged = &group_batch_;
       }
-      merged = &group_batch_;
+      count = merged->Count();
+      // Allocate — but do not publish — the group's sequence range. Readers
+      // keep snapshotting the old last_sequence, so the entries stay
+      // invisible until the WAL write has succeeded; a failed append
+      // therefore consumes no sequence numbers.
+      seq_start = versions_->last_sequence() + 1;
+      merged->SetSequence(seq_start);
+      // The WAL handles are stable outside mu_: they are only swapped by a
+      // write-queue leader (MakeRoomForWrite / seal requests), and we are
+      // the sole leader until the group completes.
+      log = log_.get();
+      log_file = log_file_.get();
     }
-    count = merged->Count();
-    // Allocate — but do not publish — the group's sequence range. Readers
-    // keep snapshotting the old last_sequence, so the entries stay
-    // invisible until the WAL write has succeeded; a failed append
-    // therefore consumes no sequence numbers.
-    seq_start = versions_->last_sequence() + 1;
-    merged->SetSequence(seq_start);
-    // The WAL handles are stable outside mu_: they are only swapped by a
-    // write-queue leader (MakeRoomForWrite / seal requests), and we are
-    // the sole leader until the group completes.
-    log = log_.get();
-    log_file = log_file_.get();
+  }
+  if (!s.ok()) {
+    return s;
   }
 
   if (log != nullptr) {
@@ -578,7 +585,7 @@ Status DB::CommitWriteGroup(Writer* leader,
       }
     }
     if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       background_error_ = s;
       return s;
     }
@@ -602,7 +609,7 @@ Status DB::CommitWriteGroup(Writer* leader,
     SequenceNumber seq_;
   };
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Inserter inserter(mem_.get(), seq_start);
     s = merged->Iterate(&inserter);
     if (s.ok()) {
@@ -624,8 +631,7 @@ Status DB::CommitWriteGroup(Writer* leader,
   return s;
 }
 
-Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
-                            bool no_slowdown) {
+Status DB::MakeRoomForWrite(bool no_slowdown) {
   bool allow_delay = true;
   while (true) {
     if (!background_error_.ok()) {
@@ -640,10 +646,10 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
       if (no_slowdown) {
         return Status::Busy("write slowdown active");
       }
-      lock->unlock();
+      mu_.Unlock();
       options_.clock->SleepForMicros(1000);
       stats_.write_slowdown_micros.fetch_add(1000, std::memory_order_relaxed);
-      lock->lock();
+      mu_.Lock();
       allow_delay = false;
       continue;
     }
@@ -661,11 +667,11 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
       }
       uint64_t start = options_.clock->NowMicros();
       MaybeScheduleFlush();
-      background_cv_.wait(*lock, [this] {
-        return !background_error_.ok() ||
-               static_cast<int>(imms_.size()) <
-                   options_.max_write_buffer_number - 1;
-      });
+      while (background_error_.ok() &&
+             static_cast<int>(imms_.size()) >=
+                 options_.max_write_buffer_number - 1) {
+        background_cv_.Wait(mu_);
+      }
       stats_.write_stall_micros.fetch_add(
           options_.clock->NowMicros() - start, std::memory_order_relaxed);
       continue;
@@ -678,11 +684,11 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
       }
       uint64_t start = options_.clock->NowMicros();
       MaybeScheduleCompaction();
-      background_cv_.wait(*lock, [this] {
-        return !background_error_.ok() ||
-               versions_->current()->NumFiles(0) <
-                   options_.level0_stop_writes_trigger;
-      });
+      while (background_error_.ok() &&
+             versions_->current()->NumFiles(0) >=
+                 options_.level0_stop_writes_trigger) {
+        background_cv_.Wait(mu_);
+      }
       stats_.write_stall_micros.fetch_add(
           options_.clock->NowMicros() - start, std::memory_order_relaxed);
       continue;
@@ -811,7 +817,7 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
   std::shared_ptr<const Version> version;
   SequenceNumber snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     mem = mem_;
     imms.assign(imms_.begin(), imms_.end());
     version = versions_->current();
@@ -902,7 +908,7 @@ std::unique_ptr<Iterator> DB::NewInternalIterator(
   std::vector<std::unique_ptr<Iterator>> children;
   std::shared_ptr<const Version> version;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     *latest_sequence = versions_->last_sequence();
     children.push_back(std::make_unique<MemTableIteratorAdapter>(mem_));
     for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
@@ -1111,14 +1117,14 @@ std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& options) {
 }
 
 SequenceNumber DB::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SequenceNumber snapshot = versions_->last_sequence();
   snapshots_.insert(snapshot);
   return snapshot;
 }
 
 void DB::ReleaseSnapshot(SequenceNumber snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = snapshots_.find(snapshot);
   if (it != snapshots_.end()) {
     snapshots_.erase(it);
@@ -1135,12 +1141,12 @@ SequenceNumber DB::OldestSnapshot() const {
 // ---------------------------------------------------------------------------
 
 std::string DB::LevelsDebugString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return versions_->current()->DebugString();
 }
 
 std::string DB::DebugLevelSummary() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::shared_ptr<const Version> v = versions_->current();
   std::string out;
   char buf[256];
@@ -1192,12 +1198,12 @@ std::string DB::DebugLevelSummary() const {
 }
 
 int DB::TotalSortedRuns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return versions_->current()->TotalSortedRuns();
 }
 
 uint64_t DB::TotalSstBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return versions_->current()->TotalBytes();
 }
 
@@ -1213,7 +1219,7 @@ uint64_t DB::CountLiveEntries() {
 Status DB::ValidateTreeInvariants() const {
   std::shared_ptr<const Version> version;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     version = versions_->current();
   }
   const Comparator* ucmp = options_.comparator;
@@ -1266,11 +1272,18 @@ Status DestroyDB(const Options& options, const std::string& name) {
   if (s.IsNotFound()) {
     return Status::OK();
   }
+  Status result;
   for (const auto& child : children) {
-    env->RemoveFile(name + "/" + child);
+    Status del = env->RemoveFile(name + "/" + child);
+    if (!del.ok() && result.ok()) {
+      result = del;
+    }
   }
-  env->RemoveDir(name);
-  return Status::OK();
+  Status del = env->RemoveDir(name);
+  if (!del.ok() && result.ok()) {
+    result = del;
+  }
+  return result;
 }
 
 }  // namespace lsmlab

@@ -1,10 +1,8 @@
 #ifndef LSMLAB_DB_DB_H_
 #define LSMLAB_DB_DB_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -22,8 +20,10 @@
 #include "table/iterator.h"
 #include "table/table_builder.h"
 #include "util/histogram.h"
+#include "util/mutex.h"
 #include "util/options.h"
 #include "util/rate_limiter.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "version/version_set.h"
 
@@ -133,11 +133,14 @@ class DB {
 
   Status Initialize();
   Status Recover();
+  /// Replays one WAL file into L0 tables. Must be called *without* mu_
+  /// (BuildTableFromIterator takes it internally); recovery is
+  /// single-threaded, so the tables it builds race nothing.
   Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
-                        VersionEdit* edit);
-  Status NewMemTableAndLog();
-  /// Seals the active memtable into imms_ and swaps in a fresh one. mu_ held.
-  Status NewMemTableAndLogLocked();
+                        VersionEdit* edit) EXCLUDES(mu_);
+  Status NewMemTableAndLog() REQUIRES(mu_);
+  /// Seals the active memtable into imms_ and swaps in a fresh one.
+  Status NewMemTableAndLogLocked() REQUIRES(mu_);
   std::unique_ptr<MemTable> MakeMemTable() const;
 
   Status WriteInternal(const WriteOptions& options, ValueType type,
@@ -148,58 +151,59 @@ class DB {
   Status WriteBatchInternal(const WriteOptions& options, WriteBatch* batch);
   /// Enqueues `w`, waits for a leader to commit it (or for leadership), and
   /// as leader commits the whole group and hands leadership on.
-  Status EnqueueWriter(Writer* w);
+  Status EnqueueWriter(Writer* w) EXCLUDES(writer_queue_mu_, mu_);
   /// Collects the leader plus compatible followers from the front of
-  /// write_queue_ into `group`. writer_queue_mu_ held.
-  void BuildWriteGroup(Writer* leader, std::vector<Writer*>* group);
+  /// write_queue_ into `group`.
+  void BuildWriteGroup(Writer* leader, std::vector<Writer*>* group)
+      REQUIRES(writer_queue_mu_);
   /// Leader-only: assigns the group's sequence range, writes one WAL
   /// record (+ optional fsync) outside mu_, applies the merged batch to
   /// the memtable, and publishes the new last_sequence.
-  Status CommitWriteGroup(Writer* leader, const std::vector<Writer*>& group);
+  Status CommitWriteGroup(Writer* leader, const std::vector<Writer*>& group)
+      EXCLUDES(mu_);
   /// Seals the active memtable via the writer queue (so the swap cannot
   /// race a leader's WAL write); used by Flush().
   Status SealActiveMemTable();
   /// Blocks (or fails with Busy under no_slowdown) until the write path has
   /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
-  /// Only the current write-queue leader may call this. mu_ held.
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock,
-                          bool no_slowdown);
+  /// Only the current write-queue leader may call this. Drops and reacquires
+  /// mu_ internally around delay sleeps and stall waits.
+  Status MakeRoomForWrite(bool no_slowdown) REQUIRES(mu_);
 
   /// Builds an SSTable at `level` from `iter`; returns its metadata.
+  /// Takes mu_ internally to pin/unpin the output file number.
   Status BuildTableFromIterator(Iterator* iter, int level,
                                 uint64_t oldest_tombstone_hint,
-                                FileMetaData* meta);
+                                FileMetaData* meta) EXCLUDES(mu_);
   TableBuilderOptions MakeBuilderOptions(int level) const;
 
-  void MaybeScheduleFlush();
+  void MaybeScheduleFlush() REQUIRES(mu_);
   /// Admission loop: keeps picking and admitting compaction jobs whose
   /// key-ranges and files are disjoint from every running job, until the
   /// picker finds nothing admissible or the concurrency limit is reached.
-  /// mu_ held.
-  void MaybeScheduleCompaction();
-  void BackgroundFlush();
+  void MaybeScheduleCompaction() REQUIRES(mu_);
+  void BackgroundFlush() EXCLUDES(mu_);
   /// Pool entry point for one admitted job: runs it off mu_, installs its
   /// edit (or cleans up), unregisters its claims, and re-runs admission.
-  void BackgroundCompaction(std::shared_ptr<CompactionJob> job);
+  void BackgroundCompaction(std::shared_ptr<CompactionJob> job) EXCLUDES(mu_);
 
   /// Builds the executor context (callbacks, snapshot floor) for a new job.
-  /// mu_ held.
-  CompactionJob::Context MakeCompactionContextLocked();
+  CompactionJob::Context MakeCompactionContextLocked() REQUIRES(mu_);
   /// Registers `plan`'s files and key-range claims, bumps the running
-  /// count, and schedules the job on the pool. mu_ held.
-  void AdmitCompactionLocked(CompactionPlan plan);
-  /// Drops a finished job's file and range claims. mu_ held.
-  void UnregisterCompactionLocked(uint64_t job_id);
+  /// count, and schedules the job on the pool.
+  void AdmitCompactionLocked(CompactionPlan plan) REQUIRES(mu_);
+  /// Drops a finished job's file and range claims.
+  void UnregisterCompactionLocked(uint64_t job_id) REQUIRES(mu_);
   /// Applies a finished job's edit atomically, releases its output pins,
-  /// records per-level stats, and collects obsolete inputs. mu_ held.
-  Status InstallCompactionLocked(CompactionJob* job);
+  /// records per-level stats, and collects obsolete inputs.
+  Status InstallCompactionLocked(CompactionJob* job) REQUIRES(mu_);
   /// Concurrency cap: max_background_compactions, defaulting to the pool
   /// size when 0.
   int MaxConcurrentCompactions() const;
 
-  void RemoveObsoleteFiles();
+  void RemoveObsoleteFiles() REQUIRES(mu_);
 
-  SequenceNumber OldestSnapshot() const;  // Requires mu_ held.
+  SequenceNumber OldestSnapshot() const REQUIRES(mu_);
 
   Status ResolveValue(const Slice& user_key, ValueType type,
                       const std::string& raw, std::string* value);
@@ -233,22 +237,25 @@ class DB {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<double> monkey_bits_;  // Per-level filter bits (Monkey).
 
-  mutable std::mutex mu_;
-  std::condition_variable background_cv_;
+  /// The DB mutex: root of the lock hierarchy (see DESIGN.md, "Locking
+  /// discipline"). May be held while taking any leaf lock (VersionSet,
+  /// picker, caches, pool) but never while taking writer_queue_mu_.
+  mutable Mutex mu_;
+  CondVar background_cv_;
 
-  std::shared_ptr<MemTable> mem_;
-  std::deque<std::shared_ptr<MemTable>> imms_;  // Oldest first.
-  uint64_t log_file_number_ = 0;
-  std::unique_ptr<WritableFile> log_file_;
-  std::unique_ptr<wal::Writer> log_;
+  std::shared_ptr<MemTable> mem_ GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<MemTable>> imms_ GUARDED_BY(mu_);  // Oldest 1st.
+  uint64_t log_file_number_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> log_file_ GUARDED_BY(mu_);
+  std::unique_ptr<wal::Writer> log_ GUARDED_BY(mu_);
   /// Log numbers backing the immutable memtables (oldest first).
-  std::deque<uint64_t> imm_log_numbers_;
+  std::deque<uint64_t> imm_log_numbers_ GUARDED_BY(mu_);
 
-  std::multiset<SequenceNumber> snapshots_;
+  std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
 
-  bool flush_scheduled_ = false;
-  bool shutting_down_ = false;
-  Status background_error_;
+  bool flush_scheduled_ GUARDED_BY(mu_) = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  Status background_error_ GUARDED_BY(mu_);
 
   /// One entry per admitted-but-unfinished compaction job. The claims are
   /// the job's input∪overlap user-key hull at its input and output levels;
@@ -259,29 +266,32 @@ class DB {
     std::shared_ptr<CompactionJob> job;
     std::vector<ClaimedRange> claims;
   };
-  std::vector<RunningCompaction> running_compactions_;  // Guarded by mu_.
-  /// File numbers owned by running jobs (inputs and overlap). Guarded by
-  /// mu_; the picker treats them as untouchable.
-  std::set<uint64_t> compacting_files_;
-  int compactions_running_ = 0;        // Guarded by mu_.
-  uint64_t next_compaction_job_id_ = 1;  // Guarded by mu_.
+  std::vector<RunningCompaction> running_compactions_ GUARDED_BY(mu_);
+  /// File numbers owned by running jobs (inputs and overlap); the picker
+  /// treats them as untouchable.
+  std::set<uint64_t> compacting_files_ GUARDED_BY(mu_);
+  int compactions_running_ GUARDED_BY(mu_) = 0;
+  uint64_t next_compaction_job_id_ GUARDED_BY(mu_) = 1;
   /// True while CompactRange holds the tree exclusively: blocks new
-  /// automatic admissions. Guarded by mu_.
-  bool manual_compaction_active_ = false;
+  /// automatic admissions.
+  bool manual_compaction_active_ GUARDED_BY(mu_) = false;
 
   /// Table files currently being written (flush/compaction outputs) that no
   /// Version references yet. RemoveObsoleteFiles must not delete them.
-  /// Guarded by mu_; entries are erased once the file is installed in a
-  /// Version or its builder gave up and removed it.
-  std::set<uint64_t> pending_outputs_;
+  /// Entries are erased once the file is installed in a Version or its
+  /// builder gave up and removed it.
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
 
   /// Group-commit writer queue (leader/follower). Acquired before mu_,
   /// never while holding mu_. The front writer is the current leader; it is
   /// the only thread allowed in MakeRoomForWrite, the WAL, or group_batch_
   /// until it hands leadership to the next queued writer.
-  std::mutex writer_queue_mu_;
-  std::deque<Writer*> write_queue_;
+  Mutex writer_queue_mu_ ACQUIRED_BEFORE(mu_);
+  std::deque<Writer*> write_queue_ GUARDED_BY(writer_queue_mu_);
   /// Leader-only scratch batch holding a coalesced group (> 1 writer).
+  /// Owned by whichever thread is leader — an exclusion the analysis cannot
+  /// express, so it carries no GUARDED_BY; the leader protocol in
+  /// EnqueueWriter/CommitWriteGroup is its lock.
   WriteBatch group_batch_;
 };
 

@@ -49,7 +49,7 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
                                   FileMetaData* meta) {
   uint64_t file_number;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     file_number = versions_->NewFileNumber();
     // The file exists on disk before any Version references it; pin it so a
     // concurrent RemoveObsoleteFiles does not garbage-collect it mid-build.
@@ -57,7 +57,7 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
     pending_outputs_.insert(file_number);
   }
   auto unpin = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_outputs_.erase(file_number);
   };
   std::string fname = TableFileName(dbname_, file_number);
@@ -99,14 +99,16 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
   }
   if (!iter->status().ok()) {
     builder.Abandon();
-    options_.env->RemoveFile(fname);
+    // Best-effort cleanup of the abandoned output; a leftover file is
+    // reclaimed by RemoveObsoleteFiles.
+    (void)options_.env->RemoveFile(fname);
     unpin();
     return iter->status();
   }
   if (first) {
     // Nothing to write.
     builder.Abandon();
-    options_.env->RemoveFile(fname);
+    (void)options_.env->RemoveFile(fname);
     unpin();
     meta->file_number = 0;
     return Status::OK();
@@ -120,7 +122,7 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
     s = file->Close();
   }
   if (!s.ok()) {
-    options_.env->RemoveFile(fname);
+    (void)options_.env->RemoveFile(fname);
     unpin();
     return s;
   }
@@ -144,7 +146,6 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
 // ---------------------------------------------------------------------------
 
 void DB::MaybeScheduleFlush() {
-  // mu_ held.
   if (flush_scheduled_ || shutting_down_ || imms_.empty()) {
     return;
   }
@@ -155,10 +156,10 @@ void DB::MaybeScheduleFlush() {
 void DB::BackgroundFlush() {
   std::shared_ptr<MemTable> imm;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_ || imms_.empty()) {
       flush_scheduled_ = false;
-      background_cv_.notify_all();
+      background_cv_.SignalAll();
       return;
     }
     imm = imms_.front();
@@ -171,7 +172,7 @@ void DB::BackgroundFlush() {
   Status s = BuildTableFromIterator(&iter, /*level=*/0,
                                     options_.clock->NowMicros(), &meta);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (meta.file_number != 0) {
     // Safe to unpin here: RemoveObsoleteFiles also needs mu_, and we hold it
     // continuously until the file is installed in a Version below.
@@ -199,7 +200,9 @@ void DB::BackgroundFlush() {
     uint64_t old_log = imm_log_numbers_.front();
     imm_log_numbers_.pop_front();
     if (options_.enable_wal) {
-      options_.env->RemoveFile(LogFileName(dbname_, old_log));
+      // Best effort: a WAL that survives here is deleted by the next
+      // RemoveObsoleteFiles pass.
+      (void)options_.env->RemoveFile(LogFileName(dbname_, old_log));
     }
     LSMLAB_LOG_INFO(options_.info_log.get(),
                     "flushed memtable -> L0 file %llu (%llu bytes)",
@@ -214,7 +217,7 @@ void DB::BackgroundFlush() {
     MaybeScheduleFlush();
   }
   MaybeScheduleCompaction();
-  background_cv_.notify_all();
+  background_cv_.SignalAll();
 }
 
 Status DB::Flush() {
@@ -224,10 +227,10 @@ Status DB::Flush() {
   if (!s.ok()) {
     return s;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  background_cv_.wait(lock, [this] {
-    return !background_error_.ok() || imms_.empty();
-  });
+  MutexLock lock(&mu_);
+  while (background_error_.ok() && !imms_.empty()) {
+    background_cv_.Wait(mu_);
+  }
   return background_error_;
 }
 
@@ -262,7 +265,7 @@ CompactionJob::Context DB::MakeCompactionContextLocked() {
   // admission-time value is merely conservative (drops less).
   ctx.oldest_snapshot = OldestSnapshot();
   ctx.pin_new_file_number = [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     uint64_t number = versions_->NewFileNumber();
     // The file exists on disk before any Version references it; pin it so a
     // concurrent RemoveObsoleteFiles does not garbage-collect it mid-build.
@@ -270,11 +273,11 @@ CompactionJob::Context DB::MakeCompactionContextLocked() {
     return number;
   };
   ctx.unpin_output = [this](uint64_t number) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_outputs_.erase(number);
   };
   ctx.should_abort = [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return shutting_down_;
   };
   ctx.make_builder_options = [this](int level) {
@@ -336,8 +339,8 @@ void DB::UnregisterCompactionLocked(uint64_t job_id) {
 }
 
 void DB::MaybeScheduleCompaction() {
-  // mu_ held. Re-evaluate after every admission: the previous job's claims
-  // change what remains admissible, and a single pass would leave admissible
+  // Re-evaluate after every admission: the previous job's claims change
+  // what remains admissible, and a single pass would leave admissible
   // disjoint work idle until the next flush.
   if (shutting_down_ || manual_compaction_active_) {
     return;
@@ -369,7 +372,7 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
   const uint64_t start_micros = options_.clock->NowMicros();
   Status s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_) {
       s = Status::Aborted("shutting down");
     }
@@ -380,7 +383,7 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
 
   bool installed = false;
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = InstallCompactionLocked(job.get());
     installed = s.ok();
   } else {
@@ -401,7 +404,7 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
   }
 
   const uint64_t duration_micros = options_.clock->NowMicros() - start_micros;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.RecordCompactionDuration(duration_micros);
   if (!s.ok() && !s.IsAborted()) {
     // Shutdown aborts are expected and must not poison the DB status.
@@ -409,7 +412,7 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
   }
   UnregisterCompactionLocked(job->id());
   MaybeScheduleCompaction();  // The freed claims may unblock more work.
-  background_cv_.notify_all();
+  background_cv_.SignalAll();
 }
 
 Status DB::InstallCompactionLocked(CompactionJob* job) {
@@ -449,14 +452,14 @@ Status DB::CompactRange() {
   // Exclusive mode: block new automatic admissions, then wait out any job
   // admitted between the drain above and taking the lock.
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     manual_compaction_active_ = true;
-    background_cv_.wait(lock, [this] {
-      return compactions_running_ == 0 || !background_error_.ok();
-    });
+    while (compactions_running_ != 0 && background_error_.ok()) {
+      background_cv_.Wait(mu_);
+    }
     if (!background_error_.ok()) {
       manual_compaction_active_ = false;
-      background_cv_.notify_all();
+      background_cv_.SignalAll();
       return background_error_;
     }
   }
@@ -464,7 +467,7 @@ Status DB::CompactRange() {
   while (s.ok()) {
     std::shared_ptr<CompactionJob> job;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       std::optional<CompactionPlan> plan;
       const Version& v = *versions_->current();
       for (int level = 0; level < v.num_levels() - 1; ++level) {
@@ -489,7 +492,7 @@ Status DB::CompactRange() {
     }
     s = job->Run();
     if (s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       s = InstallCompactionLocked(job.get());
     } else {
       job->Cleanup();
@@ -497,36 +500,31 @@ Status DB::CompactRange() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     manual_compaction_active_ = false;
     MaybeScheduleCompaction();
-    background_cv_.notify_all();
+    background_cv_.SignalAll();
   }
   return s;
 }
 
 Status DB::WaitForBackgroundWork() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MaybeScheduleFlush();
   MaybeScheduleCompaction();
-  background_cv_.wait(lock, [this] {
-    if (!background_error_.ok()) {
-      return true;
-    }
-    if (flush_scheduled_ || compactions_running_ > 0 || !imms_.empty()) {
-      return false;
-    }
-    // Nothing running: an unconstrained pick now equals what the admission
-    // loop would see, so "no plan" means the tree is fully settled.
-    return !picker_->Pick(*versions_->current(),
-                          options_.clock->NowMicros())
-                .has_value();
-  });
+  while (background_error_.ok() &&
+         (flush_scheduled_ || compactions_running_ > 0 || !imms_.empty() ||
+          // Nothing running: an unconstrained pick now equals what the
+          // admission loop would see, so "no plan" means the tree is fully
+          // settled.
+          picker_->Pick(*versions_->current(), options_.clock->NowMicros())
+              .has_value())) {
+    background_cv_.Wait(mu_);
+  }
   return background_error_;
 }
 
 void DB::RemoveObsoleteFiles() {
-  // mu_ held.
   std::set<uint64_t> live;
   versions_->AddLiveFiles(&live);
 
@@ -568,7 +566,8 @@ void DB::RemoveObsoleteFiles() {
       if (type == FileType::kTableFile) {
         table_cache_->Evict(number);
       }
-      options_.env->RemoveFile(dbname_ + "/" + child);
+      // Best effort: a file that survives is retried on the next pass.
+      (void)options_.env->RemoveFile(dbname_ + "/" + child);
     }
   }
 }
@@ -603,7 +602,7 @@ Status DB::GarbageCollectVlog() {
   }
   uint64_t new_log;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     new_log = versions_->NewFileNumber();
   }
   Status s = vlog_->OpenActive(new_log);
@@ -615,6 +614,7 @@ Status DB::GarbageCollectVlog() {
     if (log == new_log) {
       continue;
     }
+    Status relocate_status;
     s = vlog_->ForEachRecord(
         log, [&](const Slice& key, const Slice& value, const VlogPointer& ptr) {
           // Live iff the LSM still points at exactly this record.
@@ -629,13 +629,18 @@ Status DB::GarbageCollectVlog() {
               current_ptr.offset != ptr.offset) {
             return true;  // Superseded: dead record.
           }
-          // Live: relocate by re-putting through the normal write path.
+          // Live: relocate by re-putting through the normal write path. A
+          // failed relocation must stop the scan — deleting the old log
+          // below would otherwise drop the record.
           WriteOptions wo;
-          Put(wo, key, value);
-          return true;
+          relocate_status = Put(wo, key, value);
+          return relocate_status.ok();
         });
     if (!s.ok()) {
       return s;
+    }
+    if (!relocate_status.ok()) {
+      return relocate_status;
     }
     s = vlog_->DeleteLog(log);
     if (!s.ok()) {
@@ -652,7 +657,7 @@ Status DB::GetRawPointer(const ReadOptions& options, const Slice& key,
   std::shared_ptr<const Version> version;
   SequenceNumber snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     mem = mem_;
     imms.assign(imms_.begin(), imms_.end());
     version = versions_->current();

@@ -5,10 +5,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -74,7 +75,7 @@ struct Statistics {
     write_stall_micros = 0;
     write_slowdown_micros = 0;
     {
-      std::lock_guard<std::mutex> lock(write_group_size_mu_);
+      MutexLock lock(&write_group_size_mu_);
       write_group_size_.Clear();
     }
     flushes = 0;
@@ -94,7 +95,7 @@ struct Statistics {
     max_compactions_running = 0;
     subcompactions = 0;
     {
-      std::lock_guard<std::mutex> lock(compaction_duration_mu_);
+      MutexLock lock(&compaction_duration_mu_);
       compaction_duration_micros_.Clear();
     }
   }
@@ -116,14 +117,15 @@ struct Statistics {
   }
 
   /// Records the number of writers coalesced into one group commit.
-  void RecordWriteGroupSize(uint64_t writers_in_group) {
-    std::lock_guard<std::mutex> lock(write_group_size_mu_);
+  void RecordWriteGroupSize(uint64_t writers_in_group)
+      EXCLUDES(write_group_size_mu_) {
+    MutexLock lock(&write_group_size_mu_);
     write_group_size_.Add(static_cast<double>(writers_in_group));
   }
 
   /// Snapshot of the group-size distribution (writers per WAL record).
-  Histogram WriteGroupSizes() const {
-    std::lock_guard<std::mutex> lock(write_group_size_mu_);
+  Histogram WriteGroupSizes() const EXCLUDES(write_group_size_mu_) {
+    MutexLock lock(&write_group_size_mu_);
     return write_group_size_;
   }
 
@@ -165,22 +167,23 @@ struct Statistics {
   }
 
   /// Records the wall-clock duration of one compaction job.
-  void RecordCompactionDuration(uint64_t micros) {
-    std::lock_guard<std::mutex> lock(compaction_duration_mu_);
+  void RecordCompactionDuration(uint64_t micros)
+      EXCLUDES(compaction_duration_mu_) {
+    MutexLock lock(&compaction_duration_mu_);
     compaction_duration_micros_.Add(static_cast<double>(micros));
   }
 
   /// Snapshot of the per-job compaction duration distribution (micros).
-  Histogram CompactionDurations() const {
-    std::lock_guard<std::mutex> lock(compaction_duration_mu_);
+  Histogram CompactionDurations() const EXCLUDES(compaction_duration_mu_) {
+    MutexLock lock(&compaction_duration_mu_);
     return compaction_duration_micros_;
   }
 
  private:
-  mutable std::mutex write_group_size_mu_;
-  Histogram write_group_size_;
-  mutable std::mutex compaction_duration_mu_;
-  Histogram compaction_duration_micros_;
+  mutable Mutex write_group_size_mu_;
+  Histogram write_group_size_ GUARDED_BY(write_group_size_mu_);
+  mutable Mutex compaction_duration_mu_;
+  Histogram compaction_duration_micros_ GUARDED_BY(compaction_duration_mu_);
 };
 
 }  // namespace lsmlab

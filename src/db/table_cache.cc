@@ -19,7 +19,7 @@ TableCache::TableCache(std::string dbname, const Options* options,
 Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
                              std::shared_ptr<TableReader>* reader) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = readers_.find(file_number);
     if (it != readers_.end()) {
       *reader = it->second;
@@ -40,14 +40,14 @@ Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
     return s;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = readers_.emplace(file_number, std::move(table));
   *reader = it->second;
   return Status::OK();
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   readers_.erase(file_number);
 }
 

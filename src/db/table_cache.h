@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "table/table_reader.h"
+#include "util/mutex.h"
 #include "util/options.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -23,10 +24,10 @@ class TableCache {
 
   /// Returns (opening on miss) the reader for `file_number`.
   Status GetReader(uint64_t file_number, uint64_t file_size,
-                   std::shared_ptr<TableReader>* reader);
+                   std::shared_ptr<TableReader>* reader) EXCLUDES(mu_);
 
   /// Drops the cached reader (after the file is deleted).
-  void Evict(uint64_t file_number);
+  void Evict(uint64_t file_number) EXCLUDES(mu_);
 
   /// Per-table effective filter policy override used by Monkey: tables are
   /// opened with the shared policy; this just re-exposes the reader options.
@@ -36,8 +37,9 @@ class TableCache {
   const std::string dbname_;
   const Options* const options_;
   TableReaderOptions reader_options_;
-  std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<TableReader>> readers_;
+  Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<TableReader>> readers_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace lsmlab

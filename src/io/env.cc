@@ -41,7 +41,9 @@ Status WriteStringToFile(Env* env, const Slice& data,
     s = file->Close();
   }
   if (!s.ok()) {
-    env->RemoveFile(fname);
+    // Best-effort cleanup of the partially written file; the write error
+    // is what the caller needs to see.
+    (void)env->RemoveFile(fname);
   }
   return s;
 }

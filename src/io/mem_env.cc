@@ -107,7 +107,7 @@ class MemRandomRWFile final : public RandomRWFile {
 
 Status MemEnv::NewRandomRWFile(const std::string& fname,
                                std::unique_ptr<RandomRWFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(fname);
   std::shared_ptr<std::string> content;
   if (it == files_.end()) {
@@ -122,7 +122,7 @@ Status MemEnv::NewRandomRWFile(const std::string& fname,
 
 Status MemEnv::NewSequentialFile(const std::string& fname,
                                  std::unique_ptr<SequentialFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     result->reset();
@@ -134,7 +134,7 @@ Status MemEnv::NewSequentialFile(const std::string& fname,
 
 Status MemEnv::NewRandomAccessFile(
     const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     result->reset();
@@ -146,7 +146,7 @@ Status MemEnv::NewRandomAccessFile(
 
 Status MemEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto content = std::make_shared<std::string>();
   files_[fname] = content;
   *result = std::make_unique<MemWritableFile>(std::move(content));
@@ -154,7 +154,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
 }
 
 bool MemEnv::FileExists(const std::string& fname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(fname) > 0;
 }
 
@@ -165,7 +165,7 @@ Status MemEnv::GetChildren(const std::string& dir,
   if (!prefix.empty() && prefix.back() != '/') {
     prefix += '/';
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, content] : files_) {
     if (name.size() > prefix.size() &&
         name.compare(0, prefix.size(), prefix) == 0 &&
@@ -177,7 +177,7 @@ Status MemEnv::GetChildren(const std::string& dir,
 }
 
 Status MemEnv::RemoveFile(const std::string& fname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(fname) == 0) {
     return Status::NotFound(fname);
   }
@@ -185,19 +185,19 @@ Status MemEnv::RemoveFile(const std::string& fname) {
 }
 
 Status MemEnv::CreateDir(const std::string& dirname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   dirs_.insert(dirname);
   return Status::OK();
 }
 
 Status MemEnv::RemoveDir(const std::string& dirname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   dirs_.erase(dirname);
   return Status::OK();
 }
 
 Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(fname);
   if (it == files_.end()) {
     *size = 0;
@@ -208,7 +208,7 @@ Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
 }
 
 Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(src);
   if (it == files_.end()) {
     return Status::NotFound(src);
@@ -219,7 +219,7 @@ Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
 }
 
 uint64_t MemEnv::TotalFileBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, content] : files_) {
     total += content->size();

@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "io/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -46,9 +47,9 @@ class MemEnv final : public Env {
   // iterators may still read them).
   using FileRef = std::shared_ptr<const std::string>;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<std::string>> files_;
-  std::set<std::string> dirs_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<std::string>> files_ GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmlab

@@ -13,11 +13,24 @@ namespace lsmlab {
 
 namespace {
 
+// strerror_r has two incompatible signatures (XSI returns int and fills the
+// buffer; GNU returns the message pointer). These overloads unpack either
+// at compile time, keeping PosixError thread-safe (std::strerror is not).
+inline const char* StrerrorResult(char* ret, const char* /*buf*/) {
+  return ret;  // GNU variant.
+}
+inline const char* StrerrorResult(int /*ret*/, const char* buf) {
+  return buf;  // XSI variant.
+}
+
 Status PosixError(const std::string& context, int err) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
   if (err == ENOENT) {
-    return Status::NotFound(context, std::strerror(err));
+    return Status::NotFound(context, msg);
   }
-  return Status::IOError(context, std::strerror(err));
+  return Status::IOError(context, msg);
 }
 
 class PosixSequentialFile final : public SequentialFile {
@@ -79,7 +92,9 @@ class PosixWritableFile final : public WritableFile {
       : fname_(std::move(fname)), fd_(fd) {}
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      // A destructor cannot report the error; callers that care about
+      // durability must Close() (or Sync()) explicitly first.
+      (void)Close();
     }
   }
 

@@ -20,7 +20,7 @@ VlogManager::VlogManager(std::string dbname, Env* env)
     : dbname_(std::move(dbname)), env_(env) {}
 
 Status VlogManager::OpenActive(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status s =
       env_->NewWritableFile(VlogFileName(dbname_, file_number), &active_file_);
   if (s.ok()) {
@@ -32,7 +32,7 @@ Status VlogManager::OpenActive(uint64_t file_number) {
 
 Status VlogManager::Append(const Slice& key, const Slice& value,
                            VlogPointer* ptr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_file_ == nullptr) {
     return Status::IOError("no active vlog");
   }
@@ -89,12 +89,12 @@ Status VlogManager::Read(const VlogPointer& ptr, const Slice& expected_key,
 }
 
 void VlogManager::AddGarbage(uint64_t file_number, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   garbage_bytes_[file_number] += bytes;
 }
 
 double VlogManager::GarbageRatio() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (total_bytes_ == 0) {
     return 0.0;
   }
@@ -106,12 +106,12 @@ double VlogManager::GarbageRatio() const {
 }
 
 uint64_t VlogManager::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_bytes_;
 }
 
 uint64_t VlogManager::GarbageBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t garbage = 0;
   for (const auto& [file, bytes] : garbage_bytes_) {
     garbage += bytes;
@@ -156,14 +156,14 @@ Status VlogManager::ForEachRecord(
 
 Status VlogManager::DeleteLog(uint64_t file_number) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     garbage_bytes_.erase(file_number);
   }
   return env_->RemoveFile(VlogFileName(dbname_, file_number));
 }
 
 Status VlogManager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_file_ == nullptr) {
     return Status::OK();
   }

@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "io/env.h"
+#include "util/mutex.h"
 #include "util/options.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -38,24 +39,31 @@ class VlogManager {
   VlogManager& operator=(const VlogManager&) = delete;
 
   /// Opens (or rolls to) the active log numbered `file_number`.
-  Status OpenActive(uint64_t file_number);
+  Status OpenActive(uint64_t file_number) EXCLUDES(mu_);
 
   /// Appends (key, value); returns the pointer to store in the LSM.
-  Status Append(const Slice& key, const Slice& value, VlogPointer* ptr);
+  Status Append(const Slice& key, const Slice& value, VlogPointer* ptr)
+      EXCLUDES(mu_);
 
   /// Reads the value behind `ptr` and verifies the stored key matches.
   Status Read(const VlogPointer& ptr, const Slice& expected_key,
               std::string* value);
 
   /// Accounts `bytes` of a now-dead value (its LSM pointer was dropped).
-  void AddGarbage(uint64_t file_number, uint64_t bytes);
+  void AddGarbage(uint64_t file_number, uint64_t bytes) EXCLUDES(mu_);
 
   /// Fraction of appended bytes known dead, across all logs.
-  double GarbageRatio() const;
+  double GarbageRatio() const EXCLUDES(mu_);
 
-  uint64_t TotalBytes() const;
-  uint64_t GarbageBytes() const;
-  uint64_t active_file_number() const { return active_file_number_; }
+  uint64_t TotalBytes() const EXCLUDES(mu_);
+  uint64_t GarbageBytes() const EXCLUDES(mu_);
+  uint64_t active_file_number() const EXCLUDES(mu_) {
+    // Must lock: OpenActive (GC roll-over) writes this field concurrently
+    // with readers. Previously returned the field bare — a torn/stale read
+    // the annotation sweep surfaced.
+    MutexLock lock(&mu_);
+    return active_file_number_;
+  }
 
   /// Iterates every record of log `file_number` (GC support). The callback
   /// receives (key, value, pointer); returning false stops the walk.
@@ -65,20 +73,20 @@ class VlogManager {
                                const VlogPointer& ptr)>& callback);
 
   /// Removes a fully rewritten log file.
-  Status DeleteLog(uint64_t file_number);
+  Status DeleteLog(uint64_t file_number) EXCLUDES(mu_);
 
-  Status Sync();
+  Status Sync() EXCLUDES(mu_);
 
  private:
   const std::string dbname_;
   Env* const env_;
 
-  mutable std::mutex mu_;
-  std::unique_ptr<WritableFile> active_file_;
-  uint64_t active_file_number_ = 0;
-  uint64_t active_offset_ = 0;
-  uint64_t total_bytes_ = 0;
-  std::unordered_map<uint64_t, uint64_t> garbage_bytes_;
+  mutable Mutex mu_;
+  std::unique_ptr<WritableFile> active_file_ GUARDED_BY(mu_);
+  uint64_t active_file_number_ GUARDED_BY(mu_) = 0;
+  uint64_t active_offset_ GUARDED_BY(mu_) = 0;
+  uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, uint64_t> garbage_bytes_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmlab

@@ -28,24 +28,27 @@ const char* LevelName(Logger::Level level) {
 }  // namespace
 
 void StderrLogger::Logv(Level level, const char* format, va_list ap) {
-  if (level < min_level_) {
+  if (level < min_level_ || format == nullptr) {
     return;
   }
   char buf[1024];
   vsnprintf(buf, sizeof(buf), format, ap);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fprintf(out_, "[lsmlab %s] %s\n", LevelName(level), buf);
 }
 
 void CapturingLogger::Logv(Level level, const char* format, va_list ap) {
+  if (format == nullptr) {
+    return;
+  }
   char buf[1024];
   vsnprintf(buf, sizeof(buf), format, ap);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   messages_.push_back(std::string(LevelName(level)) + ": " + buf);
 }
 
 std::vector<std::string> CapturingLogger::TakeMessages() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   out.swap(messages_);
   return out;

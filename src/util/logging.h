@@ -4,9 +4,11 @@
 #include <cstdarg>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -37,8 +39,8 @@ class StderrLogger : public Logger {
 
  private:
   const Level min_level_;
-  FILE* const out_;
-  std::mutex mu_;
+  FILE* const out_;  // Serialized by mu_ (fprintf interleaving, not data).
+  Mutex mu_;
 };
 
 /// Logger that retains messages in memory; used by tests to assert on events.
@@ -49,8 +51,8 @@ class CapturingLogger : public Logger {
   std::vector<std::string> TakeMessages();
 
  private:
-  std::mutex mu_;
-  std::vector<std::string> messages_;
+  Mutex mu_;
+  std::vector<std::string> messages_ GUARDED_BY(mu_);
 };
 
 #define LSMLAB_LOG(logger, level, ...)                           \

@@ -1,0 +1,99 @@
+#ifndef LSMLAB_UTIL_MUTEX_H_
+#define LSMLAB_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace lsmlab {
+
+/// Annotatable mutex: a std::mutex declared as a Clang thread-safety
+/// CAPABILITY so fields can be GUARDED_BY it and functions can REQUIRES it.
+/// Exposes both Lock()/Unlock() (the annotated spelling used throughout the
+/// engine) and lock()/unlock() (BasicLockable, so std::unique_lock and
+/// std::scoped_lock still work in generic code).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Teaches the analysis (and asserts nothing at runtime) that the calling
+  /// thread holds this mutex. Used by functions reached only from locked
+  /// contexts that the analysis cannot follow (e.g. std::function callbacks).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+  // BasicLockable, for std::unique_lock<Mutex> in generic/test code only.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex, visible to the analysis as a
+/// SCOPED_CAPABILITY (the annotated replacement for std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable usable with Mutex. Unlike std::condition_variable the
+/// waits name the mutex explicitly, so the analysis can check that callers
+/// actually hold it (REQUIRES on the argument).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before returning.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // Still locked; ownership returns to the caller.
+  }
+
+  // Note: there is deliberately no predicate overload. A predicate lambda
+  // is a separate function to the thread-safety analysis, and its accesses
+  // to guarded state cannot be proven against the caller's lock without an
+  // aliasing assumption the analysis refuses to make. Write the explicit
+  //   while (!cond) cv.Wait(mu);
+  // loop instead — the analysis checks `cond`'s accesses in place.
+
+  /// Timed wait; returns false on timeout.
+  bool WaitForMicros(Mutex& mu, uint64_t micros) REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    std::cv_status result =
+        cv_.wait_for(inner, std::chrono::microseconds(micros));
+    inner.release();
+    return result == std::cv_status::no_timeout;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_MUTEX_H_

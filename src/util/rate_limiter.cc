@@ -30,18 +30,22 @@ void RateLimiter::Refill(uint64_t now_micros) {
 }
 
 void RateLimiter::Request(uint64_t bytes, bool high_priority) {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit Lock/Unlock (not MutexLock): the debt sleep below drops the
+  // mutex mid-function, which a scoped guard cannot express to the analysis.
+  mu_.Lock();
   total_bytes_through_ += bytes;
   if (bytes_per_second_ == 0) {
+    mu_.Unlock();
     return;
   }
   if (!high_priority) {
     // Yield to any flush currently paying off its debt; compactions take
     // tokens only once the high-priority traffic is through.
-    cv_.wait(lock, [this] {
-      return high_priority_waiters_ == 0 || bytes_per_second_ == 0;
-    });
+    while (high_priority_waiters_ != 0 && bytes_per_second_ != 0) {
+      cv_.Wait(mu_);
+    }
     if (bytes_per_second_ == 0) {
+      mu_.Unlock();
       return;
     }
   }
@@ -57,13 +61,13 @@ void RateLimiter::Request(uint64_t bytes, bool high_priority) {
     if (high_priority) {
       ++high_priority_waiters_;
     }
-    lock.unlock();
+    mu_.Unlock();
     clock_->SleepForMicros(wait_micros);
-    lock.lock();
+    mu_.Lock();
     if (high_priority) {
       --high_priority_waiters_;
       if (high_priority_waiters_ == 0) {
-        cv_.notify_all();
+        cv_.SignalAll();
       }
     }
     // Repay the debt for the time slept (Refill caps positive balance only).
@@ -73,24 +77,25 @@ void RateLimiter::Request(uint64_t bytes, bool high_priority) {
       last_refill_micros_ = clock_->NowMicros();
     }
   }
+  mu_.Unlock();
 }
 
 void RateLimiter::SetBytesPerSecond(uint64_t bytes_per_second) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     bytes_per_second_ = bytes_per_second;
     last_refill_micros_ = clock_->NowMicros();
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 }
 
 uint64_t RateLimiter::bytes_per_second() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_per_second_;
 }
 
 uint64_t RateLimiter::total_bytes_through() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_bytes_through_;
 }
 

@@ -1,11 +1,11 @@
 #ifndef LSMLAB_UTIL_RATE_LIMITER_H_
 #define LSMLAB_UTIL_RATE_LIMITER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -26,30 +26,30 @@ class RateLimiter {
   /// Blocks until `bytes` may proceed under the configured rate.
   /// High-priority requests (flushes) are served ahead of low-priority ones
   /// (compactions) when both are throttled.
-  void Request(uint64_t bytes, bool high_priority = false);
+  void Request(uint64_t bytes, bool high_priority = false) EXCLUDES(mu_);
 
   /// Dynamically adjusts the rate (0 = unlimited). Wakes all waiters.
-  void SetBytesPerSecond(uint64_t bytes_per_second);
+  void SetBytesPerSecond(uint64_t bytes_per_second) EXCLUDES(mu_);
 
-  uint64_t bytes_per_second() const;
+  uint64_t bytes_per_second() const EXCLUDES(mu_);
 
   /// Total bytes that have passed through the limiter.
-  uint64_t total_bytes_through() const;
+  uint64_t total_bytes_through() const EXCLUDES(mu_);
 
  private:
-  void Refill(uint64_t now_micros);
+  void Refill(uint64_t now_micros) REQUIRES(mu_);
 
   Clock* const clock_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t bytes_per_second_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint64_t bytes_per_second_ GUARDED_BY(mu_);
   // Token bucket: capacity is one refill interval's worth of bytes.
-  double available_bytes_;
-  uint64_t last_refill_micros_;
-  uint64_t total_bytes_through_ = 0;
+  double available_bytes_ GUARDED_BY(mu_);
+  uint64_t last_refill_micros_ GUARDED_BY(mu_);
+  uint64_t total_bytes_through_ GUARDED_BY(mu_) = 0;
   /// High-priority requests currently sleeping off their debt; low-priority
   /// requests wait until this drops to zero before taking tokens.
-  int high_priority_waiters_ = 0;
+  int high_priority_waiters_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lsmlab

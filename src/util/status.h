@@ -11,7 +11,10 @@ namespace lsmlab {
 /// Status reports the outcome of an operation. Success is represented by the
 /// cheap-to-copy OK state; errors carry a code and a message. lsmlab does not
 /// use exceptions: every fallible public API returns a Status (or Result<T>).
-class Status {
+/// [[nodiscard]]: silently dropping an error turns an I/O failure into data
+/// loss, so every caller must at least inspect ok(). Sites that genuinely
+/// cannot act on a failure say so with an explicit cast to void.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -74,7 +77,7 @@ class Status {
 /// Result<T> couples a Status with a value; the value is only meaningful when
 /// the status is OK. This avoids output parameters for value-producing APIs.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor)
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -1,0 +1,73 @@
+#ifndef LSMLAB_UTIL_THREAD_ANNOTATIONS_H_
+#define LSMLAB_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Wrappers around Clang's thread-safety attributes (-Wthread-safety).
+///
+/// These make the locking protocol a machine-checked artifact: every field
+/// that must be accessed under a mutex is tagged GUARDED_BY(mu), every
+/// helper that assumes the lock is held is tagged REQUIRES(mu), and the
+/// build (under clang, see CMakeLists.txt and the CI `thread-safety` job)
+/// turns any violation into a compile error instead of a flaky TSan repro.
+///
+/// Under compilers without the attributes (GCC) every macro expands to
+/// nothing, so the annotations are zero-cost documentation there; the CI
+/// clang job is what keeps them honest. Conventions are documented in
+/// DESIGN.md ("Locking discipline").
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LSMLAB_TSA(x) __attribute__((x))
+#else
+#define LSMLAB_TSA(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (lockable). Applied to Mutex.
+#define CAPABILITY(x) LSMLAB_TSA(capability(x))
+
+/// Declares an RAII type whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY LSMLAB_TSA(scoped_lockable)
+
+/// Field may only be read or written while holding the given mutex.
+#define GUARDED_BY(x) LSMLAB_TSA(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define PT_GUARDED_BY(x) LSMLAB_TSA(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) LSMLAB_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) LSMLAB_TSA(acquired_after(__VA_ARGS__))
+
+/// Function requires the mutex to be held by the caller (and does not
+/// release it). The `...Locked()` naming convention maps to this.
+#define REQUIRES(...) LSMLAB_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) LSMLAB_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the mutex itself.
+#define ACQUIRE(...) LSMLAB_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) LSMLAB_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) LSMLAB_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) LSMLAB_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) LSMLAB_TSA(release_generic_capability(__VA_ARGS__))
+
+/// Function may acquire the mutex; the boolean result says whether it did.
+#define TRY_ACQUIRE(...) LSMLAB_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  LSMLAB_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the mutex held (it acquires it itself;
+/// catches self-deadlock).
+#define EXCLUDES(...) LSMLAB_TSA(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the mutex; teaches the
+/// analysis the fact without acquiring.
+#define ASSERT_CAPABILITY(x) LSMLAB_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) LSMLAB_TSA(assert_shared_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define RETURN_CAPABILITY(x) LSMLAB_TSA(lock_returned(x))
+
+/// Escape hatch for code whose safety argument the analysis cannot see
+/// (e.g. leader-exclusivity protocols). Always pair with a comment saying
+/// why it is safe. Not permitted in src/db/, src/version/, src/compaction/.
+#define NO_THREAD_SAFETY_ANALYSIS LSMLAB_TSA(no_thread_safety_analysis)
+
+#endif  // LSMLAB_UTIL_THREAD_ANNOTATIONS_H_

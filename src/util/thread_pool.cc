@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -35,21 +35,25 @@ std::deque<std::function<void()>>* ThreadPool::QueueFor(Priority priority) {
   return &low_queue_;
 }
 
+bool ThreadPool::AllQueuesEmpty() const {
+  return high_queue_.empty() && medium_queue_.empty() && low_queue_.empty();
+}
+
 void ThreadPool::Schedule(std::function<void()> task, Priority priority) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_) {
       return;
     }
     QueueFor(priority)->push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 bool ThreadPool::TryRunTask(Priority priority) {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto* queue = QueueFor(priority);
     if (queue->empty()) {
       return false;
@@ -60,38 +64,35 @@ bool ThreadPool::TryRunTask(Priority priority) {
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --running_;
-    if (high_queue_.empty() && medium_queue_.empty() && low_queue_.empty() &&
-        running_ == 0) {
-      idle_cv_.notify_all();
+    if (AllQueuesEmpty() && running_ == 0) {
+      idle_cv_.SignalAll();
     }
   }
   return true;
 }
 
 void ThreadPool::WaitForIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] {
-    return high_queue_.empty() && medium_queue_.empty() &&
-           low_queue_.empty() && running_ == 0;
-  });
+  MutexLock lock(&mu_);
+  while (!(AllQueuesEmpty() && running_ == 0)) {
+    idle_cv_.Wait(mu_);
+  }
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return high_queue_.size() + medium_queue_.size() + low_queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] {
-      return shutting_down_ || !high_queue_.empty() ||
-             !medium_queue_.empty() || !low_queue_.empty();
-    });
-    if (shutting_down_ && high_queue_.empty() && medium_queue_.empty() &&
-        low_queue_.empty()) {
+    while (!shutting_down_ && AllQueuesEmpty()) {
+      work_cv_.Wait(mu_);
+    }
+    if (shutting_down_ && AllQueuesEmpty()) {
+      mu_.Unlock();
       return;
     }
     std::function<void()> task;
@@ -106,13 +107,12 @@ void ThreadPool::WorkerLoop() {
       low_queue_.pop_front();
     }
     ++running_;
-    lock.unlock();
+    mu_.Unlock();
     task();
-    lock.lock();
+    mu_.Lock();
     --running_;
-    if (high_queue_.empty() && medium_queue_.empty() && low_queue_.empty() &&
-        running_ == 0) {
-      idle_cv_.notify_all();
+    if (AllQueuesEmpty() && running_ == 0) {
+      idle_cv_.SignalAll();
     }
   }
 }

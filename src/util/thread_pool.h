@@ -1,12 +1,13 @@
 #ifndef LSMLAB_UTIL_THREAD_POOL_H_
 #define LSMLAB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
 
@@ -26,34 +27,36 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task`. Never blocks.
-  void Schedule(std::function<void()> task,
-                Priority priority = Priority::kLow);
+  void Schedule(std::function<void()> task, Priority priority = Priority::kLow)
+      EXCLUDES(mu_);
 
   /// Runs one queued task of exactly `priority` on the calling thread, if
   /// any is queued. Lets a task that blocks on other queued work (e.g. a
   /// compaction waiting for its subcompaction shards) help drain the queue
   /// instead of deadlocking when every worker is occupied.
-  bool TryRunTask(Priority priority);
+  bool TryRunTask(Priority priority) EXCLUDES(mu_);
 
   /// Blocks until all queued and running tasks have finished.
-  void WaitForIdle();
+  void WaitForIdle() EXCLUDES(mu_);
 
   /// Number of tasks queued but not yet started.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
-  std::deque<std::function<void()>>* QueueFor(Priority priority);
+  void WorkerLoop() EXCLUDES(mu_);
+  std::deque<std::function<void()>>* QueueFor(Priority priority)
+      REQUIRES(mu_);
+  bool AllQueuesEmpty() const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> high_queue_;
-  std::deque<std::function<void()>> medium_queue_;
-  std::deque<std::function<void()>> low_queue_;
-  int running_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> threads_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> high_queue_ GUARDED_BY(mu_);
+  std::deque<std::function<void()>> medium_queue_ GUARDED_BY(mu_);
+  std::deque<std::function<void()>> low_queue_ GUARDED_BY(mu_);
+  int running_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // Written only by ctor/dtor.
 };
 
 }  // namespace lsmlab

@@ -223,6 +223,11 @@ VersionSet::~VersionSet() = default;
 Env* VersionSet::env() const { return options_->env; }
 
 void VersionSet::MarkFileNumberUsed(uint64_t number) {
+  MutexLock lock(&mu_);
+  MarkFileNumberUsedLocked(number);
+}
+
+void VersionSet::MarkFileNumberUsedLocked(uint64_t number) {
   if (next_file_number_ <= number) {
     next_file_number_ = number + 1;
   }
@@ -245,7 +250,12 @@ Status VersionSet::WriteSnapshot(wal::Writer* writer) {
 }
 
 Status VersionSet::CreateNew() {
-  manifest_file_number_ = NewFileNumber();
+  MutexLock lock(&mu_);
+  return CreateNewLocked();
+}
+
+Status VersionSet::CreateNewLocked() {
+  manifest_file_number_ = next_file_number_++;
   std::string manifest_name = ManifestFileName(dbname_, manifest_file_number_);
   Status s = env()->NewWritableFile(manifest_name, &manifest_file_);
   if (!s.ok()) {
@@ -266,6 +276,7 @@ Status VersionSet::CreateNew() {
 }
 
 Status VersionSet::Recover() {
+  MutexLock lock(&mu_);
   std::string current_contents;
   Status s =
       ReadFileToString(env(), CurrentFileName(dbname_), &current_contents);
@@ -330,11 +341,11 @@ Status VersionSet::Recover() {
     return Status::Corruption("manifest missing meta fields");
   }
   current_ = builder.Build();
-  MarkFileNumberUsed(log_number_);
+  MarkFileNumberUsedLocked(log_number_);
 
   // Append future edits to a fresh manifest (simpler than appending to the
   // old one, and it compacts the edit history at every open).
-  return CreateNew();
+  return CreateNewLocked();
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit) {
@@ -343,6 +354,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
 
 Status VersionSet::LogAndApply(const std::vector<VersionEdit*>& edits) {
   assert(!edits.empty());
+  MutexLock lock(&mu_);
   uint64_t new_log_number = log_number_;
   for (VersionEdit* edit : edits) {
     if (edit->has_log_number()) {
@@ -414,6 +426,7 @@ Status VersionSet::CheckLevelInvariants(const Version& v) const {
 }
 
 void VersionSet::AddLiveFiles(std::set<uint64_t>* live) const {
+  MutexLock lock(&mu_);
   auto add_version = [&](const Version& v) {
     for (int level = 0; level < v.num_levels(); ++level) {
       for (const auto& f : v.files(level)) {

@@ -8,7 +8,9 @@
 #include "db/dbformat.h"
 #include "io/env.h"
 #include "io/wal_writer.h"
+#include "util/mutex.h"
 #include "util/options.h"
+#include "util/thread_annotations.h"
 #include "version/version_edit.h"
 
 namespace lsmlab {
@@ -66,9 +68,13 @@ class Version {
 };
 
 /// Owns the version history, the manifest, and the file-number/sequence
-/// counters. All methods require the caller (DBImpl) to hold the DB mutex;
-/// manifest I/O happens inside LogAndApply with the mutex held, which is
-/// acceptable at lsmlab's scale.
+/// counters. Internally synchronized: every field sits behind the leaf
+/// mutex `mu_`, so each method is individually safe from any thread.
+/// *Compound* invariants (e.g. "allocate a sequence range, then publish it
+/// after the WAL write") are still the DB's job — it serializes mutators
+/// under its own mutex, which is always acquired before this one (see
+/// DESIGN.md, "Locking discipline"). Manifest I/O happens inside
+/// LogAndApply with `mu_` held, which is acceptable at lsmlab's scale.
 class VersionSet {
  public:
   VersionSet(std::string dbname, const Options* options,
@@ -80,68 +86,100 @@ class VersionSet {
 
   /// Applies `edit` to the current version, persists it to the manifest, and
   /// installs the result as current.
-  Status LogAndApply(VersionEdit* edit);
+  Status LogAndApply(VersionEdit* edit) EXCLUDES(mu_);
 
   /// Applies several edits as one atomic group: all of them are encoded into
   /// a single manifest record (the tag-based encoding concatenates cleanly),
   /// so recovery sees either all of them or none. Used to stitch the shards
   /// of a subcompaction — and any future multi-job batch — into one
   /// crash-consistent install. Edits are applied in order.
-  Status LogAndApply(const std::vector<VersionEdit*>& edits);
+  Status LogAndApply(const std::vector<VersionEdit*>& edits) EXCLUDES(mu_);
 
   /// Structural check run on every candidate version before it is installed:
   /// leveled levels (> 0) must hold files sorted by smallest key and
   /// pairwise disjoint on user keys. Guards the scheduler's claim that
   /// concurrent, range-disjoint compactions never produce overlapping files.
+  /// Pure function of `v`; touches no guarded state.
   Status CheckLevelInvariants(const Version& v) const;
 
   /// Recovers state from an existing manifest (CURRENT must exist).
-  Status Recover();
+  Status Recover() EXCLUDES(mu_);
 
   /// Initializes a brand-new DB: writes the first manifest and CURRENT.
-  Status CreateNew();
+  Status CreateNew() EXCLUDES(mu_);
 
-  std::shared_ptr<const Version> current() const { return current_; }
+  std::shared_ptr<const Version> current() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return current_;
+  }
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
-  uint64_t next_file_number() const { return next_file_number_; }
+  uint64_t NewFileNumber() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_file_number_++;
+  }
+  uint64_t next_file_number() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_file_number_;
+  }
   /// Re-reserves `number` so recovery never reuses replayed file numbers.
-  void MarkFileNumberUsed(uint64_t number);
+  void MarkFileNumberUsed(uint64_t number) EXCLUDES(mu_);
 
-  SequenceNumber last_sequence() const { return last_sequence_; }
-  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+  SequenceNumber last_sequence() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return last_sequence_;
+  }
+  void SetLastSequence(SequenceNumber s) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    last_sequence_ = s;
+  }
 
-  uint64_t log_number() const { return log_number_; }
-  void SetLogNumber(uint64_t n) { log_number_ = n; }
+  uint64_t log_number() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return log_number_;
+  }
+  void SetLogNumber(uint64_t n) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    log_number_ = n;
+  }
 
-  uint64_t manifest_file_number() const { return manifest_file_number_; }
+  uint64_t manifest_file_number() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return manifest_file_number_;
+  }
 
   /// Collects the numbers of all files referenced by the current version or
   /// by any older version still pinned by a reader, iterator, or snapshot
   /// (their files must survive garbage collection until the last reference
   /// drops).
-  void AddLiveFiles(std::set<uint64_t>* live) const;
+  void AddLiveFiles(std::set<uint64_t>* live) const EXCLUDES(mu_);
 
  private:
-  Status WriteSnapshot(wal::Writer* writer);
+  Status WriteSnapshot(wal::Writer* writer) REQUIRES(mu_);
+  Status CreateNewLocked() REQUIRES(mu_);
+  void MarkFileNumberUsedLocked(uint64_t number) REQUIRES(mu_);
   Env* env() const;
 
   const std::string dbname_;
   const Options* const options_;
   const InternalKeyComparator* const icmp_;
 
-  std::shared_ptr<const Version> current_;
+  /// Leaf lock: held across manifest writes, never while calling out to
+  /// any component that takes another lock.
+  mutable Mutex mu_;
+
+  std::shared_ptr<const Version> current_ GUARDED_BY(mu_);
   /// Weak handles on every version ever installed; expired entries are
   /// pruned on use. Lets AddLiveFiles see versions that readers still hold
   /// after newer versions replaced them (MVCC over metadata).
-  mutable std::vector<std::weak_ptr<const Version>> referenced_versions_;
-  uint64_t next_file_number_ = 2;
-  uint64_t manifest_file_number_ = 0;
-  SequenceNumber last_sequence_ = 0;
-  uint64_t log_number_ = 0;
+  mutable std::vector<std::weak_ptr<const Version>> referenced_versions_
+      GUARDED_BY(mu_);
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 2;
+  uint64_t manifest_file_number_ GUARDED_BY(mu_) = 0;
+  SequenceNumber last_sequence_ GUARDED_BY(mu_) = 0;
+  uint64_t log_number_ GUARDED_BY(mu_) = 0;
 
-  std::unique_ptr<WritableFile> manifest_file_;
-  std::unique_ptr<wal::Writer> manifest_log_;
+  std::unique_ptr<WritableFile> manifest_file_ GUARDED_BY(mu_);
+  std::unique_ptr<wal::Writer> manifest_log_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmlab

@@ -35,10 +35,10 @@ class EnvTest : public ::testing::TestWithParam<bool> {
     std::vector<std::string> children;
     if (env_->GetChildren(dir_, &children).ok()) {
       for (const auto& child : children) {
-        env_->RemoveFile(dir_ + "/" + child);
+        (void)env_->RemoveFile(dir_ + "/" + child);
       }
     }
-    env_->RemoveDir(dir_);
+    (void)env_->RemoveDir(dir_);
   }
 
   MemEnv mem_env_;

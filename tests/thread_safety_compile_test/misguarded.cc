@@ -1,0 +1,35 @@
+// Deliberately violates the locking discipline: total_ is GUARDED_BY(mu_)
+// but Add() touches it without holding the mutex. This file must NOT compile
+// under clang -Wthread-safety -Werror; run_test.sh fails if it does, which
+// proves the analysis is actually live rather than silently disabled.
+//
+// NOT part of any build target — compiled standalone by run_test.sh.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(long delta) {
+    total_ += delta;  // BUG: mu_ not held.
+  }
+
+  long Total() const {
+    lsmlab::MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  mutable lsmlab::Mutex mu_;
+  long total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Total() == 1 ? 0 : 1;
+}

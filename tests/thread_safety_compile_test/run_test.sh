@@ -1,0 +1,43 @@
+#!/bin/sh
+# Negative-compilation proof that the thread-safety analysis is live.
+#
+#   run_test.sh <cxx> <test_src_dir> <include_dir>
+#
+# Under clang: well_guarded.cc must compile and misguarded.cc must be
+# rejected by -Wthread-safety -Werror, with the diagnostic coming from the
+# analysis itself (not some unrelated error). Under a compiler without the
+# analysis (gcc), exits 77 so ctest reports SKIP via SKIP_RETURN_CODE.
+set -u
+
+CXX="$1"
+SRC_DIR="$2"
+INC_DIR="$3"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: $CXX is not clang; thread-safety analysis unavailable"
+  exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -I$INC_DIR -Wthread-safety -Werror"
+
+if ! "$CXX" $FLAGS "$SRC_DIR/well_guarded.cc"; then
+  echo "FAIL: well_guarded.cc did not compile under -Wthread-safety -Werror"
+  exit 1
+fi
+
+err=$("$CXX" $FLAGS "$SRC_DIR/misguarded.cc" 2>&1)
+if [ $? -eq 0 ]; then
+  echo "FAIL: misguarded.cc compiled — the analysis is not firing"
+  exit 1
+fi
+case "$err" in
+  *thread-safety*)
+    echo "PASS: -Wthread-safety rejected the misguarded access"
+    exit 0
+    ;;
+  *)
+    echo "FAIL: misguarded.cc failed to compile for the wrong reason:"
+    echo "$err"
+    exit 1
+    ;;
+esac

@@ -1,0 +1,36 @@
+// The correctly guarded twin of misguarded.cc: identical shape, but Add()
+// holds mu_ as the annotation demands. Must compile cleanly under clang
+// -Wthread-safety -Werror — if it does not, the harness (or the annotation
+// macros) are broken, not the code under test.
+//
+// NOT part of any build target — compiled standalone by run_test.sh.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(long delta) {
+    lsmlab::MutexLock lock(&mu_);
+    total_ += delta;
+  }
+
+  long Total() const {
+    lsmlab::MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  mutable lsmlab::Mutex mu_;
+  long total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Total() == 1 ? 0 : 1;
+}
