@@ -1,13 +1,37 @@
 #include "cache/lru_cache.h"
 
+#include <thread>
+
 #include "util/hash.h"
 
 namespace lsmlab {
 
-LruCache::LruCache(size_t capacity, int num_shards) : capacity_(capacity) {
-  if (num_shards < 1) {
-    num_shards = 1;
+namespace {
+int RoundUpToPowerOfTwo(int n) {
+  int p = 1;
+  while (p < n) {
+    p <<= 1;
   }
+  return p;
+}
+}  // namespace
+
+int LruCache::DefaultShardCount() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 4) {
+    hw = 4;  // hardware_concurrency may report 0; keep some striping.
+  }
+  if (hw > 64) {
+    hw = 64;  // Diminishing returns; bound per-shard capacity skew.
+  }
+  return RoundUpToPowerOfTwo(hw);
+}
+
+LruCache::LruCache(size_t capacity, int num_shards) : capacity_(capacity) {
+  if (num_shards <= 0) {
+    num_shards = DefaultShardCount();
+  }
+  num_shards = RoundUpToPowerOfTwo(num_shards);
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -18,7 +42,7 @@ LruCache::LruCache(size_t capacity, int num_shards) : capacity_(capacity) {
 
 LruCache::Shard& LruCache::ShardFor(const Slice& key) {
   size_t h = HashSlice64(key, 0x85ebca6b);
-  return *shards_[h % shards_.size()];
+  return *shards_[h & (shards_.size() - 1)];
 }
 
 void LruCache::Shard::EvictIfNeeded() {
@@ -81,6 +105,12 @@ void LruCache::Prune() {
     shard->index.clear();
     shard->usage = 0;
   }
+}
+
+size_t LruCache::ShardEntryCount(int index) const {
+  const Shard& shard = *shards_[static_cast<size_t>(index)];
+  MutexLock lock(&shard.mu);
+  return shard.index.size();
 }
 
 size_t LruCache::usage() const {

@@ -35,8 +35,14 @@ struct CacheStats {
 /// stay alive while readers hold them. Thread-safe.
 class LruCache {
  public:
-  /// `capacity` is the total byte budget across all shards.
-  explicit LruCache(size_t capacity, int num_shards = 4);
+  /// Shard count used when the caller passes 0: the smallest power of two
+  /// >= hardware_concurrency, clamped to [4, 64].
+  static int DefaultShardCount();
+
+  /// `capacity` is the total byte budget across all shards. `num_shards`
+  /// is rounded up to a power of two (shards are mask-indexed); 0 means
+  /// DefaultShardCount().
+  explicit LruCache(size_t capacity, int num_shards = 0);
 
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
@@ -55,6 +61,9 @@ class LruCache {
 
   size_t usage() const;
   size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Entries currently held by shard `index`; for shard-distribution tests.
+  size_t ShardEntryCount(int index) const;
   CacheStats GetStats() const;
   void ResetStats();
 

@@ -81,7 +81,8 @@ Status DB::Initialize() {
   }
 
   if (options_.block_cache_capacity > 0) {
-    block_cache_ = std::make_unique<LruCache>(options_.block_cache_capacity);
+    block_cache_ = std::make_unique<LruCache>(options_.block_cache_capacity,
+                                              options_.block_cache_shards);
   }
   table_cache_ = std::make_unique<TableCache>(
       dbname_, &options_, &internal_comparator_, block_cache_.get(), &stats_);
@@ -187,6 +188,10 @@ Status DB::Recover() {
   // Replay tables are installed (or recovery failed); drop their pins so
   // RemoveObsoleteFiles sees a clean slate.
   pending_outputs_.clear();
+  if (s.ok()) {
+    // First view of this DB's lifetime; every later publish replaces it.
+    PublishReadView();
+  }
   return s;
 }
 
@@ -723,8 +728,46 @@ Status DB::NewMemTableAndLogLocked() {
   log_ = log_file_ ? std::make_unique<wal::Writer>(log_file_.get()) : nullptr;
   log_file_number_ = new_log_number;
   mem_ = std::shared_ptr<MemTable>(MakeMemTable());
+  PublishReadView();
   MaybeScheduleFlush();
   return Status::OK();
+}
+
+void DB::PublishReadView() {
+  auto view = std::make_shared<ReadView>();
+  view->mem = mem_;
+  view->imms.assign(imms_.rbegin(), imms_.rend());  // Newest first.
+  view->version = versions_->current();
+  view->published_sequence = versions_->last_sequence();
+  {
+    MutexLock lock(&read_view_mu_);
+    read_view_ = std::move(view);
+  }
+  stats_.read_views_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status DB::GetTableReader(const FileMetaData& f,
+                          std::shared_ptr<TableReader>* reader) {
+  TableHandle* handle = f.table_handle.get();
+  if (handle != nullptr) {
+    MutexLock lock(&handle->mu);
+    if (handle->reader != nullptr) {
+      *reader = handle->reader;
+      stats_.table_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  // Resolve through the sharded cache with no handle lock held (the open
+  // does real I/O on a cold file, and leaf locks never nest).
+  Status s = table_cache_->GetReader(f.file_number, f.file_size, reader);
+  if (s.ok() && handle != nullptr) {
+    MutexLock lock(&handle->mu);
+    if (handle->reader == nullptr) {
+      // Racing resolvers fetched the same cache entry; first store wins.
+      handle->reader = *reader;
+    }
+  }
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -744,13 +787,14 @@ Status DB::ResolveValue(const Slice& user_key, ValueType type,
   return Status::OK();
 }
 
-Status DB::ResolveMerge(const ReadOptions& options, const Slice& key,
-                        SequenceNumber snapshot, std::string* value) {
+Status DB::ResolveMerge(const ReadOptions& options, const ReadView& view,
+                        const Slice& key, SequenceNumber snapshot,
+                        std::string* value) {
   // Walk every version of `key` visible at `snapshot`, newest first,
   // collecting merge operands until a base value, tombstone, or the end of
-  // the key's history.
-  SequenceNumber unused;
-  auto iter = NewInternalIterator(options, &unused);
+  // the key's history. Reuses the caller's view so the chain is resolved
+  // against exactly the state the lookup probed.
+  auto iter = NewInternalIterator(options, view);
   std::string seek_key;
   AppendInternalKey(&seek_key,
                     ParsedInternalKey(key, snapshot, kValueTypeForSeek));
@@ -812,43 +856,40 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
                std::string* value) {
   stats_.point_lookups.fetch_add(1, std::memory_order_relaxed);
 
-  std::shared_ptr<MemTable> mem;
-  std::vector<std::shared_ptr<MemTable>> imms;
-  std::shared_ptr<const Version> version;
-  SequenceNumber snapshot;
-  {
-    MutexLock lock(&mu_);
-    mem = mem_;
-    imms.assign(imms_.begin(), imms_.end());
-    version = versions_->current();
-    snapshot = options.snapshot_seqno != 0 ? options.snapshot_seqno
-                                           : versions_->last_sequence();
-  }
+  // Steady-state Get takes no DB-wide mutex: one atomic load pins the whole
+  // read state (memtables + version), one atomic load picks the snapshot.
+  // A published last_sequence implies the covered write is already visible
+  // in the view (the write committed before publication, and view stores
+  // are release-ordered), so this pair can never miss a completed write.
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = options.snapshot_seqno != 0
+                                ? options.snapshot_seqno
+                                : versions_->last_sequence();
 
   LookupKey lkey(key, snapshot);
   std::string raw;
   ValueType type;
 
   // 1. Active memtable.
-  if (mem->Get(lkey, &raw, &type)) {
+  if (view->mem->Get(lkey, &raw, &type)) {
     if (type == kTypeDeletion || type == kTypeSingleDeletion) {
       return Status::NotFound("key deleted");
     }
     stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
     if (type == kTypeMerge) {
-      return ResolveMerge(options, key, snapshot, value);
+      return ResolveMerge(options, *view, key, snapshot, value);
     }
     return ResolveValue(key, type, raw, value);
   }
   // 2. Immutable memtables, newest first.
-  for (auto it = imms.rbegin(); it != imms.rend(); ++it) {
-    if ((*it)->Get(lkey, &raw, &type)) {
+  for (const auto& imm : view->imms) {
+    if (imm->Get(lkey, &raw, &type)) {
       if (type == kTypeDeletion || type == kTypeSingleDeletion) {
         return Status::NotFound("key deleted");
       }
       stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
       if (type == kTypeMerge) {
-        return ResolveMerge(options, key, snapshot, value);
+        return ResolveMerge(options, *view, key, snapshot, value);
       }
       return ResolveValue(key, type, raw, value);
     }
@@ -856,11 +897,11 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
 
   // 3. Disk levels, shallow to deep; within a tiered level newest run first
   // (tutorial §2.1.2 get path). Filters gate every run probe (§2.1.3).
+  const Version* version = view->version.get();
   for (int level = 0; level < version->num_levels(); ++level) {
     for (const FileMetaData* f : version->FilesContaining(level, key)) {
       std::shared_ptr<TableReader> reader;
-      Status s = table_cache_->GetReader(f->file_number, f->file_size,
-                                         &reader);
+      Status s = GetTableReader(*f, &reader);
       if (!s.ok()) {
         return s;
       }
@@ -891,7 +932,7 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
       }
       stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
       if (found_type == kTypeMerge) {
-        return ResolveMerge(options, key, snapshot, value);
+        return ResolveMerge(options, *view, key, snapshot, value);
       }
       return ResolveValue(key, found_type, raw, value);
     }
@@ -899,29 +940,171 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
   return Status::NotFound("key not found");
 }
 
+std::vector<Status> DB::MultiGet(const ReadOptions& options,
+                                 const std::vector<Slice>& keys,
+                                 std::vector<std::string>* values) {
+  const size_t n = keys.size();
+  stats_.multiget_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.multiget_keys.fetch_add(n, std::memory_order_relaxed);
+  stats_.point_lookups.fetch_add(n, std::memory_order_relaxed);
+
+  values->clear();
+  values->resize(n);
+  std::vector<Status> statuses(n);
+  if (n == 0) {
+    return statuses;
+  }
+
+  // One view and one snapshot serve the whole batch, so every key reads the
+  // same state (same guarantees as Get, amortized over n keys).
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = options.snapshot_seqno != 0
+                                ? options.snapshot_seqno
+                                : versions_->last_sequence();
+
+  struct KeyState {
+    LookupKey lkey;
+    bool done = false;
+    /// Readers that may hold this key, in probe order (level-major, run
+    /// order within a level) — filled in phase B, drained in phase C.
+    std::vector<TableReader*> probes;
+    explicit KeyState(const Slice& key, SequenceNumber seq)
+        : lkey(key, seq) {}
+  };
+  // deque: LookupKey is pinned in place (neither copyable nor movable).
+  std::deque<KeyState> states;
+  for (const Slice& key : keys) {
+    states.emplace_back(key, snapshot);
+  }
+
+  // Finishes key i with the entry found for it (any source).
+  auto resolve_entry = [&](size_t i, ValueType type, const std::string& raw) {
+    states[i].done = true;
+    if (type == kTypeDeletion || type == kTypeSingleDeletion) {
+      statuses[i] = Status::NotFound("key deleted");
+      return;
+    }
+    stats_.point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+    if (type == kTypeMerge) {
+      statuses[i] =
+          ResolveMerge(options, *view, keys[i], snapshot, &(*values)[i]);
+      return;
+    }
+    statuses[i] = ResolveValue(keys[i], type, raw, &(*values)[i]);
+  };
+
+  // Phase A: memtables (active, then immutables newest first). Keys
+  // resolved here never touch disk at all.
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    std::string raw;
+    ValueType type;
+    bool hit = view->mem->Get(states[i].lkey, &raw, &type);
+    for (auto imm = view->imms.begin(); !hit && imm != view->imms.end();
+         ++imm) {
+      hit = (*imm)->Get(states[i].lkey, &raw, &type);
+    }
+    if (hit) {
+      resolve_entry(i, type, raw);
+      --remaining;
+    }
+  }
+
+  // Phase B: walk the tree once, file by file, resolving each candidate
+  // file's reader a single time and running every relevant filter check
+  // before any data-block I/O. Keys surviving the filter are queued on the
+  // file in probe order; a key queued on files of two levels probes the
+  // shallower one first, preserving Get's newest-wins semantics.
+  std::vector<std::shared_ptr<TableReader>> pinned_readers;
+  const Version* version = view->version.get();
+  for (int level = 0; remaining > 0 && level < version->num_levels();
+       ++level) {
+    // FilesContaining returns probe order per key; iterating keys per file
+    // keeps that order because a level's files are visited in stored order
+    // for leveled levels and newest-run-first for tiered ones.
+    for (size_t i = 0; i < n; ++i) {
+      if (states[i].done) {
+        continue;
+      }
+      for (const FileMetaData* f :
+           version->FilesContaining(level, keys[i])) {
+        std::shared_ptr<TableReader> reader;
+        Status s = GetTableReader(*f, &reader);
+        if (!s.ok()) {
+          statuses[i] = s;
+          states[i].done = true;
+          --remaining;
+          break;
+        }
+        if (reader->KeyDefinitelyAbsent(keys[i])) {
+          stats_.runs_skipped_by_filter.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          continue;
+        }
+        states[i].probes.push_back(reader.get());
+        pinned_readers.push_back(std::move(reader));
+      }
+    }
+  }
+
+  // Phase C: data-block reads, deferred until all filtering is done. Each
+  // key walks its probe list shallow-to-deep and stops at the first file
+  // holding any visible entry (InternalGet seeks to the newest entry <=
+  // snapshot within the file, so per-file resolution matches Get).
+  for (size_t i = 0; i < n; ++i) {
+    if (states[i].done) {
+      continue;
+    }
+    bool resolved = false;
+    for (TableReader* reader : states[i].probes) {
+      stats_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+      bool found;
+      std::string entry_key;
+      std::string raw;
+      Status s = reader->InternalGet(options, states[i].lkey.internal_key(),
+                                     &found, &entry_key, &raw);
+      if (!s.ok()) {
+        statuses[i] = s;
+        resolved = true;
+        break;
+      }
+      if (!found) {
+        if (reader->has_filter()) {
+          stats_.filter_false_positives.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        continue;
+      }
+      resolve_entry(i, ExtractValueType(entry_key), raw);
+      resolved = true;
+      break;
+    }
+    if (!resolved) {
+      statuses[i] = Status::NotFound("key not found");
+    }
+  }
+  return statuses;
+}
+
 // ---------------------------------------------------------------------------
 // Iterators / scans
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<Iterator> DB::NewInternalIterator(
-    const ReadOptions& options, SequenceNumber* latest_sequence) {
+std::unique_ptr<Iterator> DB::NewInternalIterator(const ReadOptions& options,
+                                                  const ReadView& view) {
+  // Mutex-free: the view already pins the memtables and Version, and the
+  // child iterators hold their own shared_ptrs, so the merged iterator
+  // outlives any concurrent flush or compaction.
   std::vector<std::unique_ptr<Iterator>> children;
-  std::shared_ptr<const Version> version;
-  {
-    MutexLock lock(&mu_);
-    *latest_sequence = versions_->last_sequence();
-    children.push_back(std::make_unique<MemTableIteratorAdapter>(mem_));
-    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
-      children.push_back(std::make_unique<MemTableIteratorAdapter>(*it));
-    }
-    version = versions_->current();
+  children.push_back(std::make_unique<MemTableIteratorAdapter>(view.mem));
+  for (const auto& imm : view.imms) {
+    children.push_back(std::make_unique<MemTableIteratorAdapter>(imm));
   }
 
-  for (int level = 0; level < version->num_levels(); ++level) {
-    for (const auto& f : version->files(level)) {
+  for (int level = 0; level < view.version->num_levels(); ++level) {
+    for (const auto& f : view.version->files(level)) {
       std::shared_ptr<TableReader> reader;
-      Status s =
-          table_cache_->GetReader(f.file_number, f.file_size, &reader);
+      Status s = GetTableReader(f, &reader);
       if (!s.ok()) {
         return NewEmptyIterator(s);
       }
@@ -1109,15 +1292,18 @@ class DB::DBIter final : public Iterator {
 
 std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& options) {
   stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
-  SequenceNumber latest;
-  auto internal = NewInternalIterator(options, &latest);
-  SequenceNumber snapshot =
-      options.snapshot_seqno != 0 ? options.snapshot_seqno : latest;
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = options.snapshot_seqno != 0
+                                ? options.snapshot_seqno
+                                : versions_->last_sequence();
+  auto internal = NewInternalIterator(options, *view);
   return std::make_unique<DBIter>(this, std::move(internal), snapshot);
 }
 
 SequenceNumber DB::GetSnapshot() {
   MutexLock lock(&mu_);
+  // The sequence load is lock-free, but registration must not race
+  // OldestSnapshot (compaction's drop-floor), which reads under mu_.
   SequenceNumber snapshot = versions_->last_sequence();
   snapshots_.insert(snapshot);
   return snapshot;
@@ -1185,6 +1371,16 @@ std::string DB::DebugLevelSummary() const {
                   plan.output_level, plan.inputs.size());
     out += buf;
   }
+  std::snprintf(
+      buf, sizeof(buf),
+      "read path: views published=%llu, table cache hits=%llu misses=%llu, "
+      "multiget batches=%llu (%llu keys)\n",
+      static_cast<unsigned long long>(stats_.read_views_published.load()),
+      static_cast<unsigned long long>(stats_.table_cache_hits.load()),
+      static_cast<unsigned long long>(stats_.table_cache_misses.load()),
+      static_cast<unsigned long long>(stats_.multiget_batches.load()),
+      static_cast<unsigned long long>(stats_.multiget_keys.load()));
+  out += buf;
   Histogram durations = stats_.CompactionDurations();
   if (durations.num() > 0) {
     std::snprintf(buf, sizeof(buf),

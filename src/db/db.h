@@ -1,6 +1,7 @@
 #ifndef LSMLAB_DB_DB_H_
 #define LSMLAB_DB_DB_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <set>
@@ -28,6 +29,29 @@
 #include "version/version_set.h"
 
 namespace lsmlab {
+
+/// An immutable snapshot of everything a point lookup or iterator needs:
+/// the active memtable, the immutable memtables (newest first — probe
+/// order), the current Version, and the newest sequence published when the
+/// view was built. Reference-counted and swapped behind a dedicated
+/// pointer-sized leaf lock, so readers acquire a consistent view with one
+/// shared_ptr copy instead of locking the DB mutex and copying vectors.
+/// (A std::atomic<shared_ptr> would read nicer but is a hidden spinlock in
+/// libstdc++ whose relaxed unlock trips ThreadSanitizer; an explicit leaf
+/// mutex costs the same two atomic ops and is model-clean.) The shared_ptrs
+/// inside double as lifetime pins: a reader holding a stale view keeps its
+/// memtables and SSTables alive even after a flush or compaction replaced
+/// them.
+struct ReadView {
+  std::shared_ptr<MemTable> mem;
+  /// Immutable memtables, newest first.
+  std::vector<std::shared_ptr<MemTable>> imms;
+  std::shared_ptr<const Version> version;
+  /// VersionSet::last_sequence() observed at publication. Readers must NOT
+  /// use this as their snapshot (it is stale the moment a later write
+  /// commits); they re-load the live counter. Kept for diagnostics.
+  SequenceNumber published_sequence = 0;
+};
 
 /// DB is the lsmlab storage engine: a single-keyspace LSM-tree exposing the
 /// external operations of tutorial §2.1.2 (put, get, scan, delete) with
@@ -79,6 +103,16 @@ class DB {
 
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value);
+
+  /// Batched point lookup: resolves every key under one ReadView (one
+  /// atomic acquire for the whole batch) and reorders the work file-by-file
+  /// — all memtable probes first, then every filter check, then data-block
+  /// reads — so a table's filter and reader are touched once per batch
+  /// instead of once per key. Returns one Status per key, aligned with
+  /// `keys`; `values` is resized to match.
+  std::vector<Status> MultiGet(const ReadOptions& options,
+                               const std::vector<Slice>& keys,
+                               std::vector<std::string>* values);
 
   /// Applies all operations in `batch` atomically: one WAL record, one
   /// sequence-number range, all-or-nothing recovery.
@@ -209,14 +243,35 @@ class DB {
                       const std::string& raw, std::string* value);
 
   /// Slow path for keys whose newest visible entry is a merge operand:
-  /// walks all versions of `key` at `snapshot`, collects operands down to
-  /// the base value, and applies the merge operator.
-  Status ResolveMerge(const ReadOptions& options, const Slice& key,
-                      SequenceNumber snapshot, std::string* value);
+  /// walks all versions of `key` at `snapshot` within `view`, collects
+  /// operands down to the base value, and applies the merge operator.
+  Status ResolveMerge(const ReadOptions& options, const ReadView& view,
+                      const Slice& key, SequenceNumber snapshot,
+                      std::string* value);
+
+  // --- Low-contention read path -----------------------------------------
+  /// One pointer copy under the dedicated view lock. Never null after
+  /// Initialize succeeds.
+  std::shared_ptr<const ReadView> AcquireReadView() const
+      EXCLUDES(read_view_mu_) {
+    MutexLock lock(&read_view_mu_);
+    return read_view_;
+  }
+  /// Rebuilds the view from {mem_, imms_, versions_->current()} and swaps
+  /// it in under read_view_mu_. Called only by the paths that change view
+  /// membership: Recover, memtable seal, flush install, and compaction
+  /// install.
+  void PublishReadView() REQUIRES(mu_) EXCLUDES(read_view_mu_);
+  /// Resolves the open TableReader for `f`, preferring the per-file pin in
+  /// f.table_handle (one atomic load, no shard lock) and falling back to
+  /// the sharded TableCache on first touch, then publishing the result into
+  /// the pin for every later reader of any Version containing the file.
+  Status GetTableReader(const FileMetaData& f,
+                        std::shared_ptr<TableReader>* reader);
 
   class DBIter;
-  std::unique_ptr<Iterator> NewInternalIterator(
-      const ReadOptions& options, SequenceNumber* latest_sequence);
+  std::unique_ptr<Iterator> NewInternalIterator(const ReadOptions& options,
+                                                const ReadView& view);
   /// Fetches the raw (unresolved) vlog pointer currently stored for `key`;
   /// NotFound when the key is deleted, absent, or stored inline.
   Status GetRawPointer(const ReadOptions& options, const Slice& key,
@@ -245,6 +300,16 @@ class DB {
 
   std::shared_ptr<MemTable> mem_ GUARDED_BY(mu_);
   std::deque<std::shared_ptr<MemTable>> imms_ GUARDED_BY(mu_);  // Oldest 1st.
+  /// Leaf lock for the published view pointer only. Its critical section is
+  /// a shared_ptr copy (two atomic ops), so readers never wait on flush
+  /// installs, manifest writes, or compaction bookkeeping, all of which
+  /// hold mu_. Ordered after mu_ (publishers hold mu_ while swapping);
+  /// readers take it alone.
+  mutable Mutex read_view_mu_;
+  /// Published read snapshot (see ReadView). Republished by the membership-
+  /// changing paths (seal, flush install, compaction install, recovery)
+  /// while they hold mu_.
+  std::shared_ptr<const ReadView> read_view_ GUARDED_BY(read_view_mu_);
   uint64_t log_file_number_ GUARDED_BY(mu_) = 0;
   std::unique_ptr<WritableFile> log_file_ GUARDED_BY(mu_);
   std::unique_ptr<wal::Writer> log_ GUARDED_BY(mu_);

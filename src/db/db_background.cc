@@ -197,6 +197,9 @@ void DB::BackgroundFlush() {
 
   if (s.ok()) {
     imms_.pop_front();
+    // The flushed memtable left the view's membership (its data now lives
+    // in the installed L0 file); readers holding the old view still pin it.
+    PublishReadView();
     uint64_t old_log = imm_log_numbers_.front();
     imm_log_numbers_.pop_front();
     if (options_.enable_wal) {
@@ -423,6 +426,8 @@ Status DB::InstallCompactionLocked(CompactionJob* job) {
   if (!s.ok()) {
     return s;
   }
+  // New Version is current: route new readers to it.
+  PublishReadView();
   const CompactionPlan& plan = job->plan();
   stats_.compactions.fetch_add(1, std::memory_order_relaxed);
   stats_.RecordCompactionAtLevel(plan.output_level, job->bytes_read(),
@@ -652,34 +657,25 @@ Status DB::GarbageCollectVlog() {
 
 Status DB::GetRawPointer(const ReadOptions& options, const Slice& key,
                          std::string* raw) {
-  std::shared_ptr<MemTable> mem;
-  std::vector<std::shared_ptr<MemTable>> imms;
-  std::shared_ptr<const Version> version;
-  SequenceNumber snapshot;
-  {
-    MutexLock lock(&mu_);
-    mem = mem_;
-    imms.assign(imms_.begin(), imms_.end());
-    version = versions_->current();
-    snapshot = versions_->last_sequence();
-  }
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = versions_->last_sequence();
   LookupKey lkey(key, snapshot);
   ValueType type;
-  if (mem->Get(lkey, raw, &type)) {
+  if (view->mem->Get(lkey, raw, &type)) {
     return type == kTypeVlogPointer ? Status::OK()
                                     : Status::NotFound("not separated");
   }
-  for (auto it = imms.rbegin(); it != imms.rend(); ++it) {
-    if ((*it)->Get(lkey, raw, &type)) {
+  for (const auto& imm : view->imms) {
+    if (imm->Get(lkey, raw, &type)) {
       return type == kTypeVlogPointer ? Status::OK()
                                       : Status::NotFound("not separated");
     }
   }
+  const Version* version = view->version.get();
   for (int level = 0; level < version->num_levels(); ++level) {
     for (const FileMetaData* f : version->FilesContaining(level, key)) {
       std::shared_ptr<TableReader> reader;
-      Status s =
-          table_cache_->GetReader(f->file_number, f->file_size, &reader);
+      Status s = GetTableReader(*f, &reader);
       if (!s.ok()) {
         return s;
       }

@@ -26,6 +26,18 @@ struct Statistics {
   std::atomic<uint64_t> filter_checks{0};
   std::atomic<uint64_t> filter_false_positives{0};
   std::atomic<uint64_t> range_scans{0};
+  /// Table-reader resolutions served without opening the file (a pinned
+  /// per-version handle or the sharded reader map already held it) vs.
+  /// resolutions that had to open and parse the table footer.
+  std::atomic<uint64_t> table_cache_hits{0};
+  std::atomic<uint64_t> table_cache_misses{0};
+  /// ReadView republications (membership changes of {mem, imms, version});
+  /// steady-state reads acquire the current view without touching them.
+  std::atomic<uint64_t> read_views_published{0};
+  /// MultiGet batches and the keys they carried; keys / batches is the mean
+  /// batch size.
+  std::atomic<uint64_t> multiget_batches{0};
+  std::atomic<uint64_t> multiget_keys{0};
 
   // Write path. `writes` counts operations; `write_groups` counts leader
   // commits, so writes / write_groups is the mean group-commit batch size.
@@ -68,6 +80,11 @@ struct Statistics {
     filter_checks = 0;
     filter_false_positives = 0;
     range_scans = 0;
+    table_cache_hits = 0;
+    table_cache_misses = 0;
+    read_views_published = 0;
+    multiget_batches = 0;
+    multiget_keys = 0;
     writes = 0;
     write_groups = 0;
     wal_syncs = 0;

@@ -8,25 +8,29 @@ namespace lsmlab {
 TableCache::TableCache(std::string dbname, const Options* options,
                        const InternalKeyComparator* icmp,
                        LruCache* block_cache, Statistics* statistics)
-    : dbname_(std::move(dbname)), options_(options) {
+    : dbname_(std::move(dbname)), options_(options), stats_(statistics) {
   reader_options_.comparator = icmp;
   reader_options_.filter_policy = options->filter_policy;
   reader_options_.block_cache = block_cache;
   reader_options_.statistics = statistics;
-  reader_options_.verify_checksums = false;
+  reader_options_.verify_checksums = options->verify_checksums;
 }
 
 Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
                              std::shared_ptr<TableReader>* reader) {
+  Shard& shard = ShardFor(file_number);
   {
-    MutexLock lock(&mu_);
-    auto it = readers_.find(file_number);
-    if (it != readers_.end()) {
+    MutexLock lock(&shard.mu);
+    auto it = shard.readers.find(file_number);
+    if (it != shard.readers.end()) {
       *reader = it->second;
+      stats_->table_cache_hits.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
   }
 
+  // Open outside the shard lock: table opens read the footer, index, and
+  // filter, and must not serialize unrelated lookups behind that I/O.
   std::unique_ptr<RandomAccessFile> file;
   std::string fname = TableFileName(dbname_, file_number);
   Status s = options_->env->NewRandomAccessFile(fname, &file);
@@ -39,16 +43,20 @@ Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
   if (!s.ok()) {
     return s;
   }
+  stats_->table_cache_misses.fetch_add(1, std::memory_order_relaxed);
 
-  MutexLock lock(&mu_);
-  auto [it, inserted] = readers_.emplace(file_number, std::move(table));
+  MutexLock lock(&shard.mu);
+  // Two threads may race to open the same cold file; emplace keeps the
+  // first and the loser's reader is discarded (harmless, already open).
+  auto [it, inserted] = shard.readers.emplace(file_number, std::move(table));
   *reader = it->second;
   return Status::OK();
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  MutexLock lock(&mu_);
-  readers_.erase(file_number);
+  Shard& shard = ShardFor(file_number);
+  MutexLock lock(&shard.mu);
+  shard.readers.erase(file_number);
 }
 
 }  // namespace lsmlab

@@ -1,6 +1,7 @@
 #ifndef LSMLAB_DB_TABLE_CACHE_H_
 #define LSMLAB_DB_TABLE_CACHE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -16,6 +17,13 @@ namespace lsmlab {
 /// Keeps one open TableReader per live SSTable. Readers are shared_ptrs so
 /// a table can be evicted (file deleted by compaction) while an iterator
 /// still drains it. Thread-safe.
+///
+/// The reader map is striped: file numbers hash (mask) onto independent
+/// shards, each with its own mutex, so concurrent point lookups resolving
+/// different files never serialize on one cache lock. Steady-state reads
+/// usually bypass the cache entirely via the per-version pinned handles
+/// (FileMetaData::table_handle); the shards absorb the cold-file and
+/// compaction traffic that remains.
 class TableCache {
  public:
   TableCache(std::string dbname, const Options* options,
@@ -24,22 +32,35 @@ class TableCache {
 
   /// Returns (opening on miss) the reader for `file_number`.
   Status GetReader(uint64_t file_number, uint64_t file_size,
-                   std::shared_ptr<TableReader>* reader) EXCLUDES(mu_);
+                   std::shared_ptr<TableReader>* reader);
 
   /// Drops the cached reader (after the file is deleted).
-  void Evict(uint64_t file_number) EXCLUDES(mu_);
+  void Evict(uint64_t file_number);
 
   /// Per-table effective filter policy override used by Monkey: tables are
   /// opened with the shared policy; this just re-exposes the reader options.
   const TableReaderOptions& reader_options() const { return reader_options_; }
 
  private:
+  /// Power-of-two stripe count; file numbers are sequential, so masking the
+  /// low bits spreads adjacent files across all stripes evenly.
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<TableReader>> readers
+        GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(uint64_t file_number) {
+    return shards_[file_number & (kNumShards - 1)];
+  }
+
   const std::string dbname_;
   const Options* const options_;
+  Statistics* const stats_;
   TableReaderOptions reader_options_;
-  Mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<TableReader>> readers_
-      GUARDED_BY(mu_);
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace lsmlab

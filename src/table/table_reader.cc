@@ -109,7 +109,7 @@ bool TableReader::KeyDefinitelyAbsent(const Slice& user_key) {
 }
 
 std::shared_ptr<const Block> TableReader::GetDataBlock(
-    const Slice& handle_encoding, bool fill_cache, Status* s) {
+    const Slice& handle_encoding, const ReadOptions& read_options, Status* s) {
   Slice input = handle_encoding;
   BlockHandle handle;
   *s = handle.DecodeFrom(&input);
@@ -131,12 +131,16 @@ std::shared_ptr<const Block> TableReader::GetDataBlock(
   }
 
   BlockContents contents;
-  *s = ReadBlock(file_.get(), handle, options_.verify_checksums, &contents);
+  // Table-level paranoia (Options::verify_checksums, plumbed through
+  // TableReaderOptions) or per-read opt-in both force verification.
+  *s = ReadBlock(
+      file_.get(), handle,
+      options_.verify_checksums || read_options.verify_checksums, &contents);
   if (!s->ok()) {
     return nullptr;
   }
   auto block = std::make_shared<const Block>(std::move(contents.data));
-  if (options_.block_cache != nullptr && fill_cache) {
+  if (options_.block_cache != nullptr && read_options.fill_cache) {
     options_.block_cache->Insert(key, block, block->size());
   }
   return block;
@@ -155,8 +159,7 @@ Status TableReader::InternalGet(const ReadOptions& read_options,
   }
 
   Status s;
-  auto block =
-      GetDataBlock(index_iter->value(), read_options.fill_cache, &s);
+  auto block = GetDataBlock(index_iter->value(), read_options, &s);
   if (!s.ok()) {
     return s;
   }
@@ -234,8 +237,7 @@ class TableReader::TwoLevelIterator final : public Iterator {
       return;
     }
     Status s;
-    data_block_ = table_->GetDataBlock(index_iter_->value(),
-                                       read_options_.fill_cache, &s);
+    data_block_ = table_->GetDataBlock(index_iter_->value(), read_options_, &s);
     if (!s.ok()) {
       status_ = s;
       data_iter_.reset();
@@ -277,9 +279,10 @@ void TableReader::WarmCache() {
     return;
   }
   auto index_iter = index_block_->NewIterator(options_.comparator);
+  ReadOptions warm_options;  // fill_cache defaults on.
   for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
     Status s;
-    GetDataBlock(index_iter->value(), /*fill_cache=*/true, &s);
+    GetDataBlock(index_iter->value(), warm_options, &s);
     if (!s.ok()) {
       return;
     }

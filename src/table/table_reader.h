@@ -71,9 +71,11 @@ class TableReader {
   TableReader(const TableReaderOptions& options,
               std::unique_ptr<RandomAccessFile> file, uint64_t file_number);
 
-  /// Fetches (via cache if configured) the data block at `handle_encoding`.
+  /// Fetches (via cache if configured) the data block at `handle_encoding`,
+  /// honouring the read's fill_cache and verify_checksums settings.
   std::shared_ptr<const Block> GetDataBlock(const Slice& handle_encoding,
-                                            bool fill_cache, Status* s);
+                                            const ReadOptions& read_options,
+                                            Status* s);
 
   class TwoLevelIterator;
 

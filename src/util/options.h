@@ -159,8 +159,16 @@ struct Options {
   int block_restart_interval = 16;
   /// Capacity in bytes of the shared block cache; 0 disables caching.
   size_t block_cache_capacity = 8 << 20;
+  /// Lock stripes of the block cache. Must be a power of two (mask-indexed);
+  /// 0 picks a default scaled to std::thread::hardware_concurrency, so
+  /// concurrent readers rarely contend on one shard mutex.
+  int block_cache_shards = 0;
   /// Re-warm block cache with the output of a compaction (Leaper-inspired).
   bool cache_rewarm_after_compaction = false;
+  /// Verify block checksums whenever a table file is read (index, filter,
+  /// properties, and data blocks). Per-read ReadOptions::verify_checksums
+  /// additionally forces checksumming of data blocks for that read only.
+  bool verify_checksums = false;
 
   // --- Read-modify-write (§2.2.6) -------------------------------------------
   /// Combines merge operands with base values; required to use DB::Merge.

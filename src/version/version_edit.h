@@ -2,15 +2,34 @@
 #define LSMLAB_VERSION_VERSION_EDIT_H_
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "db/dbformat.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace lsmlab {
+
+class TableReader;
+
+/// Lazily resolved pin on a file's open TableReader, shared by every
+/// Version (and FileMetaData copy) that references the file. The first
+/// lookup resolves the reader through the sharded TableCache and publishes
+/// it here; steady-state reads then copy the pin under this handle's own
+/// pointer-sized lock and touch no cache shard at all — contention exists
+/// only among readers of the same file, never across files. The pin dies
+/// with the last Version that references the file (version GC), which is
+/// what bounds its lifetime — TableCache::Evict removes only the cache's
+/// own reference.
+struct TableHandle {
+  Mutex mu;
+  std::shared_ptr<TableReader> reader GUARDED_BY(mu);
+};
 
 /// Metadata describing one sorted-run file. In leveled levels the files of a
 /// level are disjoint and together form one run; in tiered levels (and L0)
@@ -28,6 +47,10 @@ struct FileMetaData {
   /// Creation time of the oldest ancestor run that contributed a tombstone
   /// still present in this file; 0 when the file holds no tombstones.
   uint64_t oldest_tombstone_time_micros = 0;
+  /// Runtime-only reader pin (see TableHandle); never serialized. Assigned
+  /// by VersionSetBuilder::Build, so every file in an installed Version has
+  /// one, and copies of the metadata share it.
+  std::shared_ptr<TableHandle> table_handle;
 };
 
 /// A delta between two versions of the tree, serialized as one manifest

@@ -181,6 +181,13 @@ class VersionSetBuilder {
       out.reserve(levels_[level].size());
       for (const auto& [number, f] : levels_[level]) {
         out.push_back(f);
+        if (out.back().table_handle == nullptr) {
+          // Fresh file (flush/compaction output or manifest replay): give it
+          // a reader pin. Files carried over from the base version share
+          // their existing handle, so a reader resolved under any version
+          // stays pinned in every later one.
+          out.back().table_handle = std::make_shared<TableHandle>();
+        }
       }
       if (level == 0 ||
           LevelIsTiered(options_->data_layout, static_cast<int>(level),
@@ -243,7 +250,7 @@ Status VersionSet::WriteSnapshot(wal::Writer* writer) {
   }
   edit.SetLogNumber(log_number_);
   edit.SetNextFileNumber(next_file_number_);
-  edit.SetLastSequence(last_sequence_);
+  edit.SetLastSequence(last_sequence_.load(std::memory_order_acquire));
   std::string record;
   edit.EncodeTo(&record);
   return writer->AddRecord(record);
@@ -330,7 +337,7 @@ Status VersionSet::Recover() {
       have_next_file = true;
     }
     if (edit.has_last_sequence()) {
-      last_sequence_ = edit.last_sequence();
+      last_sequence_.store(edit.last_sequence(), std::memory_order_release);
       have_last_seq = true;
     }
   }
@@ -370,7 +377,7 @@ Status VersionSet::LogAndApply(const std::vector<VersionEdit*>& edits) {
     last->SetLogNumber(new_log_number);
   }
   last->SetNextFileNumber(next_file_number_);
-  last->SetLastSequence(last_sequence_);
+  last->SetLastSequence(last_sequence_.load(std::memory_order_acquire));
 
   VersionSetBuilder builder(options_, icmp_, current_.get());
   for (const VersionEdit* edit : edits) {

@@ -1,6 +1,7 @@
 #ifndef LSMLAB_VERSION_VERSION_SET_H_
 #define LSMLAB_VERSION_VERSION_SET_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -124,13 +125,14 @@ class VersionSet {
   /// Re-reserves `number` so recovery never reuses replayed file numbers.
   void MarkFileNumberUsed(uint64_t number) EXCLUDES(mu_);
 
-  SequenceNumber last_sequence() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return last_sequence_;
+  /// Lock-free: the read path loads this on every Get/iterator snapshot, so
+  /// it must not contend with manifest writes. Acquire/release pairing makes
+  /// a published sequence imply visibility of the write it covers.
+  SequenceNumber last_sequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
   }
-  void SetLastSequence(SequenceNumber s) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    last_sequence_ = s;
+  void SetLastSequence(SequenceNumber s) {
+    last_sequence_.store(s, std::memory_order_release);
   }
 
   uint64_t log_number() const EXCLUDES(mu_) {
@@ -175,7 +177,7 @@ class VersionSet {
       GUARDED_BY(mu_);
   uint64_t next_file_number_ GUARDED_BY(mu_) = 2;
   uint64_t manifest_file_number_ GUARDED_BY(mu_) = 0;
-  SequenceNumber last_sequence_ GUARDED_BY(mu_) = 0;
+  std::atomic<SequenceNumber> last_sequence_{0};
   uint64_t log_number_ GUARDED_BY(mu_) = 0;
 
   std::unique_ptr<WritableFile> manifest_file_ GUARDED_BY(mu_);

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cache/lru_cache.h"
 
@@ -126,6 +129,80 @@ TEST(LruCacheTest, ZeroCapacityHoldsNothing) {
   LruCache cache(0, 1);
   cache.Insert("a", Val(1), 1);
   EXPECT_EQ(nullptr, cache.Lookup("a"));
+}
+
+TEST(LruCacheTest, ShardCountKnob) {
+  // Explicit counts are kept (power of two) or rounded up to one.
+  EXPECT_EQ(8, LruCache(1024, 8).num_shards());
+  EXPECT_EQ(8, LruCache(1024, 5).num_shards());
+  EXPECT_EQ(1, LruCache(1024, 1).num_shards());
+  // 0 = auto: scaled to hardware concurrency, always a power of two and
+  // never below the old hardcoded 4.
+  LruCache auto_cache(1024, 0);
+  int n = auto_cache.num_shards();
+  EXPECT_GE(n, 4);
+  EXPECT_LE(n, 64);
+  EXPECT_EQ(0, n & (n - 1));
+  EXPECT_EQ(n, LruCache::DefaultShardCount());
+}
+
+TEST(LruCacheTest, ShardDistributionCoversMultipleShards) {
+  LruCache cache(1 << 20, 16);
+  constexpr int kEntries = 2000;
+  for (int i = 0; i < kEntries; ++i) {
+    cache.Insert("spread-key-" + std::to_string(i), Val(i), 10);
+  }
+  size_t total = 0;
+  int populated = 0;
+  size_t max_per_shard = 0;
+  for (int s = 0; s < cache.num_shards(); ++s) {
+    size_t count = cache.ShardEntryCount(s);
+    total += count;
+    populated += count > 0 ? 1 : 0;
+    max_per_shard = std::max(max_per_shard, count);
+  }
+  EXPECT_EQ(static_cast<size_t>(kEntries), total);
+  // The hash must spread entries: every shard populated, and no shard
+  // hoards more than 4x its fair share (2000/16 = 125).
+  EXPECT_EQ(cache.num_shards(), populated);
+  EXPECT_LE(max_per_shard, static_cast<size_t>(4 * kEntries / 16));
+}
+
+TEST(LruCacheTest, ConcurrentHitMissAccountingIsExact) {
+  LruCache cache(1 << 20, 8);
+  constexpr int kKeys = 64;
+  for (int i = 0; i < kKeys; ++i) {
+    cache.Insert("present" + std::to_string(i), Val(i), 10);
+  }
+  cache.ResetStats();
+
+  constexpr int kThreads = 4;
+  constexpr int kLookupsPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        if ((i + t) % 2 == 0) {
+          // Guaranteed hit: present keys are never evicted (tiny charges).
+          EXPECT_NE(nullptr, cache.Lookup("present" + std::to_string(i % kKeys)));
+        } else {
+          EXPECT_EQ(nullptr, cache.Lookup("absent" + std::to_string(i)));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+
+  // Per-shard counters must not lose updates under contention: totals are
+  // exact, not approximate.
+  CacheStats stats = cache.GetStats();
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kThreads) * kLookupsPerThread;
+  EXPECT_EQ(kTotal, stats.hits + stats.misses);
+  EXPECT_EQ(kTotal / 2, stats.hits);
+  EXPECT_EQ(kTotal / 2, stats.misses);
 }
 
 }  // namespace

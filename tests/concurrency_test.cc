@@ -157,6 +157,143 @@ TEST_F(ConcurrencyTest, SnapshotIsolationUnderChurn) {
   EXPECT_EQ("generation-10", value);
 }
 
+// The ReadView swap (memtable seal + flush install) must never be visible
+// to a racing Get as a torn state: a key that was durably written stays
+// readable through every view republication.
+TEST_F(ConcurrencyTest, GetNeverMissesCommittedKeysDuringFlushChurn) {
+  ASSERT_TRUE(DB::Open(options_, "/conc-view1", &db_).ok());
+
+  constexpr int kKeys = 400;
+  std::atomic<int> committed{-1};  // Highest key index durably written.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> errors{0};
+
+  // Readers hammer the committed prefix: every key <= committed must be
+  // found, whether it currently lives in the active memtable, a sealed
+  // immutable, or a freshly installed L0/Ln file.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Random rnd(static_cast<uint64_t>(r) + 77);
+      std::string value;
+      while (!done.load()) {
+        int limit = committed.load(std::memory_order_acquire);
+        if (limit < 0) {
+          continue;
+        }
+        int i = static_cast<int>(rnd.Uniform(static_cast<uint32_t>(limit + 1)));
+        Status s = db_->Get(ReadOptions(), "vk" + std::to_string(i), &value);
+        if (s.IsNotFound()) {
+          ++misses;
+        } else if (!s.ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+
+  // Writer forces a view republication (memtable seal + flush install) on
+  // every batch via explicit Flush.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "vk" + std::to_string(i),
+                         "payload-" + std::to_string(i))
+                    .ok());
+    committed.store(i, std::memory_order_release);
+    if (i % 40 == 39) {
+      ASSERT_TRUE(db_->Flush().ok());
+    }
+  }
+  done.store(true);
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  EXPECT_EQ(0u, misses.load());
+  EXPECT_EQ(0u, errors.load());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_EQ(static_cast<uint64_t>(kKeys), db_->CountLiveEntries());
+}
+
+// MultiGet acquires one view per batch; compactions republishing the view
+// mid-stream must never tear a batch (every key resolves against one
+// consistent state) or break per-key agreement with Get.
+TEST_F(ConcurrencyTest, MultiGetConsistentUnderCompactionChurn) {
+  ASSERT_TRUE(DB::Open(options_, "/conc-view2", &db_).ok());
+
+  constexpr int kKeys = 300;
+  // Seed every key with generation 0 so no batch ever sees NotFound.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), "mk" + std::to_string(i), "gen-0000").ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> batchers;
+  for (int r = 0; r < 2; ++r) {
+    batchers.emplace_back([&, r] {
+      Random rnd(static_cast<uint64_t>(r) + 31);
+      while (!done.load()) {
+        std::vector<std::string> key_storage;
+        std::vector<Slice> keys;
+        for (int k = 0; k < 16; ++k) {
+          key_storage.push_back(
+              "mk" + std::to_string(rnd.Uniform(kKeys)));
+        }
+        for (const auto& ks : key_storage) {
+          keys.emplace_back(ks);
+        }
+        std::vector<std::string> values;
+        std::vector<Status> statuses =
+            db_->MultiGet(ReadOptions(), keys, &values);
+        for (size_t i = 0; i < keys.size(); ++i) {
+          // Keys are never deleted, so every status must be OK and every
+          // value a well-formed generation stamp.
+          if (!statuses[i].ok() || values[i].rfind("gen-", 0) != 0) {
+            ++violations;
+          }
+        }
+      }
+    });
+  }
+
+  // Overwrite generations while flushes and compactions replace the view's
+  // version underneath the batchers.
+  for (int gen = 1; gen <= 12; ++gen) {
+    char stamp[16];
+    snprintf(stamp, sizeof(stamp), "gen-%04d", gen);
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE(
+          db_->Put(WriteOptions(), "mk" + std::to_string(i), stamp).ok());
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+  ASSERT_TRUE(db_->CompactRange().ok());
+  done.store(true);
+  for (auto& t : batchers) {
+    t.join();
+  }
+
+  EXPECT_EQ(0u, violations.load());
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+  // Batched and per-key reads agree on the final state.
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    key_storage.push_back("mk" + std::to_string(i));
+  }
+  for (const auto& ks : key_storage) {
+    keys.emplace_back(ks);
+  }
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok());
+    EXPECT_EQ("gen-0012", values[static_cast<size_t>(i)]);
+  }
+}
+
 TEST_F(ConcurrencyTest, ConcurrentWritersSerializeCleanly) {
   ASSERT_TRUE(DB::Open(options_, "/conc3", &db_).ok());
   constexpr int kThreads = 4;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "db/db.h"
+#include "db/merge_operator.h"
 #include "io/mem_env.h"
 #include "util/random.h"
 
@@ -596,6 +597,130 @@ TEST_F(KvSepTest, VlogGcReclaimsDeadValues) {
         << i;
     EXPECT_EQ(big, value);
   }
+}
+
+// ---------------------------------------------------------------------------
+// MultiGet: the batched lookup must agree with per-key Get everywhere.
+// ---------------------------------------------------------------------------
+
+TEST_F(DBTest, MultiGetMatchesGetAcrossTree) {
+  OpenDB();
+  // Enough data to spread keys over memtable, L0, and deeper levels.
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  for (int i = 600; i < 650; ++i) {  // Fresh keys stay in the memtable.
+    ASSERT_TRUE(Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+
+  std::vector<std::string> key_storage;
+  for (int i = 0; i < 700; i += 7) {  // Includes absent keys >= 650.
+    key_storage.push_back("key" + std::to_string(i));
+  }
+  key_storage.push_back("never-written");
+  std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_EQ(keys.size(), statuses.size());
+  ASSERT_EQ(keys.size(), values.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::string expected = Get(key_storage[i]);
+    if (expected == "NOT_FOUND") {
+      EXPECT_TRUE(statuses[i].IsNotFound()) << key_storage[i];
+    } else {
+      ASSERT_TRUE(statuses[i].ok()) << key_storage[i];
+      EXPECT_EQ(expected, values[i]) << key_storage[i];
+    }
+  }
+}
+
+TEST_F(DBTest, MultiGetSeesDeletionsAndOverwrites) {
+  OpenDB();
+  ASSERT_TRUE(Put("a", "1").ok());
+  ASSERT_TRUE(Put("b", "2").ok());
+  ASSERT_TRUE(Put("c", "3").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "b").ok());
+  ASSERT_TRUE(Put("c", "3-new").ok());  // Newer version shadows the flushed one.
+
+  std::vector<Slice> keys = {"a", "b", "c", "d"};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ("1", values[0]);
+  EXPECT_TRUE(statuses[1].IsNotFound());  // Tombstone beats the flushed put.
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ("3-new", values[2]);
+  EXPECT_TRUE(statuses[3].IsNotFound());  // Never written.
+}
+
+TEST_F(DBTest, MultiGetHonorsSnapshots) {
+  OpenDB();
+  ASSERT_TRUE(Put("x", "old-x").ok());
+  ASSERT_TRUE(Put("y", "old-y").ok());
+  SequenceNumber snap = db_->GetSnapshot();
+  ASSERT_TRUE(Put("x", "new-x").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "y").ok());
+  ASSERT_TRUE(Put("z", "new-z").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+
+  std::vector<Slice> keys = {"x", "y", "z"};
+  std::vector<std::string> values;
+  ReadOptions at_snap;
+  at_snap.snapshot_seqno = snap;
+  std::vector<Status> statuses = db_->MultiGet(at_snap, keys, &values);
+  EXPECT_EQ("old-x", values[0]);
+  EXPECT_EQ("old-y", values[1]);
+  EXPECT_TRUE(statuses[2].IsNotFound());  // "z" was written after the snap.
+
+  statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  EXPECT_EQ("new-x", values[0]);
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_EQ("new-z", values[2]);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DBTest, MultiGetResolvesMergeChains) {
+  options_.merge_operator = NewStringAppendOperator(',');
+  OpenDB();
+  ASSERT_TRUE(Put("m", "base").ok());
+  ASSERT_TRUE(db_->Merge(WriteOptions(), "m", "op1").ok());
+  ASSERT_TRUE(db_->Flush().ok());  // Split the chain across storage tiers.
+  ASSERT_TRUE(db_->Merge(WriteOptions(), "m", "op2").ok());
+  ASSERT_TRUE(db_->Merge(WriteOptions(), "pure", "solo").ok());
+
+  std::vector<Slice> keys = {"m", "pure"};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_TRUE(statuses[0].ok());
+  EXPECT_EQ("base,op1,op2", values[0]);
+  ASSERT_TRUE(statuses[1].ok());
+  EXPECT_EQ("solo", values[1]);
+  // Batched and per-key resolution must agree.
+  EXPECT_EQ(values[0], Get("m"));
+  EXPECT_EQ(values[1], Get("pure"));
+}
+
+TEST_F(DBTest, MultiGetEmptyAndDuplicateKeys) {
+  OpenDB();
+  ASSERT_TRUE(Put("dup", "val").ok());
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses =
+      db_->MultiGet(ReadOptions(), {}, &values);
+  EXPECT_TRUE(statuses.empty());
+  EXPECT_TRUE(values.empty());
+
+  std::vector<Slice> keys = {"dup", "dup", "dup"};
+  statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok());
+    EXPECT_EQ("val", values[i]);
+  }
+  EXPECT_GE(db_->statistics()->multiget_batches.load(), 2u);
+  EXPECT_GE(db_->statistics()->multiget_keys.load(), 3u);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <memory>
 #include <string>
@@ -26,7 +27,11 @@ class EnvTest : public ::testing::TestWithParam<bool> {
       dir_ = "/envtest";
     } else {
       env_ = Env::Default();
-      dir_ = ::testing::TempDir() + "lsmlab_env_test";
+      // Unique per process: ctest runs each discovered case as its own
+      // process, possibly in parallel, and a shared directory lets one
+      // case's TearDown delete files another case is still reading.
+      dir_ = ::testing::TempDir() + "lsmlab_env_test_" +
+             std::to_string(::getpid());
     }
     ASSERT_TRUE(env_->CreateDir(dir_).ok());
   }
