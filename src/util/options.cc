@@ -55,6 +55,15 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "vlog_gc_trigger_ratio must be in (0, 1]");
   }
+  if (max_background_error_retries < 0) {
+    return Status::InvalidArgument(
+        "max_background_error_retries must be >= 0");
+  }
+  if (max_background_error_retries > 0 &&
+      background_error_retry_max_micros < background_error_retry_initial_micros) {
+    return Status::InvalidArgument(
+        "background_error_retry_max_micros must be >= the initial backoff");
+  }
   return Status::OK();
 }
 

@@ -70,6 +70,21 @@ enum class FilterAllocation {
   kMonkey,
 };
 
+/// How strictly WAL — and manifest — replay treats a corrupt record
+/// (RocksDB-inspired). The manifest follows the same policy because it uses
+/// the same log format and the same argument applies: acked records are
+/// fsynced, so a checksum failure is a torn unacked tail after a crash.
+enum class WalRecoveryMode {
+  /// Any reported corruption fails the open. A cleanly truncated tail (the
+  /// torn-write signature the WAL format detects as EOF) is still
+  /// tolerated; a checksum mismatch anywhere is not.
+  kAbsoluteConsistency,
+  /// Replay stops at the first corrupt record: everything before it is
+  /// recovered, everything after (including later WAL files) is dropped.
+  /// This is the crash-consistent prefix semantics most deployments want.
+  kPointInTimeRecovery,
+};
+
 /// Statistics-selection constants for DB::GetProperty-style inspection.
 struct WriteStallCause {
   static constexpr const char* kNone = "none";
@@ -179,6 +194,20 @@ struct Options {
   bool enable_wal = true;
   /// fsync WAL on every write (vs. on flush only).
   bool sync_wal = false;
+  /// How WAL replay reacts to a corrupt record (DESIGN.md, "Failure model
+  /// & recovery").
+  WalRecoveryMode wal_recovery_mode = WalRecoveryMode::kPointInTimeRecovery;
+
+  // --- Background-error recovery -------------------------------------------
+  /// How many times a failed flush or compaction (a *soft* error: nothing
+  /// partially published) is retried with capped exponential backoff before
+  /// being promoted to a hard error. 0 restores the old sticky behavior:
+  /// the first background failure poisons the DB until Resume()/reopen.
+  int max_background_error_retries = 6;
+  /// Backoff before the first retry; doubles per attempt.
+  uint64_t background_error_retry_initial_micros = 1000;
+  /// Backoff cap.
+  uint64_t background_error_retry_max_micros = 200000;
 
   // --- Key-value separation (§2.2.2, WiscKey) -------------------------------
   /// If true, values >= kv_separation_threshold bytes are stored in a value

@@ -282,6 +282,16 @@ Status VersionSet::CreateNewLocked() {
   return s;
 }
 
+Status VersionSet::RollManifest() {
+  MutexLock lock(&mu_);
+  // Drop the (possibly torn) manifest handles before opening the new file;
+  // a full snapshot of the current version replaces the edit history, so
+  // nothing from the old manifest is needed again.
+  manifest_log_.reset();
+  manifest_file_.reset();
+  return CreateNewLocked();
+}
+
 Status VersionSet::Recover() {
   MutexLock lock(&mu_);
   std::string current_contents;
@@ -317,6 +327,9 @@ Status VersionSet::Recover() {
   std::string scratch;
   bool have_log_number = false, have_next_file = false, have_last_seq = false;
   while (reader.ReadRecord(&record, &scratch)) {
+    if (!reporter.status.ok()) {
+      break;
+    }
     VersionEdit edit;
     s = edit.DecodeFrom(record);
     if (!s.ok()) {
@@ -341,7 +354,14 @@ Status VersionSet::Recover() {
       have_last_seq = true;
     }
   }
-  if (!reporter.status.ok()) {
+  // Manifest replay follows the WAL recovery policy: the manifest uses the
+  // same log format, and every acknowledged record was fsynced by
+  // LogAndApply, so a corrupt record can only be a torn unacked tail after
+  // a crash. Point-in-time recovery keeps the prefix before the corruption;
+  // absolute consistency refuses to open. The meta-fields check below still
+  // rejects damage early enough to lose the required fields.
+  if (!reporter.status.ok() &&
+      options_->wal_recovery_mode == WalRecoveryMode::kAbsoluteConsistency) {
     return reporter.status;
   }
   if (!have_next_file || !have_log_number || !have_last_seq) {

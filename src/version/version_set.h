@@ -109,6 +109,14 @@ class VersionSet {
   /// Initializes a brand-new DB: writes the first manifest and CURRENT.
   Status CreateNew() EXCLUDES(mu_);
 
+  /// Abandons the current manifest file and starts a fresh one holding a
+  /// snapshot of the current version, repointing CURRENT at it. Used by
+  /// DB::Resume() after a manifest write failure: the old manifest may end
+  /// in a torn record, so appending to it is never safe again; a snapshot
+  /// into a new file re-establishes a clean write point. The old manifest
+  /// is garbage-collected by the next RemoveObsoleteFiles pass.
+  Status RollManifest() EXCLUDES(mu_);
+
   std::shared_ptr<const Version> current() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return current_;

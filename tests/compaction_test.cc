@@ -6,6 +6,7 @@
 
 #include "compaction/compaction_picker.h"
 #include "db/db.h"
+#include "db/merge_operator.h"
 #include "io/mem_env.h"
 #include "util/random.h"
 #include "version/version_set.h"
@@ -477,6 +478,66 @@ TEST_P(TreeInvariantTest, HoldAfterHeavyChurn) {
   ASSERT_TRUE(db->CompactRange().ok());
   Status s = db->ValidateTreeInvariants();
   ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Output-file cutting must respect user-key boundaries. A hot merge key
+// accumulates an operand run far larger than target_file_size; if the merge
+// loop cut outputs purely on size it would split that run across two leveled
+// files sharing the boundary user key, which violates the disjoint-range
+// invariant and makes Get stop at the first file and miss the rest.
+// Regression test: pre-fix this fails WaitForBackgroundWork with
+// "Corruption: overlapping files produced at leveled level 1".
+// ---------------------------------------------------------------------------
+
+TEST(CompactionOutputCutTest, OutputFilesNeverSplitAUserKey) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.data_layout = DataLayout::kOneLeveling;
+  options.write_buffer_size = 4 << 10;
+  options.level0_file_num_compaction_trigger = 2;
+  options.max_bytes_for_level_base = 16 << 10;
+  options.target_file_size = 4 << 10;  // Far below the hot key's operand run.
+  options.background_threads = 2;
+  options.merge_operator = NewStringAppendOperator(',');
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/cut", &db).ok());
+
+  // Flank the hot key so output files have real ranges on both sides.
+  const std::string filler(100, 'v');
+  for (int i = 0; i < 20; ++i) {
+    char before[8], after[8];
+    std::snprintf(before, sizeof(before), "a%02d", i);
+    std::snprintf(after, sizeof(after), "z%02d", i);
+    ASSERT_TRUE(db->Put(WriteOptions(), before, filler).ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), after, filler).ok());
+  }
+
+  // ~40KB of merge operands on one user key: any size-based cut inside the
+  // run would split "hot" across adjacent leveled files.
+  const int kOperands = 400;
+  const std::string operand(100, 'm');
+  std::string expected;
+  for (int i = 0; i < kOperands; ++i) {
+    ASSERT_TRUE(db->Merge(WriteOptions(), "hot", operand).ok());
+    if (!expected.empty()) {
+      expected += ',';
+    }
+    expected += operand;
+  }
+
+  Status s = db->WaitForBackgroundWork();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  s = db->CompactRange();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  s = db->ValidateTreeInvariants();
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\n" << db->LevelsDebugString();
+
+  std::string got;
+  ASSERT_TRUE(db->Get(ReadOptions(), "hot", &got).ok());
+  EXPECT_EQ(expected, got);
+  EXPECT_TRUE(db->BackgroundErrorState().ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(

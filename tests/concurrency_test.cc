@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "db/db.h"
+#include "io/fault_injection_env.h"
 #include "io/latency_env.h"
 #include "io/mem_env.h"
 #include "kvsep/vlog.h"
@@ -584,96 +585,13 @@ TEST_F(ConcurrencyTest, VlogActiveFileNumberIsSafeDuringRollover) {
   EXPECT_EQ(kLastLog, vlog.active_file_number());
 }
 
-// Forwards to a base env but fails WritableFile appends/syncs while
-// fail_writes is set: lets a test flip I/O failures on mid-run.
-class FailSwitchEnv : public Env {
- public:
-  explicit FailSwitchEnv(Env* base) : base_(base) {}
-
-  std::atomic<bool> fail_writes{false};
-
-  Status NewWritableFile(const std::string& fname,
-                         std::unique_ptr<WritableFile>* result) override {
-    std::unique_ptr<WritableFile> inner;
-    Status s = base_->NewWritableFile(fname, &inner);
-    if (!s.ok()) {
-      return s;
-    }
-    *result = std::make_unique<FailSwitchFile>(std::move(inner), this);
-    return Status::OK();
-  }
-  Status NewSequentialFile(const std::string& fname,
-                           std::unique_ptr<SequentialFile>* result) override {
-    return base_->NewSequentialFile(fname, result);
-  }
-  Status NewRandomAccessFile(
-      const std::string& fname,
-      std::unique_ptr<RandomAccessFile>* result) override {
-    return base_->NewRandomAccessFile(fname, result);
-  }
-  Status NewRandomRWFile(const std::string& fname,
-                         std::unique_ptr<RandomRWFile>* result) override {
-    return base_->NewRandomRWFile(fname, result);
-  }
-  bool FileExists(const std::string& fname) override {
-    return base_->FileExists(fname);
-  }
-  Status GetChildren(const std::string& dir,
-                     std::vector<std::string>* result) override {
-    return base_->GetChildren(dir, result);
-  }
-  Status RemoveFile(const std::string& fname) override {
-    return base_->RemoveFile(fname);
-  }
-  Status CreateDir(const std::string& dirname) override {
-    return base_->CreateDir(dirname);
-  }
-  Status RemoveDir(const std::string& dirname) override {
-    return base_->RemoveDir(dirname);
-  }
-  Status GetFileSize(const std::string& fname, uint64_t* size) override {
-    return base_->GetFileSize(fname, size);
-  }
-  Status RenameFile(const std::string& src,
-                    const std::string& target) override {
-    return base_->RenameFile(src, target);
-  }
-
- private:
-  class FailSwitchFile : public WritableFile {
-   public:
-    FailSwitchFile(std::unique_ptr<WritableFile> inner, FailSwitchEnv* env)
-        : inner_(std::move(inner)), env_(env) {}
-    Status Append(const Slice& data) override {
-      if (env_->fail_writes.load()) {
-        return Status::IOError("injected write failure");
-      }
-      return inner_->Append(data);
-    }
-    Status Close() override { return inner_->Close(); }
-    Status Flush() override { return inner_->Flush(); }
-    Status Sync() override {
-      if (env_->fail_writes.load()) {
-        return Status::IOError("injected sync failure");
-      }
-      return inner_->Sync();
-    }
-
-   private:
-    std::unique_ptr<WritableFile> inner_;
-    FailSwitchEnv* env_;
-  };
-
-  Env* base_;
-};
-
 // Vlog GC relocates live records by re-putting them through the write path,
 // then deletes the old log. A failed relocation used to be silently
 // discarded, so the delete went ahead and the record was lost. The GC must
 // instead surface the error and leave the old log (and its data) intact.
 TEST_F(ConcurrencyTest, VlogGcRelocationFailureDoesNotLoseData) {
-  FailSwitchEnv fail_env(&env_);
-  options_.env = &fail_env;
+  FaultInjectionEnv fault_env(&env_);
+  options_.env = &fault_env;
   options_.kv_separation = true;
   options_.kv_separation_threshold = 64;
   ASSERT_TRUE(DB::Open(options_, "/gcfail", &db_).ok());
@@ -689,10 +607,10 @@ TEST_F(ConcurrencyTest, VlogGcRelocationFailureDoesNotLoseData) {
     ASSERT_TRUE(db_->Put(WriteOptions(), key, "small").ok());
   }
 
-  fail_env.fail_writes.store(true);
+  fault_env.SetFailWrites(true);
   Status gc = db_->GarbageCollectVlog();
   EXPECT_FALSE(gc.ok()) << "GC must surface relocation failures";
-  fail_env.fail_writes.store(false);
+  fault_env.SetFailWrites(false);
 
   // The old log must have survived: every live separated value is still
   // readable with its original contents.
@@ -702,6 +620,108 @@ TEST_F(ConcurrencyTest, VlogGcRelocationFailureDoesNotLoseData) {
     ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
     EXPECT_EQ(big + std::to_string(i), value) << key;
   }
+}
+
+// A transient flush failure under concurrent writers must heal through the
+// retry/backoff path: writers stall while the memtable quota is exhausted,
+// the retried flush drains it, and nothing is lost — all without a reopen
+// or an explicit Resume().
+TEST_F(ConcurrencyTest, ConcurrentWritersSurviveTransientFlushFailure) {
+  FaultInjectionEnv fault_env(&env_);
+  options_.env = &fault_env;
+  options_.write_buffer_size = 4 << 10;
+  options_.background_error_retry_initial_micros = 500;
+  options_.background_error_retry_max_micros = 5000;
+  ASSERT_TRUE(DB::Open(options_, "/softconc", &db_).ok());
+
+  // The next two table-file syncs fail (flush output lands via Sync), then
+  // the device heals.
+  FaultRule rule;
+  rule.file_kinds = kFaultTable;
+  rule.ops = kFaultOpSync;
+  rule.one_in = 1;
+  rule.max_failures = 2;
+  fault_env.AddRule(rule);
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 400;
+  std::atomic<uint64_t> write_errors{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      const std::string payload(64, static_cast<char>('a' + t));
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        if (!db_->Put(WriteOptions(), key, payload).ok()) {
+          ++write_errors;
+        }
+      }
+    });
+  }
+  for (auto& th : writers) {
+    th.join();
+  }
+
+  EXPECT_EQ(0u, write_errors.load());
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_GE(fault_env.injected_faults(), 1u);
+  const Statistics* stats = db_->statistics();
+  EXPECT_GE(stats->bg_error_soft.load(), 1u);
+  EXPECT_GE(stats->bg_retry_success.load(), 1u);
+  EXPECT_EQ(0u, stats->bg_error_hard.load());
+
+  // Every acked write is readable.
+  std::string value;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kWritesPerThread; ++i) {
+      std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+      ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok()) << key;
+    }
+  }
+  ASSERT_TRUE(db_->ValidateTreeInvariants().ok());
+}
+
+// A WAL sync failure is a hard error: the DB drops to read-only mode (reads
+// keep serving, writes fail fast), and Resume() rotates the poisoned WAL,
+// re-persists its acked contents, and restores write service.
+TEST_F(ConcurrencyTest, WalHardErrorReadOnlyModeAndResume) {
+  FaultInjectionEnv fault_env(&env_);
+  options_.env = &fault_env;
+  ASSERT_TRUE(DB::Open(options_, "/walhard", &db_).ok());
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), "pre" + std::to_string(i), "v").ok());
+  }
+
+  // Exactly one WAL sync fails; the write that requested it must error.
+  FaultRule rule;
+  rule.file_kinds = kFaultWal;
+  rule.ops = kFaultOpSync;
+  rule.one_in = 1;
+  rule.max_failures = 1;
+  fault_env.AddRule(rule);
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  EXPECT_FALSE(db_->Put(sync_wo, "poison", "v").ok());
+
+  // Hard error: writes fail fast, reads keep serving the last view.
+  EXPECT_FALSE(db_->Put(WriteOptions(), "rejected", "v").ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "pre0", &value).ok());
+  EXPECT_EQ(1u, db_->statistics()->bg_error_hard.load());
+  EXPECT_TRUE(db_->BackgroundErrorState().hard());
+
+  // Resume rotates the WAL and flushes the rescued memtable; write service
+  // returns and pre-error acked writes are still there.
+  ASSERT_TRUE(db_->Resume().ok());
+  EXPECT_TRUE(db_->BackgroundErrorState().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "after", "v").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db_->Get(ReadOptions(), "pre" + std::to_string(i), &value).ok());
+  }
+  ASSERT_TRUE(db_->Get(ReadOptions(), "after", &value).ok());
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "db/filename.h"
 #include "io/counting_env.h"
 #include "io/env.h"
+#include "io/fault_injection_env.h"
 #include "io/latency_env.h"
 #include "io/mem_env.h"
 #include "io/wal_reader.h"
@@ -241,6 +243,192 @@ TEST(LatencyEnvTest, DevicePresetsDiffer) {
             DeviceModel::Ssd().per_op_latency_micros);
   EXPECT_GT(DeviceModel::Nvme().bandwidth_bytes_per_sec,
             DeviceModel::Ssd().bandwidth_bytes_per_sec);
+}
+
+// --------------------------------------------------- FaultInjectionEnv ----
+
+class FaultInjectionEnvTest : public ::testing::Test {
+ protected:
+  // Appends `data` to `fname`, optionally syncing, and returns the combined
+  // append/sync status (first failure wins).
+  Status Append(const std::string& fname, const std::string& data,
+                bool sync) {
+    std::unique_ptr<WritableFile> file;
+    Status s = env_.NewWritableFile(fname, &file);
+    if (!s.ok()) {
+      return s;
+    }
+    s = file->Append(data);
+    if (s.ok() && sync) {
+      s = file->Sync();
+    }
+    Status c = file->Close();
+    return s.ok() ? c : s;
+  }
+
+  std::string Contents(const std::string& fname) {
+    std::string data;
+    EXPECT_TRUE(ReadFileToString(&env_, fname, &data).ok());
+    return data;
+  }
+
+  MemEnv base_;
+  FaultInjectionEnv env_{&base_, /*seed=*/12345};
+};
+
+TEST_F(FaultInjectionEnvTest, DropUnsyncedDataKeepsSyncedPrefix) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/000001.log", &file).ok());
+  ASSERT_TRUE(file->Append("durable").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("volatile").ok());  // Never synced.
+  ASSERT_TRUE(file->Close().ok());             // Close implies no durability.
+  file.reset();
+
+  // Before the crash the DB can read its own unsynced bytes (write-through).
+  EXPECT_EQ("durablevolatile", Contents("/000001.log"));
+
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  EXPECT_EQ("durable", Contents("/000001.log"));
+}
+
+TEST_F(FaultInjectionEnvTest, DropUnsyncedDataDeletesNeverSyncedFiles) {
+  ASSERT_TRUE(Append("/000002.sst", "never synced", /*sync=*/false).ok());
+  ASSERT_TRUE(Append("/000003.sst", "synced", /*sync=*/true).ok());
+
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  EXPECT_FALSE(env_.FileExists("/000002.sst"));
+  EXPECT_EQ("synced", Contents("/000003.sst"));
+}
+
+TEST_F(FaultInjectionEnvTest, TornTailIsDeterministicForASeed) {
+  auto run_once = [](uint64_t seed) {
+    MemEnv base;
+    FaultInjectionEnv env(&base, seed);
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env.NewWritableFile("/000004.log", &file).ok());
+    EXPECT_TRUE(file->Append("synced-part|").ok());
+    EXPECT_TRUE(file->Sync().ok());
+    EXPECT_TRUE(file->Append("this tail will tear somewhere").ok());
+    file.reset();
+    EXPECT_TRUE(env.DropUnsyncedData(/*torn_tail_one_in=*/1).ok());
+    std::string data;
+    EXPECT_TRUE(ReadFileToString(&env, "/000004.log", &data).ok());
+    return data;
+  };
+
+  const std::string a = run_once(99);
+  const std::string b = run_once(99);
+  EXPECT_EQ(a, b);  // Reproducible from the seed.
+  // The torn tail is a strict extension of the synced prefix with a
+  // corrupted final byte — never a rewind of synced data.
+  EXPECT_EQ(0u, a.find("synced-part|"));
+  EXPECT_GT(a.size(), std::string("synced-part|").size());
+  EXPECT_NE(a, std::string("synced-part|") + "this tail will tear somewhere");
+}
+
+TEST_F(FaultInjectionEnvTest, RulesFilterByFileKind) {
+  FaultRule rule;
+  rule.file_kinds = kFaultWal;
+  rule.ops = kFaultOpAppend | kFaultOpSync;
+  rule.one_in = 1;  // Every matching op fails unconditionally.
+  env_.AddRule(rule);
+
+  EXPECT_FALSE(Append("/000005.log", "wal write", /*sync=*/true).ok());
+  EXPECT_TRUE(Append("/000006.sst", "table write", /*sync=*/true).ok());
+  EXPECT_TRUE(Append("/MANIFEST-000007", "edit", /*sync=*/true).ok());
+  EXPECT_GE(env_.injected_faults(), 1u);
+}
+
+TEST_F(FaultInjectionEnvTest, ScriptedRuleFiresAtExactOpIndex) {
+  FaultRule rule;
+  rule.file_kinds = kFaultTable;
+  rule.ops = kFaultOpAppend;
+  rule.at_op_index = 2;  // Third table append fails; all others succeed.
+  env_.AddRule(rule);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/000008.sst", &file).ok());
+  EXPECT_TRUE(file->Append("a").ok());
+  EXPECT_TRUE(file->Append("b").ok());
+  EXPECT_FALSE(file->Append("c").ok());
+  EXPECT_TRUE(file->Append("d").ok());
+  EXPECT_EQ(1u, env_.injected_faults());
+}
+
+TEST_F(FaultInjectionEnvTest, TransientRuleStopsAfterMaxFailures) {
+  FaultRule rule;
+  rule.file_kinds = kFaultAnyFile;
+  rule.ops = kFaultOpSync;
+  rule.one_in = 1;  // Every sync...
+  rule.max_failures = 2;  // ...for the first two.
+  env_.AddRule(rule);
+
+  EXPECT_FALSE(Append("/000009.sst", "x", /*sync=*/true).ok());
+  EXPECT_FALSE(Append("/000010.sst", "x", /*sync=*/true).ok());
+  EXPECT_TRUE(Append("/000011.sst", "x", /*sync=*/true).ok());
+  EXPECT_EQ(2u, env_.injected_faults());
+}
+
+TEST_F(FaultInjectionEnvTest, FlipBitRuleCorruptsReadsWithoutErrors) {
+  ASSERT_TRUE(Append("/000012.sst", "pristine data", /*sync=*/true).ok());
+
+  FaultRule rule;
+  rule.file_kinds = kFaultTable;
+  rule.ops = kFaultOpRead;
+  rule.one_in = 1;
+  rule.flip_bit = true;
+  env_.AddRule(rule);
+
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, "/000012.sst", &data).ok());
+  EXPECT_NE("pristine data", data);    // Silently corrupted...
+  EXPECT_EQ(13u, data.size());         // ...but same length,
+  int diff = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    diff += data[i] != "pristine data"[i];
+  }
+  EXPECT_EQ(1, diff);  // ...differing in exactly one byte.
+}
+
+TEST_F(FaultInjectionEnvTest, InactiveFilesystemFailsMutationsNotReads) {
+  ASSERT_TRUE(Append("/000013.log", "before crash", /*sync=*/true).ok());
+
+  env_.SetFilesystemActive(false);
+  EXPECT_FALSE(Append("/000014.log", "during crash", /*sync=*/false).ok());
+  EXPECT_FALSE(env_.RenameFile("/000013.log", "/000015.log").ok());
+  EXPECT_FALSE(env_.RemoveFile("/000013.log").ok());
+  EXPECT_EQ("before crash", Contents("/000013.log"));  // Reads still work.
+
+  env_.SetFilesystemActive(true);
+  EXPECT_TRUE(Append("/000014.log", "after reopen", /*sync=*/false).ok());
+}
+
+TEST_F(FaultInjectionEnvTest, FailWritesKillSwitch) {
+  env_.SetFailWrites(true);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/000016.sst", &file).ok());
+  EXPECT_FALSE(file->Append("x").ok());
+  EXPECT_FALSE(file->Sync().ok());
+  env_.SetFailWrites(false);
+  EXPECT_TRUE(file->Append("x").ok());
+  EXPECT_TRUE(file->Sync().ok());
+}
+
+TEST_F(FaultInjectionEnvTest, RenameMovesSyncTracking) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewWritableFile("/000017.tmp", &file).ok());
+  ASSERT_TRUE(file->Append("durable").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("lost in the crash").ok());
+  ASSERT_TRUE(file->Close().ok());
+  file.reset();
+  ASSERT_TRUE(env_.RenameFile("/000017.tmp", "/CURRENT").ok());
+
+  ASSERT_TRUE(env_.DropUnsyncedData().ok());
+  // The durable-prefix bookkeeping followed the rename: the renamed file is
+  // rewound to its synced prefix rather than left (or dropped) whole.
+  EXPECT_EQ("durable", Contents("/CURRENT"));
 }
 
 // ------------------------------------------------------------------ WAL ----

@@ -10,6 +10,7 @@
 
 #include "db/db.h"
 #include "db/filename.h"
+#include "io/fault_injection_env.h"
 #include "io/mem_env.h"
 #include "util/random.h"
 #include "version/version_edit.h"
@@ -91,6 +92,108 @@ TEST_F(RecoveryTest, TornWalTailLosesOnlyTheTornWrite) {
   // The torn record is gone — not corrupted data, just an unacknowledged
   // loss at the tail, the WAL contract.
   EXPECT_EQ("NOT_FOUND", Get("torn"));
+}
+
+TEST_F(RecoveryTest, TornWalTailToleratedInAbsoluteConsistencyMode) {
+  // A cleanly truncated final record is the expected crash signature (the
+  // writer died mid-append), not corruption: even the strict mode opens.
+  options_.wal_recovery_mode = WalRecoveryMode::kAbsoluteConsistency;
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "committed", "v").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "torn", "vX").ok());
+  Close();
+
+  auto logs = FilesOfType(FileType::kLogFile);
+  ASSERT_FALSE(logs.empty());
+  TruncateFile(logs.back(), 3);
+
+  Open();
+  EXPECT_EQ("v", Get("committed"));
+  EXPECT_EQ("NOT_FOUND", Get("torn"));
+}
+
+TEST_F(RecoveryTest, MidLogCorruptionFailsAbsoluteButKeepsPrefixInPit) {
+  Open();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i),
+                         "v" + std::to_string(i))
+                    .ok());
+  }
+  Close();
+
+  // Each Put is one WAL record: 7-byte header + batch rep (12-byte batch
+  // header + 1 type + 1 keylen + 2 key + 1 vallen + 2 val = 19), i.e. 26
+  // bytes. Flip a payload byte of the *second* record — mid-log, not a
+  // truncated tail — so the checksum check trips.
+  auto logs = FilesOfType(FileType::kLogFile);
+  ASSERT_EQ(1u, logs.size());
+  CorruptFile(logs.back(), 26 + 12);
+
+  // Absolute consistency: replaying past a corrupt record would silently
+  // drop acknowledged history, so the open must fail.
+  Options absolute = options_;
+  absolute.wal_recovery_mode = WalRecoveryMode::kAbsoluteConsistency;
+  std::unique_ptr<DB> db;
+  EXPECT_FALSE(DB::Open(absolute, "/db", &db).ok());
+
+  // Point-in-time: recover the longest clean prefix — the first record —
+  // and drop everything from the corruption onward.
+  options_.wal_recovery_mode = WalRecoveryMode::kPointInTimeRecovery;
+  Open();
+  EXPECT_EQ("v0", Get("k0"));
+  EXPECT_EQ("NOT_FOUND", Get("k1"));
+  EXPECT_EQ("NOT_FOUND", Get("k2"));
+  EXPECT_EQ("NOT_FOUND", Get("k3"));
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
+  // The recovered prefix is a working DB: new writes land normally.
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k1", "rewritten").ok());
+  EXPECT_EQ("rewritten", Get("k1"));
+}
+
+TEST_F(RecoveryTest, ManifestHardErrorReadOnlyModeAndResume) {
+  FaultInjectionEnv fault_env(&env_);
+  options_.env = &fault_env;
+  Open();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        db_->Put(WriteOptions(), "k" + std::to_string(i), "v").ok());
+  }
+
+  // The next manifest append fails: the flush builds its L0 file, then
+  // LogAndApply tears — a hard error (the manifest write point is lost).
+  FaultRule rule;
+  rule.file_kinds = kFaultManifest;
+  rule.ops = kFaultOpAppend;
+  rule.one_in = 1;
+  rule.max_failures = 1;
+  fault_env.AddRule(rule);
+
+  EXPECT_FALSE(db_->Flush().ok());
+  ErrorState state = db_->BackgroundErrorState();
+  EXPECT_TRUE(state.hard());
+  EXPECT_EQ(ErrorSource::kManifest, state.source);
+  // First-error provenance survives in the summary (the reporting-gap fix:
+  // wait loops used to return whichever failure happened to be last).
+  EXPECT_NE(std::string::npos,
+            db_->DebugLevelSummary().find("first background error"));
+
+  // Read-only mode: reads serve, writes fail fast.
+  EXPECT_EQ("v", Get("k0"));
+  EXPECT_FALSE(db_->Put(WriteOptions(), "rejected", "x").ok());
+
+  // Resume rolls to a fresh manifest and reschedules the flush.
+  ASSERT_TRUE(db_->Resume().ok());
+  EXPECT_TRUE(db_->BackgroundErrorState().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "after", "resumed").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+
+  // The rolled manifest is complete: a reopen sees everything.
+  Reopen();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ("v", Get("k" + std::to_string(i)));
+  }
+  EXPECT_EQ("resumed", Get("after"));
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
 }
 
 TEST_F(RecoveryTest, RepeatedReopenPreservesEverything) {
