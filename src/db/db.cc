@@ -183,6 +183,17 @@ Status DB::Recover() {
                       "dropping %zu later log(s)",
                       static_cast<unsigned long long>(log_number),
                       logs.size() - i - 1);
+      // The skipped logs must not survive this recovery: RemoveObsoleteFiles
+      // only deletes logs below min_log, so an undeleted skipped log with a
+      // number above the new active WAL would be replayed on the next open,
+      // resurrecting the dropped writes out of order. Mark their numbers
+      // used (so the new WAL and manifest log_number land above them — even
+      // a failed delete is then ignored by the next Recover()) and delete
+      // them before the new WAL is created.
+      for (size_t j = i + 1; j < logs.size(); ++j) {
+        versions_->MarkFileNumberUsed(logs[j]);
+        (void)options_.env->RemoveFile(LogFileName(dbname_, logs[j]));
+      }
       break;
     }
   }

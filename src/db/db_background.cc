@@ -676,8 +676,15 @@ void DB::RetryFlushAfterBackoff(uint64_t delay_micros) {
   }
   {
     MutexLock lock(&mu_);
-    if (!error_state_.ok() && !error_state_.hard() &&
-        error_state_.source == ErrorSource::kFlush) {
+    if (error_state_.hard()) {
+      // A hard error landed during the backoff window; the DB is read-only
+      // and flushing now would append to a possibly-torn manifest (and, on
+      // success, delete the old WAL). Release the slot; Resume() reschedules.
+      flush_scheduled_ = false;
+      background_cv_.SignalAll();
+      return;
+    }
+    if (!error_state_.ok() && error_state_.source == ErrorSource::kFlush) {
       // Drop the stale soft status before re-attempting; a new failure
       // re-records it (first-error provenance is preserved either way).
       error_state_.ClearCurrent();
@@ -742,6 +749,17 @@ Status DB::Resume() {
   if (error_state_.source == ErrorSource::kMemtable) {
     // A concurrent write failed mid-apply while we were recovering; that
     // state is not resumable (see above).
+    return error_state_.status;
+  }
+  if (error_state_.severity != snapshot.severity ||
+      error_state_.source != snapshot.source ||
+      error_state_.status.ToString() != snapshot.status.ToString()) {
+    // The error we repaired is no longer the current one: a different
+    // error (e.g. a hard WAL failure from a concurrent writer) was recorded
+    // after the snapshot. Clearing it here would skip its repair — a
+    // poisoned WAL would stay active. Return it; the caller can Resume()
+    // again to repair the new error. (If a soft retry already cleared the
+    // snapshot error, this returns OK with nothing left to do.)
     return error_state_.status;
   }
 

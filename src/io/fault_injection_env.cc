@@ -390,7 +390,11 @@ Status FaultInjectionEnv::DropUnsyncedData(uint64_t torn_tail_one_in) {
         0, static_cast<size_t>(std::min<uint64_t>(state.synced,
                                                   contents.size())));
     std::string tail = contents.substr(keep.size());
-    if (torn_tail_one_in > 0 && !tail.empty() &&
+    // Torn tails only apply to files with at least one durable prefix byte:
+    // a never-synced file's directory entry was never fsynced either, so
+    // after a crash the whole file disappears (below) — no fragment may
+    // keep it alive.
+    if (torn_tail_one_in > 0 && !tail.empty() && state.synced > 0 &&
         rng_.OneIn(torn_tail_one_in)) {
       // A torn write: part of the unsynced tail made it to the platter,
       // with its final byte mangled mid-transfer.

@@ -301,6 +301,15 @@ TEST_F(FaultInjectionEnvTest, DropUnsyncedDataDeletesNeverSyncedFiles) {
   EXPECT_EQ("synced", Contents("/000003.sst"));
 }
 
+TEST_F(FaultInjectionEnvTest, TornTailNeverPersistsNeverSyncedFile) {
+  // A never-synced file's directory entry was never fsynced either: after a
+  // crash the whole file is gone. A torn-tail fragment must not keep it
+  // alive — even with tearing forced on every unsynced tail.
+  ASSERT_TRUE(Append("/000042.sst", "never synced", /*sync=*/false).ok());
+  ASSERT_TRUE(env_.DropUnsyncedData(/*torn_tail_one_in=*/1).ok());
+  EXPECT_FALSE(env_.FileExists("/000042.sst"));
+}
+
 TEST_F(FaultInjectionEnvTest, TornTailIsDeterministicForASeed) {
   auto run_once = [](uint64_t seed) {
     MemEnv base;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -148,6 +149,54 @@ TEST_F(RecoveryTest, MidLogCorruptionFailsAbsoluteButKeepsPrefixInPit) {
   // The recovered prefix is a working DB: new writes land normally.
   ASSERT_TRUE(db_->Put(WriteOptions(), "k1", "rewritten").ok());
   EXPECT_EQ("rewritten", Get("k1"));
+}
+
+TEST_F(RecoveryTest, PointInTimeRecoveryDeletesSkippedLaterLogs) {
+  Open();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "k" + std::to_string(i),
+                         "v" + std::to_string(i))
+                    .ok());
+  }
+  Close();
+
+  // Simulate a second live WAL (as left behind by a crash with a sealed-
+  // but-unflushed memtable): a higher-numbered log whose records replay
+  // after the first log's. Then corrupt the *first* log mid-record.
+  auto logs = FilesOfType(FileType::kLogFile);
+  ASSERT_EQ(1u, logs.size());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, logs.back(), &contents).ok());
+  const std::string later_log = LogFileName("/db", 99);
+  ASSERT_TRUE(WriteStringToFile(&env_, contents, later_log).ok());
+  CorruptFile(logs.back(), 26 + 12);  // Record 2's payload (layout above).
+
+  // Point-in-time recovery stops at the corruption in the first log. The
+  // skipped later log must be deleted during this open — if it survived,
+  // the next open would replay it after the new WAL, resurrecting the
+  // dropped writes out of order.
+  options_.wal_recovery_mode = WalRecoveryMode::kPointInTimeRecovery;
+  Open();
+  EXPECT_EQ("v0", Get("k0"));
+  EXPECT_EQ("NOT_FOUND", Get("k1"));
+  EXPECT_FALSE(env_.FileExists(later_log));
+  // Its number was marked used, so the fresh WAL landed above it.
+  for (const auto& log : FilesOfType(FileType::kLogFile)) {
+    uint64_t number;
+    FileType type;
+    ASSERT_TRUE(ParseFileName(log.substr(strlen("/db/")), &number, &type));
+    EXPECT_GT(number, 99u);
+  }
+  ASSERT_TRUE(db_->Put(WriteOptions(), "after", "recovered").ok());
+
+  // The dropped writes stay dropped across another reopen.
+  Reopen();
+  EXPECT_EQ("v0", Get("k0"));
+  EXPECT_EQ("NOT_FOUND", Get("k1"));
+  EXPECT_EQ("NOT_FOUND", Get("k2"));
+  EXPECT_EQ("NOT_FOUND", Get("k3"));
+  EXPECT_EQ("recovered", Get("after"));
+  EXPECT_TRUE(db_->ValidateTreeInvariants().ok());
 }
 
 TEST_F(RecoveryTest, ManifestHardErrorReadOnlyModeAndResume) {
