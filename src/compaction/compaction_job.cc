@@ -119,6 +119,8 @@ Status CompactionJob::RunShard(Shard* shard) {
     }
     ReadOptions read_options;
     read_options.fill_cache = false;  // Compactions must not wipe the cache.
+    // Prefetch input blocks so merge work overlaps the sequential reads.
+    read_options.readahead_bytes = ctx_.options->compaction_readahead_bytes;
     auto iter = reader->NewIterator(read_options);
     children.push_back(std::make_unique<TableIteratorHolder>(
         std::move(reader), std::move(iter)));

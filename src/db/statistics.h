@@ -38,6 +38,16 @@ struct Statistics {
   /// batch size.
   std::atomic<uint64_t> multiget_batches{0};
   std::atomic<uint64_t> multiget_keys{0};
+  /// Batched I/O (DESIGN.md, "Batched I/O"): MultiRead submissions issued
+  /// by the read path, the block reads they carried (reads / batches is the
+  /// mean submission depth), and the bytes those reads returned.
+  std::atomic<uint64_t> io_batches{0};
+  std::atomic<uint64_t> io_batch_reads{0};
+  std::atomic<uint64_t> io_batch_bytes{0};
+  /// Iterator readahead: data-block reads served from the prefetch buffer
+  /// vs. reads that had to go to the device.
+  std::atomic<uint64_t> readahead_hits{0};
+  std::atomic<uint64_t> readahead_misses{0};
 
   // Write path. `writes` counts operations; `write_groups` counts leader
   // commits, so writes / write_groups is the mean group-commit batch size.
@@ -98,6 +108,11 @@ struct Statistics {
     read_views_published = 0;
     multiget_batches = 0;
     multiget_keys = 0;
+    io_batches = 0;
+    io_batch_reads = 0;
+    io_batch_bytes = 0;
+    readahead_hits = 0;
+    readahead_misses = 0;
     writes = 0;
     write_groups = 0;
     wal_syncs = 0;

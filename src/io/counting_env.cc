@@ -39,6 +39,18 @@ class CountingRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  void MultiRead(ReadRequest* reqs, size_t n) const override {
+    base_->MultiRead(reqs, n);
+    for (size_t i = 0; i < n; ++i) {
+      if (reqs[i].status.ok()) {
+        env_->RecordRead(reqs[i].result.size());
+      }
+    }
+    env_->RecordBatch();
+  }
+
+  RandomAccessFile* target() const { return base_.get(); }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   CountingEnv* const env_;
@@ -147,6 +159,33 @@ Status CountingEnv::NewWritableFile(const std::string& fname,
   return s;
 }
 
+void CountingEnv::MultiRead(ReadRequest* reqs, size_t n) {
+  // Swap each request's file for the wrapped target so the base env sees
+  // one cross-file batch. A request on a foreign file (not opened through
+  // this env) falls back to the default per-file grouping, where the
+  // file-level wrappers do the counting instead.
+  std::vector<ReadRequest> shadow(reqs, reqs + n);
+  for (size_t i = 0; i < n; ++i) {
+    auto* wrapped = dynamic_cast<CountingRandomAccessFile*>(reqs[i].file);
+    if (wrapped == nullptr) {
+      // The per-file groups reach CountingRandomAccessFile::MultiRead,
+      // which does the counting (including RecordBatch per group).
+      Env::MultiRead(reqs, n);
+      return;
+    }
+    shadow[i].file = wrapped->target();
+  }
+  base_->MultiRead(shadow.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i].result = shadow[i].result;
+    reqs[i].status = shadow[i].status;
+    if (reqs[i].status.ok()) {
+      RecordRead(reqs[i].result.size());
+    }
+  }
+  RecordBatch();
+}
+
 IoStats CountingEnv::GetStats() const {
   IoStats stats;
   stats.bytes_read = bytes_read_.load(std::memory_order_relaxed);
@@ -156,6 +195,7 @@ IoStats CountingEnv::GetStats() const {
   stats.syncs = syncs_.load(std::memory_order_relaxed);
   stats.files_created = files_created_.load(std::memory_order_relaxed);
   stats.files_removed = files_removed_.load(std::memory_order_relaxed);
+  stats.multiread_batches = multiread_batches_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -167,6 +207,7 @@ void CountingEnv::ResetStats() {
   syncs_.store(0, std::memory_order_relaxed);
   files_created_.store(0, std::memory_order_relaxed);
   files_removed_.store(0, std::memory_order_relaxed);
+  multiread_batches_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace lsmlab

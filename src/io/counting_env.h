@@ -20,6 +20,9 @@ struct IoStats {
   uint64_t syncs = 0;
   uint64_t files_created = 0;
   uint64_t files_removed = 0;
+  /// MultiRead submissions (each still counts its requests in read_ops, so
+  /// serial/batched runs agree on every counter except this one).
+  uint64_t multiread_batches = 0;
 
   /// Write amplification relative to `user_bytes` of ingested data.
   double WriteAmplification(uint64_t user_bytes) const {
@@ -72,6 +75,10 @@ class CountingEnv final : public Env {
                     const std::string& target) override {
     return base_->RenameFile(src, target);
   }
+  /// Unwraps this env's own file wrappers so the whole cross-file batch
+  /// reaches the base env as one submission; each request is still tallied
+  /// in read_ops/bytes_read exactly as a serial loop would.
+  void MultiRead(ReadRequest* reqs, size_t n) override;
 
   IoStats GetStats() const;
   void ResetStats();
@@ -86,6 +93,9 @@ class CountingEnv final : public Env {
     write_ops_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordSync() { syncs_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordBatch() {
+    multiread_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   Env* const base_;
@@ -96,6 +106,7 @@ class CountingEnv final : public Env {
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> files_created_{0};
   std::atomic<uint64_t> files_removed_{0};
+  std::atomic<uint64_t> multiread_batches_{0};
 };
 
 }  // namespace lsmlab

@@ -1,6 +1,55 @@
 #include "io/env.h"
 
+#include <utility>
+#include <vector>
+
 namespace lsmlab {
+
+void RandomAccessFile::MultiRead(ReadRequest* reqs, size_t n) const {
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i].status = Read(reqs[i].offset, reqs[i].len, &reqs[i].result,
+                          reqs[i].scratch);
+  }
+}
+
+void Env::MultiRead(ReadRequest* reqs, size_t n) {
+  // Group by file in order of first appearance. Batches are small (tens of
+  // requests), so a linear scan beats a hash map.
+  std::vector<std::pair<RandomAccessFile*, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < n; ++i) {
+    if (reqs[i].file == nullptr) {
+      reqs[i].status = Status::InvalidArgument("ReadRequest without a file");
+      continue;
+    }
+    bool found = false;
+    for (auto& g : groups) {
+      if (g.first == reqs[i].file) {
+        g.second.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      groups.emplace_back(reqs[i].file, std::vector<size_t>{i});
+    }
+  }
+  std::vector<ReadRequest> batch;
+  for (auto& g : groups) {
+    if (g.second.size() == 1) {
+      g.first->MultiRead(&reqs[g.second[0]], 1);
+      continue;
+    }
+    batch.clear();
+    for (size_t idx : g.second) {
+      batch.push_back(reqs[idx]);
+    }
+    g.first->MultiRead(batch.data(), batch.size());
+    for (size_t k = 0; k < g.second.size(); ++k) {
+      reqs[g.second[k]].result = batch[k].result;
+      reqs[g.second[k]].status = batch[k].status;
+    }
+  }
+}
 
 Status ReadFileToString(Env* env, const std::string& fname,
                         std::string* data) {

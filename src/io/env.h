@@ -22,6 +22,30 @@ class SequentialFile {
   virtual Status Skip(uint64_t n) = 0;
 };
 
+class RandomAccessFile;
+
+/// One positional read in a batch — the submission/completion unit of the
+/// batched read API (DESIGN.md, "Batched I/O"). The caller owns `scratch`
+/// (>= `len` bytes) and keeps it alive until MultiRead returns; on
+/// completion `result` points into `scratch` (a short read signals EOF) and
+/// `status` carries the per-request outcome. Requests in a batch are
+/// independent: one failing never affects the others, and implementations
+/// may execute them in any order (completion ordering is "all done when
+/// MultiRead returns", nothing finer).
+struct ReadRequest {
+  /// Target file. Required for Env::MultiRead (requests of one batch may
+  /// span files); RandomAccessFile::MultiRead reads from `this` and ignores
+  /// the field.
+  RandomAccessFile* file = nullptr;
+  uint64_t offset = 0;
+  size_t len = 0;
+  char* scratch = nullptr;
+
+  // Outputs.
+  Slice result;
+  Status status;
+};
+
 /// A file opened for positional reads (SSTables). Thread-safe.
 class RandomAccessFile {
  public:
@@ -31,6 +55,13 @@ class RandomAccessFile {
   /// `scratch`.
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  /// Reads `n` requests from this file as one batch (`req.file` is
+  /// ignored). The base implementation is a serial loop over Read();
+  /// decorator files forward the whole batch to their target so counters
+  /// and fault rules observe each request, and backends with real
+  /// submission queues complete the batch with one kernel round trip.
+  virtual void MultiRead(ReadRequest* reqs, size_t n) const;
 };
 
 /// A file opened for positional reads AND writes (the in-place page file of
@@ -87,7 +118,43 @@ class Env {
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
+
+  /// Batched positional reads, possibly spanning files. Every file in the
+  /// batch must have been opened through this env (decorator envs unwrap
+  /// their own file wrappers to forward the batch to the base env). The
+  /// default groups requests by file — in order of first appearance, each
+  /// group in request order, so scripted fault rules fire on the same
+  /// per-file op index as a serial loop — and forwards each group to
+  /// RandomAccessFile::MultiRead. All requests are complete when the call
+  /// returns; per-request outcomes are in ReadRequest::status.
+  virtual void MultiRead(ReadRequest* reqs, size_t n);
 };
+
+/// Which mechanism the POSIX env uses to execute MultiRead batches.
+enum class BatchIoBackend {
+  /// One blocking pread per request, in order (the measurement baseline).
+  kSerial,
+  /// Requests fan out over a small dedicated I/O thread pool; the calling
+  /// thread executes one itself. Portable to any kernel.
+  kThreadPool,
+  /// One io_uring submission (single io_uring_enter) for the whole batch.
+  /// Linux-only; requires LSMLAB_IO_URING at build time and a kernel that
+  /// accepts io_uring_setup at run time.
+  kIoUring,
+};
+
+/// The POSIX substrate with a pinned batch backend, for tests, benches, and
+/// the CI backend matrix. Returns a process-wide singleton (do not delete),
+/// or nullptr for kIoUring when unavailable (compiled out, or the kernel /
+/// container seccomp profile refuses io_uring_setup — probed once).
+/// Env::Default() prefers io_uring and falls back to the thread pool;
+/// the LSMLAB_IO_BACKEND environment variable (serial|threadpool|uring)
+/// overrides the choice for a whole process.
+Env* PosixEnvWithBackend(BatchIoBackend backend);
+
+/// True when the io_uring backend is compiled in and the kernel accepts
+/// io_uring_setup (ENOSYS/EPERM fallback detection; result is cached).
+bool IoUringAvailable();
 
 /// Reads the entire named file into `*data`.
 Status ReadFileToString(Env* env, const std::string& fname, std::string* data);

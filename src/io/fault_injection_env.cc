@@ -131,6 +131,44 @@ class FaultRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  // Batched reads keep serial fault semantics by phase separation: all
+  // injected-error checks run in request order BEFORE the batch is
+  // dispatched, and all corruption checks run in request order over the
+  // successful reads AFTER it completes. Error rules (flip_bit == false)
+  // and corruption rules (flip_bit == true) have disjoint matched-op
+  // counters, so each rule still fires on exactly the op index a serial
+  // Read loop would.
+  void MultiRead(ReadRequest* reqs, size_t n) const override {
+    std::vector<ReadRequest> pass;
+    std::vector<size_t> pass_idx;
+    pass.reserve(n);
+    pass_idx.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Status injected;
+      if (env_->MaybeInjectFault(fname_, kFaultOpRead, &injected)) {
+        reqs[i].result = Slice();
+        reqs[i].status = injected;
+        continue;
+      }
+      pass.push_back(reqs[i]);
+      pass_idx.push_back(i);
+    }
+    if (!pass.empty()) {
+      inner_->MultiRead(pass.data(), pass.size());
+    }
+    for (size_t k = 0; k < pass.size(); ++k) {
+      ReadRequest& req = reqs[pass_idx[k]];
+      req.result = pass[k].result;
+      req.status = pass[k].status;
+      if (req.status.ok() && env_->MaybeCorruptRead(fname_)) {
+        CorruptReadResult(&req.result, req.scratch);
+      }
+    }
+  }
+
+  RandomAccessFile* target() const { return inner_.get(); }
+  const std::string& fname() const { return fname_; }
+
  private:
   const std::string fname_;
   std::unique_ptr<RandomAccessFile> inner_;
@@ -315,6 +353,50 @@ Status FaultInjectionEnv::NewRandomRWFile(
     return injected;
   }
   return base_->NewRandomRWFile(fname, result);
+}
+
+void FaultInjectionEnv::MultiRead(ReadRequest* reqs, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (dynamic_cast<FaultRandomAccessFile*>(reqs[i].file) == nullptr) {
+      // Foreign file in the batch: per-file groups reach the file-level
+      // wrapper override, which keeps serial semantics within each group.
+      Env::MultiRead(reqs, n);
+      return;
+    }
+  }
+  // Same two-phase split as the file-level override (see
+  // FaultRandomAccessFile::MultiRead), here across files: checks follow
+  // request order even when the batch interleaves files, which the default
+  // group-by-file dispatch would reorder.
+  std::vector<ReadRequest> pass;
+  std::vector<size_t> pass_idx;
+  pass.reserve(n);
+  pass_idx.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto* file = static_cast<FaultRandomAccessFile*>(reqs[i].file);
+    Status injected;
+    if (MaybeInjectFault(file->fname(), kFaultOpRead, &injected)) {
+      reqs[i].result = Slice();
+      reqs[i].status = injected;
+      continue;
+    }
+    ReadRequest shadow = reqs[i];
+    shadow.file = file->target();
+    pass.push_back(shadow);
+    pass_idx.push_back(i);
+  }
+  if (!pass.empty()) {
+    base_->MultiRead(pass.data(), pass.size());
+  }
+  for (size_t k = 0; k < pass.size(); ++k) {
+    ReadRequest& req = reqs[pass_idx[k]];
+    auto* file = static_cast<FaultRandomAccessFile*>(req.file);
+    req.result = pass[k].result;
+    req.status = pass[k].status;
+    if (req.status.ok() && MaybeCorruptRead(file->fname())) {
+      CorruptReadResult(&req.result, req.scratch);
+    }
+  }
 }
 
 Status FaultInjectionEnv::RemoveFile(const std::string& fname) {

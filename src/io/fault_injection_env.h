@@ -130,6 +130,13 @@ class FaultInjectionEnv final : public Env {
     return base_->GetFileSize(fname, size);
   }
   Status RenameFile(const std::string& src, const std::string& target) override;
+  /// Batched reads with serial-equivalent fault semantics: every
+  /// injected-error rule check runs in request order before dispatch, every
+  /// flip_bit check in request order after completion, so scripted
+  /// at_op_index rules fire on the same per-rule op index as a serial Read
+  /// loop over the same requests. Unwraps this env's own file wrappers so
+  /// the base env sees one cross-file batch.
+  void MultiRead(ReadRequest* reqs, size_t n) override;
 
   // Internal taps used by the wrapper file classes (public for them only).
   /// Returns true (filling *error) when a rule fires for (fname, op).

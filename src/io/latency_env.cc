@@ -39,6 +39,19 @@ class LatencyRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  void MultiRead(ReadRequest* reqs, size_t n) const override {
+    base_->MultiRead(reqs, n);
+    uint64_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (reqs[i].status.ok()) {
+        total += reqs[i].result.size();
+      }
+    }
+    env_->ChargeIo(total);  // One op charge for the whole batch (NCQ).
+  }
+
+  RandomAccessFile* target() const { return base_.get(); }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   const LatencyEnv* const env_;
@@ -115,6 +128,30 @@ Status LatencyEnv::NewRandomRWFile(const std::string& fname,
         std::make_unique<LatencyRandomRWFile>(std::move(base_file), this);
   }
   return s;
+}
+
+void LatencyEnv::MultiRead(ReadRequest* reqs, size_t n) {
+  std::vector<ReadRequest> shadow(reqs, reqs + n);
+  for (size_t i = 0; i < n; ++i) {
+    auto* wrapped = dynamic_cast<LatencyRandomAccessFile*>(reqs[i].file);
+    if (wrapped == nullptr) {
+      // Foreign file in the batch: the per-file groups reach
+      // LatencyRandomAccessFile::MultiRead, which charges per group.
+      Env::MultiRead(reqs, n);
+      return;
+    }
+    shadow[i].file = wrapped->target();
+  }
+  base_->MultiRead(shadow.data(), n);
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i].result = shadow[i].result;
+    reqs[i].status = shadow[i].status;
+    if (reqs[i].status.ok()) {
+      total += reqs[i].result.size();
+    }
+  }
+  ChargeIo(total);  // One op charge for the whole cross-file batch (NCQ).
 }
 
 void LatencyEnv::ChargeIo(uint64_t bytes) const {

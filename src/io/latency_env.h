@@ -64,6 +64,11 @@ class LatencyEnv final : public Env {
                     const std::string& target) override {
     return base_->RenameFile(src, target);
   }
+  /// Charges the batch like a queued device (NCQ): ONE per-op latency for
+  /// the whole submission plus transfer time for the total bytes — the cost
+  /// model behind the batched-MultiGet speedup measured in A6. Unwraps this
+  /// env's own file wrappers so the base env sees one cross-file batch.
+  void MultiRead(ReadRequest* reqs, size_t n) override;
 
   // Internal: charges `bytes` of transfer plus one op of fixed latency.
   void ChargeIo(uint64_t bytes) const;

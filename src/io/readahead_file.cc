@@ -1,0 +1,75 @@
+#include "io/readahead_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lsmlab {
+
+namespace {
+
+void Bump(std::atomic<uint64_t>* counter) {
+  if (counter != nullptr) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+ReadaheadRandomAccessFile::ReadaheadRandomAccessFile(
+    const RandomAccessFile* base, size_t initial_readahead,
+    size_t max_readahead, std::atomic<uint64_t>* hits,
+    std::atomic<uint64_t>* misses)
+    : base_(base),
+      initial_readahead_(std::max<size_t>(initial_readahead, 1)),
+      max_readahead_(std::max(max_readahead, initial_readahead_)),
+      hits_(hits),
+      misses_(misses),
+      window_(initial_readahead_) {}
+
+Status ReadaheadRandomAccessFile::Read(uint64_t offset, size_t n,
+                                       Slice* result, char* scratch) const {
+  if (n >= max_readahead_) {
+    // Larger than anything we would buffer: pass through untouched (no
+    // hit/miss accounting — the buffer was never in play).
+    return base_->Read(offset, n, result, scratch);
+  }
+  if (offset >= buffer_offset_ && offset + n <= buffer_offset_ + buffer_len_) {
+    Bump(hits_);
+    std::memcpy(scratch, buffer_.data() + (offset - buffer_offset_), n);
+    *result = Slice(scratch, n);
+    return Status::OK();
+  }
+  Bump(misses_);
+  if (offset == buffer_offset_ + buffer_len_ && buffer_len_ > 0) {
+    // The cursor continued exactly where the buffer ended: sequential
+    // consumer, ramp up.
+    window_ = std::min(window_ * 2, max_readahead_);
+  } else if (buffer_len_ > 0) {
+    window_ = initial_readahead_;  // Random jump: stop speculating.
+  }
+  size_t fetch = std::max(n, window_);
+  if (buffer_.size() < fetch) {
+    buffer_.resize(fetch);
+  }
+  Slice fetched;
+  Status s = base_->Read(offset, fetch, &fetched, buffer_.data());
+  if (!s.ok()) {
+    buffer_len_ = 0;
+    return s;
+  }
+  if (fetched.data() != buffer_.data() && !fetched.empty()) {
+    std::memmove(buffer_.data(), fetched.data(), fetched.size());
+  }
+  buffer_offset_ = offset;
+  buffer_len_ = fetched.size();
+  size_t serve = std::min(n, buffer_len_);
+  std::memcpy(scratch, buffer_.data(), serve);
+  *result = Slice(scratch, serve);  // Short only at EOF, like a plain Read.
+  return Status::OK();
+}
+
+void ReadaheadRandomAccessFile::MultiRead(ReadRequest* reqs, size_t n) const {
+  base_->MultiRead(reqs, n);
+}
+
+}  // namespace lsmlab

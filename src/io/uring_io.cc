@@ -1,0 +1,224 @@
+#include "io/uring_io.h"
+
+#if LSMLAB_IO_URING
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace lsmlab {
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+// The SQ/CQ head and tail live in kernel-shared memory; plain loads/stores
+// would race with the kernel side. C++20 atomic_ref gives the acquire/release
+// discipline the io_uring ABI requires without wrapping the mapping.
+unsigned LoadAcquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(std::memory_order_acquire);
+}
+
+void StoreRelease(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+bool UringQueue::KernelSupported() {
+  static const bool supported = [] {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    int fd = SysIoUringSetup(1, &params);
+    if (fd < 0) {
+      return false;  // ENOSYS (old kernel) or EPERM (seccomp).
+    }
+    close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+std::unique_ptr<UringQueue> UringQueue::Create(unsigned entries) {
+  if (!KernelSupported()) {
+    return nullptr;
+  }
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  int fd = SysIoUringSetup(entries, &params);
+  if (fd < 0) {
+    return nullptr;
+  }
+
+  std::unique_ptr<UringQueue> q(new UringQueue());
+  q->ring_fd_ = fd;
+  q->sq_entries_ = params.sq_entries;
+
+  size_t sq_size =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  size_t cq_size =
+      params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+  bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && cq_size > sq_size) {
+    sq_size = cq_size;
+  }
+
+  void* sq_ptr = mmap(nullptr, sq_size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (sq_ptr == MAP_FAILED) {
+    return nullptr;  // ~UringQueue closes fd.
+  }
+  q->sq_ring_ = sq_ptr;
+  q->sq_ring_size_ = sq_size;
+
+  void* cq_ptr = sq_ptr;
+  if (!single_mmap) {
+    cq_ptr = mmap(nullptr, cq_size, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (cq_ptr == MAP_FAILED) {
+      return nullptr;
+    }
+    q->cq_ring_ = cq_ptr;
+    q->cq_ring_size_ = cq_size;
+  }
+
+  size_t sqes_size = params.sq_entries * sizeof(struct io_uring_sqe);
+  void* sqes = mmap(nullptr, sqes_size, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    return nullptr;
+  }
+  q->sqes_ = sqes;
+  q->sqes_size_ = sqes_size;
+
+  char* sq_base = static_cast<char*>(sq_ptr);
+  q->sq_head_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  q->sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  q->sq_mask_ =
+      *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  q->sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+
+  char* cq_base = static_cast<char*>(cq_ptr);
+  q->cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  q->cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  q->cq_mask_ =
+      *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  q->cqes_ = cq_base + params.cq_off.cqes;
+  return q;
+}
+
+UringQueue::~UringQueue() {
+  if (sqes_ != nullptr) {
+    munmap(sqes_, sqes_size_);
+  }
+  if (cq_ring_ != nullptr) {
+    munmap(cq_ring_, cq_ring_size_);
+  }
+  if (sq_ring_ != nullptr) {
+    munmap(sq_ring_, sq_ring_size_);
+  }
+  if (ring_fd_ >= 0) {
+    close(ring_fd_);
+  }
+}
+
+bool UringQueue::PreadBatch(UringPread* ops, size_t n) {
+  auto* sqes = static_cast<struct io_uring_sqe*>(sqes_);
+  auto* cqes = static_cast<struct io_uring_cqe*>(cqes_);
+  // IORING_OP_READV needs an iovec per op that stays alive until completion;
+  // one array reused across chunks.
+  std::vector<struct iovec> iovs(sq_entries_);
+
+  size_t done = 0;
+  while (done < n) {
+    size_t chunk = n - done;
+    if (chunk > sq_entries_) {
+      chunk = sq_entries_;
+    }
+
+    unsigned tail = LoadAcquire(sq_tail_);
+    for (size_t i = 0; i < chunk; ++i) {
+      UringPread& op = ops[done + i];
+      unsigned slot = (tail + static_cast<unsigned>(i)) & sq_mask_;
+      iovs[slot].iov_base = op.buf;
+      iovs[slot].iov_len = op.len;
+      struct io_uring_sqe* sqe = &sqes[slot];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READV;
+      sqe->fd = op.fd;
+      sqe->off = op.offset;
+      sqe->addr = reinterpret_cast<uint64_t>(&iovs[slot]);
+      sqe->len = 1;
+      sqe->user_data = done + i;
+      sq_array_[slot] = slot;
+    }
+    StoreRelease(sq_tail_, tail + static_cast<unsigned>(chunk));
+
+    // One kernel round trip: submit the whole chunk and wait for all of its
+    // completions before reaping.
+    size_t reaped = 0;
+    unsigned to_submit = static_cast<unsigned>(chunk);
+    while (reaped < chunk) {
+      int ret = SysIoUringEnter(ring_fd_, to_submit,
+                                static_cast<unsigned>(chunk - reaped),
+                                IORING_ENTER_GETEVENTS);
+      if (ret < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      to_submit -= static_cast<unsigned>(ret);
+      unsigned head = LoadAcquire(cq_head_);
+      unsigned cq_tail = LoadAcquire(cq_tail_);
+      while (head != cq_tail) {
+        struct io_uring_cqe* cqe = &cqes[head & cq_mask_];
+        if (cqe->user_data < n) {
+          ops[cqe->user_data].result = cqe->res;
+        }
+        ++head;
+        ++reaped;
+      }
+      StoreRelease(cq_head_, head);
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+}  // namespace lsmlab
+
+#else  // !LSMLAB_IO_URING
+
+namespace lsmlab {
+
+bool UringQueue::KernelSupported() { return false; }
+
+std::unique_ptr<UringQueue> UringQueue::Create(unsigned /*entries*/) {
+  return nullptr;
+}
+
+UringQueue::~UringQueue() = default;
+
+bool UringQueue::PreadBatch(UringPread* /*ops*/, size_t /*n*/) {
+  return false;
+}
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_IO_URING

@@ -50,23 +50,7 @@ Status Footer::DecodeFrom(Slice* input) {
   return result;
 }
 
-Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
-                 bool verify_checksum, BlockContents* result) {
-  result->data.clear();
-
-  size_t n = static_cast<size_t>(handle.size());
-  std::string buf(n + kBlockTrailerSize, '\0');
-  Slice contents;
-  Status s =
-      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf.data());
-  if (!s.ok()) {
-    return s;
-  }
-  if (contents.size() != n + kBlockTrailerSize) {
-    return Status::Corruption("truncated block read");
-  }
-
-  const char* data = contents.data();
+Status VerifyBlockTrailer(const char* data, size_t n, bool verify_checksum) {
   if (verify_checksum) {
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
     const uint32_t actual = crc32c::Value(data, n + 1);
@@ -76,6 +60,35 @@ Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
   }
   if (data[n] != 0) {
     return Status::Corruption("unknown block compression type");
+  }
+  return Status::OK();
+}
+
+Status ReadBlock(const RandomAccessFile* file, const BlockHandle& handle,
+                 bool verify_checksum, BlockContents* result,
+                 std::string* scratch) {
+  result->data.clear();
+
+  size_t n = static_cast<size_t>(handle.size());
+  std::string local_buf;
+  std::string* buf = scratch != nullptr ? scratch : &local_buf;
+  if (buf->size() < n + kBlockTrailerSize) {
+    buf->resize(n + kBlockTrailerSize);
+  }
+  Slice contents;
+  Status s =
+      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf->data());
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+
+  const char* data = contents.data();
+  s = VerifyBlockTrailer(data, n, verify_checksum);
+  if (!s.ok()) {
+    return s;
   }
 
   result->data.assign(data, n);

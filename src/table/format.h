@@ -60,10 +60,20 @@ struct BlockContents {
   std::string data;
 };
 
+/// Checks the kBlockTrailerSize-byte trailer following `n` bytes of block
+/// data at `data` (so data[0 .. n + kBlockTrailerSize) must be valid):
+/// rejects unknown compression types always, and CRC mismatches when
+/// `verify_checksum` is set. Shared by ReadBlock and the batched read path,
+/// which verifies buffers it fetched through Env::MultiRead.
+Status VerifyBlockTrailer(const char* data, size_t n, bool verify_checksum);
+
 /// Reads the block identified by `handle`, verifying the CRC trailer when
-/// `verify_checksum` is set.
-Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
-                 bool verify_checksum, BlockContents* result);
+/// `verify_checksum` is set. `scratch` (nullable) is a caller-owned reusable
+/// read buffer: supplying one across calls (e.g. per iterator) removes the
+/// per-call heap allocation a cold read otherwise pays.
+Status ReadBlock(const RandomAccessFile* file, const BlockHandle& handle,
+                 bool verify_checksum, BlockContents* result,
+                 std::string* scratch = nullptr);
 
 }  // namespace lsmlab
 

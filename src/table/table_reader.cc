@@ -1,7 +1,9 @@
 #include "table/table_reader.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "io/readahead_file.h"
 #include "util/coding.h"
 
 namespace lsmlab {
@@ -108,8 +110,24 @@ bool TableReader::KeyDefinitelyAbsent(const Slice& user_key) {
   return !options_.filter_policy->KeyMayMatch(user_key, filter_data_);
 }
 
+namespace {
+
+void MakeBlockCacheKey(uint64_t file_number, uint64_t offset, char* buf) {
+  EncodeFixed64(buf, file_number);
+  EncodeFixed64(buf + 8, offset);
+}
+
+}  // namespace
+
 std::shared_ptr<const Block> TableReader::GetDataBlock(
     const Slice& handle_encoding, const ReadOptions& read_options, Status* s) {
+  return FetchDataBlock(handle_encoding, MakeFetchContext(read_options),
+                        file_.get(), nullptr, s);
+}
+
+std::shared_ptr<const Block> TableReader::FetchDataBlock(
+    const Slice& handle_encoding, const BlockFetchContext& ctx,
+    const RandomAccessFile* file, std::string* scratch, Status* s) {
   Slice input = handle_encoding;
   BlockHandle handle;
   *s = handle.DecodeFrom(&input);
@@ -119,8 +137,7 @@ std::shared_ptr<const Block> TableReader::GetDataBlock(
 
   // Cache key: file number + block offset.
   char cache_key[16];
-  EncodeFixed64(cache_key, file_number_);
-  EncodeFixed64(cache_key + 8, handle.offset());
+  MakeBlockCacheKey(file_number_, handle.offset(), cache_key);
   Slice key(cache_key, sizeof(cache_key));
 
   if (options_.block_cache != nullptr) {
@@ -131,19 +148,81 @@ std::shared_ptr<const Block> TableReader::GetDataBlock(
   }
 
   BlockContents contents;
-  // Table-level paranoia (Options::verify_checksums, plumbed through
-  // TableReaderOptions) or per-read opt-in both force verification.
-  *s = ReadBlock(
-      file_.get(), handle,
-      options_.verify_checksums || read_options.verify_checksums, &contents);
+  *s = ReadBlock(file, handle, ctx.verify_checksums, &contents, scratch);
   if (!s->ok()) {
     return nullptr;
   }
   auto block = std::make_shared<const Block>(std::move(contents.data));
-  if (options_.block_cache != nullptr && read_options.fill_cache) {
+  if (ctx.fill_cache) {
     options_.block_cache->Insert(key, block, block->size());
   }
   return block;
+}
+
+bool TableReader::LocateDataBlock(const Slice& internal_key,
+                                  BlockHandle* handle, Status* s) {
+  *s = Status::OK();
+  auto index_iter = index_block_->NewIterator(options_.comparator);
+  index_iter->Seek(internal_key);
+  if (!index_iter->Valid()) {
+    *s = index_iter->status();
+    return false;
+  }
+  Slice input = index_iter->value();
+  *s = handle->DecodeFrom(&input);
+  return s->ok();
+}
+
+std::shared_ptr<const Block> TableReader::LookupCachedBlock(uint64_t offset) {
+  if (options_.block_cache == nullptr) {
+    return nullptr;
+  }
+  char cache_key[16];
+  MakeBlockCacheKey(file_number_, offset, cache_key);
+  auto cached = options_.block_cache->Lookup(Slice(cache_key, 16));
+  return std::static_pointer_cast<const Block>(cached);
+}
+
+Status TableReader::FinishBatchedBlockRead(
+    const BlockFetchContext& ctx, const BlockHandle& handle,
+    const Slice& contents, std::shared_ptr<const Block>* block) {
+  block->reset();
+  size_t n = static_cast<size_t>(handle.size());
+  if (contents.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+  Status s = VerifyBlockTrailer(contents.data(), n, ctx.verify_checksums);
+  if (!s.ok()) {
+    return s;
+  }
+  auto built =
+      std::make_shared<const Block>(std::string(contents.data(), n));
+  if (ctx.fill_cache) {
+    char cache_key[16];
+    MakeBlockCacheKey(file_number_, handle.offset(), cache_key);
+    options_.block_cache->Insert(Slice(cache_key, 16), built, built->size());
+  }
+  *block = std::move(built);
+  return Status::OK();
+}
+
+Status TableReader::SearchBlock(const Block& block, const Slice& internal_key,
+                                bool* found_entry, std::string* entry_key,
+                                std::string* entry_value) {
+  *found_entry = false;
+  auto block_iter = block.NewIterator(options_.comparator);
+  block_iter->Seek(internal_key);
+  if (block_iter->Valid()) {
+    Slice found_key = block_iter->key();
+    if (options_.comparator->user_comparator()->Compare(
+            ExtractUserKey(found_key), ExtractUserKey(internal_key)) == 0) {
+      *found_entry = true;
+      entry_key->assign(found_key.data(), found_key.size());
+      Slice v = block_iter->value();
+      entry_value->assign(v.data(), v.size());
+    }
+  }
+  return block_iter->status();
 }
 
 Status TableReader::InternalGet(const ReadOptions& read_options,
@@ -163,19 +242,8 @@ Status TableReader::InternalGet(const ReadOptions& read_options,
   if (!s.ok()) {
     return s;
   }
-  auto block_iter = block->NewIterator(options_.comparator);
-  block_iter->Seek(internal_key);
-  if (block_iter->Valid()) {
-    Slice found_key = block_iter->key();
-    if (options_.comparator->user_comparator()->Compare(
-            ExtractUserKey(found_key), ExtractUserKey(internal_key)) == 0) {
-      *found_entry = true;
-      entry_key->assign(found_key.data(), found_key.size());
-      Slice v = block_iter->value();
-      entry_value->assign(v.data(), v.size());
-    }
-  }
-  return block_iter->status();
+  return SearchBlock(*block, internal_key, found_entry, entry_key,
+                     entry_value);
 }
 
 /// Classic two-level iteration: an index iterator yields block handles; a
@@ -185,6 +253,7 @@ class TableReader::TwoLevelIterator final : public Iterator {
   TwoLevelIterator(TableReader* table, ReadOptions read_options)
       : table_(table),
         read_options_(read_options),
+        ctx_(table->MakeFetchContext(read_options)),
         index_iter_(
             table->index_block_->NewIterator(table->options_.comparator)) {}
 
@@ -237,7 +306,8 @@ class TableReader::TwoLevelIterator final : public Iterator {
       return;
     }
     Status s;
-    data_block_ = table_->GetDataBlock(index_iter_->value(), read_options_, &s);
+    data_block_ = table_->FetchDataBlock(index_iter_->value(), ctx_,
+                                         ReadFile(), &block_scratch_, &s);
     if (!s.ok()) {
       status_ = s;
       data_iter_.reset();
@@ -245,6 +315,26 @@ class TableReader::TwoLevelIterator final : public Iterator {
       return;
     }
     data_iter_ = data_block_->NewIterator(table_->options_.comparator);
+  }
+
+  /// The file block misses read from: the raw table file, or (when the read
+  /// asks for readahead) a per-iterator prefetch wrapper. Fully cached
+  /// iterations never reach this file, so readahead costs them nothing
+  /// beyond this small idle object.
+  const RandomAccessFile* ReadFile() {
+    if (read_options_.readahead_bytes == 0) {
+      return table_->file_.get();
+    }
+    if (readahead_ == nullptr) {
+      size_t max = read_options_.readahead_bytes;
+      size_t initial = std::min<size_t>(16 << 10, max);
+      Statistics* stats = table_->options_.statistics;
+      readahead_ = std::make_unique<ReadaheadRandomAccessFile>(
+          table_->file_.get(), initial, max,
+          stats != nullptr ? &stats->readahead_hits : nullptr,
+          stats != nullptr ? &stats->readahead_misses : nullptr);
+    }
+    return readahead_.get();
   }
 
   void SkipEmptyDataBlocksForward() {
@@ -263,7 +353,10 @@ class TableReader::TwoLevelIterator final : public Iterator {
 
   TableReader* const table_;
   const ReadOptions read_options_;
+  const BlockFetchContext ctx_;  // Fetch decision taken once per iterator.
   std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<ReadaheadRandomAccessFile> readahead_;  // Lazy.
+  std::string block_scratch_;  // Reused across block reads (no per-block alloc).
   std::shared_ptr<const Block> data_block_;  // Keeps the block alive.
   std::unique_ptr<Iterator> data_iter_;
   Status status_;

@@ -67,6 +67,52 @@ class TableReader {
   /// Loads every data block into the block cache (Leaper-style re-warm).
   void WarmCache();
 
+  // --- Batched-read building blocks (DESIGN.md, "Batched I/O") -------------
+  // DB::MultiGet uses these to collect each key's candidate data-block read,
+  // issue all of them as one Env::MultiRead submission, and finish the
+  // lookups against the completed buffers.
+
+  /// The per-batch fetch decision, taken once instead of re-derived from
+  /// ReadOptions on every block (satellite of ISSUE 6): whether to verify
+  /// trailers and whether completed blocks enter the cache.
+  struct BlockFetchContext {
+    bool verify_checksums = false;
+    bool fill_cache = false;
+  };
+  BlockFetchContext MakeFetchContext(const ReadOptions& read_options) const {
+    return BlockFetchContext{
+        options_.verify_checksums || read_options.verify_checksums,
+        read_options.fill_cache && options_.block_cache != nullptr};
+  }
+
+  /// Resolves, via the pinned index, the data block that may contain
+  /// `internal_key`. Returns false when the index places the key past the
+  /// last block (no candidate; *s stays OK unless the index itself erred).
+  bool LocateDataBlock(const Slice& internal_key, BlockHandle* handle,
+                       Status* s);
+
+  /// Cache-only lookup for the data block at `offset`; nullptr on miss.
+  std::shared_ptr<const Block> LookupCachedBlock(uint64_t offset);
+
+  /// Completes one batched block read: `contents` is the raw
+  /// handle.size() + kBlockTrailerSize bytes returned by MultiRead for
+  /// `handle`. Verifies the trailer per `ctx`, materializes the Block, and
+  /// inserts it into the cache when ctx.fill_cache.
+  Status FinishBatchedBlockRead(const BlockFetchContext& ctx,
+                                const BlockHandle& handle,
+                                const Slice& contents,
+                                std::shared_ptr<const Block>* block);
+
+  /// Seeks `block` for `internal_key` with InternalGet's exact match
+  /// semantics (first entry >= internal_key whose user key matches).
+  Status SearchBlock(const Block& block, const Slice& internal_key,
+                     bool* found_entry, std::string* entry_key,
+                     std::string* entry_value);
+
+  /// The underlying table file; ReadRequests against this reader's blocks
+  /// target it.
+  RandomAccessFile* file() const { return file_.get(); }
+
  private:
   TableReader(const TableReaderOptions& options,
               std::unique_ptr<RandomAccessFile> file, uint64_t file_number);
@@ -76,6 +122,14 @@ class TableReader {
   std::shared_ptr<const Block> GetDataBlock(const Slice& handle_encoding,
                                             const ReadOptions& read_options,
                                             Status* s);
+
+  /// Core fetch: cache lookup, then — on miss — a read through `file`
+  /// (the table file, or an iterator's readahead wrapper) using the
+  /// caller's reusable `scratch` buffer (nullable).
+  std::shared_ptr<const Block> FetchDataBlock(const Slice& handle_encoding,
+                                              const BlockFetchContext& ctx,
+                                              const RandomAccessFile* file,
+                                              std::string* scratch, Status* s);
 
   class TwoLevelIterator;
 

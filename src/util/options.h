@@ -160,6 +160,9 @@ struct Options {
   /// many microseconds becomes the top compaction priority, bounding delete
   /// persistence latency.
   uint64_t tombstone_ttl_micros = 0;
+  /// Readahead window for compaction input readers, so merge work overlaps
+  /// the sequential input reads. 0 disables compaction readahead.
+  size_t compaction_readahead_bytes = 1 << 20;
 
   // --- Read path (§2.1.3) ---------------------------------------------------
   /// Point-query filter; nullptr disables filtering.
@@ -232,6 +235,16 @@ struct ReadOptions {
   bool fill_cache = true;
   /// If nonzero, read at this sequence number (snapshot read).
   uint64_t snapshot_seqno = 0;
+  /// MultiGet only: collect the batch's candidate data-block reads after
+  /// the memtable+filter pass into one Env::MultiRead submission instead of
+  /// per-key serial reads (DESIGN.md, "Batched I/O"). Off restores the
+  /// serial walk — the A/B baseline of experiment A6.
+  bool batched_io = true;
+  /// Iterators only: ceiling of the per-iterator readahead window. Data
+  /// blocks are fetched through a buffer that doubles from one block up to
+  /// this many bytes while the scan stays sequential. 0 disables readahead
+  /// (every block is its own device read).
+  size_t readahead_bytes = 256 << 10;
 };
 
 /// Per-write options.
