@@ -112,8 +112,8 @@ Status CompactionJob::RunShard(Shard* shard) {
       return Status::OK();  // Entirely at or above the shard's end.
     }
     std::shared_ptr<TableReader> reader;
-    Status s = ctx_.table_cache->GetReader(f.file_number, f.file_size,
-                                           &reader);
+    Status s = ctx_.table_cache->GetReader(ctx_.cache_dir_id, f.file_number,
+                                           f.file_size, &reader);
     if (!s.ok()) {
       return s;
     }

@@ -1,86 +1,65 @@
 #ifndef LSMLAB_DB_DB_H_
 #define LSMLAB_DB_DB_H_
 
-#include <atomic>
-#include <deque>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "cache/lru_cache.h"
-#include "compaction/compaction_job.h"
-#include "compaction/compaction_picker.h"
-#include "db/dbformat.h"
 #include "db/error_state.h"
+#include "db/shard_engine.h"
 #include "db/statistics.h"
 #include "db/table_cache.h"
 #include "db/write_batch.h"
+#include "io/env.h"
 #include "io/wal_writer.h"
 #include "kvsep/vlog.h"
-#include "memtable/memtable.h"
 #include "table/iterator.h"
-#include "table/table_builder.h"
-#include "util/histogram.h"
 #include "util/mutex.h"
 #include "util/options.h"
 #include "util/rate_limiter.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
-#include "version/version_set.h"
 
 namespace lsmlab {
 
-/// An immutable snapshot of everything a point lookup or iterator needs:
-/// the active memtable, the immutable memtables (newest first — probe
-/// order), the current Version, and the newest sequence published when the
-/// view was built. Reference-counted and swapped behind a dedicated
-/// pointer-sized leaf lock, so readers acquire a consistent view with one
-/// shared_ptr copy instead of locking the DB mutex and copying vectors.
-/// (A std::atomic<shared_ptr> would read nicer but is a hidden spinlock in
-/// libstdc++ whose relaxed unlock trips ThreadSanitizer; an explicit leaf
-/// mutex costs the same two atomic ops and is model-clean.) The shared_ptrs
-/// inside double as lifetime pins: a reader holding a stale view keeps its
-/// memtables and SSTables alive even after a flush or compaction replaced
-/// them.
-struct ReadView {
-  std::shared_ptr<MemTable> mem;
-  /// Immutable memtables, newest first.
-  std::vector<std::shared_ptr<MemTable>> imms;
-  std::shared_ptr<const Version> version;
-  /// VersionSet::last_sequence() observed at publication. Readers must NOT
-  /// use this as their snapshot (it is stale the moment a later write
-  /// commits); they re-load the live counter. Kept for diagnostics.
-  SequenceNumber published_sequence = 0;
-};
-
-/// DB is the lsmlab storage engine: a single-keyspace LSM-tree exposing the
-/// external operations of tutorial §2.1.2 (put, get, scan, delete) with
-/// every internal design decision (§2.2, §2.3) controlled by Options.
+/// ShardedDB is the public face of the lsmlab storage engine: a
+/// range-partitioned facade over Options::num_shards independent ShardEngine
+/// cores (DESIGN.md, "Sharding architecture"). Each engine owns one
+/// directory — its WAL, memtables, manifest, error state — while the
+/// process-wide resources (block cache, sharded table cache, background
+/// thread pool, compaction rate limiter, Statistics) live here and are
+/// shared by every shard, so an N-shard DB is still one database: one
+/// memory budget, one background-I/O budget, one stats block.
 ///
-/// Concurrency model: any number of reader threads; flushes and compactions
-/// run on a background pool. Writers go through a LevelDB/RocksDB-style
-/// group-commit queue (leader/follower protocol): each writer enqueues
-/// itself under `writer_queue_mu_`; the front writer becomes *leader*,
-/// coalesces the batches of compatible queued followers into one group,
-/// and commits the whole group — one sequence range, one WAL record, and
-/// (for sync writes) one fsync — before waking the followers with their
-/// statuses. Only the leader ever runs the write-stall ladder
-/// (MakeRoomForWrite) or touches the WAL, so the expensive WAL append +
-/// Sync happen entirely outside `mu_`; `mu_` is held only to make room,
-/// to assign sequence numbers, and to apply the merged batch to the
-/// memtable. Lock ordering: `writer_queue_mu_` is acquired before `mu_`,
-/// never after it. Forward iteration only.
-class DB {
+/// With num_shards == 1 (the default) the facade is a pass-through and the
+/// on-disk layout is the historical flat single-engine directory,
+/// byte-for-byte. With N > 1 each shard lives in `<db>/shard-<k>/`, the
+/// topology is persisted in `<db>/SHARDS` (fixed at creation; wins over
+/// Options on reopen), and cross-shard WriteBatches commit atomically via
+/// two-phase commit: a synced prepare record in every involved shard's WAL,
+/// then a synced commit record in `<db>/COMMITLOG`, then per-shard commit
+/// markers. Recovery replays a cross-shard batch iff its commit record (or
+/// any shard's commit marker) survived — all shards or none.
+///
+/// Reads route by key range; MultiGet fans out per shard and keeps each
+/// shard's batched-I/O path; iterators merge the per-shard iterators with
+/// the standard merging iterator over one consistent multi-shard cut.
+/// Snapshots at N > 1 are handles (bit 63 set) mapping to one pinned
+/// sequence per shard, cut under the cross-shard commit lock so they never
+/// observe half of an atomic batch.
+class ShardedDB {
  public:
   /// Opens (creating if configured) the database at `name`.
   static Status Open(const Options& options, const std::string& name,
-                     std::unique_ptr<DB>* dbptr);
+                     std::unique_ptr<ShardedDB>* dbptr);
 
-  ~DB();
+  ~ShardedDB();
 
-  DB(const DB&) = delete;
-  DB& operator=(const DB&) = delete;
+  ShardedDB(const ShardedDB&) = delete;
+  ShardedDB& operator=(const ShardedDB&) = delete;
 
   // --- External operations (tutorial §2.1.2) -------------------------------
   Status Put(const WriteOptions& options, const Slice& key,
@@ -91,8 +70,8 @@ class DB {
   /// with the first older put it meets during compaction (§2.3.3).
   Status SingleDelete(const WriteOptions& options, const Slice& key);
   /// Range delete, realized as a snapshot scan writing one tombstone per
-  /// live key in [begin, end) — the simple strategy predating native range
-  /// tombstones (documented simplification).
+  /// live key in [begin, end); at N > 1 the range is clamped to each
+  /// overlapping shard. Not atomic across keys (documented simplification).
   Status DeleteRange(const WriteOptions& options, const Slice& begin,
                      const Slice& end);
 
@@ -105,31 +84,35 @@ class DB {
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value);
 
-  /// Batched point lookup: resolves every key under one ReadView (one
-  /// atomic acquire for the whole batch) and reorders the work file-by-file
-  /// — all memtable probes first, then every filter check, then data-block
-  /// reads — so a table's filter and reader are touched once per batch
-  /// instead of once per key. Returns one Status per key, aligned with
-  /// `keys`; `values` is resized to match.
+  /// Batched point lookup: splits the batch by shard and resolves each
+  /// shard's keys under one ReadView with the file-by-file reordered,
+  /// batched-I/O path. Returns one Status per key, aligned with `keys`;
+  /// `values` is resized to match.
   std::vector<Status> MultiGet(const ReadOptions& options,
                                const std::vector<Slice>& keys,
                                std::vector<std::string>* values);
 
-  /// Applies all operations in `batch` atomically: one WAL record, one
-  /// sequence-number range, all-or-nothing recovery.
+  /// Applies all operations in `batch` atomically. Within one shard: one
+  /// WAL record, one sequence range. Across shards: two-phase commit (see
+  /// class comment) — every involved shard's slice is synced at prepare
+  /// time, so a committed cross-shard batch is durable regardless of
+  /// WriteOptions::sync.
   Status Write(const WriteOptions& options, WriteBatch* batch);
 
   /// Iterator over user keys (newest visible version of each, tombstones
-  /// suppressed). Forward-only.
+  /// suppressed). Forward-only. At N > 1, a merge of per-shard iterators
+  /// over one consistent cut.
   std::unique_ptr<Iterator> NewIterator(const ReadOptions& options);
 
   /// Snapshots pin a sequence number; reads at a snapshot see only writes
   /// with sequence <= it, and compactions preserve what snapshots need.
+  /// At N > 1 the returned value is a handle (bit 63 set) standing for one
+  /// pinned sequence per shard.
   SequenceNumber GetSnapshot();
   void ReleaseSnapshot(SequenceNumber snapshot);
 
   // --- Internal operations, exposed for control & experiments --------------
-  /// Forces the current memtable to disk and waits for the flush.
+  /// Forces the current memtable(s) to disk and waits for the flush(es).
   Status Flush();
   /// Merges everything down as far as the layout allows (manual, blocking).
   Status CompactRange();
@@ -139,184 +122,79 @@ class DB {
   /// kv separation.
   Status GarbageCollectVlog();
 
-  /// Clears a background-error state after the operator fixed the cause
-  /// (freed disk space, remounted the device). For a hard manifest error it
-  /// rolls a fresh manifest; for a hard WAL error it rotates the WAL and
-  /// flushes the sealed memtable so no acked write depends on the poisoned
-  /// log; soft errors are simply cleared and their work rescheduled. A
-  /// partially-applied write group (memtable source) is not resumable —
-  /// reopen instead. Returns the error still in force if repair fails.
-  Status Resume() EXCLUDES(writer_queue_mu_, mu_);
+  /// Clears background-error states after the operator fixed the cause;
+  /// see ShardEngine::Resume. Fans out to every shard; returns the first
+  /// error still in force.
+  Status Resume();
 
   // --- Introspection --------------------------------------------------------
   Statistics* statistics() { return &stats_; }
   LruCache* block_cache() { return block_cache_.get(); }
-  VlogManager* vlog() { return vlog_.get(); }
-  /// Current tree shape, one line per non-empty level.
+  /// Shard 0's value-log manager (tests and experiments run kv separation
+  /// single-shard).
+  VlogManager* vlog() { return shards_[0]->vlog(); }
+  /// Current tree shape, one line per non-empty level (per shard at N > 1).
   std::string LevelsDebugString() const;
   /// Multi-line dump of per-level shape and compaction counters plus the
-  /// currently running background jobs; for tests and benches.
+  /// currently running background jobs; for tests and benches. At N = 1
+  /// this is the historical single-engine output verbatim; at N > 1 it is
+  /// an aggregate header, one tree section per shard, and the process-wide
+  /// statistics block exactly once (shared Statistics must not be printed
+  /// per shard — that would double-count).
   std::string DebugLevelSummary() const;
-  /// Number of sorted runs a point lookup may probe.
+  /// Total sorted runs across all shards (a point lookup probes only its
+  /// own shard's runs).
   int TotalSortedRuns() const;
   uint64_t TotalSstBytes() const;
   /// Approximate count of live (visible) entries; walks a full iterator.
   uint64_t CountLiveEntries();
   const Options& options() const { return options_; }
-
-  /// Snapshot of the background-error condition (current error, severity,
-  /// source, and first-error provenance).
-  ErrorState BackgroundErrorState() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return error_state_;
+  int num_shards() const { return num_shards_; }
+  /// Interior split keys ([k-1] is the lower bound of shard k); empty at
+  /// N = 1.
+  const std::vector<std::string>& shard_split_keys() const {
+    return split_keys_;
   }
 
-  /// Structural self-check of the LSM invariants (DESIGN.md §4): leveled
-  /// levels hold disjoint, sorted files; every file's metadata matches its
-  /// contents; no level exceeds num_levels. Returns the first violation.
-  /// Intended for tests and debugging; walks file metadata only.
+  /// Snapshot of the background-error condition: the first shard's non-OK
+  /// state, or OK.
+  ErrorState BackgroundErrorState() const;
+
+  /// Structural self-check of the LSM invariants (DESIGN.md §4) on every
+  /// shard. Returns the first violation.
   Status ValidateTreeInvariants() const;
 
  private:
-  DB(const Options& options, std::string dbname);
-
-  struct Writer;
+  ShardedDB(const Options& options, std::string dbname);
 
   Status Initialize();
-  Status Recover();
-  /// Replays one WAL file into L0 tables. Must be called *without* mu_
-  /// (BuildTableFromIterator takes it internally); recovery is
-  /// single-threaded, so the tables it builds race nothing.
-  /// `*stop_replay` is set when a corrupt record was tolerated under
-  /// point-in-time recovery: replay must not continue into later logs
-  /// (recovering past the corruption would break prefix consistency).
-  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence,
-                        VersionEdit* edit, bool* stop_replay) EXCLUDES(mu_);
-  Status NewMemTableAndLog() REQUIRES(mu_);
-  /// Seals the active memtable into imms_ and swaps in a fresh one. The
-  /// outgoing WAL is fsynced first so every sealed (non-active) log is a
-  /// fully durable prefix — a crash can then only lose the tail of the
-  /// *active* WAL, preserving prefix-consistent recovery across log files.
-  /// `skip_old_wal_sync` is for Resume(): the outgoing WAL is known-poisoned
-  /// and its contents are re-persisted via the flush the caller schedules.
-  Status NewMemTableAndLogLocked(bool skip_old_wal_sync = false)
-      REQUIRES(mu_);
-  std::unique_ptr<MemTable> MakeMemTable() const;
+  /// Resolves the shard topology: the SHARDS file when present (it wins),
+  /// an existing flat layout (forced N = 1), or Options for a fresh DB
+  /// (with uniform first-byte splits when none are given).
+  Status ResolveTopology(bool* fresh);
+  /// Reads `<db>/COMMITLOG` into `committed` (cross-shard batch ids whose
+  /// commit record survived), tolerating a torn tail.
+  Status ReadCommitLog(std::set<uint64_t>* committed);
+  /// Truncates and reopens `<db>/COMMITLOG` for the new incarnation —
+  /// every engine already replayed its prepares, so the old records are
+  /// spent. Batch ids continue above every id recovered from the old
+  /// commit log or any shard's WAL (see Initialize), never restarting.
+  Status ResetCommitLog() EXCLUDES(commit_mu_);
 
-  Status WriteInternal(const WriteOptions& options, ValueType type,
-                       const Slice& key, const Slice& value);
-  /// Shared core of every write: enqueues onto the group-commit writer
-  /// queue and returns once a leader (possibly this writer) has committed
-  /// the batch.
-  Status WriteBatchInternal(const WriteOptions& options, WriteBatch* batch);
-  /// Enqueues `w`, waits for a leader to commit it (or for leadership), and
-  /// as leader commits the whole group and hands leadership on.
-  Status EnqueueWriter(Writer* w) EXCLUDES(writer_queue_mu_, mu_);
-  /// Collects the leader plus compatible followers from the front of
-  /// write_queue_ into `group`.
-  void BuildWriteGroup(Writer* leader, std::vector<Writer*>* group)
-      REQUIRES(writer_queue_mu_);
-  /// Leader-only: assigns the group's sequence range, writes one WAL
-  /// record (+ optional fsync) outside mu_, applies the merged batch to
-  /// the memtable, and publishes the new last_sequence.
-  Status CommitWriteGroup(Writer* leader, const std::vector<Writer*>& group)
-      EXCLUDES(mu_);
-  /// Seals the active memtable via the writer queue (so the swap cannot
-  /// race a leader's WAL write); used by Flush(). With `force`, seals even
-  /// when the memtable is empty or a hard error is in force (Resume()'s WAL
-  /// rotation).
-  Status SealActiveMemTable(bool force = false);
-  /// Blocks (or fails with Busy under no_slowdown) until the write path has
-  /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
-  /// Only the current write-queue leader may call this. Drops and reacquires
-  /// mu_ internally around delay sleeps and stall waits.
-  Status MakeRoomForWrite(bool no_slowdown) REQUIRES(mu_);
+  /// Shard serving `key`: upper_bound over the interior split keys.
+  int ShardForKey(const Slice& key) const;
+  /// Rewrites a snapshot handle (bit 63) into shard `shard`'s pinned
+  /// sequence; passes raw sequences through.
+  ReadOptions ShardReadOptions(const ReadOptions& options, int shard) const
+      EXCLUDES(commit_mu_);
 
-  /// Builds an SSTable at `level` from `iter`; returns its metadata.
-  /// Takes mu_ internally to pin/unpin the output file number.
-  Status BuildTableFromIterator(Iterator* iter, int level,
-                                uint64_t oldest_tombstone_hint,
-                                FileMetaData* meta) EXCLUDES(mu_);
-  TableBuilderOptions MakeBuilderOptions(int level) const;
-
-  /// Classifies and records a background error (severity, source, first
-  /// cause), bumps the matching stat, and wakes waiters.
-  void RecordBackgroundError(const Status& s, ErrorSeverity severity,
-                             ErrorSource source) REQUIRES(mu_);
-  /// Backoff delay before soft-error retry number `attempt` (0-based).
-  uint64_t RetryDelayMicros(int attempt) const;
-  /// Sleeps ~`micros` on the calling (pool) thread in small chunks,
-  /// returning false early if the DB began shutting down.
-  bool SleepForRetry(uint64_t micros) EXCLUDES(mu_);
-  /// Pool tasks re-running failed work after backoff.
-  void RetryFlushAfterBackoff(uint64_t delay_micros) EXCLUDES(mu_);
-  void RetryCompactionAfterBackoff(uint64_t delay_micros) EXCLUDES(mu_);
-
-  void MaybeScheduleFlush() REQUIRES(mu_);
-  /// Admission loop: keeps picking and admitting compaction jobs whose
-  /// key-ranges and files are disjoint from every running job, until the
-  /// picker finds nothing admissible or the concurrency limit is reached.
-  void MaybeScheduleCompaction() REQUIRES(mu_);
-  void BackgroundFlush() EXCLUDES(mu_);
-  /// Pool entry point for one admitted job: runs it off mu_, installs its
-  /// edit (or cleans up), unregisters its claims, and re-runs admission.
-  void BackgroundCompaction(std::shared_ptr<CompactionJob> job) EXCLUDES(mu_);
-
-  /// Builds the executor context (callbacks, snapshot floor) for a new job.
-  CompactionJob::Context MakeCompactionContextLocked() REQUIRES(mu_);
-  /// Registers `plan`'s files and key-range claims, bumps the running
-  /// count, and schedules the job on the pool.
-  void AdmitCompactionLocked(CompactionPlan plan) REQUIRES(mu_);
-  /// Drops a finished job's file and range claims.
-  void UnregisterCompactionLocked(uint64_t job_id) REQUIRES(mu_);
-  /// Applies a finished job's edit atomically, releases its output pins,
-  /// records per-level stats, and collects obsolete inputs.
-  Status InstallCompactionLocked(CompactionJob* job) REQUIRES(mu_);
-  /// Concurrency cap: max_background_compactions, defaulting to the pool
-  /// size when 0.
-  int MaxConcurrentCompactions() const;
-
-  void RemoveObsoleteFiles() REQUIRES(mu_);
-
-  SequenceNumber OldestSnapshot() const REQUIRES(mu_);
-
-  Status ResolveValue(const Slice& user_key, ValueType type,
-                      const std::string& raw, std::string* value);
-
-  /// Slow path for keys whose newest visible entry is a merge operand:
-  /// walks all versions of `key` at `snapshot` within `view`, collects
-  /// operands down to the base value, and applies the merge operator.
-  Status ResolveMerge(const ReadOptions& options, const ReadView& view,
-                      const Slice& key, SequenceNumber snapshot,
-                      std::string* value);
-
-  // --- Low-contention read path -----------------------------------------
-  /// One pointer copy under the dedicated view lock. Never null after
-  /// Initialize succeeds.
-  std::shared_ptr<const ReadView> AcquireReadView() const
-      EXCLUDES(read_view_mu_) {
-    MutexLock lock(&read_view_mu_);
-    return read_view_;
-  }
-  /// Rebuilds the view from {mem_, imms_, versions_->current()} and swaps
-  /// it in under read_view_mu_. Called only by the paths that change view
-  /// membership: Recover, memtable seal, flush install, and compaction
-  /// install.
-  void PublishReadView() REQUIRES(mu_) EXCLUDES(read_view_mu_);
-  /// Resolves the open TableReader for `f`, preferring the per-file pin in
-  /// f.table_handle (one atomic load, no shard lock) and falling back to
-  /// the sharded TableCache on first touch, then publishing the result into
-  /// the pin for every later reader of any Version containing the file.
-  Status GetTableReader(const FileMetaData& f,
-                        std::shared_ptr<TableReader>* reader);
-
-  class DBIter;
-  std::unique_ptr<Iterator> NewInternalIterator(const ReadOptions& options,
-                                                const ReadView& view);
-  /// Fetches the raw (unresolved) vlog pointer currently stored for `key`;
-  /// NotFound when the key is deleted, absent, or stored inline.
-  Status GetRawPointer(const ReadOptions& options, const Slice& key,
-                       std::string* raw);
+  /// Two-phase commit of a batch spanning `involved` shards; called with
+  /// commit_mu_ held (it serializes cross-shard commits against each other
+  /// and against snapshot cuts).
+  Status CommitCrossShard(const WriteOptions& options,
+                          std::vector<WriteBatch>* parts,
+                          const std::vector<int>& involved)
+      REQUIRES(commit_mu_);
 
   // ---------------------------------------------------------------------
   const Options options_;  // Normalized copy (env/clock/comparator filled).
@@ -324,97 +202,37 @@ class DB {
   InternalKeyComparator internal_comparator_;
   Statistics stats_;
 
+  int num_shards_ = 1;
+  std::vector<std::string> split_keys_;  // num_shards_ - 1 interior keys.
+
+  // Process-wide resources, shared by every shard (see ShardResources).
   std::unique_ptr<LruCache> block_cache_;
   std::unique_ptr<TableCache> table_cache_;
-  std::unique_ptr<VersionSet> versions_;
-  std::unique_ptr<CompactionPicker> picker_;
   std::unique_ptr<RateLimiter> compaction_rate_limiter_;
-  std::unique_ptr<VlogManager> vlog_;
   std::unique_ptr<ThreadPool> pool_;
-  std::vector<double> monkey_bits_;  // Per-level filter bits (Monkey).
 
-  /// The DB mutex: root of the lock hierarchy (see DESIGN.md, "Locking
-  /// discipline"). May be held while taking any leaf lock (VersionSet,
-  /// picker, caches, pool) but never while taking writer_queue_mu_.
-  mutable Mutex mu_;
-  CondVar background_cv_;
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
 
-  std::shared_ptr<MemTable> mem_ GUARDED_BY(mu_);
-  std::deque<std::shared_ptr<MemTable>> imms_ GUARDED_BY(mu_);  // Oldest 1st.
-  /// Leaf lock for the published view pointer only. Its critical section is
-  /// a shared_ptr copy (two atomic ops), so readers never wait on flush
-  /// installs, manifest writes, or compaction bookkeeping, all of which
-  /// hold mu_. Ordered after mu_ (publishers hold mu_ while swapping);
-  /// readers take it alone.
-  mutable Mutex read_view_mu_;
-  /// Published read snapshot (see ReadView). Republished by the membership-
-  /// changing paths (seal, flush install, compaction install, recovery)
-  /// while they hold mu_.
-  std::shared_ptr<const ReadView> read_view_ GUARDED_BY(read_view_mu_);
-  uint64_t log_file_number_ GUARDED_BY(mu_) = 0;
-  std::unique_ptr<WritableFile> log_file_ GUARDED_BY(mu_);
-  std::unique_ptr<wal::Writer> log_ GUARDED_BY(mu_);
-  /// Log numbers backing the immutable memtables (oldest first).
-  std::deque<uint64_t> imm_log_numbers_ GUARDED_BY(mu_);
+  /// Serializes cross-shard commits, snapshot cuts, and consistent
+  /// iterator cuts at N > 1. Leaf lock of the facade: never held while a
+  /// caller is inside a single-shard engine operation, only around the
+  /// 2PC fan-out and per-shard sequence reads.
+  mutable Mutex commit_mu_;
+  uint64_t next_batch_id_ GUARDED_BY(commit_mu_) = 1;
+  std::unique_ptr<WritableFile> commit_log_file_ GUARDED_BY(commit_mu_);
+  std::unique_ptr<wal::Writer> commit_log_ GUARDED_BY(commit_mu_);
 
-  std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
-
-  bool flush_scheduled_ GUARDED_BY(mu_) = false;
-  bool shutting_down_ GUARDED_BY(mu_) = false;
-  /// Background-error condition: severity (soft errors auto-retry with
-  /// backoff; hard errors put the DB in read-only mode until Resume()),
-  /// source, and first-error provenance. Replaces the old sticky
-  /// `background_error_` poison bit.
-  ErrorState error_state_ GUARDED_BY(mu_);
-  /// Consecutive failed attempts of the flush / compaction currently being
-  /// retried; reset on success, promoted to a hard error on exhaustion.
-  int flush_retry_attempts_ GUARDED_BY(mu_) = 0;
-  int compaction_retry_attempts_ GUARDED_BY(mu_) = 0;
-  /// True while a compaction retry is sleeping out its backoff: gates
-  /// MaybeScheduleCompaction so the backoff cannot be defeated by an
-  /// immediate re-admission, and keeps WaitForBackgroundWork waiting.
-  bool compaction_retry_pending_ GUARDED_BY(mu_) = false;
-
-  /// One entry per admitted-but-unfinished compaction job. The claims are
-  /// the job's input∪overlap user-key hull at its input and output levels;
-  /// the picker refuses any plan whose hull intersects a claim at a shared
-  /// level, which is what makes concurrent installs conflict-free.
-  struct RunningCompaction {
-    uint64_t job_id = 0;
-    std::shared_ptr<CompactionJob> job;
-    std::vector<ClaimedRange> claims;
-  };
-  std::vector<RunningCompaction> running_compactions_ GUARDED_BY(mu_);
-  /// File numbers owned by running jobs (inputs and overlap); the picker
-  /// treats them as untouchable.
-  std::set<uint64_t> compacting_files_ GUARDED_BY(mu_);
-  int compactions_running_ GUARDED_BY(mu_) = 0;
-  uint64_t next_compaction_job_id_ GUARDED_BY(mu_) = 1;
-  /// True while CompactRange holds the tree exclusively: blocks new
-  /// automatic admissions.
-  bool manual_compaction_active_ GUARDED_BY(mu_) = false;
-
-  /// Table files currently being written (flush/compaction outputs) that no
-  /// Version references yet. RemoveObsoleteFiles must not delete them.
-  /// Entries are erased once the file is installed in a Version or its
-  /// builder gave up and removed it.
-  std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
-
-  /// Group-commit writer queue (leader/follower). Acquired before mu_,
-  /// never while holding mu_. The front writer is the current leader; it is
-  /// the only thread allowed in MakeRoomForWrite, the WAL, or group_batch_
-  /// until it hands leadership to the next queued writer.
-  Mutex writer_queue_mu_ ACQUIRED_BEFORE(mu_);
-  std::deque<Writer*> write_queue_ GUARDED_BY(writer_queue_mu_);
-  /// Leader-only scratch batch holding a coalesced group (> 1 writer).
-  /// Owned by whichever thread is leader — an exclusion the analysis cannot
-  /// express, so it carries no GUARDED_BY; the leader protocol in
-  /// EnqueueWriter/CommitWriteGroup is its lock.
-  WriteBatch group_batch_;
+  /// N > 1 snapshot registry: handle -> one pinned sequence per shard.
+  std::map<uint64_t, std::vector<SequenceNumber>> snapshot_handles_
+      GUARDED_BY(commit_mu_);
+  uint64_t next_snapshot_handle_ GUARDED_BY(commit_mu_) = 1;
 };
 
-/// Destroys the database at `name` (removes all its files). For tests and
-/// benches.
+/// The historical engine name; the facade is the DB.
+using DB = ShardedDB;
+
+/// Destroys the database at `name` (removes all its files, including shard
+/// subdirectories). For tests and benches.
 Status DestroyDB(const Options& options, const std::string& name);
 
 }  // namespace lsmlab

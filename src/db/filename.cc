@@ -42,11 +42,29 @@ std::string TempFileName(const std::string& dbname, uint64_t number) {
   return MakeFileName(dbname, number, "tmp");
 }
 
+std::string CommitLogFileName(const std::string& dbname) {
+  return dbname + "/COMMITLOG";
+}
+
+std::string ShardsFileName(const std::string& dbname) {
+  return dbname + "/SHARDS";
+}
+
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    FileType* type) {
   if (filename == "CURRENT") {
     *number = 0;
     *type = FileType::kCurrentFile;
+    return true;
+  }
+  if (filename == "COMMITLOG") {
+    *number = 0;
+    *type = FileType::kCommitLogFile;
+    return true;
+  }
+  if (filename == "SHARDS") {
+    *number = 0;
+    *type = FileType::kShardsFile;
     return true;
   }
   if (filename.rfind("MANIFEST-", 0) == 0) {

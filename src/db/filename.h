@@ -8,12 +8,14 @@ namespace lsmlab {
 
 /// The kinds of files living in a DB directory.
 enum class FileType {
-  kLogFile,       // <number>.log  : write-ahead log
-  kTableFile,     // <number>.sst  : sorted run
-  kVlogFile,      // <number>.vlog : WiscKey value log
-  kManifestFile,  // MANIFEST-<number>
-  kCurrentFile,   // CURRENT
-  kTempFile,      // <number>.tmp
+  kLogFile,        // <number>.log  : write-ahead log
+  kTableFile,      // <number>.sst  : sorted run
+  kVlogFile,       // <number>.vlog : WiscKey value log
+  kManifestFile,   // MANIFEST-<number>
+  kCurrentFile,    // CURRENT
+  kTempFile,       // <number>.tmp
+  kCommitLogFile,  // COMMITLOG : sharded facade's cross-shard commit log
+  kShardsFile,     // SHARDS    : sharded facade's topology file
   kUnknown,
 };
 
@@ -23,6 +25,10 @@ std::string VlogFileName(const std::string& dbname, uint64_t number);
 std::string ManifestFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);
+/// Cross-shard commit log, living in the facade root (not in a shard dir).
+std::string CommitLogFileName(const std::string& dbname);
+/// Shard-topology descriptor, living in the facade root.
+std::string ShardsFileName(const std::string& dbname);
 
 /// Parses a directory entry. Returns false for unrecognized names.
 bool ParseFileName(const std::string& filename, uint64_t* number,

@@ -1,0 +1,97 @@
+#include "db/shard_directory.h"
+
+#include "db/filename.h"
+#include "util/coding.h"
+
+namespace lsmlab {
+
+namespace {
+/// Sanity bound for LoadTopology; far above any reasonable shard count and
+/// small enough to reject garbage bytes quickly.
+constexpr uint32_t kMaxShards = 1u << 16;
+}  // namespace
+
+std::string ShardDirectory::ShardDirName(const std::string& dbname, int k) {
+  return dbname + "/shard-" + std::to_string(k);
+}
+
+Status ShardDirectory::SaveTopology(
+    Env* env, const std::string& dbname, int num_shards,
+    const std::vector<std::string>& split_keys) {
+  if (num_shards < 1 ||
+      split_keys.size() != static_cast<size_t>(num_shards) - 1) {
+    return Status::InvalidArgument("bad shard topology");
+  }
+  std::string rep;
+  PutFixed32(&rep, static_cast<uint32_t>(num_shards));
+  for (const auto& key : split_keys) {
+    PutFixed32(&rep, static_cast<uint32_t>(key.size()));
+    rep.append(key);
+  }
+  return WriteStringToFile(env, rep, ShardsFileName(dbname));
+}
+
+Status ShardDirectory::LoadTopology(Env* env, const std::string& dbname,
+                                    int* num_shards,
+                                    std::vector<std::string>* split_keys) {
+  std::string rep;
+  Status s = ReadFileToString(env, ShardsFileName(dbname), &rep);
+  if (!s.ok()) {
+    return s;
+  }
+  if (rep.size() < 4) {
+    return Status::Corruption("SHARDS file truncated");
+  }
+  uint32_t n = DecodeFixed32(rep.data());
+  if (n < 1 || n > kMaxShards) {
+    return Status::Corruption("SHARDS file has implausible shard count");
+  }
+  size_t pos = 4;
+  std::vector<std::string> keys;
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    if (pos + 4 > rep.size()) {
+      return Status::Corruption("SHARDS file truncated");
+    }
+    uint32_t len = DecodeFixed32(rep.data() + pos);
+    pos += 4;
+    if (pos + len > rep.size()) {
+      return Status::Corruption("SHARDS file truncated");
+    }
+    keys.emplace_back(rep.data() + pos, len);
+    pos += len;
+  }
+  if (pos != rep.size()) {
+    return Status::Corruption("SHARDS file has trailing garbage");
+  }
+  *num_shards = static_cast<int>(n);
+  *split_keys = std::move(keys);
+  return Status::OK();
+}
+
+std::vector<std::string> ShardDirectory::ListShardDirs(
+    Env* env, const std::string& dbname) {
+  std::vector<std::string> dirs;
+  int num_shards = 0;
+  std::vector<std::string> split_keys;
+  if (LoadTopology(env, dbname, &num_shards, &split_keys).ok() &&
+      num_shards > 1) {
+    for (int k = 0; k < num_shards; ++k) {
+      dirs.push_back(ShardDirName(dbname, k));
+    }
+    return dirs;
+  }
+  // No (readable) topology: probe. Covers a crash between shard-dir
+  // creation and SaveTopology, and MemEnv-style filesystems whose
+  // GetChildren does not list subdirectories.
+  for (int k = 0;; ++k) {
+    std::string dir = ShardDirName(dbname, k);
+    std::string current = CurrentFileName(dir);
+    if (!env->FileExists(current) && !env->FileExists(dir)) {
+      break;
+    }
+    dirs.push_back(dir);
+  }
+  return dirs;
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,48 @@
+#ifndef LSMLAB_DB_SHARD_DIRECTORY_H_
+#define LSMLAB_DB_SHARD_DIRECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "util/status.h"
+
+namespace lsmlab {
+
+/// On-disk layout helpers for a range-sharded DB.
+///
+/// With num_shards == 1 the facade keeps the historical flat layout: the
+/// single engine lives directly in `<db>/` and no topology file exists.
+/// With num_shards > 1 each engine lives in `<db>/shard-<k>/` and the
+/// topology (shard count plus the sorted interior split keys) is persisted
+/// in `<db>/SHARDS` so reopen and DestroyDB agree with the original
+/// creation even when Options differ.
+class ShardDirectory {
+ public:
+  /// Directory of shard `k` under `dbname` (used when num_shards > 1).
+  static std::string ShardDirName(const std::string& dbname, int k);
+
+  /// Persists the topology to `<db>/SHARDS` (fsynced before returning).
+  /// `split_keys` must hold exactly num_shards - 1 entries.
+  static Status SaveTopology(Env* env, const std::string& dbname,
+                             int num_shards,
+                             const std::vector<std::string>& split_keys);
+
+  /// Loads `<db>/SHARDS`. Returns NotFound when no topology file exists
+  /// (flat single-shard layout) and Corruption when the file is malformed.
+  static Status LoadTopology(Env* env, const std::string& dbname,
+                             int* num_shards,
+                             std::vector<std::string>* split_keys);
+
+  /// Shard directories of `dbname`, for cleanup paths. Prefers the SHARDS
+  /// topology; without one, probes `shard-<k>` upward from zero (covers a
+  /// crash between CreateDir and SaveTopology). Empty result means the flat
+  /// layout.
+  static std::vector<std::string> ListShardDirs(Env* env,
+                                                const std::string& dbname);
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_SHARD_DIRECTORY_H_

@@ -1,0 +1,2045 @@
+#include "db/shard_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "db/filename.h"
+#include "db/internal_iterators.h"
+#include "db/merge_operator.h"
+#include "io/wal_reader.h"
+#include "table/merging_iterator.h"
+#include "table/table_builder.h"
+#include "tuning/monkey.h"
+#include "util/clock.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "util/logging.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// Fills unset substrate pointers with the defaults.
+Options NormalizeOptions(const Options& options) {
+  Options result = options;
+  if (result.env == nullptr) {
+    result.env = Env::Default();
+  }
+  if (result.clock == nullptr) {
+    result.clock = SystemClock();
+  }
+  if (result.comparator == nullptr) {
+    result.comparator = BytewiseComparator();
+  }
+  return result;
+}
+
+/// Cross-shard 2PC record tags, stored in byte 7 of the record's leading
+/// fixed64. Normal WAL records start with a sequence number whose byte 7 is
+/// always zero (kMaxSequenceNumber = 2^56 - 1), so tagged records are
+/// unambiguous.
+constexpr uint8_t kPrepareRecordTag = 0x50;  // 'P'
+constexpr uint8_t kCommitMarkerTag = 0x43;   // 'C'
+constexpr uint64_t kTwoPhaseIdMask = (1ull << 56) - 1;
+
+/// Applies one WriteBatch into a memtable at consecutive sequence numbers.
+/// Shared by WAL replay, group commit, and cross-shard commit.
+class BatchInserter : public WriteBatch::Handler {
+ public:
+  BatchInserter(MemTable* mem, SequenceNumber seq) : mem_(mem), seq_(seq) {}
+  void TypedRecord(ValueType type, const Slice& key,
+                   const Slice& value) override {
+    mem_->Add(seq_++, type, key, value);
+  }
+  void Put(const Slice&, const Slice&) override {}
+  void Delete(const Slice&) override {}
+  void SingleDelete(const Slice&) override {}
+  void Merge(const Slice&, const Slice&) override {}
+  SequenceNumber last_sequence() const { return seq_ - 1; }
+
+ private:
+  MemTable* const mem_;
+  SequenceNumber seq_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / initialize / recover
+// ---------------------------------------------------------------------------
+
+ShardEngine::ShardEngine(const Options& options, std::string dbname,
+                         const ShardResources& resources)
+    : options_(NormalizeOptions(options)),
+      dbname_(std::move(dbname)),
+      internal_comparator_(options_.comparator),
+      stats_(resources.stats),
+      block_cache_(resources.block_cache),
+      table_cache_(resources.table_cache),
+      pool_(resources.pool),
+      compaction_rate_limiter_(resources.rate_limiter) {}
+
+ShardEngine::~ShardEngine() {
+  BeginShutdown();
+  // The pool is shared and facade-owned: drain it (queued tasks hold
+  // `this`) but do not destroy it.
+  pool_->WaitForIdle();
+}
+
+void ShardEngine::BeginShutdown() {
+  MutexLock lock(&mu_);
+  shutting_down_ = true;
+  background_cv_.SignalAll();
+}
+
+Status ShardEngine::Open(const Options& options, const std::string& name,
+                         const ShardResources& resources,
+                         const std::set<uint64_t>* committed_prepares,
+                         std::unique_ptr<ShardEngine>* dbptr) {
+  // Options were validated by the facade.
+  dbptr->reset();
+  auto db =
+      std::unique_ptr<ShardEngine>(new ShardEngine(options, name, resources));
+  Status s = db->Initialize(committed_prepares);
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+Status ShardEngine::Initialize(const std::set<uint64_t>* committed_prepares) {
+  Env* env = options_.env;
+  Status s = env->CreateDir(dbname_);
+  if (!s.ok()) {
+    return s;
+  }
+
+  cache_dir_id_ = table_cache_->RegisterDir(dbname_);
+  versions_ = std::make_unique<VersionSet>(dbname_, &options_,
+                                           &internal_comparator_);
+  picker_ = std::make_unique<CompactionPicker>(&options_);
+
+  if (options_.filter_allocation == FilterAllocation::kMonkey) {
+    monkey_bits_ = MonkeyBitsPerLevel(options_.filter_bits_per_key,
+                                      options_.num_levels,
+                                      options_.size_ratio);
+  } else {
+    monkey_bits_.assign(static_cast<size_t>(options_.num_levels),
+                        options_.filter_bits_per_key);
+  }
+
+  bool exists = env->FileExists(CurrentFileName(dbname_));
+  if (!exists) {
+    if (!options_.create_if_missing) {
+      return Status::InvalidArgument(dbname_, "does not exist");
+    }
+    s = versions_->CreateNew();
+    if (!s.ok()) {
+      return s;
+    }
+  } else {
+    if (options_.error_if_exists) {
+      return Status::InvalidArgument(dbname_, "exists");
+    }
+    s = versions_->Recover();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  if (options_.kv_separation) {
+    vlog_ = std::make_unique<VlogManager>(dbname_, env);
+    s = vlog_->OpenActive(versions_->NewFileNumber());
+    if (!s.ok()) {
+      return s;
+    }
+  }
+
+  s = Recover(committed_prepares);
+  if (!s.ok()) {
+    return s;
+  }
+
+  MutexLock lock(&mu_);
+  RemoveObsoleteFiles();
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+std::unique_ptr<MemTable> ShardEngine::MakeMemTable() const {
+  return std::make_unique<MemTable>(&internal_comparator_,
+                                    options_.memtable_rep,
+                                    options_.memtable_hash_bucket_count);
+}
+
+Status ShardEngine::Recover(const std::set<uint64_t>* committed_prepares) {
+  // Replay all WAL files at or after the manifest's log number, in order.
+  std::vector<std::string> children;
+  Status s = options_.env->GetChildren(dbname_, &children);
+  if (!s.ok()) {
+    return s;
+  }
+  // Collect every WAL still on disk. Logs at or above the manifest's log
+  // number hold unflushed data and are replayed in full; older logs exist
+  // only because a cross-shard prepare keeps them retained (the deletion
+  // gates clamp below the manifest watermark) — their normal records are
+  // already flushed, so they are scanned for tagged records only.
+  std::vector<uint64_t> logs;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) && type == FileType::kLogFile) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+
+  SequenceNumber max_sequence = versions_->last_sequence();
+  VersionEdit edit;
+  // Cross-shard prepare payloads (id -> batch rep) seen but not yet applied
+  // by a commit marker; carried across log files (a prepare's marker may
+  // land in a later log after a rotation).
+  std::map<uint64_t, std::string> prepare_stash;
+  for (size_t i = 0; i < logs.size(); ++i) {
+    uint64_t log_number = logs[i];
+    versions_->MarkFileNumberUsed(log_number);
+    bool stop_replay = false;
+    s = RecoverLogFile(log_number, log_number < versions_->log_number(),
+                       &max_sequence, &edit, &stop_replay, &prepare_stash);
+    if (!s.ok()) {
+      return s;
+    }
+    if (stop_replay) {
+      // Point-in-time recovery: a corrupt record truncated this log's
+      // replay; anything in later logs is past the corruption point and
+      // must be dropped to keep the recovered state a write-order prefix.
+      LSMLAB_LOG_WARN(options_.info_log.get(),
+                      "point-in-time recovery stopped at log %llu; "
+                      "dropping %zu later log(s)",
+                      static_cast<unsigned long long>(log_number),
+                      logs.size() - i - 1);
+      // The skipped logs must not survive this recovery: RemoveObsoleteFiles
+      // only deletes logs below min_log, so an undeleted skipped log with a
+      // number above the new active WAL would be replayed on the next open,
+      // resurrecting the dropped writes out of order. Mark their numbers
+      // used (so the new WAL and manifest log_number land above them — even
+      // a failed delete is then ignored by the next Recover()) and delete
+      // them before the new WAL is created.
+      for (size_t j = i + 1; j < logs.size(); ++j) {
+        versions_->MarkFileNumberUsed(logs[j]);
+        (void)options_.env->RemoveFile(LogFileName(dbname_, logs[j]));
+      }
+      break;
+    }
+  }
+
+  // Resolve leftover prepares. An id the facade's commit log proves
+  // committed lost its marker in the crash (markers are unsynced); apply
+  // its payload now, in id order, with fresh sequences — a lost marker
+  // implies nothing later survived in this shard's WAL (prepares and seal
+  // syncs persist the whole file prefix; a torn tail only claims the
+  // unsynced suffix), so appending at the end preserves write order. This
+  // runs even after a point-in-time stop: the facade's durable commit
+  // record outranks the torn region. Uncommitted or aborted prepares are
+  // simply dropped.
+  if (!prepare_stash.empty() && committed_prepares != nullptr) {
+    std::unique_ptr<MemTable> mem;
+    for (const auto& [id, rep] : prepare_stash) {
+      if (committed_prepares->count(id) == 0) {
+        continue;
+      }
+      WriteBatch batch;
+      s = batch.SetRep(rep);
+      if (!s.ok()) {
+        return s;
+      }
+      if (batch.Count() == 0) {
+        continue;
+      }
+      if (mem == nullptr) {
+        mem = MakeMemTable();
+      }
+      BatchInserter inserter(mem.get(), max_sequence + 1);
+      s = batch.Iterate(&inserter);
+      if (!s.ok()) {
+        return s;
+      }
+      max_sequence = inserter.last_sequence();
+    }
+    if (mem != nullptr && !mem->Empty()) {
+      MemTableIteratorAdapter iter(std::shared_ptr<MemTable>(std::move(mem)));
+      iter.SeekToFirst();
+      FileMetaData meta;
+      s = BuildTableFromIterator(&iter, 0, options_.clock->NowMicros(), &meta);
+      if (!s.ok()) {
+        return s;
+      }
+      edit.AddFile(0, meta);
+    }
+  }
+
+  versions_->SetLastSequence(max_sequence);
+
+  // Start a fresh memtable + log; everything replayed is now either in L0
+  // tables (via the edit) or re-bufferable. Recovery is single-threaded,
+  // but the memtable/log fields are guarded, so take mu_ anyway.
+  MutexLock lock(&mu_);
+  s = NewMemTableAndLog();
+  if (!s.ok()) {
+    return s;
+  }
+  edit.SetLogNumber(log_file_number_);
+  s = versions_->LogAndApply(&edit);
+  // Replay tables are installed (or recovery failed); drop their pins so
+  // RemoveObsoleteFiles sees a clean slate.
+  pending_outputs_.clear();
+  if (s.ok()) {
+    // First view of this DB's lifetime; every later publish replaces it.
+    PublishReadView();
+  }
+  return s;
+}
+
+Status ShardEngine::RecoverLogFile(uint64_t log_number, bool tagged_only,
+                          SequenceNumber* max_sequence,
+                          VersionEdit* edit, bool* stop_replay,
+                          std::map<uint64_t, std::string>* prepare_stash) {
+  *stop_replay = false;
+  std::unique_ptr<SequentialFile> file;
+  Status s = options_.env->NewSequentialFile(LogFileName(dbname_, log_number),
+                                             &file);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Captures the first corruption the record reader reports. A cleanly
+  // truncated tail reads as EOF and is never reported — both recovery
+  // modes tolerate it (the WAL contract: an unacknowledged tail write may
+  // be lost). A checksum/length corruption IS reported, and the mode
+  // decides: absolute consistency refuses to open; point-in-time stops
+  // replay at the corruption point instead of skipping past it.
+  struct Reporter : public wal::Reader::Reporter {
+    Logger* logger;
+    Status status;
+    void Corruption(size_t bytes, const Status& s) override {
+      LSMLAB_LOG_WARN(logger, "WAL corruption: dropping %zu bytes: %s", bytes,
+                      s.ToString().c_str());
+      if (status.ok()) {
+        status = s;
+      }
+    }
+  } reporter;
+  reporter.logger = options_.info_log.get();
+
+  wal::Reader reader(file.get(), &reporter);
+  Slice record;
+  std::string scratch;
+  std::unique_ptr<MemTable> mem;
+
+  while (reader.ReadRecord(&record, &scratch)) {
+    if (!reporter.status.ok()) {
+      // The reader skipped a corrupt region to find this record; applying
+      // it would recover writes newer than ones already lost. Stop here —
+      // the mode check below decides whether that is fatal.
+      break;
+    }
+    // Each WAL record is one serialized WriteBatch, except the two tagged
+    // cross-shard record kinds (byte 7 of the leading fixed64; a normal
+    // batch starts with a sequence number whose byte 7 is zero).
+    WriteBatch batch;
+    SequenceNumber apply_seq = 0;
+    if (record.size() >= 8 &&
+        static_cast<uint8_t>(record[7]) == kPrepareRecordTag) {
+      // Prepare: stash the payload; it applies at its commit marker (or at
+      // end of replay if the facade's commit log proves it committed).
+      uint64_t id = DecodeFixed64(record.data()) & kTwoPhaseIdMask;
+      max_recovered_prepare_id_ = std::max(max_recovered_prepare_id_, id);
+      (*prepare_stash)[id] =
+          std::string(record.data() + 8, record.size() - 8);
+      continue;
+    } else if (record.size() >= 8 &&
+               static_cast<uint8_t>(record[7]) == kCommitMarkerTag) {
+      // Commit marker: the marker itself proves the cross-shard batch
+      // committed; apply the stashed payload at the recorded sequence.
+      if (record.size() < 16) {
+        return Status::Corruption("short cross-shard commit marker in WAL");
+      }
+      uint64_t id = DecodeFixed64(record.data()) & kTwoPhaseIdMask;
+      max_recovered_prepare_id_ = std::max(max_recovered_prepare_id_, id);
+      auto it = prepare_stash->find(id);
+      if (it == prepare_stash->end()) {
+        continue;  // Payload resolved by an earlier recovery's flush.
+      }
+      if (tagged_only) {
+        // A marker below the manifest watermark means the memtable this
+        // batch was applied to has been flushed: the payload is already in
+        // an SSTable. Retire the stash entry without re-applying it.
+        prepare_stash->erase(it);
+        continue;
+      }
+      s = batch.SetRep(it->second);
+      if (!s.ok()) {
+        return s;
+      }
+      prepare_stash->erase(it);
+      apply_seq = DecodeFixed64(record.data() + 8);
+    } else {
+      if (tagged_only) {
+        continue;  // Normal record below the watermark: already flushed.
+      }
+      s = batch.SetRep(record);
+      if (!s.ok()) {
+        return s;
+      }
+      apply_seq = batch.sequence();
+    }
+    if (mem == nullptr) {
+      mem = MakeMemTable();
+    }
+    BatchInserter inserter(mem.get(), apply_seq);
+    s = batch.Iterate(&inserter);
+    if (!s.ok()) {
+      return s;
+    }
+    if (batch.Count() > 0 && inserter.last_sequence() > *max_sequence) {
+      *max_sequence = inserter.last_sequence();
+    }
+
+    if (mem->DataSize() >= options_.write_buffer_size) {
+      MemTableIteratorAdapter iter(std::shared_ptr<MemTable>(std::move(mem)));
+      iter.SeekToFirst();
+      FileMetaData meta;
+      s = BuildTableFromIterator(&iter, 0,
+                                 options_.clock->NowMicros(), &meta);
+      if (!s.ok()) {
+        return s;
+      }
+      edit->AddFile(0, meta);
+      mem.reset();
+    }
+  }
+  if (!reporter.status.ok() && !tagged_only) {
+    if (options_.wal_recovery_mode == WalRecoveryMode::kAbsoluteConsistency) {
+      return reporter.status;
+    }
+    *stop_replay = true;
+  }
+  // tagged_only corruption is benign: every prepare was synced into the
+  // file's durable prefix, so a torn region can only claim flushed normal
+  // records or commit markers (whose ids the facade's commit log re-proves).
+  if (mem != nullptr && !mem->Empty()) {
+    MemTableIteratorAdapter iter(std::shared_ptr<MemTable>(std::move(mem)));
+    iter.SeekToFirst();
+    FileMetaData meta;
+    s = BuildTableFromIterator(&iter, 0, options_.clock->NowMicros(), &meta);
+    if (!s.ok()) {
+      return s;
+    }
+    edit->AddFile(0, meta);
+  }
+  return Status::OK();
+}
+
+Status ShardEngine::NewMemTableAndLog() {
+  uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  if (options_.enable_wal) {
+    Status s = options_.env->NewWritableFile(
+        LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  log_file_ = std::move(lfile);
+  log_ = log_file_ ? std::make_unique<wal::Writer>(log_file_.get()) : nullptr;
+  log_file_number_ = new_log_number;
+  mem_ = std::shared_ptr<MemTable>(MakeMemTable());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status ShardEngine::Put(const WriteOptions& options, const Slice& key,
+               const Slice& value) {
+  if (options_.kv_separation && vlog_ != nullptr &&
+      value.size() >= options_.kv_separation_threshold) {
+    VlogPointer ptr;
+    Status s = vlog_->Append(key, value, &ptr);
+    if (!s.ok()) {
+      return s;
+    }
+    std::string encoded;
+    ptr.EncodeTo(&encoded);
+    return WriteInternal(options, kTypeVlogPointer, key, encoded);
+  }
+  return WriteInternal(options, kTypeValue, key, value);
+}
+
+Status ShardEngine::Delete(const WriteOptions& options, const Slice& key) {
+  // A tombstone: key plus an (empty) marker value (tutorial §2.1.2).
+  return WriteInternal(options, kTypeDeletion, key, Slice());
+}
+
+Status ShardEngine::SingleDelete(const WriteOptions& options, const Slice& key) {
+  return WriteInternal(options, kTypeSingleDeletion, key, Slice());
+}
+
+Status ShardEngine::Merge(const WriteOptions& options, const Slice& key,
+                 const Slice& operand) {
+  if (options_.merge_operator == nullptr) {
+    return Status::InvalidArgument("Merge requires Options::merge_operator");
+  }
+  return WriteInternal(options, kTypeMerge, key, operand);
+}
+
+Status ShardEngine::DeleteRange(const WriteOptions& options, const Slice& begin,
+                       const Slice& end) {
+  // Simplification (documented): snapshot-scan the range and tombstone each
+  // live key. Native range tombstones are future work.
+  ReadOptions read_options;
+  auto iter = NewIterator(read_options);
+  std::vector<std::string> doomed;
+  for (iter->Seek(begin); iter->Valid(); iter->Next()) {
+    if (options_.comparator->Compare(iter->key(), end) >= 0) {
+      break;
+    }
+    doomed.push_back(iter->key().ToString());
+  }
+  Status s = iter->status();
+  if (!s.ok()) {
+    return s;
+  }
+  for (const auto& key : doomed) {
+    s = Delete(options, key);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardEngine::WriteInternal(const WriteOptions& options, ValueType type,
+                         const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.PutTyped(type, key, value);
+  return WriteBatchInternal(options, &batch);
+}
+
+Status ShardEngine::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr || batch->Count() == 0) {
+    return Status::OK();
+  }
+  if (options_.kv_separation && vlog_ != nullptr) {
+    // Rewrite large put values into vlog pointers before logging, so the
+    // WAL (and the LSM) only carry pointers.
+    class Separator : public WriteBatch::Handler {
+     public:
+      Separator(ShardEngine* db, WriteBatch* out) : db_(db), out_(out) {}
+      void TypedRecord(ValueType type, const Slice& key,
+                       const Slice& value) override {
+        if (type == kTypeValue &&
+            value.size() >= db_->options_.kv_separation_threshold) {
+          VlogPointer ptr;
+          Status s = db_->vlog_->Append(key, value, &ptr);
+          if (!s.ok()) {
+            if (status_.ok()) {
+              status_ = s;
+            }
+            return;
+          }
+          std::string encoded;
+          ptr.EncodeTo(&encoded);
+          out_->PutTyped(kTypeVlogPointer, key, encoded);
+          return;
+        }
+        out_->PutTyped(type, key, value);
+      }
+      void Put(const Slice&, const Slice&) override {}
+      void Delete(const Slice&) override {}
+      void SingleDelete(const Slice&) override {}
+      void Merge(const Slice&, const Slice&) override {}
+      Status status_;
+
+     private:
+      ShardEngine* const db_;
+      WriteBatch* const out_;
+    };
+    WriteBatch separated;
+    Separator separator(this, &separated);
+    Status s = batch->Iterate(&separator);
+    if (s.ok()) {
+      s = separator.status_;
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    return WriteBatchInternal(options, &separated);
+  }
+  return WriteBatchInternal(options, batch);
+}
+
+// One queued write (or memtable-seal request). Writers block on their own
+// condition variable until a leader commits their batch for them, or until
+// they reach the queue front and commit a group themselves. done/status are
+// written by the leader and read by the owner, both under writer_queue_mu_
+// (not expressible as GUARDED_BY: the mutex is a DB member, not ours).
+struct ShardEngine::Writer {
+  /// kWrite commits a normal batch (groupable); kSeal rotates the memtable;
+  /// kPrepare / kCommitMarker are the two phases of a cross-shard commit.
+  /// Non-kWrite writers never coalesce — each runs solo as leader.
+  enum Kind { kWrite, kSeal, kPrepare, kCommitMarker };
+
+  WriteBatch* batch;  // nullptr marks a memtable-seal request (Flush()).
+  bool sync;
+  bool no_slowdown;
+  Kind kind = kWrite;
+  /// Cross-shard batch id for kPrepare / kCommitMarker writers.
+  uint64_t prepare_id = 0;
+  /// Seal requests only: rotate even if the memtable is empty or a hard
+  /// error is in force (Resume() swapping out a poisoned WAL).
+  bool force_seal = false;
+  bool done = false;
+  Status status;
+  CondVar cv;
+
+  Writer(WriteBatch* b, bool s, bool ns)
+      : batch(b), sync(s), no_slowdown(ns) {}
+};
+
+namespace {
+/// Hard cap on the serialized size of one write group (one WAL record).
+constexpr size_t kMaxGroupBytes = 1 << 20;
+/// When the leader's own batch is small, limit how much follower data may
+/// ride along so a tiny write's latency is not held hostage by a megabyte
+/// of followers.
+constexpr size_t kSmallBatchBytes = 128 << 10;
+}  // namespace
+
+Status ShardEngine::WriteBatchInternal(const WriteOptions& options,
+                              WriteBatch* batch) {
+  Writer w(batch, options.sync, options.no_slowdown);
+  return EnqueueWriter(&w);
+}
+
+Status ShardEngine::SealActiveMemTable(bool force) {
+  Writer w(nullptr, /*sync=*/false, /*no_slowdown=*/false);
+  w.kind = Writer::kSeal;
+  w.force_seal = force;
+  return EnqueueWriter(&w);
+}
+
+Status ShardEngine::PrepareWrite(const WriteOptions& options, WriteBatch* batch,
+                        uint64_t id) {
+  Writer w(batch, /*sync=*/true, options.no_slowdown);
+  w.kind = Writer::kPrepare;
+  w.prepare_id = id;
+  return EnqueueWriter(&w);
+}
+
+Status ShardEngine::CommitPrepared(uint64_t id, WriteBatch* batch) {
+  Writer w(batch, /*sync=*/false, /*no_slowdown=*/false);
+  w.kind = Writer::kCommitMarker;
+  w.prepare_id = id;
+  return EnqueueWriter(&w);
+}
+
+void ShardEngine::AbortPrepared(uint64_t id) {
+  // The prepare record stays in the WAL; with neither a marker nor a
+  // facade commit-log entry, recovery discards it. Dropping the retention
+  // entry is the whole abort.
+  MutexLock lock(&mu_);
+  pending_prepares_.erase(id);
+}
+
+Status ShardEngine::EnqueueWriter(Writer* w) {
+  std::vector<Writer*> group;
+  {
+    MutexLock qlock(&writer_queue_mu_);
+    write_queue_.push_back(w);
+    while (!w->done && write_queue_.front() != w) {
+      w->cv.Wait(writer_queue_mu_);
+    }
+    if (w->done) {
+      return w->status;  // A leader committed this write within its group.
+    }
+    BuildWriteGroup(w, &group);
+  }
+
+  // Leader path: commit the group (or seal the memtable, or run one phase
+  // of a cross-shard commit) with the queue frozen behind us — nothing else
+  // can enter the write path until we hand leadership on below.
+  Status s;
+  if (w->kind == Writer::kPrepare) {
+    s = LeaderPrepare(w);
+  } else if (w->kind == Writer::kCommitMarker) {
+    s = LeaderCommitPrepared(w);
+  } else if (w->batch == nullptr) {
+    MutexLock lock(&mu_);
+    if (error_state_.hard() && !w->force_seal) {
+      s = error_state_.status;
+    } else if (!mem_->Empty() || w->force_seal) {
+      // A forced seal rotates away from a poisoned WAL, which must not be
+      // fsynced again; its acked contents are re-persisted by the flush
+      // Resume() schedules.
+      s = NewMemTableAndLogLocked(/*skip_old_wal_sync=*/w->force_seal);
+    }
+  } else {
+    s = CommitWriteGroup(w, group);
+  }
+
+  // Deliver statuses to followers and pass leadership to the next writer.
+  {
+    MutexLock qlock(&writer_queue_mu_);
+    for (Writer* member : group) {
+      assert(write_queue_.front() == member);
+      write_queue_.pop_front();
+      if (member != w) {
+        member->status = s;
+        member->done = true;
+        member->cv.Signal();
+      }
+    }
+    if (!write_queue_.empty()) {
+      write_queue_.front()->cv.Signal();
+    }
+  }
+  return s;
+}
+
+void ShardEngine::BuildWriteGroup(Writer* leader, std::vector<Writer*>* group) {
+  // Leader is at the queue front.
+  group->push_back(leader);
+  if (leader->batch == nullptr || leader->kind != Writer::kWrite) {
+    return;  // Seal and 2PC requests never batch with writes.
+  }
+  size_t bytes = leader->batch->ApproximateSize();
+  const size_t max_bytes =
+      bytes <= kSmallBatchBytes ? bytes + kSmallBatchBytes : kMaxGroupBytes;
+
+  for (auto it = write_queue_.begin() + 1; it != write_queue_.end(); ++it) {
+    Writer* follower = *it;
+    if (follower->batch == nullptr || follower->kind != Writer::kWrite) {
+      break;  // Memtable-seal / 2PC barrier.
+    }
+    if (follower->sync && !leader->sync) {
+      break;  // Would silently upgrade the leader's durability obligation.
+    }
+    if (follower->no_slowdown != leader->no_slowdown) {
+      break;  // Stall-ladder policy must be uniform across the group.
+    }
+    bytes += follower->batch->ApproximateSize();
+    if (bytes > max_bytes) {
+      break;
+    }
+    group->push_back(follower);
+  }
+}
+
+Status ShardEngine::CommitWriteGroup(Writer* leader,
+                            const std::vector<Writer*>& group) {
+  Status s;
+  WriteBatch* merged = nullptr;
+  SequenceNumber seq_start = 0;
+  uint32_t count = 0;
+  wal::Writer* log = nullptr;
+  WritableFile* log_file = nullptr;
+
+  {
+    MutexLock lock(&mu_);
+    s = MakeRoomForWrite(leader->no_slowdown);
+    if (s.ok()) {
+      if (group.size() == 1) {
+        merged = leader->batch;
+      } else {
+        group_batch_.Clear();
+        for (Writer* member : group) {
+          group_batch_.Append(*member->batch);
+        }
+        merged = &group_batch_;
+      }
+      count = merged->Count();
+      // Allocate — but do not publish — the group's sequence range. Readers
+      // keep snapshotting the old last_sequence, so the entries stay
+      // invisible until the WAL write has succeeded; a failed append
+      // therefore consumes no sequence numbers.
+      seq_start = versions_->last_sequence() + 1;
+      merged->SetSequence(seq_start);
+      // The WAL handles are stable outside mu_: they are only swapped by a
+      // write-queue leader (MakeRoomForWrite / seal requests), and we are
+      // the sole leader until the group completes.
+      log = log_.get();
+      log_file = log_file_.get();
+    }
+  }
+  if (!s.ok()) {
+    return s;
+  }
+
+  if (log != nullptr) {
+    // One WAL record and at most one fsync for the whole group, outside
+    // mu_ — the point of group commit (fsync amortization, §2.2.5).
+    s = log->AddRecord(merged->rep());
+    if (s.ok()) {
+      stats_->wal_bytes_written.fetch_add(merged->rep().size(),
+                                         std::memory_order_relaxed);
+      if (leader->sync || options_.sync_wal) {
+        s = log_file->Sync();
+        if (s.ok()) {
+          stats_->wal_syncs.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (!s.ok()) {
+      // The WAL's on-disk offset is now ambiguous (a failed append or
+      // fsync may or may not have persisted bytes — the fsyncgate
+      // pathology), so no further append to this log is safe: hard error.
+      // Resume() recovers by rotating to a fresh WAL.
+      MutexLock lock(&mu_);
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kWal);
+      return s;
+    }
+  }
+
+  // Apply to the memtable with consecutive sequence numbers.
+  {
+    MutexLock lock(&mu_);
+    BatchInserter inserter(mem_.get(), seq_start);
+    s = merged->Iterate(&inserter);
+    if (s.ok()) {
+      versions_->SetLastSequence(seq_start + count - 1);
+    } else {
+      // A partially applied group leaks unpublished sequence numbers into
+      // the memtable; flushing it would persist unacked writes. Hard error,
+      // and deliberately not resumable — reopen replays the WAL cleanly.
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kMemtable);
+    }
+  }
+  if (merged == &group_batch_) {
+    group_batch_.Clear();  // Release the coalesced bytes promptly.
+  }
+  if (s.ok()) {
+    stats_->writes.fetch_add(count, std::memory_order_relaxed);
+    stats_->write_groups.fetch_add(1, std::memory_order_relaxed);
+    stats_->RecordWriteGroupSize(group.size());
+  }
+  return s;
+}
+
+// Phase 1 of a cross-shard commit (leader-only). Appends + fsyncs a tagged
+// prepare record carrying the batch payload. No sequence numbers are
+// assigned and the memtable is untouched: the batch is invisible (and
+// consumes nothing) until CommitPrepared. The fsync is what lets the facade
+// treat its commit record as the single durability point.
+Status ShardEngine::LeaderPrepare(Writer* w) {
+  wal::Writer* log = nullptr;
+  WritableFile* log_file = nullptr;
+  uint64_t log_number = 0;
+  {
+    MutexLock lock(&mu_);
+    if (error_state_.hard()) {
+      return error_state_.status;
+    }
+    // The WAL handles are stable outside mu_: only a leader swaps them,
+    // and we hold leadership.
+    log = log_.get();
+    log_file = log_file_.get();
+    log_number = log_file_number_;
+  }
+  if (log == nullptr) {
+    // The facade falls back to direct per-shard applies when the WAL is
+    // off; reaching here is a facade bug.
+    return Status::InvalidArgument("PrepareWrite requires enable_wal");
+  }
+
+  std::string record;
+  PutFixed64(&record, w->prepare_id |
+                          (static_cast<uint64_t>(kPrepareRecordTag) << 56));
+  record.append(w->batch->rep());
+  Status s = log->AddRecord(record);
+  if (s.ok()) {
+    stats_->wal_bytes_written.fetch_add(record.size(),
+                                       std::memory_order_relaxed);
+    s = log_file->Sync();
+    if (s.ok()) {
+      stats_->wal_syncs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  MutexLock lock(&mu_);
+  if (!s.ok()) {
+    // Same fsyncgate reasoning as CommitWriteGroup: the log's on-disk
+    // offset is ambiguous, no further append is safe.
+    RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kWal);
+    return s;
+  }
+  pending_prepares_[w->prepare_id] = log_number;
+  return Status::OK();
+}
+
+// Phase 2 of a cross-shard commit (leader-only). Assigns the sequence
+// range, appends an *unsynced* commit marker {id, seq_start}, applies the
+// prepared batch, and records the id in committed_prepares_ so both the
+// prepare's and the marker's WALs outlive the normal flush horizon (the
+// marker is the only replayable record of the batch's sequences).
+Status ShardEngine::LeaderCommitPrepared(Writer* w) {
+  WriteBatch* batch = w->batch;
+  SequenceNumber seq_start = 0;
+  uint32_t count = 0;
+  wal::Writer* log = nullptr;
+  uint64_t prepare_log = 0;
+  Status s;
+  {
+    MutexLock lock(&mu_);
+    s = MakeRoomForWrite(/*no_slowdown=*/false);
+    if (s.ok()) {
+      auto it = pending_prepares_.find(w->prepare_id);
+      if (it == pending_prepares_.end()) {
+        s = Status::InvalidArgument("commit of unprepared cross-shard id");
+      } else {
+        prepare_log = it->second;
+        count = batch->Count();
+        seq_start = versions_->last_sequence() + 1;
+        batch->SetSequence(seq_start);
+        log = log_.get();
+      }
+    }
+  }
+  if (!s.ok()) {
+    return s;
+  }
+
+  if (log != nullptr) {
+    // Deliberately unsynced: the facade's commit record is the durability
+    // point. A marker torn off by a crash is reconstructed at recovery
+    // from the synced prepare payload plus the facade's commit log.
+    std::string record;
+    PutFixed64(&record, w->prepare_id |
+                            (static_cast<uint64_t>(kCommitMarkerTag) << 56));
+    PutFixed64(&record, seq_start);
+    s = log->AddRecord(record);
+    if (s.ok()) {
+      stats_->wal_bytes_written.fetch_add(record.size(),
+                                         std::memory_order_relaxed);
+    } else {
+      MutexLock lock(&mu_);
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kWal);
+      return s;
+    }
+  }
+
+  MutexLock lock(&mu_);
+  BatchInserter inserter(mem_.get(), seq_start);
+  s = batch->Iterate(&inserter);
+  if (s.ok()) {
+    versions_->SetLastSequence(seq_start + count - 1);
+    pending_prepares_.erase(w->prepare_id);
+    // log_file_number_ is the marker's log: MakeRoomForWrite may have
+    // rotated before the marker was appended, but nothing rotates between
+    // the append and here (we are still leader).
+    committed_prepares_[w->prepare_id] =
+        CommittedPrepare{prepare_log, log_file_number_};
+    stats_->writes.fetch_add(count, std::memory_order_relaxed);
+    stats_->write_groups.fetch_add(1, std::memory_order_relaxed);
+    stats_->RecordWriteGroupSize(1);
+  } else {
+    RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kMemtable);
+  }
+  return s;
+}
+
+Status ShardEngine::MakeRoomForWrite(bool no_slowdown) {
+  bool allow_delay = true;
+  while (true) {
+    if (error_state_.hard()) {
+      // Read-only mode: reads keep serving from the last ReadView, writes
+      // fail fast with the poisoning error until Resume() clears it.
+      return error_state_.status;
+    }
+
+    int l0_files = versions_->current()->NumFiles(0);
+
+    if (allow_delay && l0_files >= options_.level0_slowdown_writes_trigger &&
+        l0_files < options_.level0_stop_writes_trigger) {
+      // Soft stall: give compaction a 1ms head start, once per write.
+      if (no_slowdown) {
+        return Status::Busy("write slowdown active");
+      }
+      mu_.Unlock();
+      options_.clock->SleepForMicros(1000);
+      stats_->write_slowdown_micros.fetch_add(1000, std::memory_order_relaxed);
+      mu_.Lock();
+      allow_delay = false;
+      continue;
+    }
+
+    if (mem_->DataSize() < options_.write_buffer_size) {
+      return Status::OK();  // Room available.
+    }
+
+    // The active memtable is full.
+    if (static_cast<int>(imms_.size()) >=
+        options_.max_write_buffer_number - 1) {
+      // All buffers full: hard stall until a flush retires one.
+      if (no_slowdown) {
+        return Status::Busy("memtable limit");
+      }
+      uint64_t start = options_.clock->NowMicros();
+      MaybeScheduleFlush();
+      while (!error_state_.hard() &&
+             static_cast<int>(imms_.size()) >=
+                 options_.max_write_buffer_number - 1) {
+        background_cv_.Wait(mu_);
+      }
+      stats_->write_stall_micros.fetch_add(
+          options_.clock->NowMicros() - start, std::memory_order_relaxed);
+      continue;
+    }
+
+    if (l0_files >= options_.level0_stop_writes_trigger) {
+      // Hard stall on L0 pileup.
+      if (no_slowdown) {
+        return Status::Busy("l0 stop trigger");
+      }
+      uint64_t start = options_.clock->NowMicros();
+      MaybeScheduleCompaction();
+      while (!error_state_.hard() &&
+             versions_->current()->NumFiles(0) >=
+                 options_.level0_stop_writes_trigger) {
+        background_cv_.Wait(mu_);
+      }
+      stats_->write_stall_micros.fetch_add(
+          options_.clock->NowMicros() - start, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Seal the active memtable and swap in a fresh one (§2.2.1: multiple
+    // buffers absorb bursts while flushes drain).
+    Status s = NewMemTableAndLogLocked();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+}
+
+// Seals mem_ into imms_ and creates a fresh memtable + WAL. mu_ held.
+Status ShardEngine::NewMemTableAndLogLocked(bool skip_old_wal_sync) {
+  if (options_.enable_wal && log_file_ != nullptr && !skip_old_wal_sync) {
+    // Fsync the outgoing WAL before sealing. Once sealed, this log's tail is
+    // never synced again, so an unsynced tail here could vanish in a crash
+    // while a *newer* WAL survives — recovery would then see a hole in the
+    // write order. Syncing at the seal point keeps every sealed log a
+    // durable prefix: only the active WAL's tail is ever at risk.
+    Status s = log_file_->Sync();
+    if (!s.ok()) {
+      RecordBackgroundError(s, ErrorSeverity::kHard, ErrorSource::kWal);
+      return s;
+    }
+    stats_->wal_syncs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  imms_.push_back(mem_);
+  imm_log_numbers_.push_back(log_file_number_);
+
+  uint64_t new_log_number = versions_->NewFileNumber();
+  std::unique_ptr<WritableFile> lfile;
+  if (options_.enable_wal) {
+    Status s = options_.env->NewWritableFile(
+        LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) {
+      imms_.pop_back();
+      imm_log_numbers_.pop_back();
+      return s;
+    }
+  }
+  log_file_ = std::move(lfile);
+  log_ = log_file_ ? std::make_unique<wal::Writer>(log_file_.get()) : nullptr;
+  log_file_number_ = new_log_number;
+  mem_ = std::shared_ptr<MemTable>(MakeMemTable());
+  PublishReadView();
+  MaybeScheduleFlush();
+  return Status::OK();
+}
+
+void ShardEngine::PublishReadView() {
+  auto view = std::make_shared<ReadView>();
+  view->mem = mem_;
+  view->imms.assign(imms_.rbegin(), imms_.rend());  // Newest first.
+  view->version = versions_->current();
+  view->published_sequence = versions_->last_sequence();
+  {
+    MutexLock lock(&read_view_mu_);
+    read_view_ = std::move(view);
+  }
+  stats_->read_views_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status ShardEngine::GetTableReader(const FileMetaData& f,
+                          std::shared_ptr<TableReader>* reader) {
+  TableHandle* handle = f.table_handle.get();
+  if (handle != nullptr) {
+    MutexLock lock(&handle->mu);
+    if (handle->reader != nullptr) {
+      *reader = handle->reader;
+      stats_->table_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  // Resolve through the sharded cache with no handle lock held (the open
+  // does real I/O on a cold file, and leaf locks never nest).
+  Status s = table_cache_->GetReader(cache_dir_id_, f.file_number,
+                                     f.file_size, reader);
+  if (s.ok() && handle != nullptr) {
+    MutexLock lock(&handle->mu);
+    if (handle->reader == nullptr) {
+      // Racing resolvers fetched the same cache entry; first store wins.
+      handle->reader = *reader;
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+Status ShardEngine::ResolveValue(const Slice& user_key, ValueType type,
+                        const std::string& raw, std::string* value) {
+  if (type == kTypeVlogPointer) {
+    VlogPointer ptr;
+    if (vlog_ == nullptr || !ptr.DecodeFrom(raw)) {
+      return Status::Corruption("bad vlog pointer");
+    }
+    return vlog_->Read(ptr, user_key, value);
+  }
+  *value = raw;
+  return Status::OK();
+}
+
+Status ShardEngine::ResolveMerge(const ReadOptions& options, const ReadView& view,
+                        const Slice& key, SequenceNumber snapshot,
+                        std::string* value) {
+  // Walk every version of `key` visible at `snapshot`, newest first,
+  // collecting merge operands until a base value, tombstone, or the end of
+  // the key's history. Reuses the caller's view so the chain is resolved
+  // against exactly the state the lookup probed.
+  auto iter = NewInternalIterator(options, view);
+  std::string seek_key;
+  AppendInternalKey(&seek_key,
+                    ParsedInternalKey(key, snapshot, kValueTypeForSeek));
+  std::vector<std::string> operand_storage;  // Newest first.
+  std::string base_storage;
+  bool has_base = false;
+  bool deleted = false;
+
+  for (iter->Seek(seek_key); iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter->key(), &parsed)) {
+      return Status::Corruption("malformed internal key during merge");
+    }
+    if (options_.comparator->Compare(parsed.user_key, key) != 0) {
+      break;  // Past this key's history.
+    }
+    if (parsed.sequence > snapshot) {
+      continue;
+    }
+    if (parsed.type == kTypeMerge) {
+      operand_storage.push_back(iter->value().ToString());
+      continue;
+    }
+    if (parsed.type == kTypeDeletion || parsed.type == kTypeSingleDeletion) {
+      deleted = true;
+    } else {
+      Status s = ResolveValue(parsed.user_key, parsed.type,
+                              iter->value().ToString(), &base_storage);
+      if (!s.ok()) {
+        return s;
+      }
+      has_base = true;
+    }
+    break;  // Any non-merge entry terminates the operand chain.
+  }
+  if (!iter->status().ok()) {
+    return iter->status();
+  }
+  if (operand_storage.empty() && deleted) {
+    return Status::NotFound("key deleted");
+  }
+
+  Slice base_slice(base_storage);
+  const Slice* base = has_base ? &base_slice : nullptr;
+
+  std::vector<Slice> operands;  // Oldest first for the operator.
+  operands.reserve(operand_storage.size());
+  for (auto it = operand_storage.rbegin(); it != operand_storage.rend();
+       ++it) {
+    operands.emplace_back(*it);
+  }
+  if (!options_.merge_operator->Merge(key, base, operands, value)) {
+    return Status::Corruption("merge operands failed to combine");
+  }
+  return Status::OK();
+}
+
+Status ShardEngine::Get(const ReadOptions& options, const Slice& key,
+               std::string* value) {
+  stats_->point_lookups.fetch_add(1, std::memory_order_relaxed);
+
+  // Steady-state Get takes no DB-wide mutex: one atomic load pins the whole
+  // read state (memtables + version), one atomic load picks the snapshot.
+  // A published last_sequence implies the covered write is already visible
+  // in the view (the write committed before publication, and view stores
+  // are release-ordered), so this pair can never miss a completed write.
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = options.snapshot_seqno != 0
+                                ? options.snapshot_seqno
+                                : versions_->last_sequence();
+
+  LookupKey lkey(key, snapshot);
+  std::string raw;
+  ValueType type;
+
+  // 1. Active memtable.
+  if (view->mem->Get(lkey, &raw, &type)) {
+    if (type == kTypeDeletion || type == kTypeSingleDeletion) {
+      return Status::NotFound("key deleted");
+    }
+    stats_->point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+    if (type == kTypeMerge) {
+      return ResolveMerge(options, *view, key, snapshot, value);
+    }
+    return ResolveValue(key, type, raw, value);
+  }
+  // 2. Immutable memtables, newest first.
+  for (const auto& imm : view->imms) {
+    if (imm->Get(lkey, &raw, &type)) {
+      if (type == kTypeDeletion || type == kTypeSingleDeletion) {
+        return Status::NotFound("key deleted");
+      }
+      stats_->point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+      if (type == kTypeMerge) {
+        return ResolveMerge(options, *view, key, snapshot, value);
+      }
+      return ResolveValue(key, type, raw, value);
+    }
+  }
+
+  // 3. Disk levels, shallow to deep; within a tiered level newest run first
+  // (tutorial §2.1.2 get path). Filters gate every run probe (§2.1.3).
+  const Version* version = view->version.get();
+  for (int level = 0; level < version->num_levels(); ++level) {
+    for (const FileMetaData* f : version->FilesContaining(level, key)) {
+      std::shared_ptr<TableReader> reader;
+      Status s = GetTableReader(*f, &reader);
+      if (!s.ok()) {
+        return s;
+      }
+      if (reader->KeyDefinitelyAbsent(key)) {
+        stats_->runs_skipped_by_filter.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      stats_->runs_probed.fetch_add(1, std::memory_order_relaxed);
+
+      bool found;
+      std::string entry_key;
+      s = reader->InternalGet(options, lkey.internal_key(), &found,
+                              &entry_key, &raw);
+      if (!s.ok()) {
+        return s;
+      }
+      if (!found) {
+        if (reader->has_filter()) {
+          // The filter said "maybe" but the run lacked the key.
+          stats_->filter_false_positives.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        continue;
+      }
+      ValueType found_type = ExtractValueType(entry_key);
+      if (found_type == kTypeDeletion || found_type == kTypeSingleDeletion) {
+        return Status::NotFound("key deleted");
+      }
+      stats_->point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+      if (found_type == kTypeMerge) {
+        return ResolveMerge(options, *view, key, snapshot, value);
+      }
+      return ResolveValue(key, found_type, raw, value);
+    }
+  }
+  return Status::NotFound("key not found");
+}
+
+std::vector<Status> ShardEngine::MultiGet(const ReadOptions& options,
+                                 const std::vector<Slice>& keys,
+                                 std::vector<std::string>* values) {
+  // Batch-level counters (multiget_batches / multiget_keys / point_lookups)
+  // are recorded by the facade, which may split one client batch across
+  // several engines; bumping them here too would double-count.
+  const size_t n = keys.size();
+  values->clear();
+  values->resize(n);
+  std::vector<Status> statuses(n);
+  if (n == 0) {
+    return statuses;
+  }
+
+  // One view and one snapshot serve the whole batch, so every key reads the
+  // same state (same guarantees as Get, amortized over n keys).
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = options.snapshot_seqno != 0
+                                ? options.snapshot_seqno
+                                : versions_->last_sequence();
+
+  struct KeyState {
+    LookupKey lkey;
+    bool done = false;
+    /// Readers that may hold this key, in probe order (level-major, run
+    /// order within a level) — filled in phase B, drained in phase C.
+    std::vector<TableReader*> probes;
+    /// Phase C (batched) cursor into `probes`.
+    size_t next_probe = 0;
+    explicit KeyState(const Slice& key, SequenceNumber seq)
+        : lkey(key, seq) {}
+  };
+  // deque: LookupKey is pinned in place (neither copyable nor movable).
+  std::deque<KeyState> states;
+  for (const Slice& key : keys) {
+    states.emplace_back(key, snapshot);
+  }
+
+  // Finishes key i with the entry found for it (any source).
+  auto resolve_entry = [&](size_t i, ValueType type, const std::string& raw) {
+    states[i].done = true;
+    if (type == kTypeDeletion || type == kTypeSingleDeletion) {
+      statuses[i] = Status::NotFound("key deleted");
+      return;
+    }
+    stats_->point_lookup_found.fetch_add(1, std::memory_order_relaxed);
+    if (type == kTypeMerge) {
+      statuses[i] =
+          ResolveMerge(options, *view, keys[i], snapshot, &(*values)[i]);
+      return;
+    }
+    statuses[i] = ResolveValue(keys[i], type, raw, &(*values)[i]);
+  };
+
+  // Phase A: memtables (active, then immutables newest first). Keys
+  // resolved here never touch disk at all.
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    std::string raw;
+    ValueType type;
+    bool hit = view->mem->Get(states[i].lkey, &raw, &type);
+    for (auto imm = view->imms.begin(); !hit && imm != view->imms.end();
+         ++imm) {
+      hit = (*imm)->Get(states[i].lkey, &raw, &type);
+    }
+    if (hit) {
+      resolve_entry(i, type, raw);
+      --remaining;
+    }
+  }
+
+  // Phase B: walk the tree once, file by file, resolving each candidate
+  // file's reader a single time and running every relevant filter check
+  // before any data-block I/O. Keys surviving the filter are queued on the
+  // file in probe order; a key queued on files of two levels probes the
+  // shallower one first, preserving Get's newest-wins semantics.
+  std::vector<std::shared_ptr<TableReader>> pinned_readers;
+  const Version* version = view->version.get();
+  for (int level = 0; remaining > 0 && level < version->num_levels();
+       ++level) {
+    // FilesContaining returns probe order per key; iterating keys per file
+    // keeps that order because a level's files are visited in stored order
+    // for leveled levels and newest-run-first for tiered ones.
+    for (size_t i = 0; i < n; ++i) {
+      if (states[i].done) {
+        continue;
+      }
+      for (const FileMetaData* f :
+           version->FilesContaining(level, keys[i])) {
+        std::shared_ptr<TableReader> reader;
+        Status s = GetTableReader(*f, &reader);
+        if (!s.ok()) {
+          statuses[i] = s;
+          states[i].done = true;
+          --remaining;
+          break;
+        }
+        if (reader->KeyDefinitelyAbsent(keys[i])) {
+          stats_->runs_skipped_by_filter.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          continue;
+        }
+        states[i].probes.push_back(reader.get());
+        pinned_readers.push_back(std::move(reader));
+      }
+    }
+  }
+
+  // Phase C (batched, the ReadOptions::batched_io default): rounds of one
+  // Env::MultiRead submission each. Every unresolved key locates — via its
+  // current probe target's pinned index — the one data block that may hold
+  // it; cache hits resolve immediately, the misses are deduped by
+  // (file, offset) and fetched together in a single submission, then
+  // searched. A key that misses its file advances to the next probe and
+  // joins the next round, so a key never reads a deeper file until the
+  // shallower one definitively missed — exactly Get's newest-wins walk,
+  // with the per-round device trips collapsed from k to 1.
+  if (options.batched_io && remaining > 0) {
+    struct PendingProbe {
+      size_t key;         // Index into states/statuses.
+      size_t read_index;  // Index into the round's unique reads.
+    };
+    std::vector<size_t> active;
+    for (size_t i = 0; i < n; ++i) {
+      if (!states[i].done) {
+        active.push_back(i);
+      }
+    }
+    while (!active.empty()) {
+      std::vector<PendingProbe> pending;
+      // The round's unique block reads, deduped by (file, offset).
+      std::vector<ReadRequest> reqs;
+      std::vector<std::unique_ptr<char[]>> bufs;
+      std::vector<TableReader*> req_reader;
+      std::vector<BlockHandle> req_handle;
+
+      for (size_t i : active) {
+        KeyState& st = states[i];
+        bool waiting = false;
+        while (st.next_probe < st.probes.size()) {
+          TableReader* reader = st.probes[st.next_probe];
+          stats_->runs_probed.fetch_add(1, std::memory_order_relaxed);
+          BlockHandle handle;
+          Status s;
+          if (!reader->LocateDataBlock(st.lkey.internal_key(), &handle, &s)) {
+            if (!s.ok()) {
+              statuses[i] = s;
+              st.done = true;
+              break;
+            }
+            // Index placed the key past the last block: miss in this file.
+            if (reader->has_filter()) {
+              stats_->filter_false_positives.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            ++st.next_probe;
+            continue;
+          }
+          auto cached = reader->LookupCachedBlock(handle.offset());
+          if (cached != nullptr) {
+            bool found;
+            std::string entry_key;
+            std::string raw;
+            Status bs = reader->SearchBlock(*cached, st.lkey.internal_key(),
+                                            &found, &entry_key, &raw);
+            if (!bs.ok()) {
+              statuses[i] = bs;
+              st.done = true;
+              break;
+            }
+            if (found) {
+              resolve_entry(i, ExtractValueType(entry_key), raw);
+              break;
+            }
+            if (reader->has_filter()) {
+              stats_->filter_false_positives.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            ++st.next_probe;
+            continue;
+          }
+          // Cold block: join this round's submission.
+          size_t read_index = reqs.size();
+          for (size_t r = 0; r < reqs.size(); ++r) {
+            if (req_reader[r] == reader &&
+                req_handle[r].offset() == handle.offset()) {
+              read_index = r;
+              break;
+            }
+          }
+          if (read_index == reqs.size()) {
+            size_t len =
+                static_cast<size_t>(handle.size()) + kBlockTrailerSize;
+            bufs.push_back(std::make_unique<char[]>(len));
+            ReadRequest req;
+            req.file = reader->file();
+            req.offset = handle.offset();
+            req.len = len;
+            req.scratch = bufs.back().get();
+            reqs.push_back(req);
+            req_reader.push_back(reader);
+            req_handle.push_back(handle);
+          }
+          pending.push_back(PendingProbe{i, read_index});
+          waiting = true;
+          break;
+        }
+        if (!waiting && !states[i].done) {
+          statuses[i] = Status::NotFound("key not found");
+          states[i].done = true;
+        }
+      }
+
+      std::vector<size_t> next_active;
+      if (!pending.empty()) {
+        options_.env->MultiRead(reqs.data(), reqs.size());
+        stats_->io_batches.fetch_add(1, std::memory_order_relaxed);
+        stats_->io_batch_reads.fetch_add(reqs.size(),
+                                        std::memory_order_relaxed);
+        // Materialize each unique block once (verify + cache-insert per
+        // the reader's fetch context, computed once for the whole batch).
+        std::vector<std::shared_ptr<const Block>> blocks(reqs.size());
+        std::vector<Status> block_status(reqs.size());
+        uint64_t bytes = 0;
+        for (size_t r = 0; r < reqs.size(); ++r) {
+          if (!reqs[r].status.ok()) {
+            block_status[r] = reqs[r].status;
+            continue;
+          }
+          bytes += reqs[r].result.size();
+          block_status[r] = req_reader[r]->FinishBatchedBlockRead(
+              req_reader[r]->MakeFetchContext(options), req_handle[r],
+              reqs[r].result, &blocks[r]);
+        }
+        stats_->io_batch_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        for (const PendingProbe& p : pending) {
+          KeyState& st = states[p.key];
+          if (!block_status[p.read_index].ok()) {
+            statuses[p.key] = block_status[p.read_index];
+            st.done = true;
+            continue;
+          }
+          TableReader* reader = st.probes[st.next_probe];
+          bool found;
+          std::string entry_key;
+          std::string raw;
+          Status bs =
+              reader->SearchBlock(*blocks[p.read_index],
+                                  st.lkey.internal_key(), &found, &entry_key,
+                                  &raw);
+          if (!bs.ok()) {
+            statuses[p.key] = bs;
+            st.done = true;
+            continue;
+          }
+          if (found) {
+            resolve_entry(p.key, ExtractValueType(entry_key), raw);
+            continue;
+          }
+          if (reader->has_filter()) {
+            stats_->filter_false_positives.fetch_add(1,
+                                                    std::memory_order_relaxed);
+          }
+          ++st.next_probe;
+          if (st.next_probe < st.probes.size()) {
+            next_active.push_back(p.key);
+          } else {
+            statuses[p.key] = Status::NotFound("key not found");
+            st.done = true;
+          }
+        }
+      }
+      active = std::move(next_active);
+    }
+    return statuses;
+  }
+
+  // Phase C (serial, batched_io off — the A/B baseline of experiment A6):
+  // data-block reads, deferred until all filtering is done. Each
+  // key walks its probe list shallow-to-deep and stops at the first file
+  // holding any visible entry (InternalGet seeks to the newest entry <=
+  // snapshot within the file, so per-file resolution matches Get).
+  for (size_t i = 0; i < n; ++i) {
+    if (states[i].done) {
+      continue;
+    }
+    bool resolved = false;
+    for (TableReader* reader : states[i].probes) {
+      stats_->runs_probed.fetch_add(1, std::memory_order_relaxed);
+      bool found;
+      std::string entry_key;
+      std::string raw;
+      Status s = reader->InternalGet(options, states[i].lkey.internal_key(),
+                                     &found, &entry_key, &raw);
+      if (!s.ok()) {
+        statuses[i] = s;
+        resolved = true;
+        break;
+      }
+      if (!found) {
+        if (reader->has_filter()) {
+          stats_->filter_false_positives.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        continue;
+      }
+      resolve_entry(i, ExtractValueType(entry_key), raw);
+      resolved = true;
+      break;
+    }
+    if (!resolved) {
+      statuses[i] = Status::NotFound("key not found");
+    }
+  }
+  return statuses;
+}
+
+// ---------------------------------------------------------------------------
+// Iterators / scans
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Iterator> ShardEngine::NewInternalIterator(const ReadOptions& options,
+                                                  const ReadView& view) {
+  // Mutex-free: the view already pins the memtables and Version, and the
+  // child iterators hold their own shared_ptrs, so the merged iterator
+  // outlives any concurrent flush or compaction.
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<MemTableIteratorAdapter>(view.mem));
+  for (const auto& imm : view.imms) {
+    children.push_back(std::make_unique<MemTableIteratorAdapter>(imm));
+  }
+
+  for (int level = 0; level < view.version->num_levels(); ++level) {
+    for (const auto& f : view.version->files(level)) {
+      std::shared_ptr<TableReader> reader;
+      Status s = GetTableReader(f, &reader);
+      if (!s.ok()) {
+        return NewEmptyIterator(s);
+      }
+      auto iter = reader->NewIterator(options);
+      children.push_back(std::make_unique<TableIteratorHolder>(
+          std::move(reader), std::move(iter)));
+    }
+  }
+  return NewMergingIterator(&internal_comparator_, std::move(children));
+}
+
+/// User-facing iterator: collapses versions, hides tombstones, resolves
+/// value-log pointers, and honours the snapshot.
+class ShardEngine::DBIter final : public Iterator {
+ public:
+  DBIter(ShardEngine* db, std::unique_ptr<Iterator> internal, SequenceNumber snapshot)
+      : db_(db), iter_(std::move(internal)), snapshot_(snapshot) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    iter_->SeekToFirst();
+    skip_key_.clear();
+    iter_already_advanced_ = false;
+    FindNextUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    std::string seek_key;
+    AppendInternalKey(&seek_key, ParsedInternalKey(target, snapshot_,
+                                                   kValueTypeForSeek));
+    iter_->Seek(seek_key);
+    skip_key_.clear();
+    iter_already_advanced_ = false;
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    skip_key_ = current_key_;  // Skip remaining versions of this key.
+    if (iter_already_advanced_) {
+      // A merge-chain resolution consumed this key's history and left the
+      // internal iterator on the next entry already.
+      iter_already_advanced_ = false;
+    } else {
+      iter_->Next();
+    }
+    FindNextUserEntry();
+  }
+
+  Slice key() const override {
+    assert(valid_);
+    return Slice(current_key_);
+  }
+  Slice value() const override {
+    assert(valid_);
+    return Slice(current_value_);
+  }
+  Status status() const override {
+    return status_.ok() ? iter_->status() : status_;
+  }
+
+ private:
+  void FindNextUserEntry() {
+    valid_ = false;
+    const Comparator* ucmp = db_->options_.comparator;
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        status_ = Status::Corruption("malformed internal key in iterator");
+        return;
+      }
+      if (parsed.sequence > snapshot_) {
+        iter_->Next();
+        continue;
+      }
+      if (!skip_key_.empty() &&
+          ucmp->Compare(parsed.user_key, skip_key_) == 0) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion ||
+          parsed.type == kTypeSingleDeletion) {
+        // Tombstone: hide all older versions of this key.
+        skip_key_ = parsed.user_key.ToString();
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeMerge) {
+        // Collect the operand chain down to the base value (§2.2.6).
+        if (!ResolveMergeChain(parsed.user_key)) {
+          return;  // status_ set.
+        }
+        iter_already_advanced_ = true;
+        valid_ = true;
+        return;
+      }
+      // Newest visible version of a live key.
+      current_key_ = parsed.user_key.ToString();
+      Status s = db_->ResolveValue(parsed.user_key, parsed.type,
+                                   iter_->value().ToString(),
+                                   &current_value_);
+      if (!s.ok()) {
+        status_ = s;
+        return;
+      }
+      valid_ = true;
+      return;
+    }
+  }
+
+  /// Positioned on the newest visible merge operand of `user_key`:
+  /// consumes the rest of the key's visible history, combines operands with
+  /// the base, and leaves current_key_/current_value_ set. Returns false if
+  /// an error occurred (status_ set). The internal iterator ends up past
+  /// this user key either way.
+  bool ResolveMergeChain(const Slice& user_key) {
+    const Comparator* ucmp = db_->options_.comparator;
+    current_key_ = user_key.ToString();
+    std::vector<std::string> operand_storage;
+    std::string base_storage;
+    bool has_base = false;
+
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        status_ = Status::Corruption("malformed internal key in merge chain");
+        return false;
+      }
+      if (ucmp->Compare(parsed.user_key, Slice(current_key_)) != 0) {
+        break;  // Past this key's history.
+      }
+      if (parsed.sequence > snapshot_) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeMerge) {
+        operand_storage.push_back(iter_->value().ToString());
+        iter_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion ||
+          parsed.type == kTypeSingleDeletion) {
+        // Chain bottoms out at a tombstone: merge over nothing.
+        break;
+      }
+      Status s = db_->ResolveValue(parsed.user_key, parsed.type,
+                                   iter_->value().ToString(), &base_storage);
+      if (!s.ok()) {
+        status_ = s;
+        return false;
+      }
+      has_base = true;
+      break;
+    }
+    skip_key_ = current_key_;  // Remaining versions are consumed.
+
+    Slice base_slice(base_storage);
+    std::vector<Slice> operands;
+    operands.reserve(operand_storage.size());
+    for (auto it = operand_storage.rbegin(); it != operand_storage.rend();
+         ++it) {
+      operands.emplace_back(*it);
+    }
+    if (db_->options_.merge_operator == nullptr ||
+        !db_->options_.merge_operator->Merge(current_key_,
+                                             has_base ? &base_slice : nullptr,
+                                             operands, &current_value_)) {
+      status_ = Status::Corruption("merge operands failed to combine");
+      return false;
+    }
+    return true;
+  }
+
+  ShardEngine* const db_;
+  std::unique_ptr<Iterator> iter_;
+  const SequenceNumber snapshot_;
+  bool valid_ = false;
+  bool iter_already_advanced_ = false;
+  std::string current_key_;
+  std::string current_value_;
+  std::string skip_key_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> ShardEngine::NewIterator(const ReadOptions& options) {
+  // range_scans is the facade's counter: one client scan may open one
+  // iterator per shard.
+  std::shared_ptr<const ReadView> view = AcquireReadView();
+  SequenceNumber snapshot = options.snapshot_seqno != 0
+                                ? options.snapshot_seqno
+                                : versions_->last_sequence();
+  auto internal = NewInternalIterator(options, *view);
+  return std::make_unique<DBIter>(this, std::move(internal), snapshot);
+}
+
+SequenceNumber ShardEngine::GetSnapshot() {
+  MutexLock lock(&mu_);
+  // The sequence load is lock-free, but registration must not race
+  // OldestSnapshot (compaction's drop-floor), which reads under mu_.
+  SequenceNumber snapshot = versions_->last_sequence();
+  snapshots_.insert(snapshot);
+  return snapshot;
+}
+
+void ShardEngine::ReleaseSnapshot(SequenceNumber snapshot) {
+  MutexLock lock(&mu_);
+  auto it = snapshots_.find(snapshot);
+  if (it != snapshots_.end()) {
+    snapshots_.erase(it);
+  }
+}
+
+SequenceNumber ShardEngine::OldestSnapshot() const {
+  return snapshots_.empty() ? versions_->last_sequence()
+                            : *snapshots_.begin();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::string ShardEngine::LevelsDebugString() const {
+  MutexLock lock(&mu_);
+  return versions_->current()->DebugString();
+}
+
+std::string ShardEngine::DebugLevelSummary() const {
+  MutexLock lock(&mu_);
+  std::shared_ptr<const Version> v = versions_->current();
+  std::string out;
+  char buf[256];
+  for (int level = 0; level < v->num_levels(); ++level) {
+    const auto& files = v->files(level);
+    uint64_t bytes = 0;
+    for (const auto& f : files) {
+      bytes += f.file_size;
+    }
+    size_t slot = static_cast<size_t>(
+        std::min(level, Statistics::kMaxStatsLevels - 1));
+    std::snprintf(
+        buf, sizeof(buf),
+        "L%d%s: %zu files, %llu bytes | compactions=%llu read=%llu "
+        "written=%llu\n",
+        level, v->IsTieredLevel(level) ? " (tiered)" : "", files.size(),
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(stats_->compactions_at_level[slot]),
+        static_cast<unsigned long long>(
+            stats_->compaction_bytes_read_at_level[slot]),
+        static_cast<unsigned long long>(
+            stats_->compaction_bytes_written_at_level[slot]));
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "running=%d (max observed %llu), subcompaction shards=%llu\n",
+      compactions_running_,
+      static_cast<unsigned long long>(stats_->max_compactions_running),
+      static_cast<unsigned long long>(stats_->subcompactions));
+  out += buf;
+  for (const auto& rc : running_compactions_) {
+    const CompactionPlan& plan = rc.job->plan();
+    std::snprintf(buf, sizeof(buf), "  job %llu: L%d->L%d, %zu input file(s)\n",
+                  static_cast<unsigned long long>(rc.job_id), plan.input_level,
+                  plan.output_level, plan.inputs.size());
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "read path: views published=%llu, table cache hits=%llu misses=%llu, "
+      "multiget batches=%llu (%llu keys)\n",
+      static_cast<unsigned long long>(stats_->read_views_published.load()),
+      static_cast<unsigned long long>(stats_->table_cache_hits.load()),
+      static_cast<unsigned long long>(stats_->table_cache_misses.load()),
+      static_cast<unsigned long long>(stats_->multiget_batches.load()),
+      static_cast<unsigned long long>(stats_->multiget_keys.load()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "batched io: batches=%llu reads=%llu bytes=%llu, "
+      "readahead hits=%llu misses=%llu\n",
+      static_cast<unsigned long long>(stats_->io_batches.load()),
+      static_cast<unsigned long long>(stats_->io_batch_reads.load()),
+      static_cast<unsigned long long>(stats_->io_batch_bytes.load()),
+      static_cast<unsigned long long>(stats_->readahead_hits.load()),
+      static_cast<unsigned long long>(stats_->readahead_misses.load()));
+  out += buf;
+  Histogram durations = stats_->CompactionDurations();
+  if (durations.num() > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "job duration micros: n=%llu avg=%.0f p95=%.0f max=%.0f\n",
+                  static_cast<unsigned long long>(durations.num()),
+                  durations.Average(), durations.Percentile(95.0),
+                  durations.max());
+    out += buf;
+  }
+  if (!error_state_.ok()) {
+    std::snprintf(buf, sizeof(buf), "background error: [%s/%s] %s\n",
+                  ErrorSeverityName(error_state_.severity),
+                  ErrorSourceName(error_state_.source),
+                  error_state_.status.ToString().c_str());
+    out += buf;
+  }
+  if (!error_state_.first_status.ok()) {
+    // First-error provenance: retries and promotions may overwrite the
+    // current status, but the original cause is what an operator debugs.
+    std::snprintf(buf, sizeof(buf),
+                  "first background error: [%s] %s at t=%llu us\n",
+                  ErrorSourceName(error_state_.first_source),
+                  error_state_.first_status.ToString().c_str(),
+                  static_cast<unsigned long long>(
+                      error_state_.first_error_micros));
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "bg errors: soft=%llu hard=%llu retries=%llu retry_success=%llu "
+      "resume_calls=%llu\n",
+      static_cast<unsigned long long>(stats_->bg_error_soft.load()),
+      static_cast<unsigned long long>(stats_->bg_error_hard.load()),
+      static_cast<unsigned long long>(stats_->bg_retries.load()),
+      static_cast<unsigned long long>(stats_->bg_retry_success.load()),
+      static_cast<unsigned long long>(stats_->resume_calls.load()));
+  out += buf;
+  return out;
+}
+
+std::string ShardEngine::DebugShardSection() const {
+  MutexLock lock(&mu_);
+  std::shared_ptr<const Version> v = versions_->current();
+  std::string out;
+  char buf[256];
+  for (int level = 0; level < v->num_levels(); ++level) {
+    const auto& files = v->files(level);
+    uint64_t bytes = 0;
+    for (const auto& f : files) {
+      bytes += f.file_size;
+    }
+    if (files.empty()) {
+      continue;  // Per-shard sections list only populated levels.
+    }
+    std::snprintf(buf, sizeof(buf), "  L%d%s: %zu files, %llu bytes\n", level,
+                  v->IsTieredLevel(level) ? " (tiered)" : "", files.size(),
+                  static_cast<unsigned long long>(bytes));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  running compactions=%d\n",
+                compactions_running_);
+  out += buf;
+  for (const auto& rc : running_compactions_) {
+    const CompactionPlan& plan = rc.job->plan();
+    std::snprintf(buf, sizeof(buf),
+                  "    job %llu: L%d->L%d, %zu input file(s)\n",
+                  static_cast<unsigned long long>(rc.job_id), plan.input_level,
+                  plan.output_level, plan.inputs.size());
+    out += buf;
+  }
+  if (!error_state_.ok()) {
+    std::snprintf(buf, sizeof(buf), "  background error: [%s/%s] %s\n",
+                  ErrorSeverityName(error_state_.severity),
+                  ErrorSourceName(error_state_.source),
+                  error_state_.status.ToString().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+int ShardEngine::TotalSortedRuns() const {
+  MutexLock lock(&mu_);
+  return versions_->current()->TotalSortedRuns();
+}
+
+uint64_t ShardEngine::TotalSstBytes() const {
+  MutexLock lock(&mu_);
+  return versions_->current()->TotalBytes();
+}
+
+uint64_t ShardEngine::CountLiveEntries() {
+  auto iter = NewIterator(ReadOptions());
+  uint64_t count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ++count;
+  }
+  return count;
+}
+
+Status ShardEngine::ValidateTreeInvariants() const {
+  std::shared_ptr<const Version> version;
+  {
+    MutexLock lock(&mu_);
+    version = versions_->current();
+  }
+  const Comparator* ucmp = options_.comparator;
+  for (int level = 0; level < version->num_levels(); ++level) {
+    const auto& files = version->files(level);
+    for (const auto& f : files) {
+      if (f.file_number == 0 || f.file_size == 0) {
+        return Status::Corruption("file with zero number/size at level " +
+                                  std::to_string(level));
+      }
+      if (ucmp->Compare(f.smallest.user_key(), f.largest.user_key()) > 0) {
+        return Status::Corruption("file with inverted key range at level " +
+                                  std::to_string(level));
+      }
+      if (f.num_tombstones > f.num_entries) {
+        return Status::Corruption("more tombstones than entries at level " +
+                                  std::to_string(level));
+      }
+      if (f.num_tombstones > 0 && f.oldest_tombstone_time_micros == 0) {
+        return Status::Corruption(
+            "tombstones without an age stamp at level " +
+            std::to_string(level));
+      }
+      if (!options_.env->FileExists(TableFileName(dbname_, f.file_number))) {
+        return Status::Corruption(
+            "version references missing table file " +
+            std::to_string(f.file_number) + " at level " +
+            std::to_string(level));
+      }
+    }
+    // Leveled levels (other than the overlap-tolerant L0) must hold sorted,
+    // pairwise-disjoint files: together they form one sorted run.
+    if (level > 0 && !version->IsTieredLevel(level)) {
+      for (size_t i = 1; i < files.size(); ++i) {
+        if (ucmp->Compare(files[i - 1].largest.user_key(),
+                          files[i].smallest.user_key()) >= 0) {
+          return Status::Corruption("overlapping files in leveled level " +
+                                    std::to_string(level));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,555 @@
+#ifndef LSMLAB_DB_SHARD_ENGINE_H_
+#define LSMLAB_DB_SHARD_ENGINE_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "compaction/compaction_job.h"
+#include "compaction/compaction_picker.h"
+#include "db/dbformat.h"
+#include "db/error_state.h"
+#include "db/statistics.h"
+#include "db/table_cache.h"
+#include "db/write_batch.h"
+#include "io/wal_writer.h"
+#include "kvsep/vlog.h"
+#include "memtable/memtable.h"
+#include "table/iterator.h"
+#include "table/table_builder.h"
+#include "util/histogram.h"
+#include "util/mutex.h"
+#include "util/options.h"
+#include "util/rate_limiter.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+#include "version/version_set.h"
+
+namespace lsmlab {
+
+/// An immutable snapshot of everything a point lookup or iterator needs:
+/// the active memtable, the immutable memtables (newest first — probe
+/// order), the current Version, and the newest sequence published when the
+/// view was built. Reference-counted and swapped behind a dedicated
+/// pointer-sized leaf lock, so readers acquire a consistent view with one
+/// shared_ptr copy instead of locking the DB mutex and copying vectors.
+/// (A std::atomic<shared_ptr> would read nicer but is a hidden spinlock in
+/// libstdc++ whose relaxed unlock trips ThreadSanitizer; an explicit leaf
+/// mutex costs the same two atomic ops and is model-clean.) The shared_ptrs
+/// inside double as lifetime pins: a reader holding a stale view keeps its
+/// memtables and SSTables alive even after a flush or compaction replaced
+/// them.
+struct ReadView {
+  std::shared_ptr<MemTable> mem;
+  /// Immutable memtables, newest first.
+  std::vector<std::shared_ptr<MemTable>> imms;
+  std::shared_ptr<const Version> version;
+  /// VersionSet::last_sequence() observed at publication. Readers must NOT
+  /// use this as their snapshot (it is stale the moment a later write
+  /// commits); they re-load the live counter. Kept for diagnostics.
+  SequenceNumber published_sequence = 0;
+};
+
+/// Process-wide resources a ShardEngine borrows from its owning facade
+/// (DESIGN.md, "Sharding architecture"). None are owned by the engine; the
+/// facade guarantees they outlive every engine. Sharing them is what makes
+/// an N-shard DB one database rather than N: one block cache, one
+/// background pool, one compaction rate budget, one Statistics block.
+struct ShardResources {
+  LruCache* block_cache = nullptr;
+  TableCache* table_cache = nullptr;
+  ThreadPool* pool = nullptr;
+  RateLimiter* rate_limiter = nullptr;  // Null disables throttling.
+  Statistics* stats = nullptr;
+};
+
+/// ShardEngine is the lsmlab storage engine core: a single-keyspace
+/// LSM-tree exposing the external operations of tutorial §2.1.2 (put, get,
+/// scan, delete) with every internal design decision (§2.2, §2.3)
+/// controlled by Options. One engine owns one directory: its WAL, memtable
+/// lifecycle, manifest/VersionSet, error state, and background scheduling.
+/// The public entry point is the ShardedDB facade in db/db.h, which routes
+/// a range-partitioned keyspace across N engines; with one shard the
+/// facade is a pass-through and the engine *is* the database.
+///
+/// Concurrency model: any number of reader threads; flushes and compactions
+/// run on a (shared) background pool. Writers go through a
+/// LevelDB/RocksDB-style group-commit queue (leader/follower protocol):
+/// each writer enqueues itself under `writer_queue_mu_`; the front writer
+/// becomes *leader*, coalesces the batches of compatible queued followers
+/// into one group, and commits the whole group — one sequence range, one
+/// WAL record, and (for sync writes) one fsync — before waking the
+/// followers with their statuses. Only the leader ever runs the
+/// write-stall ladder (MakeRoomForWrite) or touches the WAL, so the
+/// expensive WAL append + Sync happen entirely outside `mu_`; `mu_` is
+/// held only to make room, to assign sequence numbers, and to apply the
+/// merged batch to the memtable. Lock ordering: `writer_queue_mu_` is
+/// acquired before `mu_`, never after it. Forward iteration only.
+///
+/// Cross-shard atomicity (two-phase commit, driven by the facade):
+/// PrepareWrite appends a *synced* prepare record carrying the shard's
+/// slice of a cross-shard batch, without assigning sequences or touching
+/// the memtable. After the facade's commit record is durable,
+/// CommitPrepared assigns sequences, appends an (unsynced) commit marker,
+/// and applies the slice. Recovery stashes prepare payloads and replays
+/// them at their marker — or, for ids the facade's commit log proves
+/// committed, at end of replay when the marker was lost in a torn tail.
+/// WAL files referenced by an outstanding prepare are retained past the
+/// normal flush horizon until the marker's log is itself obsolete.
+class ShardEngine {
+ public:
+  /// Opens (creating if configured) the engine at `name`, borrowing the
+  /// facade's shared `resources`. `committed_prepares` lists cross-shard
+  /// batch ids whose facade commit record survived — prepares for these
+  /// ids are applied during recovery even when their commit marker was
+  /// lost; it is read only during Open. Assumes `options` were already
+  /// validated by the facade.
+  static Status Open(const Options& options, const std::string& name,
+                     const ShardResources& resources,
+                     const std::set<uint64_t>* committed_prepares,
+                     std::unique_ptr<ShardEngine>* dbptr);
+
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  // --- External operations (tutorial §2.1.2) -------------------------------
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value);
+  /// Logical delete: writes a tombstone (§2.1.2).
+  Status Delete(const WriteOptions& options, const Slice& key);
+  /// Single-delete for keys written at most once; the tombstone annihilates
+  /// with the first older put it meets during compaction (§2.3.3).
+  Status SingleDelete(const WriteOptions& options, const Slice& key);
+  /// Range delete, realized as a snapshot scan writing one tombstone per
+  /// live key in [begin, end) — the simple strategy predating native range
+  /// tombstones (documented simplification).
+  Status DeleteRange(const WriteOptions& options, const Slice& begin,
+                     const Slice& end);
+
+  /// Read-modify-write without reading (tutorial §2.2.6): buffers a merge
+  /// operand combined with the base value lazily at read/compaction time.
+  /// Requires Options::merge_operator.
+  Status Merge(const WriteOptions& options, const Slice& key,
+               const Slice& operand);
+
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value);
+
+  /// Batched point lookup: resolves every key under one ReadView (one
+  /// atomic acquire for the whole batch) and reorders the work file-by-file
+  /// — all memtable probes first, then every filter check, then data-block
+  /// reads — so a table's filter and reader are touched once per batch
+  /// instead of once per key. Returns one Status per key, aligned with
+  /// `keys`; `values` is resized to match. Batch-level statistics
+  /// (multiget_batches / multiget_keys / point_lookups) are the facade's to
+  /// record — it may split one client batch across several engines.
+  std::vector<Status> MultiGet(const ReadOptions& options,
+                               const std::vector<Slice>& keys,
+                               std::vector<std::string>* values);
+
+  /// Applies all operations in `batch` atomically: one WAL record, one
+  /// sequence-number range, all-or-nothing recovery.
+  Status Write(const WriteOptions& options, WriteBatch* batch);
+
+  // --- Cross-shard two-phase commit (facade-driven) ------------------------
+  /// Phase 1: durably logs `batch` under cross-shard id `id` (synced
+  /// prepare record) without assigning sequences or touching the memtable.
+  /// The payload is retained (and its WAL protected from deletion) until
+  /// CommitPrepared or AbortPrepared resolves the id.
+  Status PrepareWrite(const WriteOptions& options, WriteBatch* batch,
+                      uint64_t id) EXCLUDES(writer_queue_mu_, mu_);
+  /// Phase 2: assigns sequences to the previously prepared `batch`, logs
+  /// an (unsynced) commit marker, and applies the batch to the memtable.
+  /// Only called after the facade's commit record for `id` is durable.
+  Status CommitPrepared(uint64_t id, WriteBatch* batch)
+      EXCLUDES(writer_queue_mu_, mu_);
+  /// Drops a prepared id (another shard's prepare failed). The prepare
+  /// record stays in the WAL; recovery discards prepares whose id neither
+  /// has a marker nor appears in the facade's commit log.
+  void AbortPrepared(uint64_t id) EXCLUDES(mu_);
+
+  /// Iterator over user keys (newest visible version of each, tombstones
+  /// suppressed). Forward-only. Scan statistics (range_scans) are the
+  /// facade's to record.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options);
+
+  /// Snapshots pin a sequence number; reads at a snapshot see only writes
+  /// with sequence <= it, and compactions preserve what snapshots need.
+  SequenceNumber GetSnapshot();
+  void ReleaseSnapshot(SequenceNumber snapshot);
+
+  /// Newest committed sequence. The facade reads one per shard (under its
+  /// commit lock) to cut a consistent multi-shard snapshot.
+  SequenceNumber LastSequence() const { return versions_->last_sequence(); }
+
+  /// Highest cross-shard batch id seen in this shard's WALs during
+  /// recovery (0 if none). The facade starts its id counter above the
+  /// maximum across shards and the commit log, so a stale prepare record
+  /// lingering in a retained WAL can never collide with a fresh batch id
+  /// and be resurrected by a later recovery.
+  uint64_t max_recovered_prepare_id() const {
+    return max_recovered_prepare_id_;
+  }
+
+  // --- Internal operations, exposed for control & experiments --------------
+  /// Forces the current memtable to disk and waits for the flush.
+  Status Flush();
+  /// Merges everything down as far as the layout allows (manual, blocking).
+  Status CompactRange();
+  /// Blocks until no flush or compaction is queued or running.
+  Status WaitForBackgroundWork();
+  /// Rewrites value logs dropping dead values (WiscKey GC). No-op without
+  /// kv separation.
+  Status GarbageCollectVlog();
+
+  /// Clears a background-error state after the operator fixed the cause
+  /// (freed disk space, remounted the device). For a hard manifest error it
+  /// rolls a fresh manifest; for a hard WAL error it rotates the WAL and
+  /// flushes the sealed memtable so no acked write depends on the poisoned
+  /// log; soft errors are simply cleared and their work rescheduled. A
+  /// partially-applied write group (memtable source) is not resumable —
+  /// reopen instead. Returns the error still in force if repair fails.
+  /// resume_calls statistics are the facade's to record.
+  Status Resume() EXCLUDES(writer_queue_mu_, mu_);
+
+  /// Stops accepting background work and wakes waiters. The facade calls
+  /// this on every shard before draining the shared pool, so one slow
+  /// shard's queue cannot delay another's shutdown. Idempotent; the
+  /// destructor also calls it.
+  void BeginShutdown() EXCLUDES(mu_);
+
+  // --- Introspection --------------------------------------------------------
+  VlogManager* vlog() { return vlog_.get(); }
+  /// Current tree shape, one line per non-empty level.
+  std::string LevelsDebugString() const;
+  /// Multi-line dump of per-level shape and compaction counters plus the
+  /// currently running background jobs; for tests and benches. Includes
+  /// the process-wide statistics block — byte-identical to the historical
+  /// single-engine output, so the facade delegates to it verbatim at N=1.
+  std::string DebugLevelSummary() const;
+  /// The per-shard portion of DebugLevelSummary (tree shape and running
+  /// jobs, no process-wide statistics); the facade stitches one per shard
+  /// under a single shared-statistics block at N>1.
+  std::string DebugShardSection() const;
+  /// Number of sorted runs a point lookup may probe.
+  int TotalSortedRuns() const;
+  uint64_t TotalSstBytes() const;
+  /// Approximate count of live (visible) entries; walks a full iterator.
+  uint64_t CountLiveEntries();
+  const Options& options() const { return options_; }
+
+  /// Snapshot of the background-error condition (current error, severity,
+  /// source, and first-error provenance).
+  ErrorState BackgroundErrorState() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return error_state_;
+  }
+
+  /// Structural self-check of the LSM invariants (DESIGN.md §4): leveled
+  /// levels hold disjoint, sorted files; every file's metadata matches its
+  /// contents; no level exceeds num_levels. Returns the first violation.
+  /// Intended for tests and debugging; walks file metadata only.
+  Status ValidateTreeInvariants() const;
+
+ private:
+  ShardEngine(const Options& options, std::string dbname,
+              const ShardResources& resources);
+
+  struct Writer;
+
+  Status Initialize(const std::set<uint64_t>* committed_prepares);
+  Status Recover(const std::set<uint64_t>* committed_prepares);
+  /// Replays one WAL file into L0 tables. Must be called *without* mu_
+  /// (BuildTableFromIterator takes it internally); recovery is
+  /// single-threaded, so the tables it builds race nothing.
+  /// `*stop_replay` is set when a corrupt record was tolerated under
+  /// point-in-time recovery: replay must not continue into later logs
+  /// (recovering past the corruption would break prefix consistency).
+  /// `prepare_stash` accumulates cross-shard prepare payloads (id → batch
+  /// rep) across log files; a commit-marker record applies and erases its
+  /// stash entry, and Recover resolves leftovers against the facade's
+  /// committed-id set. With `tagged_only` (logs below the manifest's log
+  /// number, retained only for a cross-shard prepare) normal records are
+  /// skipped — their data is already flushed — and a marker retires its
+  /// stash entry without re-applying it.
+  Status RecoverLogFile(uint64_t log_number, bool tagged_only,
+                        SequenceNumber* max_sequence,
+                        VersionEdit* edit, bool* stop_replay,
+                        std::map<uint64_t, std::string>* prepare_stash)
+      EXCLUDES(mu_);
+  Status NewMemTableAndLog() REQUIRES(mu_);
+  /// Seals the active memtable into imms_ and swaps in a fresh one. The
+  /// outgoing WAL is fsynced first so every sealed (non-active) log is a
+  /// fully durable prefix — a crash can then only lose the tail of the
+  /// *active* WAL, preserving prefix-consistent recovery across log files.
+  /// `skip_old_wal_sync` is for Resume(): the outgoing WAL is known-poisoned
+  /// and its contents are re-persisted via the flush the caller schedules.
+  Status NewMemTableAndLogLocked(bool skip_old_wal_sync = false)
+      REQUIRES(mu_);
+  std::unique_ptr<MemTable> MakeMemTable() const;
+
+  Status WriteInternal(const WriteOptions& options, ValueType type,
+                       const Slice& key, const Slice& value);
+  /// Shared core of every write: enqueues onto the group-commit writer
+  /// queue and returns once a leader (possibly this writer) has committed
+  /// the batch.
+  Status WriteBatchInternal(const WriteOptions& options, WriteBatch* batch);
+  /// Enqueues `w`, waits for a leader to commit it (or for leadership), and
+  /// as leader commits the whole group and hands leadership on.
+  Status EnqueueWriter(Writer* w) EXCLUDES(writer_queue_mu_, mu_);
+  /// Collects the leader plus compatible followers from the front of
+  /// write_queue_ into `group`. Two-phase-commit writers never coalesce:
+  /// a prepare/commit leader runs solo, and group building stops at one.
+  void BuildWriteGroup(Writer* leader, std::vector<Writer*>* group)
+      REQUIRES(writer_queue_mu_);
+  /// Leader-only: assigns the group's sequence range, writes one WAL
+  /// record (+ optional fsync) outside mu_, applies the merged batch to
+  /// the memtable, and publishes the new last_sequence.
+  Status CommitWriteGroup(Writer* leader, const std::vector<Writer*>& group)
+      EXCLUDES(mu_);
+  /// Leader-only: appends + syncs the prepare record for a kPrepare writer
+  /// and registers the id in pending_prepares_.
+  Status LeaderPrepare(Writer* w) EXCLUDES(mu_);
+  /// Leader-only: assigns sequences, appends the commit marker, applies
+  /// the batch, and moves the id to committed_prepares_.
+  Status LeaderCommitPrepared(Writer* w) EXCLUDES(mu_);
+  /// Seals the active memtable via the writer queue (so the swap cannot
+  /// race a leader's WAL write); used by Flush(). With `force`, seals even
+  /// when the memtable is empty or a hard error is in force (Resume()'s WAL
+  /// rotation).
+  Status SealActiveMemTable(bool force = false);
+  /// Blocks (or fails with Busy under no_slowdown) until the write path has
+  /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
+  /// Only the current write-queue leader may call this. Drops and reacquires
+  /// mu_ internally around delay sleeps and stall waits.
+  Status MakeRoomForWrite(bool no_slowdown) REQUIRES(mu_);
+
+  /// Builds an SSTable at `level` from `iter`; returns its metadata.
+  /// Takes mu_ internally to pin/unpin the output file number.
+  Status BuildTableFromIterator(Iterator* iter, int level,
+                                uint64_t oldest_tombstone_hint,
+                                FileMetaData* meta) EXCLUDES(mu_);
+  TableBuilderOptions MakeBuilderOptions(int level) const;
+
+  /// Classifies and records a background error (severity, source, first
+  /// cause), bumps the matching stat, and wakes waiters.
+  void RecordBackgroundError(const Status& s, ErrorSeverity severity,
+                             ErrorSource source) REQUIRES(mu_);
+  /// Backoff delay before soft-error retry number `attempt` (0-based).
+  uint64_t RetryDelayMicros(int attempt) const;
+  /// Sleeps ~`micros` on the calling (pool) thread in small chunks,
+  /// returning false early if the DB began shutting down.
+  bool SleepForRetry(uint64_t micros) EXCLUDES(mu_);
+  /// Pool tasks re-running failed work after backoff.
+  void RetryFlushAfterBackoff(uint64_t delay_micros) EXCLUDES(mu_);
+  void RetryCompactionAfterBackoff(uint64_t delay_micros) EXCLUDES(mu_);
+
+  void MaybeScheduleFlush() REQUIRES(mu_);
+  /// Admission loop: keeps picking and admitting compaction jobs whose
+  /// key-ranges and files are disjoint from every running job, until the
+  /// picker finds nothing admissible or the concurrency limit is reached.
+  void MaybeScheduleCompaction() REQUIRES(mu_);
+  void BackgroundFlush() EXCLUDES(mu_);
+  /// Pool entry point for one admitted job: runs it off mu_, installs its
+  /// edit (or cleans up), unregisters its claims, and re-runs admission.
+  void BackgroundCompaction(std::shared_ptr<CompactionJob> job) EXCLUDES(mu_);
+
+  /// Builds the executor context (callbacks, snapshot floor) for a new job.
+  CompactionJob::Context MakeCompactionContextLocked() REQUIRES(mu_);
+  /// Registers `plan`'s files and key-range claims, bumps the running
+  /// count, and schedules the job on the pool.
+  void AdmitCompactionLocked(CompactionPlan plan) REQUIRES(mu_);
+  /// Drops a finished job's file and range claims.
+  void UnregisterCompactionLocked(uint64_t job_id) REQUIRES(mu_);
+  /// Applies a finished job's edit atomically, releases its output pins,
+  /// records per-level stats, and collects obsolete inputs.
+  Status InstallCompactionLocked(CompactionJob* job) REQUIRES(mu_);
+  /// Concurrency cap: max_background_compactions, defaulting to the pool
+  /// size when 0.
+  int MaxConcurrentCompactions() const;
+
+  void RemoveObsoleteFiles() REQUIRES(mu_);
+
+  /// The oldest WAL the engine may let go of, given `normal_min` (the
+  /// oldest log the memtable pipeline still needs). Prunes
+  /// committed_prepares_ entries whose marker log is itself below
+  /// normal_min, then clamps to the oldest log any outstanding prepare
+  /// still lives in — a prepared-but-unresolved id must survive a crash,
+  /// and a committed id's payload must survive until its marker's log is
+  /// obsolete (recovery then sees the marker — or neither record — and
+  /// never re-applies the flushed payload).
+  uint64_t ClampWalRetentionLocked(uint64_t normal_min) REQUIRES(mu_);
+
+  /// Deletes on-disk WALs below `keep_floor`, strictly oldest-first and
+  /// stopping at the first file that refuses to go. Ordered deletion keeps
+  /// the surviving logs a suffix of history, which recovery's
+  /// prepare/marker reasoning depends on.
+  void DeleteObsoleteWalsLocked(uint64_t keep_floor) REQUIRES(mu_);
+
+  SequenceNumber OldestSnapshot() const REQUIRES(mu_);
+
+  Status ResolveValue(const Slice& user_key, ValueType type,
+                      const std::string& raw, std::string* value);
+
+  /// Slow path for keys whose newest visible entry is a merge operand:
+  /// walks all versions of `key` at `snapshot` within `view`, collects
+  /// operands down to the base value, and applies the merge operator.
+  Status ResolveMerge(const ReadOptions& options, const ReadView& view,
+                      const Slice& key, SequenceNumber snapshot,
+                      std::string* value);
+
+  // --- Low-contention read path -----------------------------------------
+  /// One pointer copy under the dedicated view lock. Never null after
+  /// Initialize succeeds.
+  std::shared_ptr<const ReadView> AcquireReadView() const
+      EXCLUDES(read_view_mu_) {
+    MutexLock lock(&read_view_mu_);
+    return read_view_;
+  }
+  /// Rebuilds the view from {mem_, imms_, versions_->current()} and swaps
+  /// it in under read_view_mu_. Called only by the paths that change view
+  /// membership: Recover, memtable seal, flush install, and compaction
+  /// install.
+  void PublishReadView() REQUIRES(mu_) EXCLUDES(read_view_mu_);
+  /// Resolves the open TableReader for `f`, preferring the per-file pin in
+  /// f.table_handle (one atomic load, no shard lock) and falling back to
+  /// the sharded TableCache on first touch, then publishing the result into
+  /// the pin for every later reader of any Version containing the file.
+  Status GetTableReader(const FileMetaData& f,
+                        std::shared_ptr<TableReader>* reader);
+
+  class DBIter;
+  std::unique_ptr<Iterator> NewInternalIterator(const ReadOptions& options,
+                                                const ReadView& view);
+  /// Fetches the raw (unresolved) vlog pointer currently stored for `key`;
+  /// NotFound when the key is deleted, absent, or stored inline.
+  Status GetRawPointer(const ReadOptions& options, const Slice& key,
+                       std::string* raw);
+
+  // ---------------------------------------------------------------------
+  const Options options_;  // Normalized copy (env/clock/comparator filled).
+  const std::string dbname_;
+  InternalKeyComparator internal_comparator_;
+
+  // Facade-owned shared resources (see ShardResources). Never null.
+  Statistics* const stats_;
+  LruCache* const block_cache_;
+  TableCache* const table_cache_;
+  ThreadPool* const pool_;
+  RateLimiter* const compaction_rate_limiter_;  // Null disables throttling.
+  /// This engine's directory scope in the shared table cache; qualifies
+  /// every (file number → reader / block-cache key) translation.
+  uint64_t cache_dir_id_ = 0;
+
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPicker> picker_;
+  std::unique_ptr<VlogManager> vlog_;
+  std::vector<double> monkey_bits_;  // Per-level filter bits (Monkey).
+
+  /// The DB mutex: root of the lock hierarchy (see DESIGN.md, "Locking
+  /// discipline"). May be held while taking any leaf lock (VersionSet,
+  /// picker, caches, pool) but never while taking writer_queue_mu_.
+  mutable Mutex mu_;
+  CondVar background_cv_;
+
+  std::shared_ptr<MemTable> mem_ GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<MemTable>> imms_ GUARDED_BY(mu_);  // Oldest 1st.
+  /// Leaf lock for the published view pointer only. Its critical section is
+  /// a shared_ptr copy (two atomic ops), so readers never wait on flush
+  /// installs, manifest writes, or compaction bookkeeping, all of which
+  /// hold mu_. Ordered after mu_ (publishers hold mu_ while swapping);
+  /// readers take it alone.
+  mutable Mutex read_view_mu_;
+  /// Published read snapshot (see ReadView). Republished by the membership-
+  /// changing paths (seal, flush install, compaction install, recovery)
+  /// while they hold mu_.
+  std::shared_ptr<const ReadView> read_view_ GUARDED_BY(read_view_mu_);
+  uint64_t log_file_number_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> log_file_ GUARDED_BY(mu_);
+  std::unique_ptr<wal::Writer> log_ GUARDED_BY(mu_);
+  /// Log numbers backing the immutable memtables (oldest first).
+  std::deque<uint64_t> imm_log_numbers_ GUARDED_BY(mu_);
+
+  /// Cross-shard ids prepared in this engine but not yet committed or
+  /// aborted, mapped to the log file holding their prepare record (WAL
+  /// retention floor).
+  std::map<uint64_t, uint64_t> pending_prepares_ GUARDED_BY(mu_);
+  /// Committed cross-shard ids whose prepare payload must stay replayable:
+  /// maps id → {prepare log, marker log}. An entry prunes once the marker
+  /// log falls below the normal flush horizon (its applied data is then in
+  /// SSTables).
+  struct CommittedPrepare {
+    uint64_t prepare_log = 0;
+    uint64_t marker_log = 0;
+  };
+  std::map<uint64_t, CommittedPrepare> committed_prepares_ GUARDED_BY(mu_);
+  /// Highest cross-shard id seen in any WAL record during recovery; written
+  /// single-threaded before the engine goes live, read-only afterwards.
+  uint64_t max_recovered_prepare_id_ = 0;
+
+  std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
+
+  bool flush_scheduled_ GUARDED_BY(mu_) = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  /// Background-error condition: severity (soft errors auto-retry with
+  /// backoff; hard errors put the DB in read-only mode until Resume()),
+  /// source, and first-error provenance. Replaces the old sticky
+  /// `background_error_` poison bit.
+  ErrorState error_state_ GUARDED_BY(mu_);
+  /// Consecutive failed attempts of the flush / compaction currently being
+  /// retried; reset on success, promoted to a hard error on exhaustion.
+  int flush_retry_attempts_ GUARDED_BY(mu_) = 0;
+  int compaction_retry_attempts_ GUARDED_BY(mu_) = 0;
+  /// True while a compaction retry is sleeping out its backoff: gates
+  /// MaybeScheduleCompaction so the backoff cannot be defeated by an
+  /// immediate re-admission, and keeps WaitForBackgroundWork waiting.
+  bool compaction_retry_pending_ GUARDED_BY(mu_) = false;
+
+  /// One entry per admitted-but-unfinished compaction job. The claims are
+  /// the job's input∪overlap user-key hull at its input and output levels;
+  /// the picker refuses any plan whose hull intersects a claim at a shared
+  /// level, which is what makes concurrent installs conflict-free.
+  struct RunningCompaction {
+    uint64_t job_id = 0;
+    std::shared_ptr<CompactionJob> job;
+    std::vector<ClaimedRange> claims;
+  };
+  std::vector<RunningCompaction> running_compactions_ GUARDED_BY(mu_);
+  /// File numbers owned by running jobs (inputs and overlap); the picker
+  /// treats them as untouchable.
+  std::set<uint64_t> compacting_files_ GUARDED_BY(mu_);
+  int compactions_running_ GUARDED_BY(mu_) = 0;
+  uint64_t next_compaction_job_id_ GUARDED_BY(mu_) = 1;
+  /// True while CompactRange holds the tree exclusively: blocks new
+  /// automatic admissions.
+  bool manual_compaction_active_ GUARDED_BY(mu_) = false;
+
+  /// Table files currently being written (flush/compaction outputs) that no
+  /// Version references yet. RemoveObsoleteFiles must not delete them.
+  /// Entries are erased once the file is installed in a Version or its
+  /// builder gave up and removed it.
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
+
+  /// Group-commit writer queue (leader/follower). Acquired before mu_,
+  /// never while holding mu_. The front writer is the current leader; it is
+  /// the only thread allowed in MakeRoomForWrite, the WAL, or group_batch_
+  /// until it hands leadership to the next queued writer.
+  Mutex writer_queue_mu_ ACQUIRED_BEFORE(mu_);
+  std::deque<Writer*> write_queue_ GUARDED_BY(writer_queue_mu_);
+  /// Leader-only scratch batch holding a coalesced group (> 1 writer).
+  /// Owned by whichever thread is leader — an exclusion the analysis cannot
+  /// express, so it carries no GUARDED_BY; the leader protocol in
+  /// EnqueueWriter/CommitWriteGroup is its lock.
+  WriteBatch group_batch_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_DB_SHARD_ENGINE_H_

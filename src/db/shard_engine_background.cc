@@ -1,11 +1,12 @@
-// Background half of DB: flushes, compactions, file garbage collection, and
-// value-log GC. Split from db.cc for readability; same class.
+// Background half of ShardEngine: flushes, compactions, file garbage
+// collection, and value-log GC. Split from shard_engine.cc for readability;
+// same class.
 
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
-#include "db/db.h"
+#include "db/shard_engine.h"
 #include "db/filename.h"
 #include "db/internal_iterators.h"
 #include "table/merging_iterator.h"
@@ -21,7 +22,7 @@ namespace {
 constexpr uint64_t kRateLimitChunk = 256 << 10;
 }  // namespace
 
-TableBuilderOptions DB::MakeBuilderOptions(int level) const {
+TableBuilderOptions ShardEngine::MakeBuilderOptions(int level) const {
   TableBuilderOptions topt;
   topt.comparator = &internal_comparator_;
   topt.block_size = options_.block_size;
@@ -45,7 +46,7 @@ TableBuilderOptions DB::MakeBuilderOptions(int level) const {
   return topt;
 }
 
-Status DB::BuildTableFromIterator(Iterator* iter, int level,
+Status ShardEngine::BuildTableFromIterator(Iterator* iter, int level,
                                   uint64_t oldest_tombstone_hint,
                                   FileMetaData* meta) {
   uint64_t file_number;
@@ -146,7 +147,7 @@ Status DB::BuildTableFromIterator(Iterator* iter, int level,
 // Flush
 // ---------------------------------------------------------------------------
 
-void DB::MaybeScheduleFlush() {
+void ShardEngine::MaybeScheduleFlush() {
   // A hard error gates new work; a soft one does not — its retry is already
   // scheduled and flush_scheduled_ stays true across the backoff window.
   if (flush_scheduled_ || shutting_down_ || imms_.empty() ||
@@ -157,7 +158,7 @@ void DB::MaybeScheduleFlush() {
   pool_->Schedule([this] { BackgroundFlush(); }, ThreadPool::Priority::kHigh);
 }
 
-void DB::BackgroundFlush() {
+void ShardEngine::BackgroundFlush() {
   std::shared_ptr<MemTable> imm;
   {
     MutexLock lock(&mu_);
@@ -187,20 +188,25 @@ void DB::BackgroundFlush() {
     VersionEdit edit;
     edit.AddFile(0, meta);
     // Everything in logs older than the next immutable (or the active log)
-    // is now durable in SSTables.
+    // is now durable in SSTables, so the manifest's log number — the "all
+    // normal records below this are flushed" watermark — advances to the
+    // true floor. WALs an outstanding cross-shard prepare still lives in
+    // are retained separately (the clamped deletion gates below and in
+    // RemoveObsoleteFiles); recovery rescans those pre-watermark logs for
+    // tagged records only, never re-applying flushed normal records.
     uint64_t min_log = imm_log_numbers_.size() > 1 ? imm_log_numbers_[1]
                                                    : log_file_number_;
     edit.SetLogNumber(min_log);
     s = versions_->LogAndApply(&edit);
     manifest_failure = !s.ok();
     if (s.ok()) {
-      stats_.flushes.fetch_add(1, std::memory_order_relaxed);
-      stats_.flush_bytes_written.fetch_add(meta.file_size,
+      stats_->flushes.fetch_add(1, std::memory_order_relaxed);
+      stats_->flush_bytes_written.fetch_add(meta.file_size,
                                            std::memory_order_relaxed);
     }
   } else if (s.ok()) {
     // Memtable held nothing (possible after DeleteRange on empty DB).
-    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    stats_->flushes.fetch_add(1, std::memory_order_relaxed);
   }
 
   if (s.ok()) {
@@ -208,15 +214,13 @@ void DB::BackgroundFlush() {
     // The flushed memtable left the view's membership (its data now lives
     // in the installed L0 file); readers holding the old view still pin it.
     PublishReadView();
-    uint64_t old_log = imm_log_numbers_.front();
     imm_log_numbers_.pop_front();
-    if (options_.enable_wal) {
-      // Best effort: a WAL that survives here is deleted by the next
-      // RemoveObsoleteFiles pass.
-      (void)options_.env->RemoveFile(LogFileName(dbname_, old_log));
-    }
+    uint64_t keep_floor = ClampWalRetentionLocked(
+        imm_log_numbers_.empty() ? log_file_number_
+                                 : imm_log_numbers_.front());
+    DeleteObsoleteWalsLocked(keep_floor);
     if (flush_retry_attempts_ > 0) {
-      stats_.bg_retry_success.fetch_add(1, std::memory_order_relaxed);
+      stats_->bg_retry_success.fetch_add(1, std::memory_order_relaxed);
       flush_retry_attempts_ = 0;
     }
     if (!error_state_.ok() && !error_state_.hard() &&
@@ -242,7 +246,7 @@ void DB::BackgroundFlush() {
     // duplicate schedule and keeps Flush()/close paths waiting.
     const int attempt = flush_retry_attempts_++;
     RecordBackgroundError(s, ErrorSeverity::kSoft, ErrorSource::kFlush);
-    stats_.bg_retries.fetch_add(1, std::memory_order_relaxed);
+    stats_->bg_retries.fetch_add(1, std::memory_order_relaxed);
     const uint64_t delay = RetryDelayMicros(attempt);
     LSMLAB_LOG_WARN(options_.info_log.get(),
                     "flush retry %d in %llu us: %s", attempt + 1,
@@ -262,7 +266,7 @@ void DB::BackgroundFlush() {
   background_cv_.SignalAll();
 }
 
-Status DB::Flush() {
+Status ShardEngine::Flush() {
   // Seal through the writer queue: swapping the active memtable (and WAL
   // handles) must not race a leader's WAL write, which happens outside mu_.
   Status s = SealActiveMemTable();
@@ -288,23 +292,24 @@ Status DB::Flush() {
 // its VersionEdit without coordinating with its siblings.
 // ---------------------------------------------------------------------------
 
-int DB::MaxConcurrentCompactions() const {
+int ShardEngine::MaxConcurrentCompactions() const {
   if (options_.max_background_compactions > 0) {
     return options_.max_background_compactions;
   }
   return std::max(1, options_.background_threads);
 }
 
-CompactionJob::Context DB::MakeCompactionContextLocked() {
+CompactionJob::Context ShardEngine::MakeCompactionContextLocked() {
   CompactionJob::Context ctx;
   ctx.options = &options_;
   ctx.dbname = dbname_;
   ctx.icmp = &internal_comparator_;
-  ctx.table_cache = table_cache_.get();
+  ctx.table_cache = table_cache_;
+  ctx.cache_dir_id = cache_dir_id_;
   ctx.vlog = vlog_.get();
-  ctx.rate_limiter = compaction_rate_limiter_.get();
-  ctx.stats = &stats_;
-  ctx.pool = pool_.get();
+  ctx.rate_limiter = compaction_rate_limiter_;
+  ctx.stats = stats_;
+  ctx.pool = pool_;
   // Fixed at admission: the floor only rises afterwards, so using the
   // admission-time value is merely conservative (drops less).
   ctx.oldest_snapshot = OldestSnapshot();
@@ -330,7 +335,7 @@ CompactionJob::Context DB::MakeCompactionContextLocked() {
   return ctx;
 }
 
-void DB::AdmitCompactionLocked(CompactionPlan plan) {
+void ShardEngine::AdmitCompactionLocked(CompactionPlan plan) {
   RunningCompaction rc;
   rc.job_id = next_compaction_job_id_++;
 
@@ -357,12 +362,12 @@ void DB::AdmitCompactionLocked(CompactionPlan plan) {
                   job->plan().DebugString().c_str());
   running_compactions_.push_back(std::move(rc));
   ++compactions_running_;
-  stats_.OnCompactionAdmitted();
+  stats_->OnCompactionAdmitted();
   pool_->Schedule([this, job] { BackgroundCompaction(job); },
                   ThreadPool::Priority::kLow);
 }
 
-void DB::UnregisterCompactionLocked(uint64_t job_id) {
+void ShardEngine::UnregisterCompactionLocked(uint64_t job_id) {
   for (auto it = running_compactions_.begin(); it != running_compactions_.end();
        ++it) {
     if (it->job_id != job_id) {
@@ -379,10 +384,10 @@ void DB::UnregisterCompactionLocked(uint64_t job_id) {
     break;
   }
   --compactions_running_;
-  stats_.OnCompactionFinished();
+  stats_->OnCompactionFinished();
 }
 
-void DB::MaybeScheduleCompaction() {
+void ShardEngine::MaybeScheduleCompaction() {
   // Re-evaluate after every admission: the previous job's claims change
   // what remains admissible, and a single pass would leave admissible
   // disjoint work idle until the next flush. A pending retry holds the
@@ -416,7 +421,7 @@ void DB::MaybeScheduleCompaction() {
   }
 }
 
-void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
+void ShardEngine::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
   const uint64_t start_micros = options_.clock->NowMicros();
   Status s;
   {
@@ -446,7 +451,9 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
       block_cache_ != nullptr) {
     for (const auto& meta : job->outputs()) {
       std::shared_ptr<TableReader> reader;
-      if (table_cache_->GetReader(meta.file_number, meta.file_size, &reader)
+      if (table_cache_
+              ->GetReader(cache_dir_id_, meta.file_number, meta.file_size,
+                          &reader)
               .ok()) {
         reader->WarmCache();
       }
@@ -455,9 +462,9 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
 
   const uint64_t duration_micros = options_.clock->NowMicros() - start_micros;
   MutexLock lock(&mu_);
-  stats_.RecordCompactionDuration(duration_micros);
+  stats_->RecordCompactionDuration(duration_micros);
   if (installed && compaction_retry_attempts_ > 0) {
-    stats_.bg_retry_success.fetch_add(1, std::memory_order_relaxed);
+    stats_->bg_retry_success.fetch_add(1, std::memory_order_relaxed);
     compaction_retry_attempts_ = 0;
     if (!error_state_.ok() && !error_state_.hard() &&
         error_state_.source == ErrorSource::kCompaction) {
@@ -480,7 +487,7 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
       // backoff window, then let the picker rediscover the work.
       const int attempt = compaction_retry_attempts_++;
       RecordBackgroundError(s, ErrorSeverity::kSoft, ErrorSource::kCompaction);
-      stats_.bg_retries.fetch_add(1, std::memory_order_relaxed);
+      stats_->bg_retries.fetch_add(1, std::memory_order_relaxed);
       compaction_retry_pending_ = true;
       const uint64_t delay = RetryDelayMicros(attempt);
       LSMLAB_LOG_WARN(options_.info_log.get(),
@@ -496,7 +503,7 @@ void DB::BackgroundCompaction(std::shared_ptr<CompactionJob> job) {
   background_cv_.SignalAll();
 }
 
-Status DB::InstallCompactionLocked(CompactionJob* job) {
+Status ShardEngine::InstallCompactionLocked(CompactionJob* job) {
   Status s = versions_->LogAndApply(job->edit());
   for (const auto& meta : job->outputs()) {
     pending_outputs_.erase(meta.file_number);  // Installed (or doomed).
@@ -507,8 +514,8 @@ Status DB::InstallCompactionLocked(CompactionJob* job) {
   // New Version is current: route new readers to it.
   PublishReadView();
   const CompactionPlan& plan = job->plan();
-  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
-  stats_.RecordCompactionAtLevel(plan.output_level, job->bytes_read(),
+  stats_->compactions.fetch_add(1, std::memory_order_relaxed);
+  stats_->RecordCompactionAtLevel(plan.output_level, job->bytes_read(),
                                  job->bytes_written());
   LSMLAB_LOG_INFO(
       options_.info_log.get(),
@@ -521,7 +528,7 @@ Status DB::InstallCompactionLocked(CompactionJob* job) {
   return s;
 }
 
-Status DB::CompactRange() {
+Status ShardEngine::CompactRange() {
   Status s = Flush();
   if (!s.ok()) {
     return s;
@@ -596,7 +603,7 @@ Status DB::CompactRange() {
   return s;
 }
 
-Status DB::WaitForBackgroundWork() {
+Status ShardEngine::WaitForBackgroundWork() {
   MutexLock lock(&mu_);
   MaybeScheduleFlush();
   MaybeScheduleCompaction();
@@ -617,15 +624,15 @@ Status DB::WaitForBackgroundWork() {
 // Background-error recovery (DESIGN.md, "Failure model & recovery")
 // ---------------------------------------------------------------------------
 
-void DB::RecordBackgroundError(const Status& s, ErrorSeverity severity,
+void ShardEngine::RecordBackgroundError(const Status& s, ErrorSeverity severity,
                                ErrorSource source) {
   const bool was_hard = error_state_.hard();
   error_state_.Record(s, severity, source, options_.clock->NowMicros());
   if (severity == ErrorSeverity::kSoft) {
-    stats_.bg_error_soft.fetch_add(1, std::memory_order_relaxed);
+    stats_->bg_error_soft.fetch_add(1, std::memory_order_relaxed);
   }
   if (!was_hard && error_state_.hard()) {
-    stats_.bg_error_hard.fetch_add(1, std::memory_order_relaxed);
+    stats_->bg_error_hard.fetch_add(1, std::memory_order_relaxed);
     LSMLAB_LOG_WARN(options_.info_log.get(),
                     "entering read-only mode: [%s/%s] %s",
                     ErrorSeverityName(error_state_.severity),
@@ -637,13 +644,13 @@ void DB::RecordBackgroundError(const Status& s, ErrorSeverity severity,
   background_cv_.SignalAll();
 }
 
-uint64_t DB::RetryDelayMicros(int attempt) const {
+uint64_t ShardEngine::RetryDelayMicros(int attempt) const {
   ExponentialBackoff backoff(options_.background_error_retry_initial_micros,
                              options_.background_error_retry_max_micros);
   return backoff.DelayMicros(attempt);
 }
 
-bool DB::SleepForRetry(uint64_t micros) {
+bool ShardEngine::SleepForRetry(uint64_t micros) {
   // Sleep in short chunks so shutdown never waits out a full backoff
   // window. The pool has no delayed scheduling; burning a worker for the
   // (capped, sub-second) delay is acceptable at lsmlab's scale.
@@ -665,7 +672,7 @@ bool DB::SleepForRetry(uint64_t micros) {
   }
 }
 
-void DB::RetryFlushAfterBackoff(uint64_t delay_micros) {
+void ShardEngine::RetryFlushAfterBackoff(uint64_t delay_micros) {
   if (!SleepForRetry(delay_micros)) {
     // Shutting down: release the flush slot so teardown waiters make
     // progress.
@@ -693,7 +700,7 @@ void DB::RetryFlushAfterBackoff(uint64_t delay_micros) {
   BackgroundFlush();  // flush_scheduled_ is still ours.
 }
 
-void DB::RetryCompactionAfterBackoff(uint64_t delay_micros) {
+void ShardEngine::RetryCompactionAfterBackoff(uint64_t delay_micros) {
   const bool proceed = SleepForRetry(delay_micros);
   MutexLock lock(&mu_);
   compaction_retry_pending_ = false;
@@ -709,8 +716,9 @@ void DB::RetryCompactionAfterBackoff(uint64_t delay_micros) {
   background_cv_.SignalAll();
 }
 
-Status DB::Resume() {
-  stats_.resume_calls.fetch_add(1, std::memory_order_relaxed);
+Status ShardEngine::Resume() {
+  // resume_calls is recorded by the facade (once per user call, not once
+  // per shard).
   ErrorState snapshot;
   {
     MutexLock lock(&mu_);
@@ -787,7 +795,64 @@ Status DB::Resume() {
   return Status::OK();
 }
 
-void DB::RemoveObsoleteFiles() {
+uint64_t ShardEngine::ClampWalRetentionLocked(uint64_t normal_min) {
+  // A committed cross-shard prepare must stay replayable until the
+  // memtable that absorbed it (whose WAL is marker_log) has flushed; once
+  // the normal retention horizon passes the marker's log, the applied data
+  // is durable in SSTables and the entry — plus both its logs — may go.
+  for (auto it = committed_prepares_.begin();
+       it != committed_prepares_.end();) {
+    if (normal_min > it->second.marker_log) {
+      it = committed_prepares_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  uint64_t min_log = normal_min;
+  for (const auto& [id, prepare_log] : pending_prepares_) {
+    min_log = std::min(min_log, prepare_log);
+  }
+  for (const auto& [id, cp] : committed_prepares_) {
+    min_log = std::min(min_log, cp.prepare_log);
+  }
+  return min_log;
+}
+
+void ShardEngine::DeleteObsoleteWalsLocked(uint64_t keep_floor) {
+  if (!options_.enable_wal) {
+    return;
+  }
+  std::vector<std::string> children;
+  if (!options_.env->GetChildren(dbname_, &children).ok()) {
+    return;
+  }
+  std::vector<uint64_t> stale;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) && type == FileType::kLogFile &&
+        number < keep_floor) {
+      stale.push_back(number);
+    }
+  }
+  std::sort(stale.begin(), stale.end());
+  // WALs die strictly oldest-first. Recovery decides "this prepare's batch
+  // was already flushed" by seeing its commit marker in a retained log — or
+  // by the prepare record being gone altogether. If a newer log (holding
+  // the marker) were deleted while an older one (holding the prepare)
+  // lingered, reopen would find a committed prepare with no marker and
+  // re-apply flushed data above later writes. Stopping at the first
+  // surviving file keeps the on-disk logs a suffix of history.
+  for (uint64_t number : stale) {
+    const std::string fname = LogFileName(dbname_, number);
+    if (!options_.env->RemoveFile(fname).ok() &&
+        options_.env->FileExists(fname)) {
+      break;
+    }
+  }
+}
+
+void ShardEngine::RemoveObsoleteFiles() {
   std::set<uint64_t> live;
   versions_->AddLiveFiles(&live);
 
@@ -795,8 +860,9 @@ void DB::RemoveObsoleteFiles() {
   if (!options_.env->GetChildren(dbname_, &children).ok()) {
     return;
   }
-  uint64_t min_log = imm_log_numbers_.empty() ? log_file_number_
-                                              : imm_log_numbers_.front();
+  uint64_t min_log = ClampWalRetentionLocked(
+      imm_log_numbers_.empty() ? log_file_number_
+                               : imm_log_numbers_.front());
   for (const auto& child : children) {
     uint64_t number;
     FileType type;
@@ -811,7 +877,7 @@ void DB::RemoveObsoleteFiles() {
         keep = live.count(number) > 0 || pending_outputs_.count(number) > 0;
         break;
       case FileType::kLogFile:
-        keep = number >= min_log;
+        keep = true;  // WALs are deleted oldest-first below, never inline.
         break;
       case FileType::kManifestFile:
         keep = number >= versions_->manifest_file_number();
@@ -821,25 +887,28 @@ void DB::RemoveObsoleteFiles() {
         break;
       case FileType::kVlogFile:   // Managed by vlog GC.
       case FileType::kCurrentFile:
+      case FileType::kCommitLogFile:  // Facade-owned; never engine garbage.
+      case FileType::kShardsFile:
       case FileType::kUnknown:
         keep = true;
         break;
     }
     if (!keep) {
       if (type == FileType::kTableFile) {
-        table_cache_->Evict(number);
+        table_cache_->Evict(cache_dir_id_, number);
       }
       // Best effort: a file that survives is retried on the next pass.
       (void)options_.env->RemoveFile(dbname_ + "/" + child);
     }
   }
+  DeleteObsoleteWalsLocked(min_log);
 }
 
 // ---------------------------------------------------------------------------
 // WiscKey value-log GC
 // ---------------------------------------------------------------------------
 
-Status DB::GarbageCollectVlog() {
+Status ShardEngine::GarbageCollectVlog() {
   if (vlog_ == nullptr) {
     return Status::OK();
   }
@@ -913,7 +982,7 @@ Status DB::GarbageCollectVlog() {
   return Status::OK();
 }
 
-Status DB::GetRawPointer(const ReadOptions& options, const Slice& key,
+Status ShardEngine::GetRawPointer(const ReadOptions& options, const Slice& key,
                          std::string* raw) {
   std::shared_ptr<const ReadView> view = AcquireReadView();
   SequenceNumber snapshot = versions_->last_sequence();

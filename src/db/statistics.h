@@ -95,6 +95,18 @@ struct Statistics {
   /// DB::Resume() invocations.
   std::atomic<uint64_t> resume_calls{0};
 
+  // Sharded facade (DESIGN.md, "Sharding architecture"). Only the facade
+  // increments these; engines never touch them, so shared Statistics are
+  // never double-counted.
+  /// WriteBatches that spanned more than one shard (two-phase committed).
+  std::atomic<uint64_t> cross_shard_batches{0};
+  /// Per-shard prepare records written for cross-shard batches.
+  std::atomic<uint64_t> shard_prepares{0};
+  /// Cross-shard batches whose facade commit record reached the commit log.
+  std::atomic<uint64_t> shard_commits{0};
+  /// Cross-shard batches aborted after a prepare failure.
+  std::atomic<uint64_t> shard_aborts{0};
+
   void Reset() {
     point_lookups = 0;
     point_lookup_found = 0;
@@ -144,6 +156,10 @@ struct Statistics {
     bg_retries = 0;
     bg_retry_success = 0;
     resume_calls = 0;
+    cross_shard_batches = 0;
+    shard_prepares = 0;
+    shard_commits = 0;
+    shard_aborts = 0;
     {
       MutexLock lock(&compaction_duration_mu_);
       compaction_duration_micros_.Clear();

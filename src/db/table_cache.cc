@@ -5,10 +5,10 @@
 
 namespace lsmlab {
 
-TableCache::TableCache(std::string dbname, const Options* options,
+TableCache::TableCache(const Options* options,
                        const InternalKeyComparator* icmp,
                        LruCache* block_cache, Statistics* statistics)
-    : dbname_(std::move(dbname)), options_(options), stats_(statistics) {
+    : options_(options), stats_(statistics) {
   reader_options_.comparator = icmp;
   reader_options_.filter_policy = options->filter_policy;
   reader_options_.block_cache = block_cache;
@@ -16,12 +16,20 @@ TableCache::TableCache(std::string dbname, const Options* options,
   reader_options_.verify_checksums = options->verify_checksums;
 }
 
-Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
+uint64_t TableCache::RegisterDir(const std::string& dir) {
+  MutexLock lock(&dirs_mu_);
+  dirs_.push_back(dir);
+  return dirs_.size() - 1;
+}
+
+Status TableCache::GetReader(uint64_t dir_id, uint64_t file_number,
+                             uint64_t file_size,
                              std::shared_ptr<TableReader>* reader) {
-  Shard& shard = ShardFor(file_number);
+  const uint64_t scoped_id = ScopedId(dir_id, file_number);
+  Shard& shard = ShardFor(scoped_id);
   {
     MutexLock lock(&shard.mu);
-    auto it = shard.readers.find(file_number);
+    auto it = shard.readers.find(scoped_id);
     if (it != shard.readers.end()) {
       *reader = it->second;
       stats_->table_cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -31,15 +39,21 @@ Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
 
   // Open outside the shard lock: table opens read the footer, index, and
   // filter, and must not serialize unrelated lookups behind that I/O.
+  std::string fname;
+  {
+    MutexLock lock(&dirs_mu_);
+    fname = TableFileName(dirs_[dir_id], file_number);
+  }
   std::unique_ptr<RandomAccessFile> file;
-  std::string fname = TableFileName(dbname_, file_number);
   Status s = options_->env->NewRandomAccessFile(fname, &file);
   if (!s.ok()) {
     return s;
   }
   std::unique_ptr<TableReader> table;
+  // The scoped id names the table's block-cache entries: two shards may
+  // both own a file 7, and their blocks must not alias in the shared cache.
   s = TableReader::Open(reader_options_, std::move(file), file_size,
-                        file_number, &table);
+                        scoped_id, &table);
   if (!s.ok()) {
     return s;
   }
@@ -48,15 +62,16 @@ Status TableCache::GetReader(uint64_t file_number, uint64_t file_size,
   MutexLock lock(&shard.mu);
   // Two threads may race to open the same cold file; emplace keeps the
   // first and the loser's reader is discarded (harmless, already open).
-  auto [it, inserted] = shard.readers.emplace(file_number, std::move(table));
+  auto [it, inserted] = shard.readers.emplace(scoped_id, std::move(table));
   *reader = it->second;
   return Status::OK();
 }
 
-void TableCache::Evict(uint64_t file_number) {
-  Shard& shard = ShardFor(file_number);
+void TableCache::Evict(uint64_t dir_id, uint64_t file_number) {
+  const uint64_t scoped_id = ScopedId(dir_id, file_number);
+  Shard& shard = ShardFor(scoped_id);
   MutexLock lock(&shard.mu);
-  shard.readers.erase(file_number);
+  shard.readers.erase(scoped_id);
 }
 
 }  // namespace lsmlab

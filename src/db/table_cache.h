@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "table/table_reader.h"
 #include "util/mutex.h"
@@ -18,7 +19,13 @@ namespace lsmlab {
 /// a table can be evicted (file deleted by compaction) while an iterator
 /// still drains it. Thread-safe.
 ///
-/// The reader map is striped: file numbers hash (mask) onto independent
+/// One TableCache is shared by every shard of a sharded DB, so entries are
+/// scoped by a registered directory: shards allocate file numbers
+/// independently, and `(dir_id, file_number)` — not the bare number — names
+/// a table. The scoped id also names the table's block-cache entries, so
+/// two shards' file 7s never collide in the shared block cache either.
+///
+/// The reader map is striped: scoped ids hash (mask) onto independent
 /// shards, each with its own mutex, so concurrent point lookups resolving
 /// different files never serialize on one cache lock. Steady-state reads
 /// usually bypass the cache entirely via the per-version pinned handles
@@ -26,16 +33,19 @@ namespace lsmlab {
 /// compaction traffic that remains.
 class TableCache {
  public:
-  TableCache(std::string dbname, const Options* options,
-             const InternalKeyComparator* icmp, LruCache* block_cache,
-             Statistics* statistics);
+  TableCache(const Options* options, const InternalKeyComparator* icmp,
+             LruCache* block_cache, Statistics* statistics);
 
-  /// Returns (opening on miss) the reader for `file_number`.
-  Status GetReader(uint64_t file_number, uint64_t file_size,
+  /// Registers a DB (shard) directory and returns its scope id. Called
+  /// once per shard before the shard serves traffic.
+  uint64_t RegisterDir(const std::string& dir) EXCLUDES(dirs_mu_);
+
+  /// Returns (opening on miss) the reader for `file_number` in `dir_id`.
+  Status GetReader(uint64_t dir_id, uint64_t file_number, uint64_t file_size,
                    std::shared_ptr<TableReader>* reader);
 
   /// Drops the cached reader (after the file is deleted).
-  void Evict(uint64_t file_number);
+  void Evict(uint64_t dir_id, uint64_t file_number);
 
   /// Per-table effective filter policy override used by Monkey: tables are
   /// opened with the shared policy; this just re-exposes the reader options.
@@ -45,6 +55,13 @@ class TableCache {
   /// Power-of-two stripe count; file numbers are sequential, so masking the
   /// low bits spreads adjacent files across all stripes evenly.
   static constexpr size_t kNumShards = 16;
+  /// Scoped ids pack the dir id above the file number. File numbers are
+  /// far below 2^48 at lsmlab's scale, and dir ids are tiny.
+  static constexpr int kDirIdShift = 48;
+
+  static uint64_t ScopedId(uint64_t dir_id, uint64_t file_number) {
+    return (dir_id << kDirIdShift) | file_number;
+  }
 
   struct Shard {
     mutable Mutex mu;
@@ -52,14 +69,17 @@ class TableCache {
         GUARDED_BY(mu);
   };
 
-  Shard& ShardFor(uint64_t file_number) {
-    return shards_[file_number & (kNumShards - 1)];
+  Shard& ShardFor(uint64_t scoped_id) {
+    return shards_[scoped_id & (kNumShards - 1)];
   }
 
-  const std::string dbname_;
   const Options* const options_;
   Statistics* const stats_;
   TableReaderOptions reader_options_;
+  /// Registered directories, indexed by dir id. Guarded: registration (at
+  /// open) may race a concurrent cold-file resolve in another shard.
+  mutable Mutex dirs_mu_;
+  std::vector<std::string> dirs_ GUARDED_BY(dirs_mu_);
   std::array<Shard, kNumShards> shards_;
 };
 

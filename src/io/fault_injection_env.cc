@@ -200,7 +200,10 @@ uint32_t FaultInjectionEnv::FileKindOf(const std::string& fname) {
       return kFaultVlog;
     case FileType::kCurrentFile:
       return kFaultCurrent;
+    case FileType::kCommitLogFile:
+      return kFaultCommitLog;
     case FileType::kTempFile:
+    case FileType::kShardsFile:
     case FileType::kUnknown:
       return kFaultOther;
   }

@@ -23,6 +23,7 @@ enum FaultFileKind : uint32_t {
   kFaultVlog = 1u << 3,
   kFaultCurrent = 1u << 4,
   kFaultOther = 1u << 5,  // CURRENT temp files, unknown names.
+  kFaultCommitLog = 1u << 6,  // Sharded facade's cross-shard commit log.
   kFaultAnyFile = 0xffffffffu,
 };
 

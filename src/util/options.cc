@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/comparator.h"
+
 namespace lsmlab {
 
 Status Options::Validate() const {
@@ -63,6 +65,23 @@ Status Options::Validate() const {
       background_error_retry_max_micros < background_error_retry_initial_micros) {
     return Status::InvalidArgument(
         "background_error_retry_max_micros must be >= the initial backoff");
+  }
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (!shard_split_keys.empty()) {
+    if (static_cast<int>(shard_split_keys.size()) != num_shards - 1) {
+      return Status::InvalidArgument(
+          "shard_split_keys must hold num_shards - 1 boundaries (or none)");
+    }
+    const Comparator* cmp =
+        comparator != nullptr ? comparator : BytewiseComparator();
+    for (size_t i = 1; i < shard_split_keys.size(); ++i) {
+      if (cmp->Compare(shard_split_keys[i - 1], shard_split_keys[i]) >= 0) {
+        return Status::InvalidArgument(
+            "shard_split_keys must be strictly increasing");
+      }
+    }
   }
   return Status::OK();
 }

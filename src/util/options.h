@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -211,6 +212,20 @@ struct Options {
   uint64_t background_error_retry_initial_micros = 1000;
   /// Backoff cap.
   uint64_t background_error_retry_max_micros = 200000;
+
+  // --- Range sharding (ROADMAP item 1) --------------------------------------
+  /// Number of range-partitioned shards the DB is split into. Each shard is
+  /// an independent LSM engine (own WAL, memtables, version set, background
+  /// scheduling) behind one facade; process-wide resources (block cache,
+  /// table cache, thread pool, rate limiter, statistics) are shared. 1 (the
+  /// default) is the classic single-engine layout, byte-for-byte unchanged.
+  /// The topology is fixed at creation (persisted in a SHARDS file) and
+  /// wins over these options on reopen.
+  int num_shards = 1;
+  /// Shard key-range boundaries: shard k serves [shard_split_keys[k-1],
+  /// shard_split_keys[k]). Must hold num_shards - 1 strictly increasing
+  /// keys, or be empty to split the keyspace uniformly by first byte.
+  std::vector<std::string> shard_split_keys;
 
   // --- Key-value separation (§2.2.2, WiscKey) -------------------------------
   /// If true, values >= kv_separation_threshold bytes are stored in a value

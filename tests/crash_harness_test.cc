@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +39,19 @@ namespace {
 
 uint64_t g_seed = 0xc0ffee5eed;
 int g_iters = 50;
+int g_start = 0;  // First iteration index; --start=<i> reproduces one iter.
+
+// LSMLAB_TEST_SHARDS=N runs the randomized harness against the sharded
+// facade: the key universe key00..key39 is split {"key10","key20","key30"}
+// and every batch's "!counter" put lands in shard 0, so most batches span
+// shards and commit through the two-phase path.
+int TestShards() {
+  const char* value = std::getenv("LSMLAB_TEST_SHARDS");
+  if (value == nullptr || value[0] == '\0') {
+    return 1;
+  }
+  return std::max(1, std::atoi(value));
+}
 
 // One model mutation; a batch is a vector of these plus the counter put.
 struct ModelOp {
@@ -94,6 +108,16 @@ void RunIteration(uint64_t seed, int iter) {
   // Fast retries so transient-fault iterations heal within the test budget.
   options.background_error_retry_initial_micros = 200;
   options.background_error_retry_max_micros = 2000;
+  options.num_shards = TestShards();
+  if (options.num_shards > 1) {
+    options.shard_split_keys.clear();
+    for (int k = 1; k < options.num_shards; ++k) {
+      char split[8];
+      std::snprintf(split, sizeof(split), "key%02d",
+                    40 * k / options.num_shards);
+      options.shard_split_keys.push_back(split);
+    }
+  }
 
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "/crash", &db).ok()) << "iter " << iter;
@@ -250,7 +274,7 @@ TEST(CrashHarness, RandomizedCrashReopenCycles) {
               "--seed=%llu)\n",
               static_cast<unsigned long long>(g_seed), g_iters,
               static_cast<unsigned long long>(g_seed));
-  for (int iter = 0; iter < g_iters; ++iter) {
+  for (int iter = g_start; iter < g_start + g_iters; ++iter) {
     RunIteration(g_seed, iter);
     if (::testing::Test::HasFatalFailure()) {
       return;
@@ -304,6 +328,156 @@ TEST(CrashHarness, TransientFlushFailureRecoversWithoutReopen) {
   EXPECT_TRUE(db->ValidateTreeInvariants().ok());
 }
 
+// --- Cross-shard two-phase-commit atomicity (DESIGN.md, "Sharding
+// architecture"). Three scripted crash points around the commit record:
+// before it (prepares synced, commit append fails), after it (commit
+// synced, markers unsynced), and a torn commit record. A cross-shard batch
+// must recover all-or-nothing in every case.
+
+Options ShardedCrashOptions(FaultInjectionEnv* env) {
+  Options options;
+  options.env = env;
+  options.num_shards = 4;
+  options.shard_split_keys = {"key10", "key20", "key30"};
+  return options;
+}
+
+// One key per shard, written as a single atomic batch.
+WriteBatch CrossShardBatch(const std::string& value) {
+  WriteBatch batch;
+  batch.Put("key05", value);
+  batch.Put("key15", value);
+  batch.Put("key25", value);
+  batch.Put("key35", value);
+  return batch;
+}
+
+void ExpectAllOrNothing(DB* db, const std::string& value, bool present) {
+  for (const char* key : {"key05", "key15", "key25", "key35"}) {
+    std::string got;
+    Status s = db->Get(ReadOptions(), key, &got);
+    if (present) {
+      ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+      EXPECT_EQ(value, got) << key;
+    } else {
+      EXPECT_TRUE(s.IsNotFound())
+          << key << ": expected NOT_FOUND, got "
+          << (s.ok() ? got : s.ToString());
+    }
+  }
+  EXPECT_TRUE(db->ValidateTreeInvariants().ok());
+}
+
+// Crash between prepare and commit: every shard holds a synced prepare,
+// but the commit record never reaches the commit log. After reopen the
+// batch must be absent from every shard (prepares without a commit are
+// dropped), while earlier committed writes survive.
+TEST(CrashHarness, CrossShardCrashBeforeCommitRecordAborts) {
+  MemEnv base;
+  FaultInjectionEnv env(&base, /*seed=*/11);
+  Options options = ShardedCrashOptions(&env);
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/2pc", &db).ok());
+  WriteBatch keep = CrossShardBatch("committed");
+  ASSERT_TRUE(db->Write(WriteOptions(), &keep).ok());
+
+  FaultRule rule;
+  rule.file_kinds = kFaultCommitLog;
+  rule.ops = kFaultOpAppend;
+  rule.one_in = 1;
+  env.AddRule(rule);
+
+  WriteBatch doomed;
+  doomed.Put("key05", "doomed");
+  doomed.Put("key15", "doomed");
+  doomed.Put("key25", "doomed");
+  doomed.Put("key35", "doomed");
+  Status ws = db->Write(WriteOptions(), &doomed);
+  ASSERT_FALSE(ws.ok()) << "commit-log append fault must fail the write";
+  EXPECT_EQ(8u, db->statistics()->shard_prepares.load());
+  EXPECT_EQ(4u, db->statistics()->shard_commits.load());
+
+  env.SetFilesystemActive(false);
+  db.reset();
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  env.SetFilesystemActive(true);
+  env.ClearRules();
+
+  ASSERT_TRUE(DB::Open(options, "/2pc", &db).ok());
+  ExpectAllOrNothing(db.get(), "committed", /*present=*/true);
+  std::string got;
+  EXPECT_TRUE(db->Get(ReadOptions(), "key05", &got).ok());
+  EXPECT_EQ("committed", got) << "aborted batch must not clobber old value";
+}
+
+// Crash between commit record and the per-shard commit markers: the write
+// was acknowledged, every marker and memtable apply is lost. Reopen must
+// replay the batch into every shard from the synced prepares plus the
+// commit-log record.
+TEST(CrashHarness, CrossShardCrashAfterCommitRecordReplays) {
+  MemEnv base;
+  FaultInjectionEnv env(&base, /*seed=*/12);
+  Options options = ShardedCrashOptions(&env);
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/2pc-commit", &db).ok());
+  WriteBatch batch = CrossShardBatch("acked");
+  WriteOptions wo;
+  wo.sync = false;  // 2PC must make the batch durable regardless.
+  ASSERT_TRUE(db->Write(wo, &batch).ok());
+
+  env.SetFilesystemActive(false);
+  db.reset();
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  env.SetFilesystemActive(true);
+
+  ASSERT_TRUE(DB::Open(options, "/2pc-commit", &db).ok());
+  ExpectAllOrNothing(db.get(), "acked", /*present=*/true);
+
+  // And the replayed state survives a further clean reopen (the recovered
+  // batch re-enters each shard's WAL with fresh sequence numbers).
+  db.reset();
+  ASSERT_TRUE(DB::Open(options, "/2pc-commit", &db).ok());
+  ExpectAllOrNothing(db.get(), "acked", /*present=*/true);
+}
+
+// Torn commit record: the commit-log sync fails (outcome reported as
+// indeterminate) and the crash leaves a corrupted prefix of the record on
+// disk. Recovery must treat the torn record as absent and drop the batch
+// from every shard.
+TEST(CrashHarness, CrossShardTornCommitRecordAborts) {
+  MemEnv base;
+  FaultInjectionEnv env(&base, /*seed=*/13);
+  Options options = ShardedCrashOptions(&env);
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/2pc-torn", &db).ok());
+  WriteBatch keep = CrossShardBatch("committed");
+  ASSERT_TRUE(db->Write(WriteOptions(), &keep).ok());
+
+  FaultRule rule;
+  rule.file_kinds = kFaultCommitLog;
+  rule.ops = kFaultOpSync;
+  rule.one_in = 1;
+  env.AddRule(rule);
+
+  WriteBatch doomed = CrossShardBatch("doomed");
+  Status ws = db->Write(WriteOptions(), &doomed);
+  ASSERT_FALSE(ws.ok()) << "commit-log sync fault must fail the write";
+
+  env.SetFilesystemActive(false);
+  db.reset();
+  // torn_tail_one_in=1: every file that lost unsynced bytes keeps a
+  // corrupted prefix of them — including the unsynced commit record.
+  ASSERT_TRUE(env.DropUnsyncedData(/*torn_tail_one_in=*/1).ok());
+  env.SetFilesystemActive(true);
+  env.ClearRules();
+
+  ASSERT_TRUE(DB::Open(options, "/2pc-torn", &db).ok());
+  ExpectAllOrNothing(db.get(), "committed", /*present=*/true);
+}
+
 }  // namespace
 }  // namespace lsmlab
 
@@ -318,6 +492,8 @@ int main(int argc, char** argv) {
       lsmlab::g_seed = seed;
     } else if (std::sscanf(argv[i], "--iters=%d", &iters) == 1) {
       lsmlab::g_iters = iters;
+    } else if (std::sscanf(argv[i], "--start=%d", &iters) == 1) {
+      lsmlab::g_start = iters;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -14,6 +15,14 @@
 namespace lsmlab {
 namespace {
 
+/// CI shard axis: LSMLAB_TEST_SHARDS=N re-runs the whole suite against an
+/// N-shard DB (uniform first-byte splits). 0/unset is the classic
+/// single-engine layout.
+int TestShards() {
+  const char* value = std::getenv("LSMLAB_TEST_SHARDS");
+  return value != nullptr ? std::max(1, std::atoi(value)) : 1;
+}
+
 /// Base fixture: small buffers so flushes and compactions happen quickly.
 class DBTest : public ::testing::Test {
  protected:
@@ -25,6 +34,7 @@ class DBTest : public ::testing::Test {
     options_.block_size = 1024;
     options_.filter_policy = NewBloomFilterPolicy(10.0);
     options_.block_cache_capacity = 1 << 20;
+    options_.num_shards = TestShards();
   }
 
   ~DBTest() override { db_.reset(); }
