@@ -1,0 +1,164 @@
+/// Generates the checked-in seed corpus under fuzz/corpus/<harness>/ from
+/// the real encoders, so every fuzzer starts from well-formed inputs and
+/// mutation explores the format's edge instead of random noise.
+///
+///   make_corpus <output-root>     (e.g. make_corpus fuzz/corpus)
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "db/dbformat.h"
+#include "db/write_batch.h"
+#include "io/env.h"
+#include "io/mem_env.h"
+#include "io/wal_writer.h"
+#include "table/block_builder.h"
+#include "util/coding.h"
+#include "util/comparator.h"
+#include "version/version_edit.h"
+
+namespace {
+
+using namespace lsmlab;
+
+void WriteSeed(const std::filesystem::path& root, const std::string& harness,
+               const std::string& name, const std::string& bytes) {
+  std::filesystem::path dir = root / harness;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string SampleBatchRep(uint64_t seq) {
+  WriteBatch batch;
+  batch.SetSequence(seq);
+  batch.Put("user.0001", "value-one");
+  batch.Put("user.0002", std::string(200, 'x'));
+  batch.Delete("user.0001");
+  batch.SingleDelete("user.0003");
+  batch.Merge("counter", "+1");
+  batch.PutTyped(kTypeVlogPointer, "blob.key", "\x01\x02\x03\x04");
+  return batch.rep();
+}
+
+std::string WalFile(MemEnv* env, const std::string& name,
+                    const std::vector<std::string>& records) {
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(name, &file);
+  if (!s.ok()) {
+    std::abort();
+  }
+  wal::Writer writer(file.get());
+  for (const std::string& rec : records) {
+    if (!writer.AddRecord(rec).ok()) {
+      std::abort();
+    }
+  }
+  std::string contents;
+  if (!ReadFileToString(env, name, &contents).ok()) {
+    std::abort();
+  }
+  return contents;
+}
+
+std::string TaggedRecord(uint8_t tag, uint64_t id, const std::string& rest) {
+  std::string rec;
+  PutFixed64(&rec, (id & ((1ull << 56) - 1)) |
+                       (static_cast<uint64_t>(tag) << 56));
+  rec += rest;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-root>\n", argv[0]);
+    return 2;
+  }
+  std::filesystem::path root(argv[1]);
+  MemEnv env;
+
+  // --- fuzz_write_batch -------------------------------------------------
+  WriteSeed(root, "fuzz_write_batch", "seed-basic.bin", SampleBatchRep(100));
+  {
+    WriteBatch empty;
+    WriteSeed(root, "fuzz_write_batch", "seed-empty.bin", empty.rep());
+  }
+
+  // --- fuzz_wal_reader --------------------------------------------------
+  WriteSeed(root, "fuzz_wal_reader", "seed-normal.bin",
+            WalFile(&env, "normal", {SampleBatchRep(1), SampleBatchRep(7)}));
+  {
+    // 2PC shape: prepare (0x50) carrying a batch payload, then its commit
+    // marker (0x43) with the apply sequence, then a plain record.
+    std::string marker_rest;
+    PutFixed64(&marker_rest, /*apply_seq=*/42);
+    WriteSeed(root, "fuzz_wal_reader", "seed-2pc.bin",
+              WalFile(&env, "twopc",
+                      {TaggedRecord(0x50, 9, SampleBatchRep(0)),
+                       TaggedRecord(0x43, 9, marker_rest),
+                       SampleBatchRep(50)}));
+  }
+  {
+    // Torn tail: a valid record followed by half of another.
+    std::string whole =
+        WalFile(&env, "torn", {SampleBatchRep(1), SampleBatchRep(2)});
+    WriteSeed(root, "fuzz_wal_reader", "seed-torn-tail.bin",
+              whole.substr(0, whole.size() - whole.size() / 4));
+  }
+
+  // --- fuzz_version_edit ------------------------------------------------
+  {
+    VersionEdit edit;
+    edit.SetComparatorName("leveldb.BytewiseComparator");
+    edit.SetLogNumber(12);
+    edit.SetNextFileNumber(33);
+    edit.SetLastSequence(777);
+    FileMetaData f;
+    f.file_number = 19;
+    f.file_size = 4096;
+    f.smallest = InternalKey("apple", 5, kTypeValue);
+    f.largest = InternalKey("zebra", 90, kTypeDeletion);
+    f.num_entries = 12;
+    f.num_tombstones = 1;
+    edit.AddFile(2, f);
+    edit.RemoveFile(1, 7);
+    std::string bytes;
+    edit.EncodeTo(&bytes);
+    WriteSeed(root, "fuzz_version_edit", "seed-full.bin", bytes);
+  }
+  {
+    VersionEdit edit;
+    edit.SetLogNumber(3);
+    edit.SetNextFileNumber(4);
+    edit.SetLastSequence(5);
+    std::string bytes;
+    edit.EncodeTo(&bytes);
+    WriteSeed(root, "fuzz_version_edit", "seed-meta-only.bin", bytes);
+  }
+
+  // --- fuzz_block -------------------------------------------------------
+  {
+    BlockBuilder builder(BytewiseComparator(), /*restart_interval=*/4);
+    char key[16];
+    for (int i = 0; i < 40; ++i) {
+      std::snprintf(key, sizeof(key), "key%04d", i);
+      builder.Add(key, std::string(static_cast<size_t>(i % 17), 'v'));
+    }
+    Slice finished = builder.Finish();
+    WriteSeed(root, "fuzz_block", "seed-block.bin", finished.ToString());
+  }
+  {
+    BlockBuilder builder(BytewiseComparator(), /*restart_interval=*/16);
+    builder.Add("only", "entry");
+    WriteSeed(root, "fuzz_block", "seed-tiny.bin",
+              builder.Finish().ToString());
+  }
+
+  std::printf("seed corpus written under %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,147 @@
+/// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+/// (non-clang toolchains). Two modes, composable:
+///
+///   fuzz_<target> <corpus-dir-or-file>...
+///
+/// 1. Replay: every file passed (or contained in a passed directory) is fed
+///    to LLVMFuzzerTestOneInput once — the CI regression mode.
+/// 2. Mutation rounds: unless FUZZ_ROUNDS=0, each seed then goes through
+///    FUZZ_ROUNDS (default 256) deterministic mutations — bit flips, byte
+///    stores, truncations, duplications, cross-seed splices — driven by a
+///    fixed-seed xorshift PRNG, so failures reproduce bit-for-bit.
+///
+/// Under clang the harnesses link -fsanitize=fuzzer instead and this file
+/// is not compiled.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t g_rng_state = 0x9e3779b97f4a7c15ull;
+
+uint64_t NextRand() {
+  uint64_t x = g_rng_state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  g_rng_state = x;
+  return x;
+}
+
+void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+void Mutate(std::string* input, const std::vector<std::string>& corpus) {
+  if (input->empty()) {
+    input->push_back(static_cast<char>(NextRand()));
+    return;
+  }
+  switch (NextRand() % 6) {
+    case 0: {  // Flip one bit.
+      size_t pos = NextRand() % input->size();
+      (*input)[pos] ^= static_cast<char>(1u << (NextRand() % 8));
+      break;
+    }
+    case 1: {  // Overwrite a byte with an interesting value.
+      static const uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80,
+                                             0xff, 0x50, 0x43, 0x10};
+      size_t pos = NextRand() % input->size();
+      (*input)[pos] = static_cast<char>(
+          kInteresting[NextRand() % sizeof(kInteresting)]);
+      break;
+    }
+    case 2:  // Truncate.
+      input->resize(NextRand() % input->size());
+      break;
+    case 3: {  // Duplicate a chunk.
+      size_t pos = NextRand() % input->size();
+      size_t len = 1 + NextRand() % (input->size() - pos);
+      input->insert(pos, input->substr(pos, len));
+      break;
+    }
+    case 4: {  // Delete a chunk.
+      size_t pos = NextRand() % input->size();
+      size_t len = 1 + NextRand() % (input->size() - pos);
+      input->erase(pos, len);
+      break;
+    }
+    default: {  // Splice a window from another corpus entry.
+      const std::string& other = corpus[NextRand() % corpus.size()];
+      if (!other.empty()) {
+        size_t from = NextRand() % other.size();
+        size_t len = 1 + NextRand() % (other.size() - from);
+        size_t pos = NextRand() % (input->size() + 1);
+        input->insert(pos, other.substr(from, len));
+      }
+      break;
+    }
+  }
+  if (input->size() > (1u << 20)) {
+    input->resize(1u << 20);  // Mirror libFuzzer's default max_len spirit.
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> corpus;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path p(argv[i]);
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(p);
+    }
+    for (const auto& f : files) {
+      std::ifstream in(f, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", f.c_str());
+        return 2;
+      }
+      corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+  }
+  if (corpus.empty()) {
+    corpus.emplace_back();  // At least probe the empty input.
+  }
+
+  for (const std::string& bytes : corpus) {
+    RunOne(bytes);
+  }
+
+  long rounds = 256;
+  if (const char* env = std::getenv("FUZZ_ROUNDS")) {
+    rounds = std::strtol(env, nullptr, 10);
+  }
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (long r = 0; r < rounds; ++r) {
+      std::string mutated = corpus[i];
+      // A few stacked mutations per round reach deeper than single edits.
+      int edits = 1 + static_cast<int>(NextRand() % 4);
+      for (int e = 0; e < edits; ++e) {
+        Mutate(&mutated, corpus);
+      }
+      RunOne(mutated);
+    }
+  }
+  std::printf("standalone fuzz: %zu seeds, %ld rounds each: ok\n",
+              corpus.size(), rounds);
+  return 0;
+}

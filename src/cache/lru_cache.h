@@ -75,7 +75,7 @@ class LruCache {
   };
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kBlockCacheShard, "block_cache.shard.mu"};
     std::list<Entry> lru GUARDED_BY(mu);  // Front = MRU.
     std::unordered_map<std::string, std::list<Entry>::iterator> index
         GUARDED_BY(mu);

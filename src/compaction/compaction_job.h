@@ -141,7 +141,7 @@ class CompactionJob {
   VersionEdit edit_;
   std::vector<FileMetaData> outputs_;
 
-  Mutex shard_mu_;
+  Mutex shard_mu_{LockRank::kCompactionJob, "compaction_job.shard_mu"};
   CondVar shard_cv_;
   size_t shards_done_ GUARDED_BY(shard_mu_) = 0;
   /// Set by the first failing/aborting shard so siblings bail out early.

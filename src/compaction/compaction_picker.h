@@ -101,7 +101,7 @@ class CompactionPicker {
 
   const Options* const options_;
   /// Leaf lock for the picker's only mutable state.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kCompactionPicker, "compaction_picker.mu"};
   /// Round-robin cursors: the largest user key compacted so far per level.
   std::vector<std::string> cursor_ GUARDED_BY(mu_);
 };

@@ -811,6 +811,7 @@ Status DestroyDB(const Options& options, const std::string& name) {
   // root contents, then the directories themselves.
   for (const auto& dir : ShardDirectory::ListShardDirs(env, name)) {
     clean_dir(dir);
+    // Best effort: the recorded per-file errors already cover the cause.
     (void)env->RemoveDir(dir);
   }
 

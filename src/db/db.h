@@ -217,7 +217,7 @@ class ShardedDB {
   /// iterator cuts at N > 1. Leaf lock of the facade: never held while a
   /// caller is inside a single-shard engine operation, only around the
   /// 2PC fan-out and per-shard sequence reads.
-  mutable Mutex commit_mu_;
+  mutable Mutex commit_mu_{LockRank::kCommitMu, "sharded_db.commit_mu"};
   uint64_t next_batch_id_ GUARDED_BY(commit_mu_) = 1;
   std::unique_ptr<WritableFile> commit_log_file_ GUARDED_BY(commit_mu_);
   std::unique_ptr<wal::Writer> commit_log_ GUARDED_BY(commit_mu_);

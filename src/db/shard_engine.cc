@@ -229,6 +229,7 @@ Status ShardEngine::Recover(const std::set<uint64_t>* committed_prepares) {
       // them before the new WAL is created.
       for (size_t j = i + 1; j < logs.size(); ++j) {
         versions_->MarkFileNumberUsed(logs[j]);
+        // A failed delete is safe: the number is marked used above.
         (void)options_.env->RemoveFile(LogFileName(dbname_, logs[j]));
       }
       break;
@@ -1026,6 +1027,10 @@ Status ShardEngine::MakeRoomForWrite(bool no_slowdown) {
 
 // Seals mem_ into imms_ and creates a fresh memtable + WAL. mu_ held.
 Status ShardEngine::NewMemTableAndLogLocked(bool skip_old_wal_sync) {
+  lock_rank::IoAllowedSection wal_rotation_io(
+      "WAL rotation under mu_ is the seal protocol: the outgoing log's "
+      "fsync and the new log's creation must be atomic with the memtable "
+      "swap they accompany, and only the write leader reaches this path.");
   if (options_.enable_wal && log_file_ != nullptr && !skip_old_wal_sync) {
     // Fsync the outgoing WAL before sealing. Once sealed, this log's tail is
     // never synced again, so an unsynced tail here could vanish in a crash

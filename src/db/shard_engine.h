@@ -456,7 +456,7 @@ class ShardEngine {
   /// The DB mutex: root of the lock hierarchy (see DESIGN.md, "Locking
   /// discipline"). May be held while taking any leaf lock (VersionSet,
   /// picker, caches, pool) but never while taking writer_queue_mu_.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kEngineMu, "shard.mu"};
   CondVar background_cv_;
 
   std::shared_ptr<MemTable> mem_ GUARDED_BY(mu_);
@@ -466,7 +466,7 @@ class ShardEngine {
   /// installs, manifest writes, or compaction bookkeeping, all of which
   /// hold mu_. Ordered after mu_ (publishers hold mu_ while swapping);
   /// readers take it alone.
-  mutable Mutex read_view_mu_;
+  mutable Mutex read_view_mu_{LockRank::kReadView, "shard.read_view_mu"};
   /// Published read snapshot (see ReadView). Republished by the membership-
   /// changing paths (seal, flush install, compaction install, recovery)
   /// while they hold mu_.
@@ -541,7 +541,8 @@ class ShardEngine {
   /// never while holding mu_. The front writer is the current leader; it is
   /// the only thread allowed in MakeRoomForWrite, the WAL, or group_batch_
   /// until it hands leadership to the next queued writer.
-  Mutex writer_queue_mu_ ACQUIRED_BEFORE(mu_);
+  Mutex writer_queue_mu_ ACQUIRED_BEFORE(mu_){LockRank::kWriterQueue,
+                                              "shard.writer_queue_mu"};
   std::deque<Writer*> write_queue_ GUARDED_BY(writer_queue_mu_);
   /// Leader-only scratch batch holding a coalesced group (> 1 writer).
   /// Owned by whichever thread is leader — an exclusion the analysis cannot

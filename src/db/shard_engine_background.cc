@@ -110,6 +110,7 @@ Status ShardEngine::BuildTableFromIterator(Iterator* iter, int level,
   if (first) {
     // Nothing to write.
     builder.Abandon();
+    // Best effort; the empty output is orphaned either way.
     (void)options_.env->RemoveFile(fname);
     unpin();
     meta->file_number = 0;
@@ -124,6 +125,7 @@ Status ShardEngine::BuildTableFromIterator(Iterator* iter, int level,
     s = file->Close();
   }
   if (!s.ok()) {
+    // Best effort; a leftover is reclaimed by RemoveObsoleteFiles.
     (void)options_.env->RemoveFile(fname);
     unpin();
     return s;

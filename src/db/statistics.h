@@ -246,9 +246,11 @@ struct Statistics {
   }
 
  private:
-  mutable Mutex write_group_size_mu_;
+  mutable Mutex write_group_size_mu_{LockRank::kStatistics,
+                                     "stats.write_group_size_mu"};
   Histogram write_group_size_ GUARDED_BY(write_group_size_mu_);
-  mutable Mutex compaction_duration_mu_;
+  mutable Mutex compaction_duration_mu_{LockRank::kStatistics,
+                                        "stats.compaction_duration_mu"};
   Histogram compaction_duration_micros_ GUARDED_BY(compaction_duration_mu_);
 };
 

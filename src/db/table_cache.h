@@ -64,7 +64,7 @@ class TableCache {
   }
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kTableCacheShard, "table_cache.shard.mu"};
     std::unordered_map<uint64_t, std::shared_ptr<TableReader>> readers
         GUARDED_BY(mu);
   };
@@ -78,9 +78,9 @@ class TableCache {
   TableReaderOptions reader_options_;
   /// Registered directories, indexed by dir id. Guarded: registration (at
   /// open) may race a concurrent cold-file resolve in another shard.
-  mutable Mutex dirs_mu_;
+  mutable Mutex dirs_mu_{LockRank::kTableCacheDirs, "table_cache.dirs_mu"};
   std::vector<std::string> dirs_ GUARDED_BY(dirs_mu_);
-  std::array<Shard, kNumShards> shards_;
+  std::array<Shard, kNumShards> shards_;  // Each Shard locks itself (mu).
 };
 
 }  // namespace lsmlab

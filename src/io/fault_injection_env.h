@@ -173,7 +173,7 @@ class FaultInjectionEnv final : public Env {
   /// Cheap gate so fault-free runs skip the mutex on every op.
   std::atomic<bool> have_rules_{false};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kIoWrapperEnv, "fault_injection_env.mu"};
   Random rng_ GUARDED_BY(mu_);
   std::vector<RuleState> rules_ GUARDED_BY(mu_);
   std::map<std::string, FileState> files_ GUARDED_BY(mu_);

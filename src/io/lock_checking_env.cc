@@ -1,0 +1,207 @@
+#include "io/lock_checking_env.h"
+
+#include <utility>
+
+#include "util/lock_rank.h"
+
+namespace lsmlab {
+
+namespace {
+
+class LockCheckingSequentialFile final : public SequentialFile {
+ public:
+  LockCheckingSequentialFile(std::string fname,
+                             std::unique_ptr<SequentialFile> base)
+      : fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", fname_.c_str());
+    return base_->Read(n, result, scratch);
+  }
+
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  const std::string fname_;
+  const std::unique_ptr<SequentialFile> base_;
+};
+
+class LockCheckingRandomAccessFile final : public RandomAccessFile {
+ public:
+  LockCheckingRandomAccessFile(std::string fname,
+                               std::unique_ptr<RandomAccessFile> base)
+      : fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", fname_.c_str());
+    return base_->Read(offset, n, result, scratch);
+  }
+
+  void MultiRead(ReadRequest* reqs, size_t n) const override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("MultiRead", fname_.c_str());
+    // Re-point the batch at the wrapped files so the base env (or base
+    // file) services real handles, mirroring FaultInjectionEnv::MultiRead.
+    std::vector<RandomAccessFile*> saved(n);
+    for (size_t i = 0; i < n; ++i) {
+      saved[i] = reqs[i].file;
+      auto* wrapper =
+          static_cast<const LockCheckingRandomAccessFile*>(reqs[i].file);
+      reqs[i].file = wrapper->base();
+    }
+    base_->MultiRead(reqs, n);
+    for (size_t i = 0; i < n; ++i) {
+      reqs[i].file = saved[i];
+    }
+  }
+
+  RandomAccessFile* base() const { return base_.get(); }
+
+ private:
+  const std::string fname_;
+  const std::unique_ptr<RandomAccessFile> base_;
+};
+
+class LockCheckingWritableFile final : public WritableFile {
+ public:
+  LockCheckingWritableFile(std::string fname,
+                           std::unique_ptr<WritableFile> base)
+      : fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Append", fname_.c_str());
+    return base_->Append(data);
+  }
+
+  Status Close() override { return base_->Close(); }
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Sync", fname_.c_str());
+    return base_->Sync();
+  }
+
+ private:
+  const std::string fname_;
+  const std::unique_ptr<WritableFile> base_;
+};
+
+class LockCheckingRandomRWFile final : public RandomRWFile {
+ public:
+  LockCheckingRandomRWFile(std::string fname,
+                           std::unique_ptr<RandomRWFile> base)
+      : fname_(std::move(fname)), base_(std::move(base)) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Write", fname_.c_str());
+    return base_->Write(offset, data);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", fname_.c_str());
+    return base_->Read(offset, n, result, scratch);
+  }
+
+  Status Sync() override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Sync", fname_.c_str());
+    return base_->Sync();
+  }
+
+ private:
+  const std::string fname_;
+  const std::unique_ptr<RandomRWFile> base_;
+};
+
+}  // namespace
+
+Status LockCheckingEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> inner;
+  Status s = base_->NewSequentialFile(fname, &inner);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LockCheckingSequentialFile>(fname, std::move(inner));
+  }
+  return s;
+}
+
+Status LockCheckingEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> inner;
+  Status s = base_->NewRandomAccessFile(fname, &inner);
+  if (s.ok()) {
+    *result = std::make_unique<LockCheckingRandomAccessFile>(fname,
+                                                             std::move(inner));
+  }
+  return s;
+}
+
+Status LockCheckingEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> inner;
+  Status s = base_->NewWritableFile(fname, &inner);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LockCheckingWritableFile>(fname, std::move(inner));
+  }
+  return s;
+}
+
+Status LockCheckingEnv::NewRandomRWFile(const std::string& fname,
+                                        std::unique_ptr<RandomRWFile>* result) {
+  std::unique_ptr<RandomRWFile> inner;
+  Status s = base_->NewRandomRWFile(fname, &inner);
+  if (s.ok()) {
+    *result =
+        std::make_unique<LockCheckingRandomRWFile>(fname, std::move(inner));
+  }
+  return s;
+}
+
+bool LockCheckingEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status LockCheckingEnv::GetChildren(const std::string& dir,
+                                    std::vector<std::string>* result) {
+  return base_->GetChildren(dir, result);
+}
+
+Status LockCheckingEnv::RemoveFile(const std::string& fname) {
+  return base_->RemoveFile(fname);
+}
+
+Status LockCheckingEnv::CreateDir(const std::string& dirname) {
+  return base_->CreateDir(dirname);
+}
+
+Status LockCheckingEnv::RemoveDir(const std::string& dirname) {
+  return base_->RemoveDir(dirname);
+}
+
+Status LockCheckingEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+Status LockCheckingEnv::RenameFile(const std::string& src,
+                                   const std::string& target) {
+  return base_->RenameFile(src, target);
+}
+
+void LockCheckingEnv::MultiRead(ReadRequest* reqs, size_t n) {
+  LSMLAB_CHECK_IO_UNDER_LOCK("MultiRead", "batch");
+  std::vector<RandomAccessFile*> saved(n);
+  for (size_t i = 0; i < n; ++i) {
+    saved[i] = reqs[i].file;
+    auto* wrapper =
+        static_cast<const LockCheckingRandomAccessFile*>(reqs[i].file);
+    reqs[i].file = wrapper->base();
+  }
+  base_->MultiRead(reqs, n);
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i].file = saved[i];
+  }
+}
+
+}  // namespace lsmlab

@@ -1,0 +1,59 @@
+#ifndef LSMLAB_IO_LOCK_CHECKING_ENV_H_
+#define LSMLAB_IO_LOCK_CHECKING_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace lsmlab {
+
+/// Env wrapper that asserts no I/O-forbidding ranked mutex (see
+/// RankForbidsIo in util/lock_order.h) is held when a data-path operation —
+/// Append/Sync/Read/Write/MultiRead — enters the wrapped env. The concrete
+/// envs (PosixEnv, MemEnv) already run the same check inline; this wrapper
+/// exists for composition tests and for checking env implementations that
+/// carry no hooks of their own (e.g. a test double), so the detector's
+/// coverage does not depend on which backend a test happens to use.
+///
+/// Metadata operations (FileExists, GetChildren, Remove/Rename/CreateDir)
+/// are deliberately unchecked: several are held under mu_ by design
+/// (obsolete-file GC) and they do not sit on any user-visible latency path.
+///
+/// When the validator is compiled out (no LSMLAB_LOCK_RANK_CHECKS) the
+/// wrapper degrades to pure delegation.
+class LockCheckingEnv : public Env {
+ public:
+  /// Does not take ownership of `base`, matching FaultInjectionEnv.
+  explicit LockCheckingEnv(Env* base) : base_(base) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* result) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  void MultiRead(ReadRequest* reqs, size_t n) override;
+
+  Env* base() const { return base_; }
+
+ private:
+  Env* const base_;
+};
+
+}  // namespace lsmlab
+
+#endif  // LSMLAB_IO_LOCK_CHECKING_ENV_H_

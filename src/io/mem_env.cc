@@ -1,5 +1,7 @@
 #include "io/mem_env.h"
 
+#include "util/lock_rank.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -13,6 +15,7 @@ class MemSequentialFile final : public SequentialFile {
       : content_(std::move(content)), pos_(0) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", "mem sequential file");
     size_t available = content_->size() - std::min(pos_, content_->size());
     size_t to_read = std::min(n, available);
     std::memcpy(scratch, content_->data() + pos_, to_read);
@@ -38,6 +41,7 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", "mem random-access file");
     if (offset >= content_->size()) {
       *result = Slice(scratch, 0);
       return Status::OK();
@@ -59,12 +63,16 @@ class MemWritableFile final : public WritableFile {
       : content_(std::move(content)) {}
 
   Status Append(const Slice& data) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Append", "mem writable file");
     content_->append(data.data(), data.size());
     return Status::OK();
   }
   Status Close() override { return Status::OK(); }
   Status Flush() override { return Status::OK(); }
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Sync", "mem writable file");
+    return Status::OK();
+  }
 
  private:
   const std::shared_ptr<std::string> content_;
@@ -76,6 +84,7 @@ class MemRandomRWFile final : public RandomRWFile {
       : content_(std::move(content)) {}
 
   Status Write(uint64_t offset, const Slice& data) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Write", "mem random-rw file");
     size_t end = static_cast<size_t>(offset) + data.size();
     if (content_->size() < end) {
       content_->resize(end, '\0');

@@ -47,7 +47,7 @@ class MemEnv final : public Env {
   // iterators may still read them).
   using FileRef = std::shared_ptr<const std::string>;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kIoEnv, "mem_env.mu"};
   std::map<std::string, std::shared_ptr<std::string>> files_ GUARDED_BY(mu_);
   std::set<std::string> dirs_ GUARDED_BY(mu_);
 };

@@ -10,6 +10,7 @@
 
 #include "io/env.h"
 #include "io/uring_io.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 
@@ -44,6 +45,7 @@ class PosixSequentialFile final : public SequentialFile {
   ~PosixSequentialFile() override { ::close(fd_); }
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", fname_.c_str());
     while (true) {
       ::ssize_t r = ::read(fd_, scratch, n);
       if (r < 0) {
@@ -101,7 +103,7 @@ void ThreadPoolBatch(BoundRead* ops, size_t n) {
     ExecuteOne(ops[0]);
     return;
   }
-  Mutex mu;
+  Mutex mu{LockRank::kIoLatch, "posix_env.batch_latch"};
   CondVar cv;
   size_t pending = n - 1;
   ThreadPool* pool = IoPool();
@@ -188,6 +190,7 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Read", fname_.c_str());
     ::ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
     if (r < 0) {
       return PosixError(fname_, errno);
@@ -197,6 +200,7 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   }
 
   void MultiRead(ReadRequest* reqs, size_t n) const override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("MultiRead", fname_.c_str());
     std::vector<BoundRead> ops(n);
     for (size_t i = 0; i < n; ++i) {
       ops[i] = {fd_, &fname_, &reqs[i]};
@@ -226,6 +230,7 @@ class PosixWritableFile final : public WritableFile {
   }
 
   Status Append(const Slice& data) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Append", fname_.c_str());
     const char* p = data.data();
     size_t left = data.size();
     while (left > 0) {
@@ -254,6 +259,7 @@ class PosixWritableFile final : public WritableFile {
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Sync", fname_.c_str());
     if (::fdatasync(fd_) < 0) {
       return PosixError(fname_, errno);
     }
@@ -272,6 +278,7 @@ class PosixRandomRWFile final : public RandomRWFile {
   ~PosixRandomRWFile() override { ::close(fd_); }
 
   Status Write(uint64_t offset, const Slice& data) override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Write", fname_.c_str());
     const char* p = data.data();
     size_t left = data.size();
     uint64_t off = offset;
@@ -301,6 +308,7 @@ class PosixRandomRWFile final : public RandomRWFile {
   }
 
   Status Sync() override {
+    LSMLAB_CHECK_IO_UNDER_LOCK("Sync", fname_.c_str());
     if (::fdatasync(fd_) < 0) {
       return PosixError(fname_, errno);
     }

@@ -81,7 +81,7 @@ class VlogManager {
   const std::string dbname_;
   Env* const env_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kVlog, "vlog.mu"};
   std::unique_ptr<WritableFile> active_file_ GUARDED_BY(mu_);
   uint64_t active_file_number_ GUARDED_BY(mu_) = 0;
   uint64_t active_offset_ GUARDED_BY(mu_) = 0;

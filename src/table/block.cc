@@ -48,7 +48,11 @@ const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
     if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) return nullptr;
     if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) return nullptr;
   }
-  if (static_cast<uint32_t>(limit - p) < (*non_shared + *value_length)) {
+  // Widen before adding: non_shared + value_length can wrap uint32 on
+  // corrupt input (e.g. 0xffffffff + 1 == 0), which would pass a 32-bit
+  // bounds check and over-read the block by ~4 GiB.
+  if (static_cast<uint64_t>(limit - p) <
+      static_cast<uint64_t>(*non_shared) + *value_length) {
     return nullptr;
   }
   return p;

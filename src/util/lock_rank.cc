@@ -1,0 +1,412 @@
+#include "util/lock_rank.h"
+
+#if defined(LSMLAB_LOCK_RANK_CHECKS)
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>  // Validator internals; the engine itself uses util/mutex.h.
+
+namespace lsmlab::lock_rank {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Name registry: one node per distinct mutex *name* (not instance), so all
+// N "shard.mu" locks — or all 16 block-cache stripes — are one node in the
+// learned graph. Capacity is generous; overflow degrades to unchecked
+// rather than aborting a production-shaped run.
+// ---------------------------------------------------------------------------
+
+constexpr int kMaxNames = 128;
+constexpr int kMaxStackDepth = 24;
+constexpr int kMaxHeldLocks = 32;
+
+struct NameEntry {
+  std::atomic<const char*> name{nullptr};
+  LockRank rank = LockRank::kUnranked;
+};
+
+NameEntry g_names[kMaxNames];
+std::atomic<int> g_name_count{0};
+// Guards registration and the learned-graph inserts (cold paths only).
+std::mutex g_registry_mu;
+
+int IdForName(const char* name, LockRank rank) {
+  const int count = g_name_count.load(std::memory_order_acquire);
+  // Fast path: literal pointer identity.
+  for (int i = 0; i < count; ++i) {
+    if (g_names[i].name.load(std::memory_order_relaxed) == name) {
+      return i;
+    }
+  }
+  std::lock_guard<std::mutex> guard(g_registry_mu);
+  const int locked_count = g_name_count.load(std::memory_order_relaxed);
+  // Merge duplicate literals from different translation units by content.
+  for (int i = 0; i < locked_count; ++i) {
+    const char* existing = g_names[i].name.load(std::memory_order_relaxed);
+    if (existing == name || std::strcmp(existing, name) == 0) {
+      return i;
+    }
+  }
+  if (locked_count >= kMaxNames) {
+    return -1;  // Registry full: this mutex goes unchecked.
+  }
+  g_names[locked_count].rank = rank;
+  g_names[locked_count].name.store(name, std::memory_order_relaxed);
+  g_name_count.store(locked_count + 1, std::memory_order_release);
+  return locked_count;
+}
+
+// ---------------------------------------------------------------------------
+// Learned acquired-after graph. Edge (from → to) = "a thread held `from`
+// while acquiring `to`". Known-edge probing is lock-free (the hot path);
+// inserting a new edge — rare, bounded by kMaxNames² — takes g_registry_mu,
+// captures the acquisition backtrace, and runs cycle detection.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kEdgeEmpty = 0xffffffffu;
+constexpr int kEdgeTableSize = 8192;  // Power of two, far above edge count.
+
+struct EdgeInfo {
+  void* stack[kMaxStackDepth];
+  int depth = 0;
+};
+
+std::atomic<uint32_t> g_edge_keys[kEdgeTableSize];
+EdgeInfo g_edge_info[kEdgeTableSize];
+// Adjacency bitsets for cycle detection (row = from, bit = to).
+uint64_t g_adjacency[kMaxNames][kMaxNames / 64];
+
+struct EdgeTableInit {
+  EdgeTableInit() {
+    for (auto& key : g_edge_keys) {
+      key.store(kEdgeEmpty, std::memory_order_relaxed);
+    }
+  }
+} g_edge_table_init;
+
+uint32_t EdgeKey(int from, int to) {
+  return static_cast<uint32_t>(from) * kMaxNames + static_cast<uint32_t>(to);
+}
+
+int EdgeSlot(uint32_t key) {
+  // Linear probe; the table never fills (kMaxNames² / 4 max live edges in
+  // practice is a few hundred).
+  int slot = static_cast<int>((key * 2654435761u) & (kEdgeTableSize - 1));
+  while (true) {
+    uint32_t cur = g_edge_keys[slot].load(std::memory_order_acquire);
+    if (cur == key || cur == kEdgeEmpty) {
+      return slot;
+    }
+    slot = (slot + 1) & (kEdgeTableSize - 1);
+  }
+}
+
+bool EdgeKnown(uint32_t key) {
+  return g_edge_keys[EdgeSlot(key)].load(std::memory_order_acquire) == key;
+}
+
+/// The recorded backtrace of edge (from → to), or null.
+const EdgeInfo* EdgeStack(int from, int to) {
+  uint32_t key = EdgeKey(from, to);
+  int slot = EdgeSlot(key);
+  if (g_edge_keys[slot].load(std::memory_order_acquire) == key) {
+    return &g_edge_info[slot];
+  }
+  return nullptr;
+}
+
+bool AdjacencyHas(int from, int to) {
+  return (g_adjacency[from][to / 64] >> (to % 64)) & 1;
+}
+
+/// DFS: is `target` reachable from `start` in the learned graph? Called
+/// under g_registry_mu only.
+bool Reachable(int start, int target) {
+  uint64_t visited[kMaxNames / 64] = {};
+  int stack[kMaxNames];
+  int depth = 0;
+  stack[depth++] = start;
+  while (depth > 0) {
+    int node = stack[--depth];
+    if (node == target) {
+      return true;
+    }
+    if ((visited[node / 64] >> (node % 64)) & 1) {
+      continue;
+    }
+    visited[node / 64] |= 1ull << (node % 64);
+    const int count = g_name_count.load(std::memory_order_relaxed);
+    for (int next = 0; next < count; ++next) {
+      if (AdjacencyHas(node, next) &&
+          !((visited[next / 64] >> (next % 64)) & 1)) {
+        stack[depth++] = next;
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread state.
+// ---------------------------------------------------------------------------
+
+struct HeldLock {
+  const Mutex* mu = nullptr;
+  int id = -1;
+  LockRank rank = LockRank::kUnranked;
+  const char* name = nullptr;
+};
+
+struct ThreadState {
+  HeldLock held[kMaxHeldLocks];
+  int depth = 0;
+  int io_allowed_depth = 0;
+  bool in_validator = false;  // Re-entrancy guard (abort paths allocate).
+};
+
+thread_local ThreadState t_state;
+
+bool RuntimeEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("LSMLAB_LOCK_RANK");
+    return v == nullptr ||
+           (std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0);
+  }();
+  return enabled;
+}
+
+void PrintStack(void* const* pcs, int depth) {
+  if (depth <= 0) {
+    std::fprintf(stderr, "    <no stack recorded>\n");
+    return;
+  }
+  backtrace_symbols_fd(const_cast<void* const*>(pcs), depth, 2);
+}
+
+void PrintCurrentStack() {
+  void* pcs[kMaxStackDepth];
+  int depth = backtrace(pcs, kMaxStackDepth);
+  PrintStack(pcs, depth);
+}
+
+void PrintHeldLocks(const ThreadState& ts) {
+  std::fprintf(stderr, "  held locks (outermost first):\n");
+  for (int i = 0; i < ts.depth; ++i) {
+    std::fprintf(stderr, "    [%d] %s (rank %u)\n", i, ts.held[i].name,
+                 static_cast<unsigned>(ts.held[i].rank));
+  }
+}
+
+[[noreturn]] void Violation(const ThreadState& ts, const char* kind,
+                            const char* acquiring_name, LockRank acquiring_rank,
+                            const HeldLock* conflicting,
+                            const EdgeInfo* reverse_edge_stack) {
+  std::fprintf(stderr,
+               "\n=== lock-rank violation: %s ===\n"
+               "  acquiring: %s (rank %u)\n",
+               kind, acquiring_name, static_cast<unsigned>(acquiring_rank));
+  if (conflicting != nullptr) {
+    std::fprintf(stderr, "  while holding: %s (rank %u)\n", conflicting->name,
+                 static_cast<unsigned>(conflicting->rank));
+  }
+  PrintHeldLocks(ts);
+  std::fprintf(stderr, "  acquisition stack (this thread, now):\n");
+  PrintCurrentStack();
+  if (reverse_edge_stack != nullptr && conflicting != nullptr) {
+    std::fprintf(stderr,
+                 "  opposite-order acquisition stack (%s was first taken "
+                 "while holding %s here):\n",
+                 conflicting->name, acquiring_name);
+    PrintStack(reverse_edge_stack->stack, reverse_edge_stack->depth);
+  }
+  std::fprintf(stderr,
+               "  (see src/util/lock_order.h for the declared hierarchy)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Records edge (from → to) if new; returns true when the edge was new and
+/// closed a cycle (to →* from already existed).
+bool RecordEdgeAndCheckCycle(int from, int to) {
+  uint32_t key = EdgeKey(from, to);
+  if (EdgeKnown(key)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(g_registry_mu);
+  int slot = EdgeSlot(key);
+  if (g_edge_keys[slot].load(std::memory_order_relaxed) == key) {
+    return false;  // Raced with another thread inserting the same edge.
+  }
+  EdgeInfo& info = g_edge_info[slot];
+  info.depth = backtrace(info.stack, kMaxStackDepth);
+  const bool cycle = Reachable(to, from);
+  g_adjacency[from][to / 64] |= 1ull << (to % 64);
+  // Publish the key last so readers only see fully recorded edges.
+  g_edge_keys[slot].store(key, std::memory_order_release);
+  return cycle;
+}
+
+void PushHeld(ThreadState& ts, const Mutex* mu, int id, LockRank rank,
+              const char* name) {
+  if (ts.depth < kMaxHeldLocks) {
+    ts.held[ts.depth] = HeldLock{mu, id, rank, name};
+  }
+  ++ts.depth;  // Saturating records beyond the array are still counted.
+}
+
+void CheckAcquisition(ThreadState& ts, const Mutex* mu, int id, LockRank rank,
+                      const char* name, bool enforce_order) {
+  const int scan = ts.depth < kMaxHeldLocks ? ts.depth : kMaxHeldLocks;
+  for (int i = 0; i < scan; ++i) {
+    const HeldLock& h = ts.held[i];
+    if (h.mu == mu) {
+      Violation(ts, "self-deadlock (recursive acquisition)", name, rank, &h,
+                nullptr);
+    }
+    if (h.id < 0 || id < 0) {
+      continue;
+    }
+    const bool cycle = RecordEdgeAndCheckCycle(h.id, id);
+    if (!enforce_order) {
+      continue;  // TryLock: record for diagnostics, never abort.
+    }
+    if (h.rank != LockRank::kUnranked && rank != LockRank::kUnranked &&
+        static_cast<uint16_t>(rank) <= static_cast<uint16_t>(h.rank)) {
+      Violation(ts,
+                rank == h.rank ? "equal-rank nested acquisition"
+                               : "rank inversion against the declared DAG",
+                name, rank, &h, EdgeStack(id, h.id));
+    }
+    if (cycle) {
+      Violation(ts, "cycle in the learned acquired-after graph", name, rank,
+                &h, EdgeStack(id, h.id));
+    }
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return RuntimeEnabled(); }
+
+void OnLock(const Mutex* mu, LockRank rank, const char* name) {
+  if (!RuntimeEnabled()) {
+    return;
+  }
+  ThreadState& ts = t_state;
+  if (ts.in_validator) {
+    return;
+  }
+  ts.in_validator = true;
+  const int id = IdForName(name, rank);
+  CheckAcquisition(ts, mu, id, rank, name, /*enforce_order=*/true);
+  PushHeld(ts, mu, id, rank, name);
+  ts.in_validator = false;
+}
+
+void OnTryLockAcquired(const Mutex* mu, LockRank rank, const char* name) {
+  if (!RuntimeEnabled()) {
+    return;
+  }
+  ThreadState& ts = t_state;
+  if (ts.in_validator) {
+    return;
+  }
+  ts.in_validator = true;
+  const int id = IdForName(name, rank);
+  CheckAcquisition(ts, mu, id, rank, name, /*enforce_order=*/false);
+  PushHeld(ts, mu, id, rank, name);
+  ts.in_validator = false;
+}
+
+void OnUnlock(const Mutex* mu) {
+  if (!RuntimeEnabled()) {
+    return;
+  }
+  ThreadState& ts = t_state;
+  const int scan = ts.depth < kMaxHeldLocks ? ts.depth : kMaxHeldLocks;
+  // Search from the top: releases are overwhelmingly LIFO.
+  for (int i = scan - 1; i >= 0; --i) {
+    if (ts.held[i].mu == mu) {
+      for (int j = i; j + 1 < scan; ++j) {
+        ts.held[j] = ts.held[j + 1];
+      }
+      --ts.depth;
+      return;
+    }
+  }
+  // Unlock of a lock we never saw (acquired beyond kMaxHeldLocks, or before
+  // the validator was enabled): just decrement the saturated count.
+  if (ts.depth > kMaxHeldLocks) {
+    --ts.depth;
+  }
+}
+
+void OnCondVarWait(const Mutex* mu) {
+  if (!RuntimeEnabled()) {
+    return;
+  }
+  ThreadState& ts = t_state;
+  if (ts.in_validator || ts.depth == 0 || ts.depth > kMaxHeldLocks) {
+    return;
+  }
+  const HeldLock& top = ts.held[ts.depth - 1];
+  if (top.mu != mu) {
+    ts.in_validator = true;
+    // Find the waited lock for the report; it must be held (REQUIRES).
+    const HeldLock* waited = nullptr;
+    for (int i = 0; i < ts.depth; ++i) {
+      if (ts.held[i].mu == mu) {
+        waited = &ts.held[i];
+      }
+    }
+    Violation(ts, "condition wait while holding a lock ordered after it",
+              waited != nullptr ? waited->name : "<unheld mutex>",
+              waited != nullptr ? waited->rank : LockRank::kUnranked, &top,
+              nullptr);
+  }
+}
+
+void CheckIoAllowed(const char* op, const char* detail) {
+  if (!RuntimeEnabled()) {
+    return;
+  }
+  ThreadState& ts = t_state;
+  if (ts.in_validator || ts.io_allowed_depth > 0) {
+    return;
+  }
+  const int scan = ts.depth < kMaxHeldLocks ? ts.depth : kMaxHeldLocks;
+  for (int i = 0; i < scan; ++i) {
+    const HeldLock& h = ts.held[i];
+    if (RankForbidsIo(h.rank)) {
+      ts.in_validator = true;
+      std::fprintf(stderr,
+                   "\n=== I/O under lock: %s(%s) while holding %s (rank %u) "
+                   "===\n",
+                   op, detail != nullptr ? detail : "", h.name,
+                   static_cast<unsigned>(h.rank));
+      PrintHeldLocks(ts);
+      std::fprintf(stderr, "  I/O call stack:\n");
+      PrintCurrentStack();
+      std::fprintf(
+          stderr,
+          "  (deliberate sites must open a lock_rank::IoAllowedSection "
+          "with a rationale; see src/util/lock_rank.h)\n");
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+}
+
+int HeldLockCount() { return t_state.depth; }
+
+void PushIoAllowed() { ++t_state.io_allowed_depth; }
+
+void PopIoAllowed() { --t_state.io_allowed_depth; }
+
+}  // namespace lsmlab::lock_rank
+
+#endif  // LSMLAB_LOCK_RANK_CHECKS

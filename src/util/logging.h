@@ -40,7 +40,7 @@ class StderrLogger : public Logger {
  private:
   const Level min_level_;
   FILE* const out_;  // Serialized by mu_ (fprintf interleaving, not data).
-  Mutex mu_;
+  Mutex mu_{LockRank::kLogger, "logger.stderr.mu"};
 };
 
 /// Logger that retains messages in memory; used by tests to assert on events.
@@ -51,7 +51,7 @@ class CapturingLogger : public Logger {
   std::vector<std::string> TakeMessages();
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kLogger, "logger.capturing.mu"};
   std::vector<std::string> messages_ GUARDED_BY(mu_);
 };
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace lsmlab {
@@ -15,16 +16,46 @@ namespace lsmlab {
 /// Exposes both Lock()/Unlock() (the annotated spelling used throughout the
 /// engine) and lock()/unlock() (BasicLockable, so std::unique_lock and
 /// std::scoped_lock still work in generic code).
+///
+/// Every engine mutex should be constructed with a LockRank from the
+/// declared lock-order DAG (util/lock_order.h) and a stable name. In
+/// debug/sanitizer builds (LSMLAB_LOCK_RANK_CHECKS) each acquisition is
+/// checked by the runtime lock-rank validator (util/lock_rank.h): strict
+/// rank ascent against all held locks, cycle detection over the learned
+/// acquired-after graph, and I/O-under-lock detection. The default
+/// constructor yields an unranked mutex (generic/test code) that still
+/// participates in learned-graph cycle detection.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
 
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+#if defined(LSMLAB_LOCK_RANK_CHECKS)
+    lock_rank::OnLock(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if defined(LSMLAB_LOCK_RANK_CHECKS)
+    lock_rank::OnUnlock(this);
+#endif
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    bool acquired = mu_.try_lock();
+#if defined(LSMLAB_LOCK_RANK_CHECKS)
+    if (acquired) {
+      lock_rank::OnTryLockAcquired(this, rank_, name_);
+    }
+#endif
+    return acquired;
+  }
 
   /// Teaches the analysis (and asserts nothing at runtime) that the calling
   /// thread holds this mutex. Used by functions reached only from locked
@@ -32,12 +63,17 @@ class CAPABILITY("mutex") Mutex {
   void AssertHeld() ASSERT_CAPABILITY(this) {}
 
   // BasicLockable, for std::unique_lock<Mutex> in generic/test code only.
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const LockRank rank_ = LockRank::kUnranked;
+  const char* const name_ = "<unranked>";
 };
 
 /// RAII critical section over a Mutex, visible to the analysis as a
@@ -65,7 +101,12 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases `mu`, blocks, and reacquires `mu` before returning.
+  /// The validator checks that `mu` is the innermost lock this thread holds
+  /// — sleeping while a lock ordered after `mu` stays pinned is a stall bug.
   void Wait(Mutex& mu) REQUIRES(mu) {
+#if defined(LSMLAB_LOCK_RANK_CHECKS)
+    lock_rank::OnCondVarWait(&mu);
+#endif
     std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
     cv_.wait(inner);
     inner.release();  // Still locked; ownership returns to the caller.
@@ -80,6 +121,9 @@ class CondVar {
 
   /// Timed wait; returns false on timeout.
   bool WaitForMicros(Mutex& mu, uint64_t micros) REQUIRES(mu) {
+#if defined(LSMLAB_LOCK_RANK_CHECKS)
+    lock_rank::OnCondVarWait(&mu);
+#endif
     std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
     std::cv_status result =
         cv_.wait_for(inner, std::chrono::microseconds(micros));

@@ -40,7 +40,7 @@ class RateLimiter {
   void Refill(uint64_t now_micros) REQUIRES(mu_);
 
   Clock* const clock_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRateLimiter, "rate_limiter.mu"};
   CondVar cv_;
   uint64_t bytes_per_second_ GUARDED_BY(mu_);
   // Token bucket: capacity is one refill interval's worth of bytes.

@@ -48,7 +48,7 @@ class ThreadPool {
       REQUIRES(mu_);
   bool AllQueuesEmpty() const REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kThreadPool, "thread_pool.mu"};
   CondVar work_cv_;
   CondVar idle_cv_;
   std::deque<std::function<void()>> high_queue_ GUARDED_BY(mu_);

@@ -131,6 +131,13 @@ Status VersionEdit::DecodeFrom(const Slice& src) {
         return Status::Corruption("unknown tag in version edit");
     }
   }
+  // The loop exits when the next tag varint fails to parse; that is only
+  // well-formed at exact end-of-input. Trailing bytes that don't form a tag
+  // (e.g. a truncated varint with its continuation bit set) are damage, not
+  // padding — accepting them would silently drop a suffix of the record.
+  if (!input.empty()) {
+    return Status::Corruption("trailing garbage in version edit");
+  }
   return Status::OK();
 }
 

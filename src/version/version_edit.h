@@ -27,7 +27,7 @@ class TableReader;
 /// what bounds its lifetime — TableCache::Evict removes only the cache's
 /// own reference.
 struct TableHandle {
-  Mutex mu;
+  Mutex mu{LockRank::kTableHandle, "table_handle.mu"};
   std::shared_ptr<TableReader> reader GUARDED_BY(mu);
 };
 

@@ -262,6 +262,9 @@ Status VersionSet::CreateNew() {
 }
 
 Status VersionSet::CreateNewLocked() {
+  lock_rank::IoAllowedSection manifest_io(
+      "Manifest creation runs under VersionSet::mu_ by design: the manifest "
+      "is the state mu_ guards, and no other lock is reachable from here.");
   manifest_file_number_ = next_file_number_++;
   std::string manifest_name = ManifestFileName(dbname_, manifest_file_number_);
   Status s = env()->NewWritableFile(manifest_name, &manifest_file_);
@@ -294,6 +297,10 @@ Status VersionSet::RollManifest() {
 
 Status VersionSet::Recover() {
   MutexLock lock(&mu_);
+  lock_rank::IoAllowedSection manifest_io(
+      "Manifest replay reads CURRENT + the manifest under VersionSet::mu_ "
+      "by design: recovery is single-threaded and mu_ guards the very state "
+      "being rebuilt.");
   std::string current_contents;
   Status s =
       ReadFileToString(env(), CurrentFileName(dbname_), &current_contents);
@@ -415,9 +422,15 @@ Status VersionSet::LogAndApply(const std::vector<VersionEdit*>& edits) {
   for (VersionEdit* edit : edits) {
     edit->EncodeTo(&record);
   }
-  s = manifest_log_->AddRecord(record);
-  if (s.ok()) {
-    s = manifest_file_->Sync();
+  {
+    lock_rank::IoAllowedSection manifest_io(
+        "Manifest append+fsync under VersionSet::mu_ is the install "
+        "protocol: the write IS the state transition mu_ serializes "
+        "(DESIGN.md, Locking discipline).");
+    s = manifest_log_->AddRecord(record);
+    if (s.ok()) {
+      s = manifest_file_->Sync();
+    }
   }
   if (!s.ok()) {
     return s;

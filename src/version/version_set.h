@@ -175,7 +175,7 @@ class VersionSet {
 
   /// Leaf lock: held across manifest writes, never while calling out to
   /// any component that takes another lock.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kVersionSet, "version_set.mu"};
 
   std::shared_ptr<const Version> current_ GUARDED_BY(mu_);
   /// Weak handles on every version ever installed; expired entries are

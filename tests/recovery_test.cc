@@ -458,6 +458,44 @@ TEST_F(RecoveryTest, VersionEditRejectsGarbage) {
   EXPECT_TRUE(edit.DecodeFrom(Slice("\x07garbage-bytes")).IsCorruption());
 }
 
+TEST_F(RecoveryTest, VersionEditRejectsTrailingGarbage) {
+  // Fuzzer-derived regression (fuzz_version_edit): a well-formed edit with
+  // bytes appended used to decode OK, silently swallowing the tail. A lone
+  // 0xff is a truncated tag varint — the minimal such suffix.
+  VersionEdit edit;
+  edit.SetLogNumber(3);
+  edit.SetNextFileNumber(4);
+  edit.SetLastSequence(5);
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+
+  VersionEdit decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(encoded).ok());
+  encoded.push_back('\xff');
+  VersionEdit rejected;
+  EXPECT_TRUE(rejected.DecodeFrom(encoded).IsCorruption());
+}
+
+TEST_F(RecoveryTest, VersionEditAcceptsConcatenatedEdits) {
+  // Two encodings back to back are still one well-formed tag stream (the
+  // manifest group-record shape), so the trailing-garbage check must not
+  // reject them: later fields simply win.
+  VersionEdit first, second;
+  first.SetLogNumber(10);
+  first.SetNextFileNumber(11);
+  second.SetLogNumber(20);
+  second.SetLastSequence(99);
+  std::string encoded;
+  first.EncodeTo(&encoded);
+  second.EncodeTo(&encoded);
+
+  VersionEdit decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(encoded).ok());
+  EXPECT_EQ(20u, decoded.log_number());
+  EXPECT_EQ(11u, decoded.next_file_number());
+  EXPECT_EQ(99u, decoded.last_sequence());
+}
+
 TEST_F(RecoveryTest, ComparatorMismatchRefusesOpen) {
   Open();
   ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());

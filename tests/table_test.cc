@@ -15,6 +15,7 @@
 #include "table/merging_iterator.h"
 #include "table/table_builder.h"
 #include "table/table_reader.h"
+#include "util/coding.h"
 #include "util/random.h"
 
 namespace lsmlab {
@@ -124,6 +125,29 @@ TEST(BlockTest, RandomizedSeekMatchesModel) {
       EXPECT_EQ(expect->second, iter->value().ToString());
     }
   }
+}
+
+TEST(BlockTest, OverflowingEntryHeaderReportsCorruption) {
+  // Fuzzer-derived regression (fuzz_block): an entry header encoding
+  // non_shared=0xffffffff with value_length=1 wrapped the old 32-bit bounds
+  // check (0xffffffff + 1 == 0), letting DecodeEntry approve a ~4 GiB
+  // over-read. The widened check must reject it as a bad entry instead.
+  std::string contents;
+  contents.push_back('\x00');  // shared = 0
+  contents.append("\xff\xff\xff\xff\x0f", 5);  // non_shared = 0xffffffff
+  contents.push_back('\x01');  // value_length = 1
+  contents.push_back('k');  // Far less payload than claimed.
+  PutFixed32(&contents, 0);  // restart[0]
+  PutFixed32(&contents, 1);  // num_restarts
+  Block block(std::move(contents));
+
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().IsCorruption());
+  iter->Seek("k");
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().IsCorruption());
 }
 
 // ----------------------------------------------------------- BlockHandle ----

@@ -1,0 +1,38 @@
+// Deliberately inverts the declared lock order: writer_queue_mu_ is
+// ACQUIRED_BEFORE(mu_) — the writer-queue protocol from ShardEngine — but
+// Commit() takes mu_ first. This file must NOT compile under clang
+// -Wthread-safety-beta -Werror (ACQUIRED_BEFORE checking lives behind the
+// -beta flag); run_test.sh fails if it does. The runtime twin of this proof
+// is tests/lock_rank_test.cc RankInversionAborts.
+//
+// NOT part of any build target — compiled standalone by run_test.sh.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  void Commit() {
+    mu_.Lock();
+    writer_queue_mu_.Lock();  // BUG: declared order is queue before mu_.
+    pending_ = applied_;
+    writer_queue_mu_.Unlock();
+    mu_.Unlock();
+  }
+
+ private:
+  lsmlab::Mutex mu_;
+  lsmlab::Mutex writer_queue_mu_ ACQUIRED_BEFORE(mu_);
+  long applied_ GUARDED_BY(mu_) = 0;
+  long pending_ GUARDED_BY(writer_queue_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.Commit();
+  return 0;
+}

@@ -33,10 +33,32 @@ fi
 case "$err" in
   *thread-safety*)
     echo "PASS: -Wthread-safety rejected the misguarded access"
-    exit 0
     ;;
   *)
     echo "FAIL: misguarded.cc failed to compile for the wrong reason:"
+    echo "$err"
+    exit 1
+    ;;
+esac
+
+# ACQUIRED_BEFORE ordering checks live behind -Wthread-safety-beta: the
+# misordered twin (mu_ taken before writer_queue_mu_, inverting the declared
+# order) must be rejected there. Its runtime twin is lock_rank_test's
+# RankInversionAborts.
+BETA_FLAGS="$FLAGS -Wthread-safety-beta"
+
+err=$("$CXX" $BETA_FLAGS "$SRC_DIR/misordered.cc" 2>&1)
+if [ $? -eq 0 ]; then
+  echo "FAIL: misordered.cc compiled — ACQUIRED_BEFORE checking is not firing"
+  exit 1
+fi
+case "$err" in
+  *thread-safety*)
+    echo "PASS: -Wthread-safety-beta rejected the misordered acquisition"
+    exit 0
+    ;;
+  *)
+    echo "FAIL: misordered.cc failed to compile for the wrong reason:"
     echo "$err"
     exit 1
     ;;

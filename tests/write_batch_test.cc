@@ -179,6 +179,42 @@ TEST(WriteBatchTest, CorruptRepDetected) {
   EXPECT_TRUE(batch.Iterate(&handler).IsCorruption());
 }
 
+TEST(WriteBatchTest, CountMismatchDetected) {
+  // Fuzzer-derived regression (fuzz_write_batch): a rep whose header count
+  // disagrees with the records actually present must surface as Corruption
+  // in both directions, never as a short or over-long replay.
+  WriteBatch source;
+  source.Put("a", "1");
+  source.Put("b", "2");
+
+  std::string overcounted = source.rep();
+  overcounted[8] = 3;  // Header claims 3, body holds 2.
+  WriteBatch batch;
+  ASSERT_TRUE(batch.SetRep(overcounted).ok());
+  RecordingHandler handler;
+  EXPECT_TRUE(batch.Iterate(&handler).IsCorruption());
+
+  std::string undercounted = source.rep();
+  undercounted[8] = 1;  // Header claims 1, body holds 2.
+  ASSERT_TRUE(batch.SetRep(undercounted).ok());
+  RecordingHandler handler2;
+  EXPECT_TRUE(batch.Iterate(&handler2).IsCorruption());
+}
+
+TEST(WriteBatchTest, UnknownRecordTagDetected) {
+  // Fuzzer-derived regression: a tag byte past the newest known ValueType
+  // (a record from a future or corrupted writer) must stop the replay with
+  // Corruption rather than desynchronize the record stream.
+  WriteBatch source;
+  source.Put("k", "v");
+  std::string rep = source.rep();
+  rep[12] = '\x7e';  // First record's type byte: far beyond kTypeMerge.
+  WriteBatch batch;
+  ASSERT_TRUE(batch.SetRep(rep).ok());
+  RecordingHandler handler;
+  EXPECT_TRUE(batch.Iterate(&handler).IsCorruption());
+}
+
 // --------------------------------------------------------------- DB level --
 
 class DbWriteBatchTest : public ::testing::Test {
