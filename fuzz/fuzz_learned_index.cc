@@ -1,0 +1,83 @@
+/// Fuzz harness for the learned-index (PLR) block decoder. The block is
+/// untrusted input read straight from an SSTable, so a malformed or
+/// truncated encoding must come back as Corruption — never a crash, an
+/// over-read, or a model that later sends PredictBlock out of range.
+/// Accepted models additionally get hammered with queries derived from the
+/// input bytes, and must round-trip byte-identically through EncodeTo.
+
+#include <cstdint>
+#include <string>
+
+#include "table/learned_index.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace lsmlab;
+
+  const char* chars = reinterpret_cast<const char*>(data);
+  Slice input(chars, size);
+
+  LearnedIndexModel model;
+  Status s = LearnedIndexModel::DecodeFrom(input, &model);
+  if (!s.ok()) {
+    return 0;  // Rejected input: the only acceptable failure mode.
+  }
+
+  // Structural invariants the rest of the reader relies on.
+  if (model.num_blocks == 0 ||
+      model.offsets.size() != model.num_blocks + 1 ||
+      model.digests.size() != model.num_blocks || model.segments.empty()) {
+    __builtin_trap();
+  }
+  for (size_t i = 1; i < model.offsets.size(); ++i) {
+    if (model.offsets[i] <= model.offsets[i - 1]) {
+      __builtin_trap();
+    }
+  }
+
+  // Predictions must stay in [0, num_blocks) for arbitrary query digests,
+  // including ones synthesized from the input itself.
+  uint64_t probes[] = {0,
+                       ~uint64_t{0},
+                       model.digests.front(),
+                       model.digests.back(),
+                       model.digests.front() + 1,
+                       model.digests.back() - 1};
+  for (uint64_t x : probes) {
+    if (model.PredictBlock(x) >= model.num_blocks) {
+      __builtin_trap();
+    }
+  }
+  for (size_t pos = 0; pos + 8 <= size && pos < 256; pos += 8) {
+    uint64_t x = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      x = (x << 8) | static_cast<uint8_t>(chars[pos + i]);
+    }
+    if (model.PredictBlock(x) >= model.num_blocks) {
+      __builtin_trap();
+    }
+  }
+
+  // Keys sliced from the input exercise the prefix-clamp path.
+  for (size_t len = 0; len <= size && len < 32; ++len) {
+    (void)model.QueryDigest(Slice(chars, len));
+  }
+
+  // A decoded model re-encodes to something that decodes back to the same
+  // model. (Not byte-identical: the decoder tolerates non-canonical varints,
+  // the encoder always emits canonical ones.)
+  std::string reencoded;
+  model.EncodeTo(&reencoded);
+  LearnedIndexModel redecoded;
+  if (!LearnedIndexModel::DecodeFrom(Slice(reencoded), &redecoded).ok() ||
+      redecoded.num_blocks != model.num_blocks ||
+      redecoded.epsilon != model.epsilon || redecoded.prefix != model.prefix ||
+      redecoded.offsets != model.offsets ||
+      redecoded.digests != model.digests ||
+      redecoded.segments.size() != model.segments.size()) {
+    __builtin_trap();
+  }
+  (void)model.MemoryUsage();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "io/mem_env.h"
 #include "io/wal_writer.h"
 #include "table/block_builder.h"
+#include "table/learned_index.h"
 #include "util/coding.h"
 #include "util/comparator.h"
 #include "version/version_edit.h"
@@ -157,6 +158,34 @@ int main(int argc, char** argv) {
     builder.Add("only", "entry");
     WriteSeed(root, "fuzz_block", "seed-tiny.bin",
               builder.Finish().ToString());
+  }
+
+  // --- fuzz_learned_index -----------------------------------------------
+  {
+    LearnedIndexBuilder builder(/*epsilon=*/8);
+    uint64_t offset = 0;
+    char fence[24];
+    for (int i = 0; i < 60; ++i) {
+      std::snprintf(fence, sizeof(fence), "user%06d", i * 37);
+      builder.AddBlock(fence, offset);
+      offset += 900 + static_cast<uint64_t>(i % 13) * 40;
+    }
+    std::string bytes;
+    uint64_t segments = 0;
+    if (!builder.Finish(offset, &bytes, &segments)) {
+      std::abort();
+    }
+    WriteSeed(root, "fuzz_learned_index", "seed-plr.bin", bytes);
+  }
+  {
+    LearnedIndexBuilder builder(/*epsilon=*/1);
+    builder.AddBlock("only-fence", 0);
+    std::string bytes;
+    uint64_t segments = 0;
+    if (!builder.Finish(512, &bytes, &segments)) {
+      std::abort();
+    }
+    WriteSeed(root, "fuzz_learned_index", "seed-single-block.bin", bytes);
   }
 
   std::printf("seed corpus written under %s\n", root.c_str());

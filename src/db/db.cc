@@ -707,6 +707,13 @@ std::string ShardedDB::DebugLevelSummary() const {
   out += buf;
   std::snprintf(
       buf, sizeof(buf),
+      "learned index: hits=%llu fallbacks=%llu, index bytes loaded=%llu\n",
+      static_cast<unsigned long long>(stats_.learned_index_hits.load()),
+      static_cast<unsigned long long>(stats_.learned_index_fallbacks.load()),
+      static_cast<unsigned long long>(stats_.index_bytes_loaded.load()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
       "cross-shard: batches=%llu prepares=%llu commits=%llu aborts=%llu\n",
       static_cast<unsigned long long>(stats_.cross_shard_batches.load()),
       static_cast<unsigned long long>(stats_.shard_prepares.load()),

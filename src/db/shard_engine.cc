@@ -1852,17 +1852,20 @@ std::string ShardEngine::DebugLevelSummary() const {
     }
     size_t slot = static_cast<size_t>(
         std::min(level, Statistics::kMaxStatsLevels - 1));
+    int learned = 0, fence = 0, unopened = 0;
+    v->CountIndexKinds(level, &learned, &fence, &unopened);
     std::snprintf(
         buf, sizeof(buf),
         "L%d%s: %zu files, %llu bytes | compactions=%llu read=%llu "
-        "written=%llu\n",
+        "written=%llu | idx learned=%d fence=%d unopened=%d\n",
         level, v->IsTieredLevel(level) ? " (tiered)" : "", files.size(),
         static_cast<unsigned long long>(bytes),
         static_cast<unsigned long long>(stats_->compactions_at_level[slot]),
         static_cast<unsigned long long>(
             stats_->compaction_bytes_read_at_level[slot]),
         static_cast<unsigned long long>(
-            stats_->compaction_bytes_written_at_level[slot]));
+            stats_->compaction_bytes_written_at_level[slot]),
+        learned, fence, unopened);
     out += buf;
   }
   std::snprintf(
@@ -1898,6 +1901,13 @@ std::string ShardEngine::DebugLevelSummary() const {
       static_cast<unsigned long long>(stats_->io_batch_bytes.load()),
       static_cast<unsigned long long>(stats_->readahead_hits.load()),
       static_cast<unsigned long long>(stats_->readahead_misses.load()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "learned index: hits=%llu fallbacks=%llu, index bytes loaded=%llu\n",
+      static_cast<unsigned long long>(stats_->learned_index_hits.load()),
+      static_cast<unsigned long long>(stats_->learned_index_fallbacks.load()),
+      static_cast<unsigned long long>(stats_->index_bytes_loaded.load()));
   out += buf;
   Histogram durations = stats_->CompactionDurations();
   if (durations.num() > 0) {
@@ -1953,9 +1963,14 @@ std::string ShardEngine::DebugShardSection() const {
     if (files.empty()) {
       continue;  // Per-shard sections list only populated levels.
     }
-    std::snprintf(buf, sizeof(buf), "  L%d%s: %zu files, %llu bytes\n", level,
-                  v->IsTieredLevel(level) ? " (tiered)" : "", files.size(),
-                  static_cast<unsigned long long>(bytes));
+    int learned = 0, fence = 0, unopened = 0;
+    v->CountIndexKinds(level, &learned, &fence, &unopened);
+    std::snprintf(buf, sizeof(buf),
+                  "  L%d%s: %zu files, %llu bytes | idx learned=%d fence=%d "
+                  "unopened=%d\n",
+                  level, v->IsTieredLevel(level) ? " (tiered)" : "",
+                  files.size(), static_cast<unsigned long long>(bytes),
+                  learned, fence, unopened);
     out += buf;
   }
   std::snprintf(buf, sizeof(buf), "  running compactions=%d\n",

@@ -28,6 +28,8 @@ TableBuilderOptions ShardEngine::MakeBuilderOptions(int level) const {
   topt.block_size = options_.block_size;
   topt.block_restart_interval = options_.block_restart_interval;
   topt.creation_time_micros = options_.clock->NowMicros();
+  topt.index_type = ResolveIndexTypeForLevel(options_, level);
+  topt.learned_index_epsilon = options_.learned_index_epsilon;
 
   if (options_.filter_policy != nullptr) {
     double bits = monkey_bits_[static_cast<size_t>(

@@ -48,6 +48,16 @@ struct Statistics {
   /// vs. reads that had to go to the device.
   std::atomic<uint64_t> readahead_hits{0};
   std::atomic<uint64_t> readahead_misses{0};
+  /// Learned per-table indexes (DESIGN.md, "Pluggable per-table indexes"):
+  /// lookups the model certified from digests alone vs. lookups that hit a
+  /// digest tie and fell back to the binary-searched fence block. A
+  /// mispredicting model shows up here, not as silent slowdown.
+  std::atomic<uint64_t> learned_index_hits{0};
+  std::atomic<uint64_t> learned_index_fallbacks{0};
+  /// Index bytes pinned in memory by table opens plus lazy fence-block
+  /// loads; learned tables pin the (much smaller) model block up front and
+  /// the fence block only on first fallback.
+  std::atomic<uint64_t> index_bytes_loaded{0};
 
   // Write path. `writes` counts operations; `write_groups` counts leader
   // commits, so writes / write_groups is the mean group-commit batch size.
@@ -125,6 +135,9 @@ struct Statistics {
     io_batch_bytes = 0;
     readahead_hits = 0;
     readahead_misses = 0;
+    learned_index_hits = 0;
+    learned_index_fallbacks = 0;
+    index_bytes_loaded = 0;
     writes = 0;
     write_groups = 0;
     wal_syncs = 0;

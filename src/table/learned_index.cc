@@ -1,0 +1,353 @@
+#include "table/learned_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "table/format.h"
+#include "util/coding.h"
+
+namespace lsmlab {
+
+namespace {
+
+/// On-disk layout (all fields mandatory, exact-length — trailing bytes are
+/// Corruption, mirroring the VersionEdit trailing-garbage rule):
+///   varint32  format version (== 1)
+///   varint32  epsilon
+///   length-prefixed prefix bytes (<= kMaxPrefixSkip)
+///   varint64  num_blocks n  (>= 1)
+///   n x varint64  block-size deltas: delta_i = offsets[i+1] - offsets[i],
+///                 each > kBlockTrailerSize (a data block is never empty)
+///   n x fixed64   fence digests, sorted non-decreasing
+///   varint32  num_segments m (1 <= m <= n)
+///   m x (fixed64 start_x, fixed64 slope bits, fixed64 intercept bits)
+///                 start_x strictly increasing, slope/intercept finite
+constexpr uint32_t kFormatVersion = 1;
+
+/// Caps keep a hostile length field from driving huge allocations before
+/// the per-element validation runs.
+constexpr size_t kMaxPrefixSkip = 64;
+constexpr uint64_t kMaxBlocks = uint64_t{1} << 32;
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t LearnedKeyDigest(const Slice& user_key, size_t prefix_skip) {
+  uint64_t x = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    size_t pos = prefix_skip + i;
+    uint8_t b = pos < user_key.size()
+                    ? static_cast<uint8_t>(user_key.data()[pos])
+                    : 0;
+    x = (x << 8) | b;
+  }
+  return x;
+}
+
+// ------------------------------------------------------------------ model --
+
+void LearnedIndexModel::EncodeTo(std::string* dst) const {
+  assert(offsets.size() == num_blocks + 1);
+  assert(digests.size() == num_blocks);
+  PutVarint32(dst, kFormatVersion);
+  PutVarint32(dst, epsilon);
+  PutLengthPrefixedSlice(dst, prefix);
+  PutVarint64(dst, num_blocks);
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    PutVarint64(dst, offsets[i + 1] - offsets[i]);
+  }
+  for (uint64_t d : digests) {
+    PutFixed64(dst, d);
+  }
+  PutVarint32(dst, static_cast<uint32_t>(segments.size()));
+  for (const PlrSegment& s : segments) {
+    PutFixed64(dst, s.start_x);
+    PutFixed64(dst, DoubleToBits(s.slope));
+    PutFixed64(dst, DoubleToBits(s.intercept));
+  }
+}
+
+Status LearnedIndexModel::DecodeFrom(const Slice& input,
+                                     LearnedIndexModel* model) {
+  *model = LearnedIndexModel();
+  Slice in = input;
+  uint32_t version = 0;
+  if (!GetVarint32(&in, &version) || version != kFormatVersion) {
+    return Status::Corruption("learned index: bad format version");
+  }
+  if (!GetVarint32(&in, &model->epsilon)) {
+    return Status::Corruption("learned index: bad epsilon");
+  }
+  Slice prefix;
+  if (!GetLengthPrefixedSlice(&in, &prefix) ||
+      prefix.size() > kMaxPrefixSkip) {
+    return Status::Corruption("learned index: bad prefix");
+  }
+  model->prefix.assign(prefix.data(), prefix.size());
+  if (!GetVarint64(&in, &model->num_blocks) || model->num_blocks == 0 ||
+      model->num_blocks > kMaxBlocks) {
+    return Status::Corruption("learned index: bad block count");
+  }
+  const uint64_t n = model->num_blocks;
+  // Each delta is at least one varint byte; reject impossible counts before
+  // reserving anything.
+  if (n > in.size()) {
+    return Status::Corruption("learned index: truncated deltas");
+  }
+  model->offsets.reserve(static_cast<size_t>(n) + 1);
+  model->offsets.push_back(0);  // Data blocks start at file offset 0.
+  uint64_t offset = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t delta = 0;
+    if (!GetVarint64(&in, &delta)) {
+      return Status::Corruption("learned index: truncated deltas");
+    }
+    // A data block carries at least one payload byte plus its trailer, and
+    // offsets must not wrap uint64.
+    if (delta <= kBlockTrailerSize ||
+        delta > std::numeric_limits<uint64_t>::max() - offset) {
+      return Status::Corruption("learned index: bad block delta");
+    }
+    offset += delta;
+    model->offsets.push_back(offset);
+  }
+  if (in.size() < n * 8) {  // n <= 2^32, so n * 8 cannot wrap.
+    return Status::Corruption("learned index: truncated digests");
+  }
+  model->digests.reserve(static_cast<size_t>(n));
+  uint64_t prev_digest = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t d = 0;
+    (void)GetFixed64(&in, &d);  // Length pre-checked above.
+    if (i > 0 && d < prev_digest) {
+      return Status::Corruption("learned index: digests not sorted");
+    }
+    prev_digest = d;
+    model->digests.push_back(d);
+  }
+  uint32_t num_segments = 0;
+  if (!GetVarint32(&in, &num_segments) || num_segments == 0 ||
+      num_segments > n) {
+    return Status::Corruption("learned index: bad segment count");
+  }
+  if (in.size() != static_cast<uint64_t>(num_segments) * 24) {
+    return Status::Corruption("learned index: bad segment region");
+  }
+  model->segments.reserve(num_segments);
+  for (uint32_t i = 0; i < num_segments; ++i) {
+    PlrSegment seg;
+    uint64_t slope_bits = 0, intercept_bits = 0;
+    // Exact segment-region length pre-checked above; cannot fail.
+    (void)GetFixed64(&in, &seg.start_x);
+    (void)GetFixed64(&in, &slope_bits);      // Pre-checked above.
+    (void)GetFixed64(&in, &intercept_bits);  // Pre-checked above.
+    seg.slope = BitsToDouble(slope_bits);
+    seg.intercept = BitsToDouble(intercept_bits);
+    // Non-finite parameters would make PredictBlock's float-to-int cast UB.
+    if (!std::isfinite(seg.slope) || !std::isfinite(seg.intercept)) {
+      return Status::Corruption("learned index: non-finite segment");
+    }
+    if (i > 0 && seg.start_x <= model->segments.back().start_x) {
+      return Status::Corruption("learned index: segments not sorted");
+    }
+    model->segments.push_back(seg);
+  }
+  assert(in.empty());  // Exact-length segment region consumed everything.
+  return Status::OK();
+}
+
+uint64_t LearnedIndexModel::QueryDigest(const Slice& user_key) const {
+  size_t skip = prefix.size();
+  if (skip > 0) {
+    size_t cmp_len = std::min(user_key.size(), skip);
+    int c = std::memcmp(user_key.data(), prefix.data(), cmp_len);
+    if (c < 0 || (c == 0 && user_key.size() < skip)) {
+      return 0;  // Sorts before every key sharing the table prefix.
+    }
+    if (c > 0) {
+      return std::numeric_limits<uint64_t>::max();  // Sorts after all.
+    }
+  }
+  return LearnedKeyDigest(user_key, skip);
+}
+
+uint64_t LearnedIndexModel::PredictBlock(uint64_t x) const {
+  assert(num_blocks > 0);
+  if (segments.empty()) {
+    return 0;
+  }
+  // Last segment with start_x <= x (queries below the first segment use it
+  // anyway; the clamp below bounds the result).
+  size_t lo = 0, hi = segments.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi + 1) / 2;
+    if (segments[mid].start_x <= x) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const PlrSegment& seg = segments[lo];
+  double dx = x >= seg.start_x ? static_cast<double>(x - seg.start_x)
+                               : -static_cast<double>(seg.start_x - x);
+  double pred = seg.intercept + seg.slope * dx;
+  double max_block = static_cast<double>(num_blocks - 1);
+  if (!(pred > 0.0)) {  // Also catches NaN from extreme (finite) params.
+    return 0;
+  }
+  if (pred >= max_block) {
+    return num_blocks - 1;
+  }
+  return static_cast<uint64_t>(pred);
+}
+
+size_t LearnedIndexModel::MemoryUsage() const {
+  return sizeof(*this) + prefix.size() + offsets.size() * sizeof(uint64_t) +
+         digests.size() * sizeof(uint64_t) +
+         segments.size() * sizeof(PlrSegment);
+}
+
+// ---------------------------------------------------------------- builder --
+
+LearnedIndexBuilder::LearnedIndexBuilder(uint32_t epsilon)
+    : epsilon_(epsilon) {}
+
+void LearnedIndexBuilder::AddBlock(const Slice& fence_user_key,
+                                   uint64_t block_offset) {
+  fence_key_offsets_.push_back(fence_keys_flat_.size());
+  fence_keys_flat_.append(fence_user_key.data(), fence_user_key.size());
+  block_offsets_.push_back(block_offset);
+}
+
+bool LearnedIndexBuilder::Finish(uint64_t data_end_offset, std::string* dst,
+                                 uint64_t* segment_count) {
+  *segment_count = 0;
+  const size_t n = block_offsets_.size();
+  if (n == 0) {
+    return false;
+  }
+  auto fence_key = [&](size_t i) {
+    size_t start = fence_key_offsets_[i];
+    size_t end = i + 1 < n ? fence_key_offsets_[i + 1]
+                           : fence_keys_flat_.size();
+    return Slice(fence_keys_flat_.data() + start, end - start);
+  };
+
+  // Fixed-prefix extraction: skip the bytes the fences share. The final
+  // fence is a FindShortSuccessor of the table's last key and often drops
+  // the keyspace prefix entirely (e.g. "l" for a table of "key..."), so the
+  // LCP is anchored on the second-to-last fence instead; for sorted bytewise
+  // keys that LCP is shared by every fence but possibly the last, and
+  // QueryDigest clamps an out-of-prefix final fence to UINT64_MAX, which
+  // keeps the transform monotone.
+  Slice first = fence_key(0);
+  Slice anchor = fence_key(n >= 2 ? n - 2 : 0);
+  size_t skip = 0;
+  if (n >= 2) {
+    size_t max_lcp = std::min({first.size(), anchor.size(), kMaxPrefixSkip});
+    while (skip < max_lcp && first.data()[skip] == anchor.data()[skip]) {
+      ++skip;
+    }
+  }
+
+  LearnedIndexModel model;
+  model.prefix.assign(first.data(), skip);
+  model.epsilon = epsilon_;
+  model.num_blocks = n;
+  model.offsets = block_offsets_;
+  model.offsets.push_back(data_end_offset);
+  model.digests.reserve(n);
+  size_t ties = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t d = model.QueryDigest(fence_key(i));
+    if (i > 0) {
+      assert(d >= model.digests.back());  // Monotone transform.
+      ties += d == model.digests.back() ? 1 : 0;
+    }
+    model.digests.push_back(d);
+  }
+  // The keyspace defeats the transform when adjacent fences routinely share
+  // their first prefix_skip+8 bytes: most lookups would tie and fall back,
+  // so the model would be pure overhead. The table's properties record this
+  // per-table fallback.
+  if (n > 1 && ties * 2 >= n) {
+    return false;
+  }
+
+  // Greedy one-pass epsilon-bounded segment fitting over (digest, block):
+  // maintain the cone of slopes that keep every point of the open segment
+  // within +-epsilon; a point that empties the cone closes the segment.
+  const double eps = static_cast<double>(epsilon_);
+  struct OpenSegment {
+    uint64_t start_x;
+    double start_y;
+    double slope_lo;
+    double slope_hi;
+    bool bounded;
+  };
+  auto close = [&](const OpenSegment& open) {
+    PlrSegment seg;
+    seg.start_x = open.start_x;
+    seg.intercept = open.start_y;
+    if (!open.bounded) {
+      seg.slope = 0.0;
+    } else {
+      // Midpoint of the cone, clamped non-negative: a negative slope stays
+      // inside the cone only if slope_hi < 0, which cannot happen for
+      // strictly increasing y (see below), so the clamp preserves the
+      // epsilon bound while keeping the model monotone.
+      double mid = (open.slope_lo + open.slope_hi) / 2.0;
+      seg.slope = std::max(0.0, std::min(mid, open.slope_hi));
+      seg.slope = std::max(seg.slope, open.slope_lo);
+    }
+    model.segments.push_back(seg);
+  };
+  OpenSegment open{model.digests[0], 0.0, 0.0, 0.0, false};
+  for (size_t i = 1; i < n; ++i) {
+    uint64_t x = model.digests[i];
+    double y = static_cast<double>(i);
+    if (x == open.start_x) {
+      // A digest tie adds no slope constraint (dx == 0). A tie run longer
+      // than epsilon cannot be represented within the bound at all — and
+      // need not be: lookups landing on a tie are resolved by the fence
+      // fallback, never by the model, so the point is simply skipped.
+      continue;
+    }
+    double dx = static_cast<double>(x - open.start_x);
+    double lo = (y - open.start_y - eps) / dx;
+    double hi = (y - open.start_y + eps) / dx;  // > 0: y grows, eps >= 0.
+    if (!open.bounded) {
+      open.slope_lo = lo;
+      open.slope_hi = hi;
+      open.bounded = true;
+    } else {
+      open.slope_lo = std::max(open.slope_lo, lo);
+      open.slope_hi = std::min(open.slope_hi, hi);
+      if (open.slope_lo > open.slope_hi) {
+        close(open);
+        open = OpenSegment{x, y, 0.0, 0.0, false};
+      }
+    }
+  }
+  close(open);
+
+  *segment_count = model.segments.size();
+  model.EncodeTo(dst);
+  return true;
+}
+
+}  // namespace lsmlab

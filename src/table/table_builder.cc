@@ -19,6 +19,16 @@ TableBuilder::TableBuilder(const TableBuilderOptions& options,
   properties_.creation_time_micros = options.creation_time_micros;
   properties_.oldest_tombstone_time_micros =
       options.oldest_tombstone_time_micros;
+  if (options_.index_type == IndexType::kLearnedPLR) {
+    // The digest transform is monotone only over bytewise key order; any
+    // other comparator defeats it for the whole table.
+    if (options_.comparator->user_comparator() == BytewiseComparator()) {
+      learned_builder_ =
+          std::make_unique<LearnedIndexBuilder>(options_.learned_index_epsilon);
+    } else {
+      properties_.learned_index_fallback = 1;
+    }
+  }
 }
 
 TableBuilder::~TableBuilder() = default;
@@ -41,6 +51,13 @@ void TableBuilder::Add(const Slice& internal_key, const Slice& value) {
     std::string handle_encoding;
     pending_handle_.EncodeTo(&handle_encoding);
     index_block_.Add(last_key_, handle_encoding);
+    if (learned_builder_ != nullptr) {
+      // The model is fitted over the same fence keys the index block
+      // stores: the digest-certification argument compares query keys
+      // against exactly these separators.
+      learned_builder_->AddBlock(ExtractUserKey(Slice(last_key_)),
+                                 pending_handle_.offset());
+    }
     pending_index_entry_ = false;
   }
 
@@ -104,7 +121,50 @@ Status TableBuilder::Finish() {
   FlushDataBlock();
   closed_ = true;
 
-  BlockHandle filter_handle, properties_handle, metaindex_handle, index_handle;
+  // Data region: blocks 0..n-1 are contiguous from file offset 0 and end
+  // here; the learned index reconstructs their handles from this span.
+  const uint64_t data_end_offset = offset_;
+
+  // Finalize the last block's fence entry before any index is serialized.
+  if (status_.ok() && pending_index_entry_) {
+    options_.comparator->FindShortSuccessor(&last_key_);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    if (learned_builder_ != nullptr) {
+      learned_builder_->AddBlock(ExtractUserKey(Slice(last_key_)),
+                                 pending_handle_.offset());
+    }
+    pending_index_entry_ = false;
+  }
+
+  // Serialize the fence index now — it is written last, after the meta
+  // blocks — so its size lands in the properties, and fit the learned model
+  // over the collected fences. A declined fit (defeated digest transform)
+  // is recorded per table; the reader then uses the fences alone.
+  Slice index_contents;
+  std::string learned_block;
+  bool has_learned = false;
+  if (status_.ok()) {
+    index_contents = index_block_.Finish();
+    properties_.fence_index_bytes = index_contents.size();
+    if (learned_builder_ != nullptr) {
+      uint64_t segment_count = 0;
+      has_learned = learned_builder_->Finish(data_end_offset, &learned_block,
+                                             &segment_count);
+      if (has_learned) {
+        properties_.index_type = static_cast<uint64_t>(IndexType::kLearnedPLR);
+        properties_.learned_index_epsilon = options_.learned_index_epsilon;
+        properties_.learned_index_segments = segment_count;
+        properties_.learned_index_bytes = learned_block.size();
+      } else {
+        properties_.learned_index_fallback = 1;
+      }
+    }
+  }
+
+  BlockHandle filter_handle, learned_handle, properties_handle,
+      metaindex_handle, index_handle;
   bool has_filter = false;
 
   // Filter block: one filter over the whole run's user keys.
@@ -127,6 +187,11 @@ Status TableBuilder::Finish() {
     has_filter = true;
   }
 
+  // Learned-index meta block.
+  if (status_.ok() && has_learned) {
+    WriteRawBlock(learned_block, &learned_handle);
+  }
+
   // Properties block.
   if (status_.ok()) {
     std::string props;
@@ -134,7 +199,8 @@ Status TableBuilder::Finish() {
     WriteRawBlock(props, &properties_handle);
   }
 
-  // Metaindex block: names -> handles.
+  // Metaindex block: names -> handles, added in bytewise order
+  // ("filter.*" < "lsmlab.learned_index" < "lsmlab.properties").
   if (status_.ok()) {
     BlockBuilder metaindex_block(BytewiseComparator(), 1);
     if (has_filter) {
@@ -144,6 +210,11 @@ Status TableBuilder::Finish() {
           std::string("filter.") + options_.filter_policy->Name(),
           handle_encoding);
     }
+    if (has_learned) {
+      std::string handle_encoding;
+      learned_handle.EncodeTo(&handle_encoding);
+      metaindex_block.Add("lsmlab.learned_index", handle_encoding);
+    }
     {
       std::string handle_encoding;
       properties_handle.EncodeTo(&handle_encoding);
@@ -152,16 +223,9 @@ Status TableBuilder::Finish() {
     WriteRawBlock(metaindex_block.Finish(), &metaindex_handle);
   }
 
-  // Index block.
+  // Index block (the classic fence pointers, serialized above).
   if (status_.ok()) {
-    if (pending_index_entry_) {
-      options_.comparator->FindShortSuccessor(&last_key_);
-      std::string handle_encoding;
-      pending_handle_.EncodeTo(&handle_encoding);
-      index_block_.Add(last_key_, handle_encoding);
-      pending_index_entry_ = false;
-    }
-    WriteRawBlock(index_block_.Finish(), &index_handle);
+    WriteRawBlock(index_contents, &index_handle);
   }
 
   // Footer.

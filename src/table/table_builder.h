@@ -11,7 +11,9 @@
 #include "io/env.h"
 #include "table/block_builder.h"
 #include "table/format.h"
+#include "table/learned_index.h"
 #include "table/table_properties.h"
+#include "util/options.h"
 #include "util/status.h"
 
 namespace lsmlab {
@@ -28,6 +30,13 @@ struct TableBuilderOptions {
   int block_restart_interval = 16;
   uint64_t creation_time_micros = 0;
   uint64_t oldest_tombstone_time_micros = 0;
+  /// Index structure to build (resolved per level by the engine). The
+  /// classic fence-pointer block is always written — kLearnedPLR adds the
+  /// model meta block on top and readers fall back to the fences on digest
+  /// ties, so correctness never depends on the model.
+  IndexType index_type = IndexType::kBinarySearchFence;
+  /// Error bound for the kLearnedPLR fit.
+  uint32_t learned_index_epsilon = 8;
 };
 
 /// Writes a sorted run of internal keys into the lsmlab SSTable format:
@@ -82,6 +91,10 @@ class TableBuilder {
   // index entry with a shortened separator.
   bool pending_index_entry_ = false;
   BlockHandle pending_handle_;
+
+  // Learned-index fitter; non-null only when kLearnedPLR was requested and
+  // the comparator admits the monotone digest transform (bytewise order).
+  std::unique_ptr<LearnedIndexBuilder> learned_builder_;
 };
 
 }  // namespace lsmlab

@@ -12,20 +12,40 @@ void TableProperties::EncodeTo(std::string* dst) const {
   PutVarint64(dst, raw_value_bytes);
   PutVarint64(dst, creation_time_micros);
   PutVarint64(dst, oldest_tombstone_time_micros);
+  PutVarint64(dst, index_type);
+  PutVarint64(dst, learned_index_epsilon);
+  PutVarint64(dst, learned_index_segments);
+  PutVarint64(dst, learned_index_bytes);
+  PutVarint64(dst, fence_index_bytes);
+  PutVarint64(dst, learned_index_fallback);
 }
 
 Status TableProperties::DecodeFrom(const Slice& src) {
   Slice input = src;
-  if (GetVarint64(&input, &num_entries) &&
-      GetVarint64(&input, &num_tombstones) &&
-      GetVarint64(&input, &num_data_blocks) &&
-      GetVarint64(&input, &raw_key_bytes) &&
-      GetVarint64(&input, &raw_value_bytes) &&
-      GetVarint64(&input, &creation_time_micros) &&
-      GetVarint64(&input, &oldest_tombstone_time_micros)) {
+  if (!(GetVarint64(&input, &num_entries) &&
+        GetVarint64(&input, &num_tombstones) &&
+        GetVarint64(&input, &num_data_blocks) &&
+        GetVarint64(&input, &raw_key_bytes) &&
+        GetVarint64(&input, &raw_value_bytes) &&
+        GetVarint64(&input, &creation_time_micros) &&
+        GetVarint64(&input, &oldest_tombstone_time_micros))) {
+    return Status::Corruption("bad table properties");
+  }
+  // Index fields arrived with the pluggable-index work; tables written
+  // before it simply stop here and keep the zero defaults.
+  if (input.empty()) {
     return Status::OK();
   }
-  return Status::Corruption("bad table properties");
+  if (!(GetVarint64(&input, &index_type) &&
+        GetVarint64(&input, &learned_index_epsilon) &&
+        GetVarint64(&input, &learned_index_segments) &&
+        GetVarint64(&input, &learned_index_bytes) &&
+        GetVarint64(&input, &fence_index_bytes) &&
+        GetVarint64(&input, &learned_index_fallback)) ||
+      !input.empty()) {
+    return Status::Corruption("bad table properties");
+  }
+  return Status::OK();
 }
 
 }  // namespace lsmlab

@@ -26,6 +26,25 @@ struct TableProperties {
   /// tombstones.
   uint64_t oldest_tombstone_time_micros = 0;
 
+  // --- Per-table index (DESIGN.md, "Pluggable per-table indexes") ----------
+  /// The index this table actually carries: 0 = binary-searched fence
+  /// pointers, 1 = learned PLR (matches IndexType's enumerator order). A
+  /// table built under kLearnedPLR still records 0 here when the build fell
+  /// back (see learned_index_fallback).
+  uint64_t index_type = 0;
+  /// Error bound the model was fitted with (0 for fence-only tables).
+  uint64_t learned_index_epsilon = 0;
+  /// Fitted PLR segments (0 for fence-only tables).
+  uint64_t learned_index_segments = 0;
+  /// Serialized size of the learned-index meta block, in bytes.
+  uint64_t learned_index_bytes = 0;
+  /// Serialized size of the classic fence-pointer index block, in bytes
+  /// (always written — it is the learned path's fallback).
+  uint64_t fence_index_bytes = 0;
+  /// 1 when kLearnedPLR was requested but the build declined (non-bytewise
+  /// comparator, or the keyspace defeats the digest transform).
+  uint64_t learned_index_fallback = 0;
+
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& src);
 

@@ -13,6 +13,10 @@ TableReader::TableReader(const TableReaderOptions& options,
                          uint64_t file_number)
     : options_(options), file_(std::move(file)), file_number_(file_number) {}
 
+TableReader::~TableReader() {
+  delete fence_index_block_.load(std::memory_order_acquire);
+}
+
 Status TableReader::Open(const TableReaderOptions& options,
                          std::unique_ptr<RandomAccessFile> file,
                          uint64_t file_size, uint64_t file_number,
@@ -38,17 +42,9 @@ Status TableReader::Open(const TableReaderOptions& options,
 
   auto reader = std::unique_ptr<TableReader>(
       new TableReader(options, std::move(file), file_number));
+  reader->fence_index_handle_ = footer.index_handle();
 
-  // Index block: pinned fence pointers.
-  BlockContents index_contents;
-  s = ReadBlock(reader->file_.get(), footer.index_handle(),
-                options.verify_checksums, &index_contents);
-  if (!s.ok()) {
-    return s;
-  }
-  reader->index_block_ = std::make_unique<Block>(std::move(index_contents.data));
-
-  // Metaindex: locate filter and properties.
+  // Metaindex: locate filter, properties, and the optional learned index.
   BlockContents metaindex_contents;
   s = ReadBlock(reader->file_.get(), footer.metaindex_handle(),
                 options.verify_checksums, &metaindex_contents);
@@ -96,8 +92,97 @@ Status TableReader::Open(const TableReaderOptions& options,
     }
   }
 
+  // Index: a table carrying a learned-index meta block pins only the model;
+  // tables without one pin the classic fence block. A malformed learned
+  // block fails the open — a reader must never silently downgrade a table
+  // that claims a learned index (that would mask corruption).
+  bool learned = false;
+  meta_iter->Seek("lsmlab.learned_index");
+  if (meta_iter->Valid() && meta_iter->key() == Slice("lsmlab.learned_index")) {
+    Slice handle_value = meta_iter->value();
+    BlockHandle learned_handle;
+    s = learned_handle.DecodeFrom(&handle_value);
+    if (!s.ok()) {
+      return s;
+    }
+    BlockContents learned_contents;
+    s = ReadBlock(reader->file_.get(), learned_handle,
+                  options.verify_checksums, &learned_contents);
+    if (!s.ok()) {
+      return s;
+    }
+    LearnedIndexModel model;
+    s = LearnedIndexModel::DecodeFrom(learned_contents.data, &model);
+    if (!s.ok()) {
+      return s;
+    }
+    if (options.statistics != nullptr) {
+      options.statistics->index_bytes_loaded.fetch_add(
+          learned_contents.data.size(), std::memory_order_relaxed);
+    }
+    // The private-base upcast is only accessible in TableReader's scope, so
+    // it cannot happen inside make_unique.
+    FenceBlockProvider* provider = reader.get();
+    reader->index_reader_ = std::make_unique<LearnedIndexReader>(
+        std::move(model), options.comparator, options.statistics, provider);
+    learned = true;
+  }
+  if (!learned) {
+    BlockContents index_contents;
+    s = ReadBlock(reader->file_.get(), footer.index_handle(),
+                  options.verify_checksums, &index_contents);
+    if (!s.ok()) {
+      return s;
+    }
+    if (options.statistics != nullptr) {
+      options.statistics->index_bytes_loaded.fetch_add(
+          index_contents.data.size(), std::memory_order_relaxed);
+    }
+    reader->index_reader_ = std::make_unique<BinarySearchIndexReader>(
+        std::make_unique<Block>(std::move(index_contents.data)),
+        options.comparator);
+  }
+
   *table = std::move(reader);
   return Status::OK();
+}
+
+Status TableReader::GetFenceIndexBlock(const Block** block) {
+  const Block* loaded = fence_index_block_.load(std::memory_order_acquire);
+  if (loaded != nullptr) {
+    *block = loaded;
+    return Status::OK();
+  }
+  BlockContents contents;
+  Status s = ReadBlock(file_.get(), fence_index_handle_,
+                       options_.verify_checksums, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  const Block* fresh = new Block(std::move(contents.data));
+  const Block* expected = nullptr;
+  if (fence_index_block_.compare_exchange_strong(expected, fresh,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+    if (options_.statistics != nullptr) {
+      options_.statistics->index_bytes_loaded.fetch_add(
+          fresh->size(), std::memory_order_relaxed);
+    }
+    *block = fresh;
+  } else {
+    delete fresh;  // A concurrent fallback won the publish race.
+    *block = expected;
+  }
+  return Status::OK();
+}
+
+size_t TableReader::IndexMemoryUsage() const {
+  size_t total = index_reader_->MemoryUsage();
+  const Block* fence = fence_index_block_.load(std::memory_order_acquire);
+  if (fence != nullptr) {
+    total += fence->size();
+  }
+  return total;
 }
 
 bool TableReader::KeyDefinitelyAbsent(const Slice& user_key) {
@@ -120,20 +205,15 @@ void MakeBlockCacheKey(uint64_t file_number, uint64_t offset, char* buf) {
 }  // namespace
 
 std::shared_ptr<const Block> TableReader::GetDataBlock(
-    const Slice& handle_encoding, const ReadOptions& read_options, Status* s) {
-  return FetchDataBlock(handle_encoding, MakeFetchContext(read_options),
-                        file_.get(), nullptr, s);
+    const BlockHandle& handle, const ReadOptions& read_options, Status* s) {
+  return FetchDataBlock(handle, MakeFetchContext(read_options), file_.get(),
+                        nullptr, s);
 }
 
 std::shared_ptr<const Block> TableReader::FetchDataBlock(
-    const Slice& handle_encoding, const BlockFetchContext& ctx,
+    const BlockHandle& handle, const BlockFetchContext& ctx,
     const RandomAccessFile* file, std::string* scratch, Status* s) {
-  Slice input = handle_encoding;
-  BlockHandle handle;
-  *s = handle.DecodeFrom(&input);
-  if (!s->ok()) {
-    return nullptr;
-  }
+  *s = Status::OK();
 
   // Cache key: file number + block offset.
   char cache_key[16];
@@ -161,16 +241,7 @@ std::shared_ptr<const Block> TableReader::FetchDataBlock(
 
 bool TableReader::LocateDataBlock(const Slice& internal_key,
                                   BlockHandle* handle, Status* s) {
-  *s = Status::OK();
-  auto index_iter = index_block_->NewIterator(options_.comparator);
-  index_iter->Seek(internal_key);
-  if (!index_iter->Valid()) {
-    *s = index_iter->status();
-    return false;
-  }
-  Slice input = index_iter->value();
-  *s = handle->DecodeFrom(&input);
-  return s->ok();
+  return index_reader_->Locate(internal_key, handle, s);
 }
 
 std::shared_ptr<const Block> TableReader::LookupCachedBlock(uint64_t offset) {
@@ -231,14 +302,13 @@ Status TableReader::InternalGet(const ReadOptions& read_options,
                                 std::string* entry_value) {
   *found_entry = false;
 
-  auto index_iter = index_block_->NewIterator(options_.comparator);
-  index_iter->Seek(internal_key);
-  if (!index_iter->Valid()) {
-    return index_iter->status();
+  BlockHandle handle;
+  Status s;
+  if (!index_reader_->Locate(internal_key, &handle, &s)) {
+    return s;
   }
 
-  Status s;
-  auto block = GetDataBlock(index_iter->value(), read_options, &s);
+  auto block = GetDataBlock(handle, read_options, &s);
   if (!s.ok()) {
     return s;
   }
@@ -247,15 +317,15 @@ Status TableReader::InternalGet(const ReadOptions& read_options,
 }
 
 /// Classic two-level iteration: an index iterator yields block handles; a
-/// data iterator walks the current block.
+/// data iterator walks the current block. The index iterator is whatever
+/// the table's IndexReader provides — handles only, never index keys.
 class TableReader::TwoLevelIterator final : public Iterator {
  public:
   TwoLevelIterator(TableReader* table, ReadOptions read_options)
       : table_(table),
         read_options_(read_options),
         ctx_(table->MakeFetchContext(read_options)),
-        index_iter_(
-            table->index_block_->NewIterator(table->options_.comparator)) {}
+        index_iter_(table->index_reader_->NewIterator()) {}
 
   bool Valid() const override {
     return data_iter_ != nullptr && data_iter_->Valid();
@@ -306,7 +376,7 @@ class TableReader::TwoLevelIterator final : public Iterator {
       return;
     }
     Status s;
-    data_block_ = table_->FetchDataBlock(index_iter_->value(), ctx_,
+    data_block_ = table_->FetchDataBlock(index_iter_->handle(), ctx_,
                                          ReadFile(), &block_scratch_, &s);
     if (!s.ok()) {
       status_ = s;
@@ -354,7 +424,7 @@ class TableReader::TwoLevelIterator final : public Iterator {
   TableReader* const table_;
   const ReadOptions read_options_;
   const BlockFetchContext ctx_;  // Fetch decision taken once per iterator.
-  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<IndexIterator> index_iter_;
   std::unique_ptr<ReadaheadRandomAccessFile> readahead_;  // Lazy.
   std::string block_scratch_;  // Reused across block reads (no per-block alloc).
   std::shared_ptr<const Block> data_block_;  // Keeps the block alive.
@@ -371,11 +441,11 @@ void TableReader::WarmCache() {
   if (options_.block_cache == nullptr) {
     return;
   }
-  auto index_iter = index_block_->NewIterator(options_.comparator);
+  auto index_iter = index_reader_->NewIterator();
   ReadOptions warm_options;  // fill_cache defaults on.
   for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
     Status s;
-    GetDataBlock(index_iter->value(), warm_options, &s);
+    GetDataBlock(index_iter->handle(), warm_options, &s);
     if (!s.ok()) {
       return;
     }

@@ -1,6 +1,7 @@
 #ifndef LSMLAB_TABLE_TABLE_READER_H_
 #define LSMLAB_TABLE_TABLE_READER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "io/env.h"
 #include "table/block.h"
 #include "table/format.h"
+#include "table/index_reader.h"
 #include "table/iterator.h"
 #include "table/table_properties.h"
 #include "util/options.h"
@@ -30,10 +32,14 @@ struct TableReaderOptions {
   bool verify_checksums = false;
 };
 
-/// Read side of an SSTable. The index block ("fence pointers") and the
-/// per-run filter stay pinned in memory, matching tutorial §2.1.3; data
-/// blocks are fetched on demand through the block cache.
-class TableReader {
+/// Read side of an SSTable. The per-table index and the per-run filter stay
+/// pinned in memory, matching tutorial §2.1.3; data blocks are fetched on
+/// demand through the block cache. The index is pluggable (ROADMAP item 4):
+/// classic binary-searched fence pointers, or — when the table carries a
+/// learned-index meta block — a PLR model that pins an order-of-magnitude
+/// fewer bytes and loads the fence block lazily, only on digest-tie
+/// fallbacks.
+class TableReader : private FenceBlockProvider {
  public:
   /// Opens the table in `file` of `file_size` bytes. `file_number` both
   /// names cache entries and identifies the table in stats.
@@ -41,6 +47,8 @@ class TableReader {
                      std::unique_ptr<RandomAccessFile> file,
                      uint64_t file_size, uint64_t file_number,
                      std::unique_ptr<TableReader>* table);
+
+  ~TableReader() override;
 
   TableReader(const TableReader&) = delete;
   TableReader& operator=(const TableReader&) = delete;
@@ -63,6 +71,12 @@ class TableReader {
   const TableProperties& properties() const { return properties_; }
   uint64_t file_number() const { return file_number_; }
   bool has_filter() const { return has_filter_; }
+  /// The index structure this table was opened with (learned when the file
+  /// carries a learned-index meta block, fence pointers otherwise).
+  IndexType index_type() const { return index_reader_->kind(); }
+  /// Index bytes currently pinned by this reader (model or fence block,
+  /// plus a lazily-loaded fence block after a learned fallback).
+  size_t IndexMemoryUsage() const;
 
   /// Loads every data block into the block cache (Leaper-style re-warm).
   void WarmCache();
@@ -85,9 +99,11 @@ class TableReader {
         read_options.fill_cache && options_.block_cache != nullptr};
   }
 
-  /// Resolves, via the pinned index, the data block that may contain
-  /// `internal_key`. Returns false when the index places the key past the
-  /// last block (no candidate; *s stays OK unless the index itself erred).
+  /// Resolves, via the pinned index (fence or learned — the batched
+  /// MultiGet path dispatches through the same IndexReader), the data block
+  /// that may contain `internal_key`. Returns false when the index places
+  /// the key past the last block (no candidate; *s stays OK unless the
+  /// index itself erred).
   bool LocateDataBlock(const Slice& internal_key, BlockHandle* handle,
                        Status* s);
 
@@ -117,26 +133,35 @@ class TableReader {
   TableReader(const TableReaderOptions& options,
               std::unique_ptr<RandomAccessFile> file, uint64_t file_number);
 
-  /// Fetches (via cache if configured) the data block at `handle_encoding`,
+  /// Fetches (via cache if configured) the data block at `handle`,
   /// honouring the read's fill_cache and verify_checksums settings.
-  std::shared_ptr<const Block> GetDataBlock(const Slice& handle_encoding,
+  std::shared_ptr<const Block> GetDataBlock(const BlockHandle& handle,
                                             const ReadOptions& read_options,
                                             Status* s);
 
   /// Core fetch: cache lookup, then — on miss — a read through `file`
   /// (the table file, or an iterator's readahead wrapper) using the
   /// caller's reusable `scratch` buffer (nullable).
-  std::shared_ptr<const Block> FetchDataBlock(const Slice& handle_encoding,
+  std::shared_ptr<const Block> FetchDataBlock(const BlockHandle& handle,
                                               const BlockFetchContext& ctx,
                                               const RandomAccessFile* file,
                                               std::string* scratch, Status* s);
+
+  /// FenceBlockProvider: lazily loads and pins the classic fence block for
+  /// a learned table's fallback path. Lock-free (CAS publish), so no lock
+  /// is ever held across the I/O.
+  Status GetFenceIndexBlock(const Block** block) override;
 
   class TwoLevelIterator;
 
   TableReaderOptions options_;
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_number_;
-  std::unique_ptr<Block> index_block_;
+  std::unique_ptr<IndexReader> index_reader_;
+  /// Fence-block handle from the footer; for learned tables the block
+  /// itself is loaded on first fallback and published here.
+  BlockHandle fence_index_handle_;
+  std::atomic<const Block*> fence_index_block_{nullptr};
   std::string filter_data_;
   bool has_filter_ = false;
   TableProperties properties_;

@@ -66,6 +66,14 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "background_error_retry_max_micros must be >= the initial backoff");
   }
+  if (learned_index_epsilon < 1 || learned_index_epsilon > 4096) {
+    return Status::InvalidArgument(
+        "learned_index_epsilon must be in [1, 4096]");
+  }
+  if (static_cast<int>(index_type_per_level.size()) > num_levels) {
+    return Status::InvalidArgument(
+        "index_type_per_level has more entries than num_levels");
+  }
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -96,7 +104,15 @@ std::string Options::DesignPointLabel() const {
                 filter_allocation == FilterAllocation::kMonkey ? "monkey"
                                                                : "uniform",
                 filter_bits_per_key);
-  return std::string(buf);
+  std::string label(buf);
+  if (index_type == IndexType::kLearnedPLR || !index_type_per_level.empty()) {
+    std::snprintf(buf, sizeof(buf), "/idx=%s-e%u",
+                  !index_type_per_level.empty() ? "mixed"
+                                                : IndexTypeName(index_type),
+                  learned_index_epsilon);
+    label += buf;
+  }
+  return label;
 }
 
 const char* DataLayoutName(DataLayout layout) {
@@ -141,6 +157,24 @@ const char* MemTableRepTypeName(MemTableRepType type) {
       return "hash-linklist";
   }
   return "unknown";
+}
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kBinarySearchFence:
+      return "fence";
+    case IndexType::kLearnedPLR:
+      return "learned-plr";
+  }
+  return "unknown";
+}
+
+IndexType ResolveIndexTypeForLevel(const Options& options, int level) {
+  if (level >= 0 &&
+      static_cast<size_t>(level) < options.index_type_per_level.size()) {
+    return options.index_type_per_level[static_cast<size_t>(level)];
+  }
+  return options.index_type;
 }
 
 }  // namespace lsmlab

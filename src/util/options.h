@@ -71,6 +71,19 @@ enum class FilterAllocation {
   kMonkey,
 };
 
+/// Per-SSTable index structure over the data blocks (tutorial §2.1.3;
+/// ROADMAP item 4). SSTables are immutable, so a learned model can be
+/// fitted once at build time and never retrained.
+enum class IndexType {
+  /// Classic binary-searched fence pointers (the pinned index block).
+  kBinarySearchFence,
+  /// Epsilon-bounded piecewise-linear model (PGM/PLR-style) over a monotone
+  /// key-to-number transform; falls back to fence pointers per table when
+  /// the keyspace defeats the transform, and per lookup on digest ties, so
+  /// correctness never depends on the model.
+  kLearnedPLR,
+};
+
 /// How strictly WAL — and manifest — replay treats a corrupt record
 /// (RocksDB-inspired). The manifest follows the same policy because it uses
 /// the same log format and the same argument applies: acked records are
@@ -188,6 +201,20 @@ struct Options {
   /// properties, and data blocks). Per-read ReadOptions::verify_checksums
   /// additionally forces checksumming of data blocks for that read only.
   bool verify_checksums = false;
+  /// Index structure new SSTables are built with. Existing tables keep the
+  /// index they were written with; readers dispatch per table, so mixed
+  /// trees (e.g. after changing this and reopening) are fully supported.
+  IndexType index_type = IndexType::kBinarySearchFence;
+  /// Error bound of the kLearnedPLR model: a prediction is at most this many
+  /// blocks away from the true block for every fitted fence pointer. Larger
+  /// epsilon -> fewer segments (smaller model) but a wider probe window.
+  uint32_t learned_index_epsilon = 8;
+  /// Per-level override of index_type: entry i applies to tables written for
+  /// level i; levels past the end of the vector use index_type. Lets the
+  /// tuner mix, e.g. fence pointers at L0 (short-lived runs, build cost
+  /// dominates) and learned indexes at deep levels (long-lived runs, index
+  /// residency dominates). Empty applies index_type everywhere.
+  std::vector<IndexType> index_type_per_level;
 
   // --- Read-modify-write (§2.2.6) -------------------------------------------
   /// Combines merge operands with base values; required to use DB::Merge.
@@ -273,6 +300,11 @@ struct WriteOptions {
 const char* DataLayoutName(DataLayout layout);
 const char* FilePickPolicyName(FilePickPolicy policy);
 const char* MemTableRepTypeName(MemTableRepType type);
+const char* IndexTypeName(IndexType type);
+
+/// The index type tables written for `level` get, honouring the per-level
+/// override (entries past the vector's end fall back to index_type).
+IndexType ResolveIndexTypeForLevel(const Options& options, int level);
 
 }  // namespace lsmlab
 

@@ -7,6 +7,7 @@
 
 #include "db/filename.h"
 #include "io/wal_reader.h"
+#include "table/table_reader.h"
 #include "util/clock.h"
 #include "util/comparator.h"
 #include "util/logging.h"
@@ -141,6 +142,27 @@ std::string Version::DebugString() const {
     result += buf;
   }
   return result;
+}
+
+void Version::CountIndexKinds(int level, int* learned, int* fence,
+                              int* unopened) const {
+  *learned = 0;
+  *fence = 0;
+  *unopened = 0;
+  for (const auto& f : files_[static_cast<size_t>(level)]) {
+    std::shared_ptr<TableReader> reader;
+    if (f.table_handle != nullptr) {
+      MutexLock lock(&f.table_handle->mu);
+      reader = f.table_handle->reader;
+    }
+    if (reader == nullptr) {
+      ++*unopened;
+    } else if (reader->index_type() == IndexType::kLearnedPLR) {
+      ++*learned;
+    } else {
+      ++*fence;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

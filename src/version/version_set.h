@@ -60,6 +60,14 @@ class Version {
   /// One-line-per-level description for logs and examples.
   std::string DebugString() const;
 
+  /// Index-kind census of `level` (DebugLevelSummary's per-level index
+  /// line): counts files whose pinned reader carries a learned index vs.
+  /// classic fence pointers. Files never opened by this process are
+  /// reported as `unopened` — their kind is unknown without I/O, and
+  /// introspection must not force table opens.
+  void CountIndexKinds(int level, int* learned, int* fence,
+                       int* unopened) const;
+
  private:
   friend class VersionSetBuilder;
 

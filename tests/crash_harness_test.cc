@@ -53,6 +53,17 @@ int TestShards() {
   return std::max(1, std::atoi(value));
 }
 
+// LSMLAB_TEST_INDEX=learned runs the harness with learned (PLR) per-table
+// indexes: every flush/compaction output and every recovery then goes
+// through the model-fit and digest-certification paths.
+IndexType TestIndexType() {
+  const char* value = std::getenv("LSMLAB_TEST_INDEX");
+  if (value != nullptr && std::string(value) == "learned") {
+    return IndexType::kLearnedPLR;
+  }
+  return IndexType::kBinarySearchFence;
+}
+
 // One model mutation; a batch is a vector of these plus the counter put.
 struct ModelOp {
   enum Kind { kPut, kDelete, kMerge } kind;
@@ -109,6 +120,7 @@ void RunIteration(uint64_t seed, int iter) {
   options.background_error_retry_initial_micros = 200;
   options.background_error_retry_max_micros = 2000;
   options.num_shards = TestShards();
+  options.index_type = TestIndexType();
   if (options.num_shards > 1) {
     options.shard_split_keys.clear();
     for (int k = 1; k < options.num_shards; ++k) {

@@ -23,6 +23,16 @@ int TestShards() {
   return value != nullptr ? std::max(1, std::atoi(value)) : 1;
 }
 
+/// CI index axis: LSMLAB_TEST_INDEX=learned re-runs the whole suite with
+/// per-SSTable learned (PLR) indexes instead of binary-search fences.
+IndexType TestIndexType() {
+  const char* value = std::getenv("LSMLAB_TEST_INDEX");
+  if (value != nullptr && std::string(value) == "learned") {
+    return IndexType::kLearnedPLR;
+  }
+  return IndexType::kBinarySearchFence;
+}
+
 /// Base fixture: small buffers so flushes and compactions happen quickly.
 class DBTest : public ::testing::Test {
  protected:
@@ -35,6 +45,7 @@ class DBTest : public ::testing::Test {
     options_.filter_policy = NewBloomFilterPolicy(10.0);
     options_.block_cache_capacity = 1 << 20;
     options_.num_shards = TestShards();
+    options_.index_type = TestIndexType();
   }
 
   ~DBTest() override { db_.reset(); }
@@ -880,6 +891,149 @@ TEST_F(DBTest, ScanReadaheadMovesStatsAndPreservesContents) {
   // The whole point: far fewer device trips than block loads.
   EXPECT_GT(db_->statistics()->readahead_hits.load(),
             db_->statistics()->readahead_misses.load());
+}
+
+// ---------------------------------------------------------------------------
+// Learned per-SSTable indexes: fence and learned tables must be
+// indistinguishable to every read path, and must coexist in one tree.
+// ---------------------------------------------------------------------------
+
+TEST_F(DBTest, MixedIndexTablesCoexistAcrossReopen) {
+  // Phase 1: classic fence indexes.
+  options_.index_type = IndexType::kBinarySearchFence;
+  OpenDB();
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "fence" + std::to_string(1000 + i);
+    model[key] = "v" + std::to_string(i);
+    ASSERT_TRUE(Put(key, model[key]).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+
+  // Phase 2: flip the knob and reopen. Old tables keep their fence indexes;
+  // new flushes get learned ones. Both kinds serve reads from the same tree.
+  options_.index_type = IndexType::kLearnedPLR;
+  Reopen();
+  for (int i = 0; i < 300; ++i) {
+    std::string key = "learned" + std::to_string(1000 + i);
+    model[key] = "w" + std::to_string(i);
+    ASSERT_TRUE(Put(key, model[key]).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(value, Get(key)) << key;
+  }
+  EXPECT_EQ(model, Dump());
+
+  const std::string summary = db_->DebugLevelSummary();
+  EXPECT_NE(std::string::npos, summary.find("idx learned=")) << summary;
+  EXPECT_NE(std::string::npos, summary.find("learned index: hits=")) << summary;
+
+  // Compaction rewrites everything with the current knob: afterwards the
+  // whole dataset is still intact behind learned indexes only.
+  ASSERT_TRUE(db_->CompactRange().ok());
+  EXPECT_EQ(model, Dump());
+  EXPECT_GT(db_->statistics()->learned_index_hits.load(), 0u);
+}
+
+TEST_F(DBTest, LearnedMatchesFenceRandomizedSweep) {
+  // Build the identical dataset under both index types and require every
+  // read path -- Get, MultiGet, forward scan, seeks -- to agree exactly.
+  Random rnd(20260809);
+  std::map<std::string, std::string> model;
+  std::vector<std::string> dataset_keys;
+  for (int i = 0; i < 2500; ++i) {
+    std::string key = "k" + std::to_string(rnd.Uniform(1000000));
+    model[key] = "value" + std::to_string(i);
+    dataset_keys.push_back(key);
+  }
+  std::vector<std::string> probe_keys;
+  for (int i = 0; i < 600; ++i) {
+    if (rnd.OneIn(3)) {
+      probe_keys.push_back("k" + std::to_string(rnd.Uniform(1000000)));
+    } else {
+      probe_keys.push_back(dataset_keys[rnd.Uniform(dataset_keys.size())]);
+    }
+  }
+
+  struct Answers {
+    std::vector<std::string> gets;
+    std::vector<std::string> multigets;
+    std::map<std::string, std::string> scan;
+    std::vector<std::string> seeks;
+  };
+  auto run = [&](IndexType index_type) {
+    options_.index_type = index_type;
+    db_.reset();
+    EXPECT_TRUE(DestroyDB(options_, "/db").ok());
+    OpenDB();
+    for (const auto& [key, value] : model) {
+      EXPECT_TRUE(Put(key, value).ok());
+    }
+    EXPECT_TRUE(db_->Flush().ok());
+    EXPECT_TRUE(db_->WaitForBackgroundWork().ok());
+
+    Answers out;
+    for (const std::string& key : probe_keys) {
+      out.gets.push_back(Get(key));
+    }
+    std::vector<Slice> keys(probe_keys.begin(), probe_keys.end());
+    std::vector<std::string> values;
+    std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out.multigets.push_back(statuses[i].ok() ? values[i]
+                              : statuses[i].IsNotFound()
+                                  ? "NOT_FOUND"
+                                  : "ERROR: " + statuses[i].ToString());
+    }
+    out.scan = Dump();
+    auto iter = db_->NewIterator(ReadOptions());
+    for (size_t i = 0; i < probe_keys.size(); i += 7) {
+      iter->Seek(probe_keys[i]);
+      out.seeks.push_back(iter->Valid() ? iter->key().ToString() + "=" +
+                                              iter->value().ToString()
+                                        : "END");
+    }
+    EXPECT_TRUE(iter->status().ok());
+    return out;
+  };
+
+  Answers fence = run(IndexType::kBinarySearchFence);
+  Answers learned = run(IndexType::kLearnedPLR);
+  EXPECT_EQ(fence.gets, learned.gets);
+  EXPECT_EQ(fence.multigets, learned.multigets);
+  EXPECT_EQ(fence.scan, learned.scan);
+  EXPECT_EQ(fence.seeks, learned.seeks);
+  EXPECT_EQ(model, learned.scan);
+  EXPECT_GT(db_->statistics()->learned_index_hits.load(), 0u);
+}
+
+TEST_F(DBTest, PerLevelIndexTypeOverride) {
+  // L0 keeps cheap-to-build fences (the per-level override); every deeper
+  // level falls back to the global knob and gets learned indexes.
+  options_.index_type = IndexType::kLearnedPLR;
+  options_.index_type_per_level = {IndexType::kBinarySearchFence};
+  OpenDB();
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 600; ++i) {
+    std::string key = "pl" + std::to_string(100000 + i);
+    model[key] = "v" + std::to_string(i);
+    ASSERT_TRUE(Put(key, model[key]).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->CompactRange().ok());
+  EXPECT_EQ(model, Dump());
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(value, Get(key)) << key;
+  }
+  // Compaction pushed data to level >= 1, which the override maps to
+  // learned indexes.
+  EXPECT_GT(db_->statistics()->learned_index_hits.load() +
+                db_->statistics()->learned_index_fallbacks.load(),
+            0u);
 }
 
 }  // namespace

@@ -1,17 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "db/dbformat.h"
+#include "db/statistics.h"
 #include "filter/filter_policy.h"
 #include "io/counting_env.h"
 #include "io/mem_env.h"
 #include "table/block.h"
 #include "table/block_builder.h"
 #include "table/format.h"
+#include "table/learned_index.h"
 #include "table/merging_iterator.h"
 #include "table/table_builder.h"
 #include "table/table_reader.h"
@@ -208,6 +212,8 @@ class TableTest : public ::testing::Test {
     topt.comparator = &icmp_;
     topt.filter_policy = filter_policy;
     topt.block_size = 256;  // Small blocks exercise the index.
+    topt.index_type = index_type_;
+    topt.learned_index_epsilon = epsilon_;
     TableBuilder builder(topt, file.get());
     SequenceNumber seq = 1;
     for (const auto& [key, value] : entries) {
@@ -226,6 +232,7 @@ class TableTest : public ::testing::Test {
     ropt.comparator = &icmp_;
     ropt.filter_policy = filter_policy;
     ropt.block_cache = cache;
+    ropt.statistics = &stats_;
     ropt.verify_checksums = true;
     ASSERT_TRUE(TableReader::Open(ropt, std::move(read_file), size, 1,
                                   &reader_)
@@ -248,6 +255,9 @@ class TableTest : public ::testing::Test {
   MemEnv env_;
   InternalKeyComparator icmp_;
   std::unique_ptr<TableReader> reader_;
+  Statistics stats_;
+  IndexType index_type_ = IndexType::kBinarySearchFence;
+  uint32_t epsilon_ = 8;
 };
 
 TEST_F(TableTest, BuildAndGet) {
@@ -431,6 +441,437 @@ TEST_F(TableTest, CorruptBlockDetectedWithChecksums) {
   read_options.verify_checksums = true;
   Status s = reader->InternalGet(read_options, ikey, &found, &fkey, &value);
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+// --------------------------------------------------------- Learned index ----
+
+TEST(LearnedIndexTest, DigestTransformIsMonotone) {
+  Random rnd(301);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    std::string k;
+    size_t len = rnd.Uniform(24) + 1;
+    for (size_t j = 0; j < len; ++j) {
+      k.push_back(static_cast<char>(rnd.Uniform(256)));
+    }
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LE(LearnedKeyDigest(keys[i - 1], 0), LearnedKeyDigest(keys[i], 0));
+  }
+}
+
+TEST(LearnedIndexTest, ModelRoundTrip) {
+  LearnedIndexBuilder builder(4);
+  char key[32];
+  uint64_t offset = 0;
+  for (int i = 0; i < 500; ++i) {
+    snprintf(key, sizeof(key), "user%08d", i * 7);
+    builder.AddBlock(key, offset);
+    offset += 100 + static_cast<uint64_t>(i % 13);
+  }
+  std::string encoded;
+  uint64_t segments = 0;
+  ASSERT_TRUE(builder.Finish(offset, &encoded, &segments));
+  EXPECT_GE(segments, 1u);
+
+  LearnedIndexModel model;
+  ASSERT_TRUE(LearnedIndexModel::DecodeFrom(encoded, &model).ok());
+  EXPECT_EQ(4u, model.epsilon);
+  EXPECT_EQ(500u, model.num_blocks);
+  EXPECT_EQ(501u, model.offsets.size());
+  EXPECT_EQ(500u, model.digests.size());
+  EXPECT_EQ(segments, model.segments.size());
+  EXPECT_EQ(offset, model.offsets.back());
+
+  // Re-encoding the decoded model reproduces the bytes exactly.
+  std::string reencoded;
+  model.EncodeTo(&reencoded);
+  EXPECT_EQ(encoded, reencoded);
+}
+
+TEST(LearnedIndexTest, PredictionsWithinEpsilon) {
+  const uint32_t eps = 8;
+  LearnedIndexBuilder builder(eps);
+  Random rnd(17);
+  uint64_t offset = 0;
+  std::vector<std::string> fences;
+  std::string k;
+  for (int i = 0; i < 1000; ++i) {
+    // Uneven key spacing so the fit needs several segments.
+    k.clear();
+    uint64_t v = static_cast<uint64_t>(i) * 1000 + rnd.Uniform(900);
+    if (i > 400) {
+      v += 4000000;  // A distribution break.
+    }
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(v));
+    fences.emplace_back(buf);
+    builder.AddBlock(fences.back(), offset);
+    offset += 200;
+  }
+  std::string encoded;
+  uint64_t segments = 0;
+  ASSERT_TRUE(builder.Finish(offset, &encoded, &segments));
+  LearnedIndexModel model;
+  ASSERT_TRUE(LearnedIndexModel::DecodeFrom(encoded, &model).ok());
+
+  for (size_t i = 0; i < fences.size(); ++i) {
+    uint64_t x = model.QueryDigest(fences[i]);
+    if ((i > 0 && model.digests[i] == model.digests[i - 1]) ||
+        (i + 1 < model.digests.size() &&
+         model.digests[i] == model.digests[i + 1])) {
+      continue;  // Tied digests are fence-fallback territory, not the model's.
+    }
+    uint64_t pred = model.PredictBlock(x);
+    uint64_t lo = pred > eps ? pred - eps : 0;
+    EXPECT_GE(i, lo) << "block " << i;
+    EXPECT_LE(i, pred + eps) << "block " << i;
+  }
+}
+
+TEST(LearnedIndexTest, BuilderDeclinesDefeatedKeyspace) {
+  // Adjacent fences share their first 8 post-prefix bytes almost everywhere:
+  // the digest transform cannot discriminate, so the builder must decline.
+  LearnedIndexBuilder builder(8);
+  char key[40];
+  for (int i = 0; i < 100; ++i) {
+    snprintf(key, sizeof(key), "%c00000000%04d", i < 50 ? 'a' : 'b', i);
+    builder.AddBlock(key, static_cast<uint64_t>(i) * 100);
+  }
+  std::string encoded;
+  uint64_t segments = 0;
+  EXPECT_FALSE(builder.Finish(100 * 100, &encoded, &segments));
+  EXPECT_TRUE(encoded.empty());
+}
+
+TEST(LearnedIndexTest, DecodeRejectsCorruption) {
+  LearnedIndexBuilder builder(8);
+  char key[32];
+  for (int i = 0; i < 64; ++i) {
+    snprintf(key, sizeof(key), "key%06d", i * 11);
+    builder.AddBlock(key, static_cast<uint64_t>(i) * 300);
+  }
+  std::string good;
+  uint64_t segments = 0;
+  ASSERT_TRUE(builder.Finish(64 * 300, &good, &segments));
+  LearnedIndexModel model;
+  ASSERT_TRUE(LearnedIndexModel::DecodeFrom(good, &model).ok());
+
+  // Every truncation fails cleanly.
+  for (size_t len = 0; len < good.size(); ++len) {
+    LearnedIndexModel m;
+    Status s = LearnedIndexModel::DecodeFrom(Slice(good.data(), len), &m);
+    EXPECT_TRUE(s.IsCorruption()) << "length " << len;
+  }
+  // Trailing garbage is rejected (exact-length segment region).
+  {
+    std::string padded = good + "x";
+    LearnedIndexModel m;
+    EXPECT_TRUE(LearnedIndexModel::DecodeFrom(padded, &m).IsCorruption());
+  }
+  // Random single-byte flips either fail or decode into a *valid* model —
+  // never crash, never over-read (the fuzz harness hammers this further).
+  Random rnd(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = good;
+    mutated[rnd.Uniform(static_cast<int>(mutated.size()))] ^=
+        static_cast<char>(1 + rnd.Uniform(255));
+    LearnedIndexModel m;
+    Status s = LearnedIndexModel::DecodeFrom(mutated, &m);
+    if (s.ok()) {
+      for (size_t i = 1; i < m.digests.size(); ++i) {
+        ASSERT_LE(m.digests[i - 1], m.digests[i]);
+      }
+      for (const auto& seg : m.segments) {
+        ASSERT_TRUE(std::isfinite(seg.slope));
+        ASSERT_TRUE(std::isfinite(seg.intercept));
+      }
+    }
+  }
+}
+
+TEST(TablePropertiesTest, IndexFieldsRoundTrip) {
+  TableProperties props;
+  props.num_entries = 1000;
+  props.num_data_blocks = 40;
+  props.index_type = 1;
+  props.learned_index_epsilon = 16;
+  props.learned_index_segments = 7;
+  props.learned_index_bytes = 1234;
+  props.fence_index_bytes = 5678;
+  props.learned_index_fallback = 0;
+  std::string encoded;
+  props.EncodeTo(&encoded);
+
+  TableProperties decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(encoded).ok());
+  EXPECT_EQ(1u, decoded.index_type);
+  EXPECT_EQ(16u, decoded.learned_index_epsilon);
+  EXPECT_EQ(7u, decoded.learned_index_segments);
+  EXPECT_EQ(1234u, decoded.learned_index_bytes);
+  EXPECT_EQ(5678u, decoded.fence_index_bytes);
+  EXPECT_EQ(0u, decoded.learned_index_fallback);
+
+  // Pre-index-era properties (7 fields) still decode, with zero defaults.
+  std::string old_format;
+  PutVarint64(&old_format, 1000);  // num_entries
+  for (int i = 0; i < 6; ++i) {
+    PutVarint64(&old_format, 0);
+  }
+  TableProperties old_decoded;
+  ASSERT_TRUE(old_decoded.DecodeFrom(old_format).ok());
+  EXPECT_EQ(1000u, old_decoded.num_entries);
+  EXPECT_EQ(0u, old_decoded.index_type);
+
+  // Trailing garbage after the full field set is corruption.
+  std::string padded = encoded + "zz";
+  TableProperties bad;
+  EXPECT_TRUE(bad.DecodeFrom(padded).IsCorruption());
+}
+
+TEST_F(TableTest, LearnedBuildAndGet) {
+  index_type_ = IndexType::kLearnedPLR;
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 1000; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "value" + std::to_string(i);
+  }
+  BuildTable(entries);
+
+  EXPECT_EQ(IndexType::kLearnedPLR, reader_->index_type());
+  const TableProperties& props = reader_->properties();
+  EXPECT_EQ(1u, props.index_type);
+  EXPECT_EQ(8u, props.learned_index_epsilon);
+  EXPECT_GE(props.learned_index_segments, 1u);
+  EXPECT_GT(props.learned_index_bytes, 0u);
+  EXPECT_GT(props.fence_index_bytes, 0u);
+  EXPECT_EQ(0u, props.learned_index_fallback);
+
+  std::string value;
+  EXPECT_TRUE(Lookup("key000000", &value));
+  EXPECT_EQ("value0", value);
+  EXPECT_TRUE(Lookup("key000999", &value));
+  EXPECT_EQ("value999", value);
+  EXPECT_FALSE(Lookup("nonexistent", &value));
+  EXPECT_FALSE(Lookup("key001000", &value));
+  EXPECT_GT(stats_.learned_index_hits.load(), 0u);
+}
+
+TEST_F(TableTest, LearnedFullScanMatchesModel) {
+  index_type_ = IndexType::kLearnedPLR;
+  std::map<std::string, std::string> entries;
+  Random rnd(7);
+  for (int i = 0; i < 2000; ++i) {
+    entries["k" + std::to_string(rnd.Uniform(100000))] =
+        std::string(rnd.Uniform(64) + 1, 'v');
+  }
+  BuildTable(entries);
+  EXPECT_EQ(IndexType::kLearnedPLR, reader_->index_type());
+
+  auto iter = reader_->NewIterator(ReadOptions());
+  iter->SeekToFirst();
+  for (const auto& [key, value] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(key, ExtractUserKey(iter->key()).ToString());
+    EXPECT_EQ(value, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_F(TableTest, LearnedMatchesFenceRandomized) {
+  // The equivalence oracle: identical tables built under both index types
+  // must answer every Get and Seek identically.
+  Random rnd(42);
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 3000; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "u%010u", static_cast<unsigned>(rnd.Uniform(1u << 30)));
+    entries[key] = std::to_string(i);
+  }
+
+  index_type_ = IndexType::kBinarySearchFence;
+  BuildTable(entries);
+  std::unique_ptr<TableReader> fence_reader = std::move(reader_);
+
+  index_type_ = IndexType::kLearnedPLR;
+  epsilon_ = 4;
+  BuildTable(entries);
+  ASSERT_EQ(IndexType::kLearnedPLR, reader_->index_type());
+
+  auto lookup = [&](TableReader* reader, const std::string& user_key,
+                    bool* found, std::string* value) {
+    std::string ikey;
+    AppendInternalKey(&ikey, ParsedInternalKey(user_key, kMaxSequenceNumber,
+                                               kValueTypeForSeek));
+    std::string fkey;
+    ASSERT_TRUE(
+        reader->InternalGet(ReadOptions(), ikey, found, &fkey, value).ok());
+  };
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    char key[32];
+    snprintf(key, sizeof(key), "u%010u", static_cast<unsigned>(rnd.Uniform(1u << 30)));
+    bool f1 = false, f2 = false;
+    std::string v1, v2;
+    lookup(fence_reader.get(), key, &f1, &v1);
+    lookup(reader_.get(), key, &f2, &v2);
+    ASSERT_EQ(f1, f2) << key;
+    if (f1) {
+      ASSERT_EQ(v1, v2) << key;
+    }
+  }
+
+  // Seeks agree too.
+  auto fence_iter = fence_reader->NewIterator(ReadOptions());
+  auto learned_iter = reader_->NewIterator(ReadOptions());
+  for (int trial = 0; trial < 500; ++trial) {
+    char key[32];
+    snprintf(key, sizeof(key), "u%010u", static_cast<unsigned>(rnd.Uniform(1u << 30)));
+    std::string target;
+    AppendInternalKey(&target, ParsedInternalKey(key, kMaxSequenceNumber,
+                                                 kValueTypeForSeek));
+    fence_iter->Seek(target);
+    learned_iter->Seek(target);
+    ASSERT_EQ(fence_iter->Valid(), learned_iter->Valid()) << key;
+    if (fence_iter->Valid()) {
+      ASSERT_EQ(fence_iter->key().ToString(), learned_iter->key().ToString());
+      ASSERT_EQ(fence_iter->value().ToString(),
+                learned_iter->value().ToString());
+    }
+  }
+}
+
+TEST_F(TableTest, LearnedDigestTiesFallBackToFences) {
+  index_type_ = IndexType::kLearnedPLR;
+  epsilon_ = 2;
+  std::map<std::string, std::string> entries;
+  char key[40];
+  // Most keys vary within the digest window...
+  for (int i = 0; i < 900; ++i) {
+    snprintf(key, sizeof(key), "k%06d", i);
+    entries[key] = "plain" + std::to_string(i);
+  }
+  // ...but one cluster shares its first 8 post-prefix bytes entirely, so
+  // every lookup into it lands on tied digests and must take the fence
+  // fallback.
+  for (int i = 0; i < 300; ++i) {
+    snprintf(key, sizeof(key), "kzzzzzzzz%04d", i);
+    entries[key] = "tied" + std::to_string(i);
+  }
+  BuildTable(entries);
+  ASSERT_EQ(IndexType::kLearnedPLR, reader_->index_type())
+      << "cluster too heavy: builder declined the model";
+
+  std::string value;
+  for (int i = 0; i < 300; ++i) {
+    snprintf(key, sizeof(key), "kzzzzzzzz%04d", i);
+    ASSERT_TRUE(Lookup(key, &value)) << key;
+    ASSERT_EQ("tied" + std::to_string(i), value);
+  }
+  for (int i = 0; i < 900; i += 7) {
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(Lookup(key, &value)) << key;
+  }
+  EXPECT_GT(stats_.learned_index_fallbacks.load(), 0u);
+  EXPECT_GT(stats_.learned_index_hits.load(), 0u);
+}
+
+TEST_F(TableTest, LearnedDefeatedTableFallsBackPerTable) {
+  index_type_ = IndexType::kLearnedPLR;
+  std::map<std::string, std::string> entries;
+  char key[40];
+  // Two flat clusters: nearly every fence digest ties, so the builder
+  // declines and the table ships fence pointers only.
+  for (int i = 0; i < 500; ++i) {
+    snprintf(key, sizeof(key), "%c00000000%04d", i < 250 ? 'a' : 'b', i);
+    entries[key] = std::to_string(i);
+  }
+  BuildTable(entries);
+
+  EXPECT_EQ(IndexType::kBinarySearchFence, reader_->index_type());
+  EXPECT_EQ(0u, reader_->properties().index_type);
+  EXPECT_EQ(1u, reader_->properties().learned_index_fallback);
+
+  std::string value;
+  for (int i = 0; i < 500; i += 11) {
+    snprintf(key, sizeof(key), "%c00000000%04d", i < 250 ? 'a' : 'b', i);
+    ASSERT_TRUE(Lookup(key, &value)) << key;
+    ASSERT_EQ(std::to_string(i), value);
+  }
+}
+
+TEST_F(TableTest, LearnedIndexPinsFewerBytesThanFences) {
+  index_type_ = IndexType::kLearnedPLR;
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 5000; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%012d", i * 3);
+    entries[key] = "v" + std::to_string(i);
+  }
+  BuildTable(entries);
+  ASSERT_EQ(IndexType::kLearnedPLR, reader_->index_type());
+
+  const TableProperties& props = reader_->properties();
+  // The acceptance bar for the bottommost level: >= 2x fewer index bytes.
+  EXPECT_LE(props.learned_index_bytes * 2, props.fence_index_bytes)
+      << "learned=" << props.learned_index_bytes
+      << " fence=" << props.fence_index_bytes;
+  // And the reader pins only the model until a fallback happens.
+  EXPECT_LT(reader_->IndexMemoryUsage(), props.fence_index_bytes);
+}
+
+TEST_F(TableTest, CorruptLearnedBlockFailsOpen) {
+  index_type_ = IndexType::kLearnedPLR;
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    entries[key] = "v";
+  }
+  BuildTable(entries);
+  ASSERT_EQ(IndexType::kLearnedPLR, reader_->index_type());
+
+  // Locate the learned block in the file by re-encoding the model the
+  // reader decoded... simpler: flip bytes across the whole file tail (meta
+  // region) and require that every resulting open either fails or yields a
+  // reader that still answers correctly.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/t.sst", &contents).ok());
+  Random rnd(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = contents;
+    // Mutate within the last quarter (metaindex/learned/properties/index).
+    size_t start = mutated.size() - mutated.size() / 4;
+    size_t pos = start + rnd.Uniform(static_cast<int>(mutated.size() - start));
+    mutated[pos] ^= static_cast<char>(1 + rnd.Uniform(255));
+    ASSERT_TRUE(WriteStringToFile(&env_, mutated, "/corrupt.sst").ok());
+
+    uint64_t size;
+    ASSERT_TRUE(env_.GetFileSize("/corrupt.sst", &size).ok());
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(env_.NewRandomAccessFile("/corrupt.sst", &file).ok());
+    TableReaderOptions ropt;
+    ropt.comparator = &icmp_;
+    ropt.verify_checksums = true;
+    std::unique_ptr<TableReader> reader;
+    Status s = TableReader::Open(ropt, std::move(file), size, 3, &reader);
+    if (!s.ok()) {
+      continue;  // Rejected — the expected outcome for meta corruption.
+    }
+    std::string ikey, fkey, value;
+    AppendInternalKey(&ikey, ParsedInternalKey("key000123", kMaxSequenceNumber,
+                                               kValueTypeForSeek));
+    bool found = false;
+    s = reader->InternalGet(ReadOptions(), ikey, &found, &fkey, &value);
+    if (s.ok() && found) {
+      EXPECT_EQ("v", value);
+    }
+  }
 }
 
 // ------------------------------------------------------- MergingIterator ----
