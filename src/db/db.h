@@ -127,6 +127,33 @@ class ShardedDB {
   /// error still in force.
   Status Resume();
 
+  /// Takes a consistent online checkpoint (backup) of the whole database
+  /// into `dir` (created if absent, must not already hold a checkpoint).
+  /// Safe under full concurrent write load: each shard cuts its WAL (seal +
+  /// fsync) and hard-links its immutable files, and the whole capture runs
+  /// under the cross-shard commit lock, so a 2PC batch is never split
+  /// across the checkpoint boundary. The directory is only a valid
+  /// checkpoint once its CHECKPOINT completion record exists — Restore
+  /// rejects anything less, so an interrupted checkpoint can never be
+  /// mistaken for a backup. The source DB is never modified beyond the WAL
+  /// rotation.
+  Status Checkpoint(const std::string& dir) EXCLUDES(commit_mu_);
+
+  /// Materializes the checkpoint at `checkpoint_dir` as a fresh, openable
+  /// database at `target_dir` (byte copies — the restored DB never shares
+  /// files with the backup). Validates the CHECKPOINT completion record
+  /// first and refuses partial or in-progress checkpoints; refuses a
+  /// `target_dir` that already holds a database.
+  static Status Restore(const Options& options,
+                        const std::string& checkpoint_dir,
+                        const std::string& target_dir);
+
+  /// Rate-limited scrub: walks every live SSTable and vlog of every shard
+  /// through checksum / record-framing verification, reporting the first
+  /// corruption with file provenance. Bumps scrub_bytes_verified /
+  /// scrub_corruptions.
+  Status VerifyChecksums();
+
   // --- Introspection --------------------------------------------------------
   Statistics* statistics() { return &stats_; }
   LruCache* block_cache() { return block_cache_.get(); }

@@ -50,6 +50,14 @@ std::string ShardsFileName(const std::string& dbname) {
   return dbname + "/SHARDS";
 }
 
+std::string CheckpointMarkerFileName(const std::string& dir) {
+  return dir + "/CHECKPOINT";
+}
+
+std::string CheckpointInProgressFileName(const std::string& dir) {
+  return dir + "/CHECKPOINT.inprogress";
+}
+
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    FileType* type) {
   if (filename == "CURRENT") {

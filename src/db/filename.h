@@ -30,6 +30,17 @@ std::string CommitLogFileName(const std::string& dbname);
 /// Shard-topology descriptor, living in the facade root.
 std::string ShardsFileName(const std::string& dbname);
 
+/// Checkpoint completion record, living in a checkpoint directory's root.
+/// Written (and synced) only after every shard's files and manifest are in
+/// place; its absence marks the directory as partial and unrestorable.
+/// Deliberately NOT recognized by ParseFileName: obsolete-file GC keeps
+/// unparseable names, so the marker survives even if a checkpoint is opened
+/// in place as a live DB.
+std::string CheckpointMarkerFileName(const std::string& dir);
+/// Sentinel created first during Checkpoint and removed last: a directory
+/// still holding it was abandoned mid-checkpoint and must be rejected.
+std::string CheckpointInProgressFileName(const std::string& dir);
+
 /// Parses a directory entry. Returns false for unrecognized names.
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    FileType* type);

@@ -603,6 +603,11 @@ struct ShardEngine::Writer {
   /// Seal requests only: rotate even if the memtable is empty or a hard
   /// error is in force (Resume() swapping out a poisoned WAL).
   bool force_seal = false;
+  /// Seal requests only: checkpoint WAL cut. Rotates even when the
+  /// memtable is empty, but unlike force_seal keeps the outgoing fsync
+  /// (the sealed log joins a checkpoint — it must be a durable prefix)
+  /// and still refuses to run under a hard error.
+  bool checkpoint_seal = false;
   bool done = false;
   Status status;
   CondVar cv;
@@ -626,10 +631,11 @@ Status ShardEngine::WriteBatchInternal(const WriteOptions& options,
   return EnqueueWriter(&w);
 }
 
-Status ShardEngine::SealActiveMemTable(bool force) {
+Status ShardEngine::SealActiveMemTable(bool force, bool for_checkpoint) {
   Writer w(nullptr, /*sync=*/false, /*no_slowdown=*/false);
   w.kind = Writer::kSeal;
   w.force_seal = force;
+  w.checkpoint_seal = for_checkpoint;
   return EnqueueWriter(&w);
 }
 
@@ -682,10 +688,11 @@ Status ShardEngine::EnqueueWriter(Writer* w) {
     MutexLock lock(&mu_);
     if (error_state_.hard() && !w->force_seal) {
       s = error_state_.status;
-    } else if (!mem_->Empty() || w->force_seal) {
+    } else if (!mem_->Empty() || w->force_seal || w->checkpoint_seal) {
       // A forced seal rotates away from a poisoned WAL, which must not be
       // fsynced again; its acked contents are re-persisted by the flush
-      // Resume() schedules.
+      // Resume() schedules. A checkpoint seal always keeps the fsync: the
+      // sealed log becomes checkpoint state.
       s = NewMemTableAndLogLocked(/*skip_old_wal_sync=*/w->force_seal);
     }
   } else {
@@ -1945,6 +1952,11 @@ std::string ShardEngine::DebugLevelSummary() const {
       static_cast<unsigned long long>(stats_->bg_retries.load()),
       static_cast<unsigned long long>(stats_->bg_retry_success.load()),
       static_cast<unsigned long long>(stats_->resume_calls.load()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf), "scrub: bytes_verified=%llu corruptions=%llu\n",
+      static_cast<unsigned long long>(stats_->scrub_bytes_verified.load()),
+      static_cast<unsigned long long>(stats_->scrub_corruptions.load()));
   out += buf;
   return out;
 }

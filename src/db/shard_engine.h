@@ -209,6 +209,26 @@ class ShardEngine {
   /// kv separation.
   Status GarbageCollectVlog();
 
+  /// Captures a consistent online checkpoint of this shard into `dir`
+  /// (created if absent): seals + fsyncs the active WAL (checkpoint seal —
+  /// rotate even when empty, never skip the outgoing sync), then under mu_
+  /// hard-links every sealed WAL, every table of the pinned current
+  /// version, and every vlog (synced first) into `dir` and writes a fresh
+  /// manifest snapshot + CURRENT there. Holding mu_ across the capture
+  /// freezes version installs and file GC, so the linked set and the
+  /// manifest describe one instant. Transient link failures retry with
+  /// capped exponential backoff. Fails (without partial cleanup — the
+  /// caller owns the directory) under a hard background error.
+  Status CheckpointInto(const std::string& dir)
+      EXCLUDES(writer_queue_mu_, mu_);
+
+  /// Rate-limited scrub: walks every live SSTable of the current version
+  /// through block-trailer checksum verification (bypassing the block
+  /// cache) and every on-disk vlog through record parsing + key echo
+  /// checks. Returns the first corruption with file provenance; bumps
+  /// scrub_bytes_verified / scrub_corruptions.
+  Status VerifyChecksums() EXCLUDES(mu_);
+
   /// Clears a background-error state after the operator fixed the cause
   /// (freed disk space, remounted the device). For a hard manifest error it
   /// rolls a fresh manifest; for a hard WAL error it rotates the WAL and
@@ -323,8 +343,15 @@ class ShardEngine {
   /// Seals the active memtable via the writer queue (so the swap cannot
   /// race a leader's WAL write); used by Flush(). With `force`, seals even
   /// when the memtable is empty or a hard error is in force (Resume()'s WAL
-  /// rotation).
-  Status SealActiveMemTable(bool force = false);
+  /// rotation, which also skips the outgoing fsync — the log is poisoned).
+  /// With `for_checkpoint`, rotates even when the memtable is empty but
+  /// keeps the outgoing fsync and still fails under a hard error: the
+  /// sealed log becomes part of a checkpoint, so it must be durable and
+  /// trustworthy.
+  Status SealActiveMemTable(bool force = false, bool for_checkpoint = false);
+  /// Links `src` to `target`, retrying transient failures with capped
+  /// exponential backoff (background_error_retry_initial_micros schedule).
+  Status LinkFileWithRetry(const std::string& src, const std::string& target);
   /// Blocks (or fails with Busy under no_slowdown) until the write path has
   /// room; implements the slowdown/stop stall ladder (tutorial §2.2.3).
   /// Only the current write-queue leader may call this. Drops and reacquires

@@ -104,6 +104,10 @@ struct Statistics {
   std::atomic<uint64_t> bg_retry_success{0};
   /// DB::Resume() invocations.
   std::atomic<uint64_t> resume_calls{0};
+  /// Checksum scrub (DB::VerifyChecksums): bytes walked through
+  /// block-trailer / record-framing verification, and corruptions found.
+  std::atomic<uint64_t> scrub_bytes_verified{0};
+  std::atomic<uint64_t> scrub_corruptions{0};
 
   // Sharded facade (DESIGN.md, "Sharding architecture"). Only the facade
   // increments these; engines never touch them, so shared Statistics are
@@ -169,6 +173,8 @@ struct Statistics {
     bg_retries = 0;
     bg_retry_success = 0;
     resume_calls = 0;
+    scrub_bytes_verified = 0;
+    scrub_corruptions = 0;
     cross_shard_batches = 0;
     shard_prepares = 0;
     shard_commits = 0;

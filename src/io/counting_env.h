@@ -75,6 +75,9 @@ class CountingEnv final : public Env {
                     const std::string& target) override {
     return base_->RenameFile(src, target);
   }
+  Status LinkFile(const std::string& src, const std::string& target) override {
+    return base_->LinkFile(src, target);
+  }
   /// Unwraps this env's own file wrappers so the whole cross-file batch
   /// reaches the base env as one submission; each request is still tallied
   /// in read_ops/bytes_read exactly as a serial loop would.

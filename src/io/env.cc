@@ -51,6 +51,21 @@ void Env::MultiRead(ReadRequest* reqs, size_t n) {
   }
 }
 
+Status Env::LinkFile(const std::string& src, const std::string& target) {
+  // Copy fallback: correct (the two names never alias mutable state — link
+  // callers only hand over immutable files) but pays the full byte copy.
+  // Real substrates override with a true hard link.
+  if (FileExists(target)) {
+    return Status::IOError(target, "already exists");
+  }
+  std::string contents;
+  Status s = ReadFileToString(this, src, &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  return WriteStringToFile(this, contents, target);
+}
+
 Status ReadFileToString(Env* env, const std::string& fname,
                         std::string* data) {
   data->clear();

@@ -119,6 +119,15 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  /// Makes `target` name the same bytes as `src` (hard link where the
+  /// substrate supports it). Both names stay valid; removing one does not
+  /// affect the other. Checkpoints use this to share immutable SSTables and
+  /// vlogs with the live DB without copying. The base implementation copies
+  /// the file contents (and syncs), so substrates without link support stay
+  /// correct, just slower. Fails if `src` is missing; `target` must not
+  /// already exist.
+  virtual Status LinkFile(const std::string& src, const std::string& target);
+
   /// Batched positional reads, possibly spanning files. Every file in the
   /// batch must have been opened through this env (decorator envs unwrap
   /// their own file wrappers to forward the batch to the base env). The

@@ -180,6 +180,11 @@ class FaultRandomAccessFile final : public RandomAccessFile {
 FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
     : base_(base), rng_(seed) {}
 
+bool IsNoSpaceError(const Status& s) {
+  return s.IsIOError() &&
+         s.ToString().find("No space left on device") != std::string::npos;
+}
+
 uint32_t FaultInjectionEnv::FileKindOf(const std::string& fname) {
   size_t sep = fname.rfind('/');
   std::string basename =
@@ -449,6 +454,33 @@ Status FaultInjectionEnv::RenameFile(const std::string& src,
       files_[target] = it->second;
       files_.erase(it);
     }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::LinkFile(const std::string& src,
+                                   const std::string& target) {
+  if (!filesystem_active()) {
+    return InactiveError();
+  }
+  Status injected;
+  if (MaybeInjectFault(src, kFaultOpLink, &injected)) {
+    return injected;
+  }
+  Status s = base_->LinkFile(src, target);
+  if (s.ok()) {
+    MutexLock lock(&mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      // The link names the same bytes as the source, so it inherits the
+      // source's durability exactly: synced prefix and all. Without this a
+      // crash right after a checkpoint would rewind the linked name to
+      // empty and "tear" an immutable SSTable that was in fact durable.
+      files_[target] = it->second;
+    }
+    // An untracked source (created before this env wrapped the substrate)
+    // stays untracked under the target name too: untracked files are
+    // treated as fully durable, which is what immutability implies.
   }
   return s;
 }

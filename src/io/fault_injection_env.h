@@ -35,6 +35,7 @@ enum FaultOp : uint32_t {
   kFaultOpRead = 1u << 3,    // Sequential / random-access reads
   kFaultOpRename = 1u << 4,  // Env::RenameFile (matched on source name)
   kFaultOpRemove = 1u << 5,  // Env::RemoveFile
+  kFaultOpLink = 1u << 6,    // Env::LinkFile (matched on source name)
 };
 
 /// One fault program: scripted (`at_op_index`) or probabilistic (`one_in`)
@@ -57,7 +58,29 @@ struct FaultRule {
   bool flip_bit = false;
   /// The error injected failures return.
   Status error = Status::IOError("injected fault");
+
+  /// A disk-full (ENOSPC) rule for the given file kinds and ops: same
+  /// machinery, but the injected error carries the POSIX no-space message
+  /// so ErrorState can classify it (soft for flush/compaction outputs,
+  /// hard for WAL/manifest). `max_failures` bounds the outage; < 0 means
+  /// the disk never frees up.
+  static FaultRule NoSpace(uint32_t file_kinds, uint32_t ops,
+                           int64_t at_op_index = 0,
+                           int64_t max_failures = -1) {
+    FaultRule rule;
+    rule.file_kinds = file_kinds;
+    rule.ops = ops;
+    rule.at_op_index = at_op_index;
+    rule.max_failures = max_failures;
+    rule.error = Status::IOError("No space left on device");
+    return rule;
+  }
 };
+
+/// True when `s` is the disk-full error FaultRule::NoSpace injects (or a
+/// real POSIX ENOSPC surfaced through PosixError). The kFaultNoSpace test
+/// axes use this to assert the right error reached the right layer.
+bool IsNoSpaceError(const Status& s);
 
 /// Env decorator for robustness testing (peer of CountingEnv/LatencyEnv):
 /// injects scripted or probabilistic I/O errors per file kind and op, and
@@ -131,6 +154,10 @@ class FaultInjectionEnv final : public Env {
     return base_->GetFileSize(fname, size);
   }
   Status RenameFile(const std::string& src, const std::string& target) override;
+  /// Forwards the link and copies the source's synced-prefix bookkeeping to
+  /// the target: a linked file is exactly as durable as its source, so a
+  /// later crash must not spuriously "tear" an immutable linked SSTable.
+  Status LinkFile(const std::string& src, const std::string& target) override;
   /// Batched reads with serial-equivalent fault semantics: every
   /// injected-error rule check runs in request order before dispatch, every
   /// flip_bit check in request order after completion, so scripted

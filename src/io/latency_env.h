@@ -64,6 +64,9 @@ class LatencyEnv final : public Env {
                     const std::string& target) override {
     return base_->RenameFile(src, target);
   }
+  Status LinkFile(const std::string& src, const std::string& target) override {
+    return base_->LinkFile(src, target);  // Metadata op: no transfer charge.
+  }
   /// Charges the batch like a queued device (NCQ): ONE per-op latency for
   /// the whole submission plus transfer time for the total bytes — the cost
   /// model behind the batched-MultiGet speedup measured in A6. Unwraps this

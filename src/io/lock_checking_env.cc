@@ -189,6 +189,13 @@ Status LockCheckingEnv::RenameFile(const std::string& src,
   return base_->RenameFile(src, target);
 }
 
+Status LockCheckingEnv::LinkFile(const std::string& src,
+                                 const std::string& target) {
+  // Metadata op, unchecked like Rename: checkpoints link under the engine
+  // mutex by design (the same sanctioned pattern as obsolete-file GC).
+  return base_->LinkFile(src, target);
+}
+
 void LockCheckingEnv::MultiRead(ReadRequest* reqs, size_t n) {
   LSMLAB_CHECK_IO_UNDER_LOCK("MultiRead", "batch");
   std::vector<RandomAccessFile*> saved(n);

@@ -46,6 +46,7 @@ class LockCheckingEnv : public Env {
   Status RemoveDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src, const std::string& target) override;
+  Status LinkFile(const std::string& src, const std::string& target) override;
   void MultiRead(ReadRequest* reqs, size_t n) override;
 
   Env* base() const { return base_; }

@@ -227,6 +227,22 @@ Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
   return Status::OK();
 }
 
+Status MemEnv::LinkFile(const std::string& src, const std::string& target) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) {
+    return Status::NotFound(src);
+  }
+  if (files_.count(target) > 0) {
+    return Status::IOError(target, "already exists");
+  }
+  // True hard-link semantics: both names share the content object.
+  // NewWritableFile replaces (not mutates) the map entry, so a later
+  // truncate of either name cannot bleed into the other.
+  files_[target] = it->second;
+  return Status::OK();
+}
+
 uint64_t MemEnv::TotalFileBytes() const {
   MutexLock lock(&mu_);
   uint64_t total = 0;

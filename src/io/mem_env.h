@@ -37,6 +37,7 @@ class MemEnv final : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src,
                     const std::string& target) override;
+  Status LinkFile(const std::string& src, const std::string& target) override;
 
   /// Total bytes held across all files (space-amplification measurements).
   uint64_t TotalFileBytes() const;

@@ -434,6 +434,18 @@ class PosixEnv final : public Env {
     return Status::OK();
   }
 
+  Status LinkFile(const std::string& src, const std::string& target) override {
+    if (::link(src.c_str(), target.c_str()) != 0) {
+      if (errno == EXDEV || errno == ENOTSUP || errno == EPERM) {
+        // Cross-filesystem (or link-hostile) destination: fall back to the
+        // base copy so checkpoints can target any mount.
+        return Env::LinkFile(src, target);
+      }
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+
   void MultiRead(ReadRequest* reqs, size_t n) override {
     // Cross-file batches go down as one backend submission. Files not
     // opened through this env (no fd to extract) execute individually via

@@ -307,6 +307,38 @@ Status VersionSet::CreateNewLocked() {
   return s;
 }
 
+Status VersionSet::WriteCheckpointManifest(const std::string& dir) {
+  MutexLock lock(&mu_);
+  lock_rank::IoAllowedSection checkpoint_io(
+      "Checkpoint manifest snapshot runs under VersionSet::mu_ like every "
+      "other manifest write: mu_ freezes the exact version being captured.");
+  // Reuse the live manifest number: it is already below next_file_number_
+  // (which the snapshot encodes), so a later open of the checkpoint never
+  // collides when it rolls its own fresh manifest.
+  const std::string manifest_name =
+      ManifestFileName(dir, manifest_file_number_);
+  std::unique_ptr<WritableFile> file;
+  Status s = env()->NewWritableFile(manifest_name, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  wal::Writer writer(file.get());
+  s = WriteSnapshot(&writer);
+  if (s.ok()) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  if (!s.ok()) {
+    // Best-effort cleanup of the torn snapshot; the write error wins.
+    (void)env()->RemoveFile(manifest_name);
+    return s;
+  }
+  std::string current_contents = manifest_name.substr(dir.size() + 1) + "\n";
+  return WriteStringToFile(env(), current_contents, CurrentFileName(dir));
+}
+
 Status VersionSet::RollManifest() {
   MutexLock lock(&mu_);
   // Drop the (possibly torn) manifest handles before opening the new file;

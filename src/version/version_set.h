@@ -125,6 +125,14 @@ class VersionSet {
   /// is garbage-collected by the next RemoveObsoleteFiles pass.
   Status RollManifest() EXCLUDES(mu_);
 
+  /// Writes a fresh manifest snapshot of the current version into `dir` (a
+  /// checkpoint directory), plus a CURRENT pointing at it — the live
+  /// manifest handles are untouched. The caller must have frozen version
+  /// installs (the engine holds its own mutex across the checkpoint
+  /// capture), so the snapshot, the linked files, and the WAL set it names
+  /// describe one consistent instant.
+  Status WriteCheckpointManifest(const std::string& dir) EXCLUDES(mu_);
+
   std::shared_ptr<const Version> current() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return current_;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "db/db.h"
+#include "db/filename.h"
 #include "db/merge_operator.h"
 #include "io/fault_injection_env.h"
 #include "io/mem_env.h"
@@ -62,6 +63,17 @@ IndexType TestIndexType() {
     return IndexType::kLearnedPLR;
   }
   return IndexType::kBinarySearchFence;
+}
+
+// LSMLAB_TEST_CHECKPOINT=1 adds a checkpoint axis: each iteration takes an
+// online backup at a random op index mid-workload, crashes as usual, then
+// restores the backup into a fresh directory and verifies it holds exactly
+// the workload prefix that preceded the cut (model-replay equivalence). A
+// checkpoint that failed under injected faults must leave a directory that
+// neither restores nor opens.
+bool TestCheckpoint() {
+  const char* value = std::getenv("LSMLAB_TEST_CHECKPOINT");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
 }
 
 // One model mutation; a batch is a vector of these plus the counter put.
@@ -148,9 +160,23 @@ void RunIteration(uint64_t seed, int iter) {
   const int total_ops = 60 + static_cast<int>(rng.Uniform(120));
   const int crash_point = static_cast<int>(rng.Uniform(total_ops + 1));
 
+  // Checkpoint axis: back up mid-workload at a random op index. The
+  // workload is single-threaded, so a checkpoint taken before op `cp_op`
+  // must hold exactly the batch prefix [0..cp_op-1] — verified after the
+  // crash by restoring into a fresh directory.
+  const bool checkpoint_axis = TestCheckpoint();
+  const int cp_op =
+      checkpoint_axis ? static_cast<int>(rng.Uniform(crash_point + 1)) : -1;
+  bool cp_taken = false;
+  Status cp_status;
+
   std::vector<std::vector<ModelOp>> history;
   int durable = -1;  // Highest op index acked under sync=true.
   for (int op = 0; op < crash_point; ++op) {
+    if (checkpoint_axis && op == cp_op) {
+      cp_status = db->Checkpoint("/backup");
+      cp_taken = true;
+    }
     WriteBatch batch;
     std::vector<ModelOp> ops;
     const int muts = 1 + static_cast<int>(rng.Uniform(3));
@@ -194,6 +220,12 @@ void RunIteration(uint64_t seed, int iter) {
       // L0 files sit relative to the crash point.
       ASSERT_TRUE(db->Flush().ok()) << "iter " << iter << " op " << op;
     }
+  }
+
+  if (checkpoint_axis && !cp_taken) {
+    // cp_op == crash_point: the backup covers the whole surviving prefix.
+    cp_status = db->Checkpoint("/backup");
+    cp_taken = true;
   }
 
   // Crash: freeze the filesystem mid-flight (background flushes and
@@ -279,6 +311,67 @@ void RunIteration(uint64_t seed, int iter) {
 
   Status vs = db->ValidateTreeInvariants();
   EXPECT_TRUE(vs.ok()) << "iter " << iter << ": " << vs.ToString();
+
+  // Checkpoint axis: the backup was taken before the crash and its files
+  // were hard-linked from live state, so the crash (DropUnsyncedData) just
+  // ran over it too. A completed checkpoint must restore to exactly the
+  // pre-cut prefix; a failed one must be rejected outright.
+  if (checkpoint_axis && cp_taken) {
+    if (cp_status.ok()) {
+      ASSERT_TRUE(DB::Restore(options, "/backup", "/restore").ok())
+          << "iter " << iter;
+      std::unique_ptr<DB> rdb;
+      ASSERT_TRUE(DB::Open(options, "/restore", &rdb).ok())
+          << "iter " << iter << " (restore of checkpoint at op " << cp_op
+          << ")";
+      std::string rcounter;
+      Status rcs = rdb->Get(ReadOptions(), "!counter", &rcounter);
+      int rrecovered = -1;
+      if (rcs.ok()) {
+        rrecovered = std::atoi(rcounter.c_str());
+      } else {
+        ASSERT_TRUE(rcs.IsNotFound()) << "iter " << iter;
+      }
+      // Exact, not merely prefix-consistent: the checkpoint sealed and
+      // fsynced the WAL, so every op before the cut is durable in it.
+      EXPECT_EQ(cp_op - 1, rrecovered)
+          << "iter " << iter << ": checkpoint must hold exactly ops [0.."
+          << cp_op - 1 << "]";
+      std::map<std::string, std::string> cp_model;
+      for (int op = 0; op < cp_op; ++op) {
+        for (const auto& mop : history[static_cast<size_t>(op)]) {
+          ApplyToModel(&cp_model, mop);
+        }
+      }
+      std::string rvalue;
+      for (int k = 0; k < 40; ++k) {
+        char key[8];
+        std::snprintf(key, sizeof(key), "key%02d", k);
+        Status rgs = rdb->Get(ReadOptions(), key, &rvalue);
+        auto it = cp_model.find(key);
+        if (it == cp_model.end()) {
+          EXPECT_TRUE(rgs.IsNotFound())
+              << "iter " << iter << " restore key " << key;
+        } else {
+          ASSERT_TRUE(rgs.ok()) << "iter " << iter << " restore key " << key
+                                << ": " << rgs.ToString();
+          EXPECT_EQ(it->second, rvalue)
+              << "iter " << iter << " restore key " << key;
+        }
+      }
+      EXPECT_TRUE(rdb->ValidateTreeInvariants().ok()) << "iter " << iter;
+    } else {
+      // An interrupted checkpoint never restores and never opens.
+      EXPECT_FALSE(DB::Restore(options, "/backup", "/restore").ok())
+          << "iter " << iter;
+      if (env.FileExists(CheckpointInProgressFileName("/backup"))) {
+        std::unique_ptr<DB> rdb;
+        EXPECT_FALSE(DB::Open(options, "/backup", &rdb).ok())
+            << "iter " << iter
+            << ": partial checkpoint must not open as a DB";
+      }
+    }
+  }
 }
 
 TEST(CrashHarness, RandomizedCrashReopenCycles) {
